@@ -1,0 +1,175 @@
+//! Global-sensitivity Laplace baseline.
+//!
+//! For edge-neighbouring graphs the global sensitivity of subgraph counting
+//! is already enormous: adding one edge can create up to `n − 2` triangles or
+//! `2·C(n−2, k−1)` k-stars. For node-neighbouring it is worse still (and the
+//! recursive mechanism exists precisely because these worst cases make the
+//! classical Laplace mechanism useless). This baseline calibrates to the
+//! worst case and is included as the naïve reference point.
+
+use crate::{BaselineMechanism, Guarantee};
+use rand::RngCore;
+use rmdp_graph::subgraph::{k_star_count, k_triangle_count, triangle_count};
+use rmdp_graph::Graph;
+use rmdp_noise::laplace::sample_laplace;
+
+/// Which count the baseline releases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountQuery {
+    /// Triangles.
+    Triangles,
+    /// k-stars.
+    KStars(usize),
+    /// k-triangles.
+    KTriangles(usize),
+}
+
+/// The global-sensitivity Laplace mechanism for a fixed subgraph count under
+/// edge privacy.
+#[derive(Clone, Debug)]
+pub struct GlobalSensitivityLaplace {
+    query: CountQuery,
+    epsilon: f64,
+    /// Global sensitivity used for calibration (depends on the maximum
+    /// possible node count, fixed at construction).
+    sensitivity: f64,
+    name: String,
+}
+
+impl GlobalSensitivityLaplace {
+    /// Triangle counting on graphs with at most `n` nodes: `GS = n − 2`.
+    pub fn for_triangles(n: usize, epsilon: f64) -> Self {
+        GlobalSensitivityLaplace {
+            query: CountQuery::Triangles,
+            epsilon,
+            sensitivity: (n.saturating_sub(2)) as f64,
+            name: "GS-Laplace (triangle)".to_owned(),
+        }
+    }
+
+    /// k-star counting on graphs with at most `n` nodes:
+    /// `GS = 2·C(n−2, k−1)` (each endpoint of a new edge can become the
+    /// centre of that many new stars) plus the stars using the edge as a leg.
+    pub fn for_k_stars(n: usize, k: usize, epsilon: f64) -> Self {
+        let gs = 2.0 * binomial_f(n.saturating_sub(2), k.saturating_sub(1));
+        GlobalSensitivityLaplace {
+            query: CountQuery::KStars(k),
+            epsilon,
+            sensitivity: gs,
+            name: format!("GS-Laplace ({k}-star)"),
+        }
+    }
+
+    /// k-triangle counting on graphs with at most `n` nodes:
+    /// `GS = C(n−2, k) + (n−2)·C(n−3, k−1)` (the new edge as base, or as a
+    /// side of an existing base).
+    pub fn for_k_triangles(n: usize, k: usize, epsilon: f64) -> Self {
+        let n2 = n.saturating_sub(2);
+        let gs = binomial_f(n2, k) + n2 as f64 * binomial_f(n.saturating_sub(3), k.saturating_sub(1));
+        GlobalSensitivityLaplace {
+            query: CountQuery::KTriangles(k),
+            epsilon,
+            sensitivity: gs,
+            name: format!("GS-Laplace ({k}-triangle)"),
+        }
+    }
+
+    /// An explicit query/sensitivity combination.
+    pub fn with_sensitivity(query: CountQuery, sensitivity: f64, epsilon: f64) -> Self {
+        GlobalSensitivityLaplace {
+            query,
+            epsilon,
+            sensitivity,
+            name: "GS-Laplace".to_owned(),
+        }
+    }
+}
+
+impl BaselineMechanism for GlobalSensitivityLaplace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::PureEdge {
+            epsilon: self.epsilon,
+        }
+    }
+
+    fn true_count(&self, graph: &Graph) -> f64 {
+        match self.query {
+            CountQuery::Triangles => triangle_count(graph) as f64,
+            CountQuery::KStars(k) => k_star_count(graph, k) as f64,
+            CountQuery::KTriangles(k) => k_triangle_count(graph, k) as f64,
+        }
+    }
+
+    fn noise_scale(&self, _graph: &Graph) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    fn release(&self, graph: &Graph, rng: &mut dyn RngCore) -> f64 {
+        self.true_count(graph) + sample_laplace(self.noise_scale(graph), rng)
+    }
+}
+
+pub(crate) fn binomial_f(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result = result * (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rmdp_graph::generators;
+
+    #[test]
+    fn sensitivities_grow_with_graph_size() {
+        let small = GlobalSensitivityLaplace::for_triangles(50, 0.5);
+        let large = GlobalSensitivityLaplace::for_triangles(500, 0.5);
+        assert!(large.sensitivity > small.sensitivity);
+        assert_eq!(small.sensitivity, 48.0);
+
+        let stars = GlobalSensitivityLaplace::for_k_stars(100, 2, 0.5);
+        assert_eq!(stars.sensitivity, 2.0 * 98.0);
+
+        let kt = GlobalSensitivityLaplace::for_k_triangles(100, 2, 0.5);
+        assert!(kt.sensitivity > stars.sensitivity);
+    }
+
+    #[test]
+    fn true_counts_match_the_graph_module() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp_average_degree(30, 6.0, &mut rng);
+        let m = GlobalSensitivityLaplace::for_triangles(30, 0.5);
+        assert_eq!(m.true_count(&g), triangle_count(&g) as f64);
+        let s = GlobalSensitivityLaplace::for_k_stars(30, 2, 0.5);
+        assert_eq!(s.true_count(&g), k_star_count(&g, 2) as f64);
+    }
+
+    #[test]
+    fn noise_scale_dwarfs_typical_counts_for_node_scale_graphs() {
+        // The point of the baseline: at ε = 0.5 and |V| = 200 the noise scale
+        // is 396, larger than typical sparse-graph triangle counts.
+        let m = GlobalSensitivityLaplace::for_triangles(200, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp_average_degree(200, 10.0, &mut rng);
+        assert!(m.noise_scale(&g) > m.true_count(&g));
+    }
+
+    #[test]
+    fn binomial_helper_matches_known_values() {
+        assert_eq!(binomial_f(5, 2), 10.0);
+        assert_eq!(binomial_f(3, 5), 0.0);
+        assert_eq!(binomial_f(7, 0), 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type of the recursive mechanism.
+
+use rmdp_lp::LpError;
+use std::fmt;
+
+/// Errors reported by the mechanism.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MechanismError {
+    /// An LP solved while computing `H_i` or `G_i` failed.
+    Lp(LpError),
+    /// The mechanism parameters are invalid (non-positive ε, β or θ).
+    InvalidParams(String),
+    /// The instantiation cannot handle the instance (e.g. the general
+    /// instantiation was given too many participants to enumerate).
+    UnsupportedInstance(String),
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismError::Lp(e) => write!(f, "linear program failed: {e}"),
+            MechanismError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            MechanismError::UnsupportedInstance(msg) => {
+                write!(f, "unsupported instance: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}
+
+impl From<LpError> for MechanismError {
+    fn from(e: LpError) -> Self {
+        MechanismError::Lp(e)
+    }
+}

@@ -1,0 +1,292 @@
+//! Linear queries over sensitive K-relations (paper Sec. 3.2).
+//!
+//! A sensitive K-relation `(P, R)` annotates every tuple of the query-output
+//! relation with a positive Boolean expression over the participants; a
+//! nonnegative linear query attaches a weight `q(t) ≥ 0` to every tuple and
+//! asks for `Σ_{t ∈ supp(R)} q(t)`. The [`SensitiveKRelation`] bundles the
+//! three ingredients and exposes:
+//!
+//! * the true answer,
+//! * the impact of a participant and the universal empirical sensitivity
+//!   (Defs. 15, 16),
+//! * the [`SensitiveQuery`] view used by the general instantiation and the
+//!   test oracles (the query on a participant subset evaluates every
+//!   annotation as a Boolean expression).
+
+use crate::sensitive::SensitiveQuery;
+use rmdp_krelation::hash::FxHashSet;
+use rmdp_krelation::participant::ParticipantId;
+use rmdp_krelation::{Expr, KRelation, Tuple};
+
+/// A sensitive K-relation together with a nonnegative linear query.
+#[derive(Clone, Debug)]
+pub struct SensitiveKRelation {
+    /// The participant universe `P` (sorted, deduplicated). May include
+    /// participants that do not occur in any annotation — e.g. isolated
+    /// graph nodes — which matters for the sequence length `|P|`.
+    participants: Vec<ParticipantId>,
+    /// `(annotation, weight)` per tuple of the support.
+    terms: Vec<(Expr, f64)>,
+    /// The tuples themselves, aligned with `terms` (kept for reporting).
+    tuples: Vec<Tuple>,
+}
+
+impl SensitiveKRelation {
+    /// Builds a sensitive K-relation from a relation, an explicit participant
+    /// universe and a per-tuple weight function. Weights must be nonnegative
+    /// (Def. 12); tuples annotated `False` or weighted 0 are dropped.
+    pub fn new<F>(relation: &KRelation, participants: Vec<ParticipantId>, weight: F) -> Self
+    where
+        F: Fn(&Tuple) -> f64,
+    {
+        let mut all: Vec<ParticipantId> = participants;
+        all.sort();
+        all.dedup();
+        let mut terms = Vec::with_capacity(relation.len());
+        let mut tuples = Vec::with_capacity(relation.len());
+        for (t, e) in relation.iter() {
+            let w = weight(t);
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "linear query weights must be nonnegative and finite"
+            );
+            if w == 0.0 || e.is_false() {
+                continue;
+            }
+            terms.push((e.clone(), w));
+            tuples.push(t.clone());
+        }
+        SensitiveKRelation {
+            participants: all,
+            terms,
+            tuples,
+        }
+    }
+
+    /// Convenience constructor: participant universe = the participants
+    /// occurring in the annotations, weight 1 for every tuple (plain
+    /// counting).
+    pub fn counting(relation: &KRelation) -> Self {
+        let mut participants: Vec<ParticipantId> = relation.participants().into_iter().collect();
+        participants.sort();
+        Self::new(relation, participants, |_| 1.0)
+    }
+
+    /// Builds directly from `(annotation, weight)` pairs when no tuple data
+    /// is needed (used by the synthetic K-relation experiments).
+    pub fn from_terms(participants: Vec<ParticipantId>, terms: Vec<(Expr, f64)>) -> Self {
+        let mut all = participants;
+        all.sort();
+        all.dedup();
+        let kept: Vec<(Expr, f64)> = terms
+            .into_iter()
+            .filter(|(e, w)| !e.is_false() && *w > 0.0)
+            .collect();
+        let tuples = vec![Tuple::empty(); kept.len()];
+        SensitiveKRelation {
+            participants: all,
+            terms: kept,
+            tuples,
+        }
+    }
+
+    /// The participant universe `P`.
+    pub fn participants(&self) -> &[ParticipantId] {
+        &self.participants
+    }
+
+    /// Number of participants `|P|`.
+    pub fn num_participants(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// The `(annotation, weight)` pairs.
+    pub fn terms(&self) -> &[(Expr, f64)] {
+        &self.terms
+    }
+
+    /// The tuples of the support (aligned with [`SensitiveKRelation::terms`]).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Support size `|supp(R)|`.
+    pub fn support_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total annotation length `L` (the LP size parameter of Sec. 5.3).
+    pub fn total_annotation_length(&self) -> usize {
+        self.terms.iter().map(|(e, _)| e.len()).sum()
+    }
+
+    /// The true answer `q(supp(R)) = Σ_t q(t)`.
+    pub fn true_answer(&self) -> f64 {
+        self.terms.iter().map(|(_, w)| w).sum()
+    }
+
+    /// The impact of participant `p` (Def. 15): the tuple indices whose
+    /// annotation genuinely depends on `p`.
+    pub fn impact(&self, p: ParticipantId) -> Vec<usize> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter(|(_, (e, _))| e.contains_var(p) && e.restrict(p, false) != *e)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The universal empirical sensitivity of one participant (Def. 16):
+    /// `ŨS_q(p, R) = Σ_{t ∈ impact(p, R)} q(t)`.
+    pub fn universal_sensitivity_of(&self, p: ParticipantId) -> f64 {
+        self.impact(p).into_iter().map(|i| self.terms[i].1).sum()
+    }
+
+    /// The universal empirical sensitivity `ŨS_q(P, R) = max_p ŨS_q(p, R)`.
+    pub fn universal_sensitivity(&self) -> f64 {
+        self.participants
+            .iter()
+            .map(|&p| self.universal_sensitivity_of(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// The maximum φ-sensitivity `S` over all annotations and participants
+    /// (Sec. 5.2: the error bound is roughly `2·S·ŨS_q`).
+    pub fn max_phi_sensitivity(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|(e, _)| rmdp_krelation::phi::max_phi_sensitivity(e))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl SensitiveQuery for SensitiveKRelation {
+    fn participants(&self) -> Vec<ParticipantId> {
+        self.participants.clone()
+    }
+
+    fn query_on_subset(&self, subset: &FxHashSet<ParticipantId>) -> f64 {
+        self.terms
+            .iter()
+            .filter(|(e, _)| e.evaluate(&|p| subset.contains(&p)))
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitive::check_monotonicity_exhaustive;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    /// The triangle K-relation of the paper's Fig. 2(a) under node privacy.
+    fn fig2a_relation() -> KRelation {
+        let mut r = KRelation::new(["t"]);
+        r.insert(
+            Tuple::new([("t", "abc")]),
+            Expr::conjunction_of_vars([p(0), p(1), p(2)]),
+        );
+        r.insert(
+            Tuple::new([("t", "bcd")]),
+            Expr::conjunction_of_vars([p(1), p(2), p(3)]),
+        );
+        r.insert(
+            Tuple::new([("t", "cde")]),
+            Expr::conjunction_of_vars([p(2), p(3), p(4)]),
+        );
+        r
+    }
+
+    #[test]
+    fn counting_query_basics() {
+        let q = SensitiveKRelation::counting(&fig2a_relation());
+        assert_eq!(q.num_participants(), 5);
+        assert_eq!(q.support_size(), 3);
+        assert_eq!(q.true_answer(), 3.0);
+        assert_eq!(q.total_annotation_length(), 9);
+    }
+
+    #[test]
+    fn impact_and_universal_sensitivity_match_the_paper_example() {
+        let q = SensitiveKRelation::counting(&fig2a_relation());
+        // Node c (p2) appears in every triangle: impact 3.
+        assert_eq!(q.impact(p(2)).len(), 3);
+        assert_eq!(q.universal_sensitivity_of(p(2)), 3.0);
+        assert_eq!(q.universal_sensitivity_of(p(0)), 1.0);
+        assert_eq!(q.universal_sensitivity(), 3.0);
+        // Subgraph counting in DNF form: S ≤ 1 (Sec. 5.2).
+        assert_eq!(q.max_phi_sensitivity(), 1.0);
+    }
+
+    #[test]
+    fn query_on_subset_evaluates_annotations() {
+        let q = SensitiveKRelation::counting(&fig2a_relation());
+        let without_c: FxHashSet<ParticipantId> = [p(0), p(1), p(3), p(4)].into_iter().collect();
+        assert_eq!(q.query_on_subset(&without_c), 0.0);
+        let without_a: FxHashSet<ParticipantId> = [p(1), p(2), p(3), p(4)].into_iter().collect();
+        assert_eq!(q.query_on_subset(&without_a), 2.0);
+        assert_eq!(q.true_answer(), 3.0);
+    }
+
+    #[test]
+    fn linear_queries_on_krelations_are_monotonic() {
+        let q = SensitiveKRelation::counting(&fig2a_relation());
+        assert!(check_monotonicity_exhaustive(&q).is_ok());
+    }
+
+    #[test]
+    fn weighted_queries_scale_the_answer() {
+        let r = fig2a_relation();
+        let participants = (0..5).map(p).collect();
+        let q = SensitiveKRelation::new(&r, participants, |t| {
+            if t.get_named("t").unwrap().as_str() == Some("abc") {
+                2.5
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(q.true_answer(), 4.5);
+        assert_eq!(q.universal_sensitivity_of(p(0)), 2.5);
+    }
+
+    #[test]
+    fn zero_weight_tuples_are_dropped() {
+        let r = fig2a_relation();
+        let q = SensitiveKRelation::new(&r, (0..5).map(p).collect(), |t| {
+            if t.get_named("t").unwrap().as_str() == Some("cde") {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(q.support_size(), 2);
+        assert_eq!(q.true_answer(), 2.0);
+    }
+
+    #[test]
+    fn from_terms_builds_without_tuples() {
+        let terms = vec![
+            (Expr::conjunction_of_vars([p(0), p(1)]), 1.0),
+            (Expr::False, 1.0),
+            (Expr::var(p(2)), 0.0),
+            (Expr::var(p(2)), 2.0),
+        ];
+        let q = SensitiveKRelation::from_terms((0..3).map(p).collect(), terms);
+        assert_eq!(q.support_size(), 2);
+        assert_eq!(q.true_answer(), 3.0);
+    }
+
+    #[test]
+    fn isolated_participants_count_toward_the_universe() {
+        // Participant p9 contributes nothing but is still part of P.
+        let mut participants: Vec<ParticipantId> = (0..5).map(p).collect();
+        participants.push(p(9));
+        let q = SensitiveKRelation::new(&fig2a_relation(), participants, |_| 1.0);
+        assert_eq!(q.num_participants(), 6);
+        assert_eq!(q.universal_sensitivity_of(p(9)), 0.0);
+    }
+}

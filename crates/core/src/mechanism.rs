@@ -1,0 +1,385 @@
+//! The recursive-mechanism driver (paper Sec. 4.1).
+//!
+//! Given an instantiation providing the sequences `H` and `G`, the driver
+//! performs the three steps of the framework:
+//!
+//! 1. `Δ = min{ e^{iβ}θ : G_{|P|−i} ≤ e^{iβ}θ }` — a data-dependent bound on
+//!    the empirical sensitivity whose logarithm has global sensitivity at
+//!    most `β` (Lemma 1). Because `G_{|P|−j} − e^{jβ}θ` is non-increasing in
+//!    `j`, the smallest valid `j` is found by binary search touching only
+//!    `O(log(log(G_{|P|})/β))` entries of `G` (Sec. 5.3).
+//! 2. `Δ̂ = e^{μ+Y}·Δ` with `Y ∼ Lap(β/ε₁)` — the ε₁-differentially private
+//!    release of the bound (Lemma 4).
+//! 3. `X = min_i H_i + (|P|−i)·Δ̂` — an estimate of the true answer whose
+//!    global sensitivity is at most `Δ̂` (Lemma 7); by convexity of `H`
+//!    (Lemma 10) the integer argmin is found by ternary search. The final
+//!    release is `X̂ = X + Lap(Δ̂/ε₂)`.
+//!
+//! One `RecursiveMechanism` instance can release repeatedly on the same
+//! database (each release spends `ε₁ + ε₂`): `Δ` and every touched `H`/`G`
+//! entry are deterministic and cached, so repeated releases only sample fresh
+//! noise.
+
+use crate::error::MechanismError;
+use crate::params::MechanismParams;
+use crate::sequences::MechanismSequences;
+use rand::Rng;
+use rmdp_noise::laplace::sample_laplace;
+
+/// One differentially private release together with its diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct Release {
+    /// The released (noisy) answer `X̂`.
+    pub noisy_answer: f64,
+    /// The deterministic threshold `Δ` (not privacy-safe to publish on its
+    /// own; exposed for analysis and testing).
+    pub delta: f64,
+    /// The noisy threshold `Δ̂` actually used to calibrate the answer noise.
+    pub delta_hat: f64,
+    /// The clipped estimate `X` before the final Laplace noise.
+    pub x: f64,
+    /// The index `i` attaining `X = H_i + (|P|−i)Δ̂`.
+    pub argmin_index: usize,
+    /// The true answer `H_{|P|}` (diagnostic only — never publish).
+    pub true_answer: f64,
+    /// Total privacy budget `ε₁ + ε₂` consumed by this release.
+    pub epsilon_spent: f64,
+}
+
+/// The recursive mechanism: a driver over an instantiation's sequences.
+pub struct RecursiveMechanism<S: MechanismSequences> {
+    sequences: S,
+    params: MechanismParams,
+    cached_delta: Option<f64>,
+}
+
+impl<S: MechanismSequences> RecursiveMechanism<S> {
+    /// Wraps an instantiation with the given parameters.
+    pub fn new(sequences: S, params: MechanismParams) -> Result<Self, MechanismError> {
+        params.validate()?;
+        Ok(RecursiveMechanism {
+            sequences,
+            params,
+            cached_delta: None,
+        })
+    }
+
+    /// Read access to the parameters.
+    pub fn params(&self) -> &MechanismParams {
+        &self.params
+    }
+
+    /// Read/write access to the underlying sequences (e.g. to inspect cached
+    /// entries in tests).
+    pub fn sequences_mut(&mut self) -> &mut S {
+        &mut self.sequences
+    }
+
+    /// Step 1: the deterministic threshold `Δ`. Cached across releases.
+    pub fn delta(&mut self) -> Result<f64, MechanismError> {
+        if let Some(d) = self.cached_delta {
+            return Ok(d);
+        }
+        let n = self.sequences.num_participants();
+        let beta = self.params.beta;
+        let theta = self.params.theta;
+
+        // Ladder value at step j.
+        let ladder = |j: usize| (j as f64 * beta).exp() * theta;
+
+        // Find the smallest j in [0, n] with G_{n−j} ≤ ladder(j). The
+        // difference G_{n−j} − ladder(j) is non-increasing in j, so binary
+        // search applies. The paper's bound j ≤ 1 + ln(G_n/θ)/β restricts the
+        // search range further.
+        let g_full = self.sequences.g(n)?;
+        let j_cap = if g_full <= theta {
+            0
+        } else {
+            ((g_full / theta).ln() / beta).ceil() as usize + 1
+        };
+        let hi_limit = j_cap.min(n);
+
+        let delta = if g_full <= ladder(0) {
+            ladder(0)
+        } else {
+            // Invariant: predicate(j) = [G_{n−j} ≤ ladder(j)] is monotone in j.
+            let mut lo = 0usize; // predicate known false at lo
+            let mut hi = hi_limit; // candidate upper end
+                                   // Ensure the predicate holds at hi; if not, extend to n.
+            let holds = |seqs: &mut S, j: usize| -> Result<bool, MechanismError> {
+                Ok(seqs.g(n - j)? <= ladder(j))
+            };
+            let mut hi_ok = holds(&mut self.sequences, hi)?;
+            if !hi_ok && hi < n {
+                hi = n;
+                hi_ok = holds(&mut self.sequences, hi)?;
+            }
+            if !hi_ok {
+                // G_0 = 0 ≤ ladder(n) must hold for a valid bounding
+                // sequence; fall back to the top of the ladder defensively.
+                ladder(n)
+            } else {
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if holds(&mut self.sequences, mid)? {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                ladder(hi)
+            }
+        };
+        self.cached_delta = Some(delta);
+        Ok(delta)
+    }
+
+    /// Steps 2–3: one differentially private release, spending `ε₁ + ε₂`.
+    pub fn release<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<Release, MechanismError> {
+        let n = self.sequences.num_participants();
+        let delta = self.delta()?;
+
+        // Step 2: multiplicative noise on Δ.
+        let y = sample_laplace(self.params.beta / self.params.epsilon1, rng);
+        let delta_hat = (self.params.mu + y).exp() * delta;
+
+        // Step 3: X = min_i H_i + (n − i)·Δ̂ over integers, located by ternary
+        // search thanks to the convexity of H (Lemma 10).
+        let (argmin_index, x) = self.argmin_x(delta_hat)?;
+
+        let noise = sample_laplace(delta_hat / self.params.epsilon2, rng);
+        let noisy_answer = x + noise;
+        let true_answer = self.sequences.h(n)?;
+
+        Ok(Release {
+            noisy_answer,
+            delta,
+            delta_hat,
+            x,
+            argmin_index,
+            true_answer,
+            epsilon_spent: self.params.total_epsilon(),
+        })
+    }
+
+    /// Performs `trials` releases and returns them all (the experiment
+    /// harness uses this to estimate median relative error; each release is
+    /// an independent run of the mechanism).
+    pub fn release_many<R: Rng + ?Sized>(
+        &mut self,
+        trials: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Release>, MechanismError> {
+        (0..trials).map(|_| self.release(rng)).collect()
+    }
+
+    /// The objective `H_i + (n − i)·Δ̂` minimised over integer `i` by ternary
+    /// search; falls back to a linear scan for tiny `n`.
+    fn argmin_x(&mut self, delta_hat: f64) -> Result<(usize, f64), MechanismError> {
+        let n = self.sequences.num_participants();
+        let value = |seqs: &mut S, i: usize| -> Result<f64, MechanismError> {
+            Ok(seqs.h(i)? + (n - i) as f64 * delta_hat)
+        };
+        if n <= 8 {
+            let mut best = (0usize, f64::INFINITY);
+            for i in 0..=n {
+                let v = value(&mut self.sequences, i)?;
+                if v < best.1 {
+                    best = (i, v);
+                }
+            }
+            return Ok(best);
+        }
+        // Fast path: by convexity, if the objective is already non-increasing
+        // at the right edge (H_n − H_{n−1} ≤ Δ̂) the argmin is i = n. This is
+        // the common case when Δ̂ exceeds the per-participant marginal, and it
+        // touches only two (cached) H entries.
+        let v_n = value(&mut self.sequences, n)?;
+        let v_n1 = value(&mut self.sequences, n - 1)?;
+        if v_n <= v_n1 {
+            return Ok((n, v_n));
+        }
+        let (mut lo, mut hi) = (0usize, n);
+        while hi - lo > 3 {
+            let m1 = lo + (hi - lo) / 3;
+            let m2 = hi - (hi - lo) / 3;
+            let v1 = value(&mut self.sequences, m1)?;
+            let v2 = value(&mut self.sequences, m2)?;
+            if v1 <= v2 {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        let mut best = (lo, f64::INFINITY);
+        for i in lo..=hi {
+            let v = value(&mut self.sequences, i)?;
+            if v < best.1 {
+                best = (i, v);
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A deterministic toy instantiation: H_i = max(0, i − 5)·3 (piecewise
+    /// linear, convex), G_i = 3 for i > 0 (the exact largest marginal).
+    struct Toy {
+        n: usize,
+        h_calls: std::cell::Cell<usize>,
+    }
+
+    impl Toy {
+        fn new(n: usize) -> Self {
+            Toy {
+                n,
+                h_calls: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl MechanismSequences for Toy {
+        fn num_participants(&self) -> usize {
+            self.n
+        }
+        fn h(&mut self, i: usize) -> Result<f64, MechanismError> {
+            self.h_calls.set(self.h_calls.get() + 1);
+            Ok((i.saturating_sub(5)) as f64 * 3.0)
+        }
+        fn g(&mut self, i: usize) -> Result<f64, MechanismError> {
+            Ok(if i == 0 { 0.0 } else { 3.0 })
+        }
+        fn bounding_factor(&self) -> f64 {
+            1.0
+        }
+    }
+
+    fn params() -> MechanismParams {
+        MechanismParams::paper_edge_privacy(0.5)
+    }
+
+    #[test]
+    fn delta_is_the_smallest_ladder_value_covering_g() {
+        let mut m = RecursiveMechanism::new(Toy::new(50), params()).unwrap();
+        let delta = m.delta().unwrap();
+        // Need e^{jβ}θ ≥ 3 with β = 0.1, θ = 1: j = ceil(ln 3 / 0.1) = 11.
+        let expected = (11.0f64 * 0.1).exp();
+        assert!((delta - expected).abs() < 1e-9, "{delta} vs {expected}");
+        // Cached: a second call does not change the value.
+        assert_eq!(m.delta().unwrap(), delta);
+    }
+
+    #[test]
+    fn delta_equals_theta_when_g_is_small() {
+        struct Tiny;
+        impl MechanismSequences for Tiny {
+            fn num_participants(&self) -> usize {
+                10
+            }
+            fn h(&mut self, i: usize) -> Result<f64, MechanismError> {
+                Ok(i as f64 * 0.1)
+            }
+            fn g(&mut self, _i: usize) -> Result<f64, MechanismError> {
+                Ok(0.5)
+            }
+            fn bounding_factor(&self) -> f64 {
+                1.0
+            }
+        }
+        let mut m = RecursiveMechanism::new(Tiny, params()).unwrap();
+        assert!((m.delta().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_is_unbiased_around_the_true_answer() {
+        let mut m = RecursiveMechanism::new(Toy::new(50), params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let releases = m.release_many(600, &mut rng).unwrap();
+        let true_answer = 45.0 * 3.0 / 3.0 * 3.0; // (50 − 5)·3 = 135
+        let median = {
+            let mut xs: Vec<f64> = releases.iter().map(|r| r.noisy_answer).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
+        };
+        assert!((median - true_answer).abs() < 25.0, "median {median}");
+        for r in &releases {
+            assert_eq!(r.true_answer, 135.0);
+            assert!(r.delta_hat > 0.0);
+            assert!((r.epsilon_spent - 0.5).abs() < 1e-12);
+            // X never exceeds the true answer (Lemma 8, second inequality).
+            assert!(r.x <= 135.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn x_equals_true_answer_when_delta_hat_is_large_enough() {
+        // If Δ̂ exceeds every marginal of H, the argmin is at i = |P| and
+        // X = H_{|P|}.
+        let mut m = RecursiveMechanism::new(Toy::new(30), params()).unwrap();
+        let (idx, x) = m.argmin_x(10.0).unwrap();
+        assert_eq!(idx, 30);
+        assert!((x - 75.0).abs() < 1e-9);
+        // If Δ̂ is tiny, the argmin collapses towards i = 0 and X ≈ n·Δ̂.
+        let (idx_small, x_small) = m.argmin_x(0.01).unwrap();
+        assert!(idx_small <= 5);
+        assert!(x_small <= 0.3 + 1e-9);
+    }
+
+    #[test]
+    fn ternary_search_matches_linear_scan() {
+        let mut m = RecursiveMechanism::new(Toy::new(200), params()).unwrap();
+        for delta_hat in [0.05, 0.5, 1.0, 2.9, 3.1, 50.0] {
+            let (_, fast) = m.argmin_x(delta_hat).unwrap();
+            let mut slow = f64::INFINITY;
+            for i in 0..=200usize {
+                let v = m.sequences_mut().h(i).unwrap() + (200 - i) as f64 * delta_hat;
+                slow = slow.min(v);
+            }
+            assert!((fast - slow).abs() < 1e-9, "Δ̂={delta_hat}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let mut p = params();
+        p.epsilon2 = 0.0;
+        assert!(RecursiveMechanism::new(Toy::new(5), p).is_err());
+    }
+
+    #[test]
+    fn log_delta_sensitivity_is_bounded_by_beta() {
+        // Lemma 1: ln Δ changes by at most β between neighbouring databases.
+        // Simulate a neighbouring pair with the toy sequences: the larger
+        // database has one more participant and (recursively monotone) G
+        // entries shifted by one index.
+        struct Shifted {
+            n: usize,
+            bump: f64,
+        }
+        impl MechanismSequences for Shifted {
+            fn num_participants(&self) -> usize {
+                self.n
+            }
+            fn h(&mut self, i: usize) -> Result<f64, MechanismError> {
+                Ok(i as f64)
+            }
+            fn g(&mut self, i: usize) -> Result<f64, MechanismError> {
+                Ok(if i == 0 { 0.0 } else { self.bump + i as f64 * 0.05 })
+            }
+            fn bounding_factor(&self) -> f64 {
+                1.0
+            }
+        }
+        let mut small = RecursiveMechanism::new(Shifted { n: 40, bump: 2.0 }, params()).unwrap();
+        let mut large = RecursiveMechanism::new(Shifted { n: 41, bump: 2.0 }, params()).unwrap();
+        let d1 = small.delta().unwrap();
+        let d2 = large.delta().unwrap();
+        assert!((d1.ln() - d2.ln()).abs() <= params().beta + 1e-9);
+    }
+}

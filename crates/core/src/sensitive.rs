@@ -1,0 +1,162 @@
+//! Sensitive databases and monotonic queries.
+//!
+//! Def. 5 of the paper models a sensitive database as a pair `(P, M)` where
+//! `P` is a finite participant set and `M` maps every subset `P' ⊆ P` to the
+//! database content contributed by exactly those participants. Two databases
+//! are neighbouring when one is obtained from the other by a single
+//! participant withdrawing (Def. 6); `(P₁, M₁)` is an *ancestor* of
+//! `(P₂, M₂)` when `P₁ ⊆ P₂` and the contents agree on all subsets of `P₁`
+//! (Def. 7). A query is *monotonic* when it is 0 on the empty content and
+//! never decreases along the ancestor order (Def. 8).
+//!
+//! Because the mechanism only ever needs the composition `q ∘ M`, this module
+//! exposes the pair as a single trait, [`SensitiveQuery`]: an object that
+//! knows its participants and can evaluate the query on the content induced
+//! by any participant subset. The general instantiation (Sec. 4.2), the
+//! empirical-sensitivity calculators and the validation tests all work
+//! against this trait; the efficient instantiation uses the more specific
+//! sensitive K-relation representation in [`crate::krelation_query`].
+
+use rmdp_krelation::hash::FxHashSet;
+use rmdp_krelation::participant::ParticipantId;
+
+/// A sensitive database `(P, M)` paired with a query `q`, exposed as the
+/// composite `S ↦ q(M(S))`.
+pub trait SensitiveQuery {
+    /// The participant set `P` (each participant exactly once).
+    fn participants(&self) -> Vec<ParticipantId>;
+
+    /// Evaluates `q(M(subset))`: the query answer when exactly `subset`
+    /// contributes data.
+    fn query_on_subset(&self, subset: &FxHashSet<ParticipantId>) -> f64;
+
+    /// The query answer on the full participant set.
+    fn true_answer(&self) -> f64 {
+        let all: FxHashSet<ParticipantId> = self.participants().into_iter().collect();
+        self.query_on_subset(&all)
+    }
+}
+
+/// Checks the monotonicity conditions of Def. 8 by exhaustive enumeration of
+/// participant subsets (intended for tests; exponential in `|P|`).
+///
+/// Returns `Err` with a description of the first violated condition.
+pub fn check_monotonicity_exhaustive<Q: SensitiveQuery>(query: &Q) -> Result<(), String> {
+    let participants = query.participants();
+    let n = participants.len();
+    assert!(n <= 20, "exhaustive check limited to 20 participants");
+
+    let empty: FxHashSet<ParticipantId> = FxHashSet::default();
+    let on_empty = query.query_on_subset(&empty);
+    if on_empty.abs() > 1e-12 {
+        return Err(format!("q(M(∅)) = {on_empty}, expected 0"));
+    }
+
+    for mask in 0..(1u32 << n) {
+        let subset: FxHashSet<ParticipantId> = participants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, &p)| p)
+            .collect();
+        let value = query.query_on_subset(&subset);
+        // Adding any missing participant must not decrease the answer.
+        for (i, &p) in participants.iter().enumerate() {
+            if (mask >> i) & 1 == 0 {
+                let mut bigger = subset.clone();
+                bigger.insert(p);
+                let bigger_value = query.query_on_subset(&bigger);
+                if bigger_value + 1e-9 < value {
+                    return Err(format!(
+                        "adding {p} decreased the answer from {value} to {bigger_value}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A sensitive query given by an explicit participant list and a closure —
+/// convenient for tests and for wrapping ad-hoc data sources.
+pub struct FnSensitiveQuery<F>
+where
+    F: Fn(&FxHashSet<ParticipantId>) -> f64,
+{
+    participants: Vec<ParticipantId>,
+    query: F,
+}
+
+impl<F> FnSensitiveQuery<F>
+where
+    F: Fn(&FxHashSet<ParticipantId>) -> f64,
+{
+    /// Wraps a participant list and an evaluation closure.
+    pub fn new(participants: Vec<ParticipantId>, query: F) -> Self {
+        FnSensitiveQuery {
+            participants,
+            query,
+        }
+    }
+}
+
+impl<F> SensitiveQuery for FnSensitiveQuery<F>
+where
+    F: Fn(&FxHashSet<ParticipantId>) -> f64,
+{
+    fn participants(&self) -> Vec<ParticipantId> {
+        self.participants.clone()
+    }
+
+    fn query_on_subset(&self, subset: &FxHashSet<ParticipantId>) -> f64 {
+        (self.query)(subset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    #[test]
+    fn counting_query_is_monotonic() {
+        // q = number of present participants (a trivially monotonic query).
+        let q = FnSensitiveQuery::new((0..5).map(p).collect(), |s| s.len() as f64);
+        assert!(check_monotonicity_exhaustive(&q).is_ok());
+        assert_eq!(q.true_answer(), 5.0);
+    }
+
+    #[test]
+    fn pair_counting_query_is_monotonic_but_has_large_marginals() {
+        // q = number of pairs of present participants: one withdrawal can
+        // change the answer by |P| − 1, the situation the paper targets.
+        let q = FnSensitiveQuery::new((0..6).map(p).collect(), |s| {
+            let n = s.len() as f64;
+            n * (n - 1.0) / 2.0
+        });
+        assert!(check_monotonicity_exhaustive(&q).is_ok());
+        assert_eq!(q.true_answer(), 15.0);
+    }
+
+    #[test]
+    fn non_monotonic_query_is_detected() {
+        let q = FnSensitiveQuery::new((0..3).map(p).collect(), |s| {
+            if s.len() == 2 {
+                5.0
+            } else {
+                s.len() as f64
+            }
+        });
+        assert!(check_monotonicity_exhaustive(&q).is_err());
+    }
+
+    #[test]
+    fn nonzero_on_empty_content_is_detected() {
+        let q = FnSensitiveQuery::new((0..2).map(p).collect(), |s| 1.0 + s.len() as f64);
+        let err = check_monotonicity_exhaustive(&q).unwrap_err();
+        assert!(err.contains("expected 0"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! 1. flattened n-ary `∧` LP encoding vs a binary-tree encoding (simulated by
+//!    chaining pairwise conjunctions in the annotation itself — the paper's
+//!    invariant transformations guarantee identical `φ`, so identical
+//!    optima), and
+//! 2. DNF expansion of CNF annotations (smaller φ-sensitivity, larger
+//!    expressions) vs the raw CNF annotation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmdp_core::efficient::EfficientSequences;
+use rmdp_core::sequences::MechanismSequences;
+use rmdp_core::SensitiveKRelation;
+use rmdp_experiments::workloads::{random_krelation, ExpressionShape, RandomKRelationSpec};
+use rmdp_krelation::dnf::Dnf;
+use rmdp_krelation::participant::ParticipantId;
+use rmdp_krelation::Expr;
+
+/// Rewrites every n-ary conjunction/disjunction into a right-leaning binary
+/// chain (a φ-preserving transformation) to measure the cost of the naive
+/// encoding.
+fn binarize(expr: &Expr) -> Expr {
+    match expr {
+        Expr::And(children) => children
+            .iter()
+            .map(binarize)
+            .reduce(|a, b| Expr::And(vec![a, b]))
+            .unwrap_or(Expr::True),
+        Expr::Or(children) => children
+            .iter()
+            .map(binarize)
+            .reduce(|a, b| Expr::Or(vec![a, b]))
+            .unwrap_or(Expr::False),
+        other => other.clone(),
+    }
+}
+
+fn krelation_with(shape: ExpressionShape, support: usize, clauses: usize) -> SensitiveKRelation {
+    let mut rng = StdRng::seed_from_u64(17);
+    random_krelation(
+        RandomKRelationSpec {
+            support,
+            clauses,
+            literals_per_clause: 3,
+            shape,
+        },
+        &mut rng,
+    )
+}
+
+fn rebuild(query: &SensitiveKRelation, transform: impl Fn(&Expr) -> Expr) -> SensitiveKRelation {
+    let participants: Vec<ParticipantId> = query.participants().to_vec();
+    let terms: Vec<(Expr, f64)> = query
+        .terms()
+        .iter()
+        .map(|(e, w)| (transform(e), *w))
+        .collect();
+    SensitiveKRelation::from_terms(participants, terms)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    // 1. n-ary vs binarized encoding on a DNF workload.
+    let dnf = krelation_with(ExpressionShape::Dnf, 80, 3);
+    let dnf_binary = rebuild(&dnf, binarize);
+    let mass = dnf.num_participants() - 2;
+    group.bench_function("lp_encoding_nary", |b| {
+        b.iter(|| {
+            let mut seq = EfficientSequences::new(dnf.clone());
+            criterion::black_box(seq.h(mass).unwrap())
+        })
+    });
+    group.bench_function("lp_encoding_binary_chain", |b| {
+        b.iter(|| {
+            let mut seq = EfficientSequences::new(dnf_binary.clone());
+            criterion::black_box(seq.h(mass).unwrap())
+        })
+    });
+
+    // 2. raw CNF annotations vs their DNF expansion.
+    let cnf = krelation_with(ExpressionShape::Cnf, 60, 3);
+    let cnf_expanded = rebuild(&cnf, |e| {
+        Dnf::expand(e, 4096)
+            .expect("3-clause CNF expands within budget")
+            .canonicalize()
+            .to_expr()
+    });
+    let mass_cnf = cnf.num_participants() - 2;
+    group.bench_function("cnf_raw_annotation", |b| {
+        b.iter(|| {
+            let mut seq = EfficientSequences::new(cnf.clone());
+            criterion::black_box(seq.g(mass_cnf).unwrap())
+        })
+    });
+    group.bench_function("cnf_expanded_to_dnf", |b| {
+        b.iter(|| {
+            let mut seq = EfficientSequences::new(cnf_expanded.clone());
+            criterion::black_box(seq.g(mass_cnf).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end benchmark of the recursive mechanism: preparation (K-relation +
+//! Δ) and the marginal cost of one additional release.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmdp_core::params::MechanismParams;
+use rmdp_core::subgraph::{PrivacyUnit, SubgraphCounter};
+use rmdp_graph::{generators, Pattern};
+
+fn bench_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recursive_mechanism_triangle");
+    group.sample_size(10);
+    for &nodes in &[30usize, 60, 90] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graph = generators::gnp_average_degree(nodes, 10.0, &mut rng);
+
+        group.bench_with_input(
+            BenchmarkId::new("prepare_plus_release_node", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    let counter = SubgraphCounter::new(
+                        Pattern::triangle(),
+                        PrivacyUnit::Node,
+                        MechanismParams::paper_node_privacy(0.5),
+                    );
+                    let mut rng = StdRng::seed_from_u64(11);
+                    criterion::black_box(counter.release(&graph, &mut rng).unwrap().noisy_count)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("marginal_release_edge", nodes),
+            &nodes,
+            |b, _| {
+                let counter = SubgraphCounter::new(
+                    Pattern::triangle(),
+                    PrivacyUnit::Edge,
+                    MechanismParams::paper_edge_privacy(0.5),
+                );
+                let mut prepared = counter.prepare(&graph).unwrap();
+                let mut rng = StdRng::seed_from_u64(13);
+                // Warm the caches so the measured cost is the marginal one.
+                let _ = prepared.release_many(3, &mut rng).unwrap();
+                b.iter(|| criterion::black_box(prepared.release(&mut rng).unwrap().noisy_count))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanism);
+criterion_main!(benches);

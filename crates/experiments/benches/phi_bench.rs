@@ -1,0 +1,48 @@
+//! Micro-benchmark of the relaxation `φ` and the φ-sensitivity computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmdp_experiments::workloads::{random_krelation, ExpressionShape, RandomKRelationSpec};
+use rmdp_krelation::phi::{phi, phi_sensitivities};
+
+fn bench_phi(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let query = random_krelation(
+        RandomKRelationSpec {
+            support: 500,
+            clauses: 4,
+            literals_per_clause: 3,
+            shape: ExpressionShape::Dnf,
+        },
+        &mut rng,
+    );
+    let assignment: Vec<f64> = (0..query.num_participants())
+        .map(|i| (i % 10) as f64 / 10.0)
+        .collect();
+
+    c.bench_function("phi_eval_500_terms", |b| {
+        b.iter(|| {
+            let total: f64 = query
+                .terms()
+                .iter()
+                .map(|(e, w)| w * phi(e, &assignment))
+                .sum();
+            criterion::black_box(total)
+        })
+    });
+
+    c.bench_function("phi_sensitivities_500_terms", |b| {
+        b.iter(|| {
+            let total: f64 = query
+                .terms()
+                .iter()
+                .map(|(e, _)| phi_sensitivities(e).values().sum::<f64>())
+                .sum();
+            criterion::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_phi);
+criterion_main!(benches);

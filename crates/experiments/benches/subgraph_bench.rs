@@ -1,0 +1,37 @@
+//! Micro-benchmark of subgraph enumeration (the non-private part of the
+//! pipeline, excluded from the paper's reported times but needed to build the
+//! K-relation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmdp_graph::subgraph::{k_star_count, k_triangles, triangles};
+use rmdp_graph::{generators, Pattern};
+
+fn bench_subgraph(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = generators::gnp_average_degree(200, 10.0, &mut rng);
+
+    c.bench_function("triangles_200_nodes", |b| {
+        b.iter(|| criterion::black_box(triangles(&graph).len()))
+    });
+    c.bench_function("k_star_count_200_nodes", |b| {
+        b.iter(|| criterion::black_box(k_star_count(&graph, 2)))
+    });
+    c.bench_function("k_triangles_200_nodes", |b| {
+        b.iter(|| criterion::black_box(k_triangles(&graph, 2, usize::MAX).len()))
+    });
+
+    let small = generators::gnp_average_degree(60, 8.0, &mut rng);
+    c.bench_function("generic_pattern_4cycle_60_nodes", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                rmdp_graph::subgraph::enumerate_pattern(&small, &Pattern::cycle(4), usize::MAX)
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_subgraph);
+criterion_main!(benches);

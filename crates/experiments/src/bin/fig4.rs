@@ -1,0 +1,38 @@
+//! Reproduces the paper's Figure 4 (median relative error of the four
+//! mechanisms). Select the sweep with `--panel a|b|c`.
+
+use rmdp_experiments::runners::fig4::{self, Panel};
+use rmdp_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    let panel = match options.panel.as_deref() {
+        Some(p) => match Panel::parse(p) {
+            Ok(panel) => panel,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        },
+        None => Panel::Nodes,
+    };
+    eprintln!(
+        "fig4 panel {:?}: scale={}, seed={}, trials={}",
+        panel,
+        options.scale.name(),
+        options.seed,
+        options.trials()
+    );
+    let points = fig4::run_panel(panel, &options);
+    let table = fig4::to_table(panel, &points);
+    table.print();
+    println!();
+    println!("{}", fig4::paper_expectation());
+    if let Some(path) = &options.csv {
+        if let Err(e) = table.write_csv(path) {
+            eprintln!("failed to write CSV to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduces the paper's Figure 5 (running time of the recursive mechanism
+//! versus graph size).
+
+use rmdp_experiments::runners::fig5;
+use rmdp_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    eprintln!(
+        "fig5: scale={}, seed={}",
+        options.scale.name(),
+        options.seed
+    );
+    let points = fig5::run(&options);
+    let table = fig5::to_table(&points);
+    table.print();
+    println!();
+    println!("{}", fig5::paper_expectation());
+    if let Some(path) = &options.csv {
+        if let Err(e) = table.write_csv(path) {
+            eprintln!("failed to write CSV to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

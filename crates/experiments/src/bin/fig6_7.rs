@@ -1,0 +1,32 @@
+//! Reproduces the paper's Figure 6 (real-graph sizes and running time) and
+//! Figure 7 (median relative error on those graphs), using synthetic
+//! stand-ins for the original datasets (see DESIGN.md, substitutions).
+
+use rmdp_experiments::runners::fig6_7;
+use rmdp_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    eprintln!(
+        "fig6/7: scale={}, seed={}, trials={}",
+        options.scale.name(),
+        options.seed,
+        options.trials()
+    );
+    let results = fig6_7::run(&options);
+    let note = format!("synthetic stand-ins, scale = {}", options.scale.name());
+    let sizes = fig6_7::size_table(&results, &note);
+    let errors = fig6_7::error_table(&results);
+    sizes.print();
+    println!();
+    errors.print();
+    println!();
+    println!("{}", fig6_7::paper_expectation());
+    if let Some(path) = &options.csv {
+        if let Err(e) = errors.write_csv(path) {
+            eprintln!("failed to write CSV to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Reproduces the paper's Figure 9 (error and running time on random 3-DNF /
+//! 3-CNF K-relations as the support size varies).
+
+use rmdp_experiments::runners::fig8_9::{self, Sweep};
+use rmdp_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    eprintln!(
+        "fig9: scale={}, seed={}, trials={}",
+        options.scale.name(),
+        options.seed,
+        options.trials()
+    );
+    let points = fig8_9::run(Sweep::Support, &options);
+    let table = fig8_9::to_table(Sweep::Support, &points);
+    table.print();
+    println!();
+    println!("{}", fig8_9::paper_expectation(Sweep::Support));
+    if let Some(path) = &options.csv {
+        if let Err(e) = table.write_csv(path) {
+            eprintln!("failed to write CSV to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

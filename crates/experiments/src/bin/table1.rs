@@ -1,0 +1,26 @@
+//! Reproduces the paper's Figure 1 / Table 1 (mechanism comparison), pairing
+//! the paper's analytical error bounds with measured errors of this
+//! implementation.
+
+use rmdp_experiments::runners::table1;
+use rmdp_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    eprintln!(
+        "table1: scale={}, seed={}, trials={}",
+        options.scale.name(),
+        options.seed,
+        options.trials()
+    );
+    let rows = table1::run(&options);
+    let table = table1::to_table(&rows);
+    table.print();
+    if let Some(path) = &options.csv {
+        if let Err(e) = table.write_csv(path) {
+            eprintln!("failed to write CSV to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Hand-rolled on purpose (the approved dependency set contains no argument
+//! parser): flags are `--scale`, `--seed`, `--trials`, `--csv`, `--panel`.
+
+use crate::scale::Scale;
+
+/// Options shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// Grid preset.
+    pub scale: Scale,
+    /// Random seed (experiments are fully deterministic given the seed).
+    pub seed: u64,
+    /// Releases per graph; `None` uses the scale default.
+    pub trials: Option<usize>,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+    /// Panel selector for multi-panel figures (`a`, `b`, `c`).
+    pub panel: Option<String>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scale: Scale::Quick,
+            seed: 42,
+            trials: None,
+            csv: None,
+            panel: None,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses the given iterator of arguments (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut options = CliOptions::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            let mut next_value = |flag: &str| -> Result<String, String> {
+                iter.next().ok_or_else(|| format!("{flag} expects a value"))
+            };
+            match arg.as_str() {
+                "--scale" => options.scale = next_value("--scale")?.parse()?,
+                "--seed" => {
+                    options.seed = next_value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("invalid --seed: {e}"))?;
+                }
+                "--trials" => {
+                    options.trials = Some(
+                        next_value("--trials")?
+                            .parse()
+                            .map_err(|e| format!("invalid --trials: {e}"))?,
+                    );
+                }
+                "--csv" => options.csv = Some(next_value("--csv")?),
+                "--panel" => options.panel = Some(next_value("--panel")?),
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--scale quick|paper|full] [--seed N] [--trials N] [--csv PATH] [--panel a|b|c]"
+                            .to_owned(),
+                    );
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(options)
+    }
+
+    /// Parses `std::env::args()` and exits with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The number of trials to run (explicit flag or scale default).
+    pub fn trials(&self) -> usize {
+        self.trials.unwrap_or_else(|| self.scale.default_trials())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quick_and_deterministic() {
+        let o = CliOptions::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.scale, Scale::Quick);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.trials(), Scale::Quick.default_trials());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let o = CliOptions::parse([
+            "--scale", "paper", "--seed", "7", "--trials", "33", "--csv", "/tmp/x.csv", "--panel",
+            "b",
+        ])
+        .unwrap();
+        assert_eq!(o.scale, Scale::Paper);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.trials(), 33);
+        assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(o.panel.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_rejected() {
+        assert!(CliOptions::parse(["--bogus"]).is_err());
+        assert!(CliOptions::parse(["--seed"]).is_err());
+        assert!(CliOptions::parse(["--scale", "enormous"]).is_err());
+        assert!(CliOptions::parse(["--help"]).is_err());
+    }
+}

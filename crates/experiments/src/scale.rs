@@ -1,0 +1,198 @@
+//! Scale presets for the experiment grids.
+//!
+//! The paper's largest configurations (e.g. 2-star counting at |V| = 200 and
+//! the ca-GrQc triangle run) took hours on the authors' machine; the default
+//! `quick` preset shrinks every grid so the entire suite completes in
+//! minutes while preserving the shape of every curve. `paper` matches the
+//! published parameters; `full` extends them slightly for headroom.
+
+use std::str::FromStr;
+
+/// How large the experiment grids should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Small grids, minutes for the full suite (default).
+    #[default]
+    Quick,
+    /// The parameters used in the paper.
+    Paper,
+    /// The paper's parameters with extra headroom.
+    Full,
+}
+
+impl FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Ok(Scale::Quick),
+            "paper" => Ok(Scale::Paper),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (expected quick|paper|full)")),
+        }
+    }
+}
+
+impl Scale {
+    /// Node-count grid for Fig. 4(a) / Fig. 5 for triangle and 2-triangle
+    /// queries (the paper sweeps 20..200 at average degree 10).
+    pub fn fig4_nodes_grid(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![20, 40, 60, 80, 100],
+            Scale::Paper => (1..=10).map(|i| i * 20).collect(),
+            Scale::Full => (1..=12).map(|i| i * 20).collect(),
+        }
+    }
+
+    /// Node-count grid for 2-star queries. The 2-star K-relation has
+    /// `Σ C(deg, 2)` tuples, so its LPs are the largest of the evaluation;
+    /// the quick preset uses a reduced grid and average degree (documented in
+    /// EXPERIMENTS.md).
+    pub fn fig4_star_nodes_grid(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![20, 30, 40],
+            Scale::Paper => (1..=10).map(|i| i * 20).collect(),
+            Scale::Full => (1..=10).map(|i| i * 20).collect(),
+        }
+    }
+
+    /// Average degree used for Fig. 4(a)/(c) and Fig. 5.
+    pub fn fig4_avg_degree(self, is_star: bool) -> f64 {
+        match self {
+            Scale::Quick => {
+                if is_star {
+                    6.0
+                } else {
+                    10.0
+                }
+            }
+            Scale::Paper | Scale::Full => 10.0,
+        }
+    }
+
+    /// Average-degree grid for Fig. 4(b) (the paper sweeps 2..16 at
+    /// |V| = 200).
+    pub fn fig4b_degree_grid(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![2.0, 4.0, 6.0, 8.0],
+            Scale::Paper | Scale::Full => (1..=8).map(|i| (2 * i) as f64).collect(),
+        }
+    }
+
+    /// Node count for Fig. 4(b)/(c) (the paper uses 200).
+    pub fn fig4bc_nodes(self, is_star: bool) -> usize {
+        match self {
+            Scale::Quick => {
+                if is_star {
+                    40
+                } else {
+                    80
+                }
+            }
+            Scale::Paper | Scale::Full => 200,
+        }
+    }
+
+    /// ε grid for Fig. 4(c) (the paper sweeps 0.1..0.5).
+    pub fn fig4c_epsilon_grid(self) -> Vec<f64> {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5]
+    }
+
+    /// Number of random graphs generated per grid point.
+    pub fn graphs_per_point(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Paper => 5,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Number of mechanism releases per graph (the median relative error is
+    /// taken over graphs × releases).
+    pub fn default_trials(self) -> usize {
+        match self {
+            Scale::Quick => 15,
+            Scale::Paper => 50,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Scale divisor applied to the real-graph stand-ins of Fig. 6/7 (1 means
+    /// original sizes).
+    pub fn real_graph_divisor(self, original_nodes: usize) -> usize {
+        match self {
+            Scale::Quick => (original_nodes / 70).max(1),
+            Scale::Paper | Scale::Full => 1,
+        }
+    }
+
+    /// Support size |supp(R)| for the synthetic K-relation experiments
+    /// (Fig. 8 uses 1000 in the paper).
+    pub fn fig8_support(self) -> usize {
+        match self {
+            Scale::Quick => 120,
+            Scale::Paper => 1000,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Clause-count grid for Fig. 8 (the paper sweeps 2..10).
+    pub fn fig8_clause_grid(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![2, 3, 4, 5],
+            Scale::Paper | Scale::Full => (1..=5).map(|i| 2 * i).collect(),
+        }
+    }
+
+    /// Support-size grid for Fig. 9 (the paper sweeps up to 1000).
+    pub fn fig9_support_grid(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![50, 100, 150, 200],
+            Scale::Paper | Scale::Full => (1..=5).map(|i| i * 200).collect(),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+            Scale::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_accepts_all_names() {
+        assert_eq!("quick".parse::<Scale>().unwrap(), Scale::Quick);
+        assert_eq!("PAPER".parse::<Scale>().unwrap(), Scale::Paper);
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Full);
+        assert!("huge".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn paper_grids_match_the_publication() {
+        let s = Scale::Paper;
+        assert_eq!(s.fig4_nodes_grid().last(), Some(&200));
+        assert_eq!(s.fig4b_degree_grid(), vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+        assert_eq!(s.fig4bc_nodes(false), 200);
+        assert_eq!(s.fig8_support(), 1000);
+        assert_eq!(s.fig8_clause_grid().last(), Some(&10));
+        assert_eq!(s.fig4c_epsilon_grid(), vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+    }
+
+    #[test]
+    fn quick_grids_are_strictly_smaller() {
+        let q = Scale::Quick;
+        let p = Scale::Paper;
+        assert!(q.fig4_nodes_grid().len() < p.fig4_nodes_grid().len());
+        assert!(q.fig8_support() < p.fig8_support());
+        assert!(q.default_trials() < p.default_trials());
+        assert!(q.real_graph_divisor(5000) > 1);
+        assert_eq!(p.real_graph_divisor(5000), 1);
+    }
+}

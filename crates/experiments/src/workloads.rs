@@ -1,0 +1,146 @@
+//! Workload generators for the evaluation.
+//!
+//! The graph workloads come from `rmdp-graph::generators`; this module adds
+//! the synthetic K-relations of Sec. 6.2: relations in which every tuple is
+//! annotated with a random 3-DNF or 3-CNF expression (a 3-DNF K-relation is
+//! what a union of many join results produces; a 3-CNF K-relation comes from
+//! a join of many unions). The number of participants equals the support
+//! size and every tuple has weight 1, exactly as in the paper.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rmdp_core::SensitiveKRelation;
+use rmdp_krelation::participant::ParticipantId;
+use rmdp_krelation::Expr;
+
+/// The expression shape of a synthetic K-relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpressionShape {
+    /// Disjunctive normal form: an OR of `clauses` conjunctions of
+    /// `literals_per_clause` distinct variables.
+    Dnf,
+    /// Conjunctive normal form: an AND of `clauses` disjunctions of
+    /// `literals_per_clause` distinct variables.
+    Cnf,
+}
+
+impl ExpressionShape {
+    /// Display name ("3-DNF" / "3-CNF" for the paper's setting).
+    pub fn label(self, literals_per_clause: usize) -> String {
+        match self {
+            ExpressionShape::Dnf => format!("{literals_per_clause}-DNF"),
+            ExpressionShape::Cnf => format!("{literals_per_clause}-CNF"),
+        }
+    }
+}
+
+/// Parameters of a synthetic K-relation workload.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomKRelationSpec {
+    /// Support size `|supp(R)|`; the participant count `|P|` equals it.
+    pub support: usize,
+    /// Number of clauses per annotation.
+    pub clauses: usize,
+    /// Literals per clause (3 in the paper).
+    pub literals_per_clause: usize,
+    /// DNF or CNF.
+    pub shape: ExpressionShape,
+}
+
+/// Generates a random sensitive K-relation per the spec (every tuple has
+/// weight 1, so the true answer is the support size).
+pub fn random_krelation<R: Rng + ?Sized>(
+    spec: RandomKRelationSpec,
+    rng: &mut R,
+) -> SensitiveKRelation {
+    let participants: Vec<ParticipantId> =
+        (0..spec.support as u32).map(ParticipantId).collect();
+    let mut terms = Vec::with_capacity(spec.support);
+    for _ in 0..spec.support {
+        let clauses: Vec<Expr> = (0..spec.clauses)
+            .map(|_| {
+                let vars = sample_distinct(&participants, spec.literals_per_clause, rng);
+                match spec.shape {
+                    ExpressionShape::Dnf => Expr::conjunction_of_vars(vars),
+                    ExpressionShape::Cnf => Expr::disjunction_of_vars(vars),
+                }
+            })
+            .collect();
+        let expr = match spec.shape {
+            ExpressionShape::Dnf => Expr::or(clauses),
+            ExpressionShape::Cnf => Expr::and(clauses),
+        };
+        terms.push((expr, 1.0));
+    }
+    SensitiveKRelation::from_terms(participants, terms)
+}
+
+fn sample_distinct<R: Rng + ?Sized>(
+    pool: &[ParticipantId],
+    count: usize,
+    rng: &mut R,
+) -> Vec<ParticipantId> {
+    let count = count.min(pool.len());
+    pool.choose_multiple(rng, count).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rmdp_krelation::phi::max_phi_sensitivity;
+
+    fn spec(shape: ExpressionShape, clauses: usize) -> RandomKRelationSpec {
+        RandomKRelationSpec {
+            support: 40,
+            clauses,
+            literals_per_clause: 3,
+            shape,
+        }
+    }
+
+    #[test]
+    fn dnf_relations_have_unit_phi_sensitivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = random_krelation(spec(ExpressionShape::Dnf, 4), &mut rng);
+        assert_eq!(q.support_size(), 40);
+        assert_eq!(q.num_participants(), 40);
+        assert_eq!(q.true_answer(), 40.0);
+        for (e, _) in q.terms() {
+            assert!(max_phi_sensitivity(e) <= 1.0 + 1e-12);
+            assert!(e.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn cnf_relations_can_have_larger_phi_sensitivity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = random_krelation(spec(ExpressionShape::Cnf, 5), &mut rng);
+        let max_s = q
+            .terms()
+            .iter()
+            .map(|(e, _)| max_phi_sensitivity(e))
+            .fold(0.0f64, f64::max);
+        // With 5 clauses over 40 variables, some variable repeats across
+        // clauses with high probability, giving S ≥ 2 somewhere.
+        assert!(max_s >= 1.0);
+        assert_eq!(q.true_answer(), 40.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_the_seed() {
+        let a = random_krelation(spec(ExpressionShape::Dnf, 3), &mut StdRng::seed_from_u64(9));
+        let b = random_krelation(spec(ExpressionShape::Dnf, 3), &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.terms().len(), b.terms().len());
+        for ((ea, _), (eb, _)) in a.terms().iter().zip(b.terms()) {
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper_nomenclature() {
+        assert_eq!(ExpressionShape::Dnf.label(3), "3-DNF");
+        assert_eq!(ExpressionShape::Cnf.label(3), "3-CNF");
+    }
+}

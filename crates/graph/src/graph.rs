@@ -1,0 +1,238 @@
+//! A compact undirected simple graph.
+
+use rmdp_krelation::hash::FxHashMap;
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// Neighbour lists are kept sorted, which makes `has_edge` a binary search and
+/// common-neighbour computations a linear merge.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    /// Each undirected edge once, as `(min, max)`, in insertion order.
+    edges: Vec<(u32, u32)>,
+    /// Maps the normalised pair to the edge index in `edges`.
+    edge_index: FxHashMap<(u32, u32), usize>,
+}
+
+impl Graph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            edge_index: FxHashMap::default(),
+        }
+    }
+
+    /// Builds a graph from an edge list; the node count is
+    /// `max(n, largest endpoint + 1)`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let max_node = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut g = Graph::new(n.max(max_node));
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge. Self-loops and duplicates are ignored.
+    /// Returns `true` if the edge was new.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = (u.min(v), u.max(v));
+        if self.edge_index.contains_key(&key) {
+            return false;
+        }
+        let needed = key.1 as usize + 1;
+        if needed > self.adj.len() {
+            self.adj.resize(needed, Vec::new());
+        }
+        let idx = self.edges.len();
+        self.edge_index.insert(key, idx);
+        self.edges.push(key);
+        let (a, b) = (u as usize, v as usize);
+        match self.adj[a].binary_search(&v) {
+            Ok(_) => {}
+            Err(pos) => self.adj[a].insert(pos, v),
+        }
+        match self.adj[b].binary_search(&u) {
+            Ok(_) => {}
+            Err(pos) => self.adj[b].insert(pos, u),
+        }
+        true
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        self.edge_index.contains_key(&(u.min(v), u.max(v)))
+    }
+
+    /// Index of the edge `{u, v}` (stable across the graph's lifetime), used
+    /// as the participant id under edge privacy.
+    pub fn edge_id(&self, u: u32, v: u32) -> Option<usize> {
+        self.edge_index.get(&(u.min(v), u.max(v))).copied()
+    }
+
+    /// The endpoints of edge `id`.
+    pub fn edge(&self, id: usize) -> (u32, u32) {
+        self.edges[id]
+    }
+
+    /// All edges, each once as `(min, max)`.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Sorted neighbours of a node.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Common neighbours of two nodes (sorted).
+    pub fn common_neighbors(&self, u: u32, v: u32) -> Vec<u32> {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Nodes as an iterator `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> {
+        0..self.num_nodes() as u32
+    }
+
+    /// Removes a node's incident edges (the node itself stays, isolated) and
+    /// returns the new graph. This is what "participant `v` withdraws" means
+    /// under node privacy.
+    pub fn without_node(&self, v: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(a, b)| a != v && b != v)
+            .collect();
+        Graph::from_edges(self.num_nodes(), &edges)
+    }
+
+    /// Removes a single edge and returns the new graph ("participant `e`
+    /// withdraws" under edge privacy).
+    pub fn without_edge(&self, u: u32, v: u32) -> Graph {
+        let key = (u.min(v), u.max(v));
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&e| e != key)
+            .collect();
+        Graph::from_edges(self.num_nodes(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn add_edge_ignores_duplicates_and_loops() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(2, 2));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_degrees_match() {
+        let g = Graph::from_edges(5, &[(0, 3), (0, 1), (0, 2), (4, 0)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn edge_ids_are_stable_and_symmetric() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.edge_id(1, 2), g.edge_id(2, 1));
+        assert_eq!(g.edge_id(0, 1), Some(0));
+        assert_eq!(g.edge_id(2, 3), Some(2));
+        assert_eq!(g.edge(1), (1, 2));
+        assert_eq!(g.edge_id(0, 3), None);
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(g.common_neighbors(0, 1), vec![2, 3]);
+        assert_eq!(g.common_neighbors(0, 4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn without_node_drops_incident_edges_only() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let h = g.without_node(1);
+        assert_eq!(h.num_nodes(), 4);
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.has_edge(2, 3));
+        assert!(h.has_edge(3, 0));
+        assert!(!h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn without_edge_drops_exactly_one_edge() {
+        let g = path_graph(4);
+        let h = g.without_edge(2, 1);
+        assert_eq!(h.num_edges(), 2);
+        assert!(!h.has_edge(1, 2));
+        assert!(h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn from_edges_grows_node_count_as_needed() {
+        let g = Graph::from_edges(2, &[(0, 9)]);
+        assert_eq!(g.num_nodes(), 10);
+    }
+}

@@ -1,0 +1,25 @@
+//! Undirected graph substrate.
+//!
+//! The paper's flagship application is subgraph counting on social networks
+//! under node (or edge) differential privacy. This crate provides everything
+//! the experiments need around the graph itself:
+//!
+//! * [`graph::Graph`] — a compact undirected simple graph.
+//! * [`generators`] — Erdős–Rényi, Barabási–Albert and Watts–Strogatz random
+//!   graphs, plus synthetic stand-ins for the real datasets used in the
+//!   paper's Fig. 6/7 (see `DESIGN.md` for the substitution rationale).
+//! * [`pattern::Pattern`] — query subgraphs (triangle, k-star, k-triangle,
+//!   path, clique, cycle, custom).
+//! * [`subgraph`] — enumeration of pattern occurrences (the tuples of the
+//!   K-relation the mechanism aggregates) and fast counting shortcuts.
+//! * [`stats`] — degree statistics (`d_max`, `a_max`, …) used by the baseline
+//!   mechanisms' sensitivity formulas.
+
+pub mod generators;
+pub mod graph;
+pub mod pattern;
+pub mod stats;
+pub mod subgraph;
+
+pub use graph::Graph;
+pub use pattern::Pattern;

@@ -1,0 +1,207 @@
+//! Query subgraph patterns.
+//!
+//! A [`Pattern`] is the template whose occurrences in the data graph are
+//! counted: the paper's evaluation uses triangles, 2-stars and 2-triangles,
+//! and its mechanism supports *any* connected subgraph (k-node l-edge
+//! subgraphs in Fig. 1).
+
+use std::fmt;
+
+/// A connected query subgraph given by its node count and edge list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    name: String,
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Pattern {
+    /// A custom pattern. Edges are normalised to `(min, max)` and
+    /// deduplicated; the node count is taken from the largest endpoint.
+    pub fn custom(name: &str, edges: &[(usize, usize)]) -> Self {
+        let mut norm: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        let nodes = norm.iter().map(|&(_, b)| b + 1).max().unwrap_or(0);
+        Pattern {
+            name: name.to_owned(),
+            nodes,
+            edges: norm,
+        }
+    }
+
+    /// The triangle (3-clique).
+    pub fn triangle() -> Self {
+        Pattern::custom("triangle", &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    /// The k-star: a centre node adjacent to `k` leaves.
+    pub fn k_star(k: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..=k).map(|leaf| (0, leaf)).collect();
+        Pattern::custom(&format!("{k}-star"), &edges)
+    }
+
+    /// The k-triangle: `k` triangles sharing one common edge `{0, 1}`.
+    pub fn k_triangle(k: usize) -> Self {
+        let mut edges = vec![(0, 1)];
+        for i in 0..k {
+            let apex = 2 + i;
+            edges.push((0, apex));
+            edges.push((1, apex));
+        }
+        Pattern::custom(&format!("{k}-triangle"), &edges)
+    }
+
+    /// A simple path with `len` edges (`len + 1` nodes).
+    pub fn path(len: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..len).map(|i| (i, i + 1)).collect();
+        Pattern::custom(&format!("path-{len}"), &edges)
+    }
+
+    /// The complete graph on `k` nodes.
+    pub fn clique(k: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((i, j));
+            }
+        }
+        Pattern::custom(&format!("{k}-clique"), &edges)
+    }
+
+    /// A cycle with `len` nodes (`len ≥ 3`).
+    pub fn cycle(len: usize) -> Self {
+        let mut edges: Vec<(usize, usize)> = (0..len - 1).map(|i| (i, i + 1)).collect();
+        edges.push((0, len - 1));
+        Pattern::custom(&format!("cycle-{len}"), &edges)
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of pattern nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of pattern edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The pattern's edges, normalised.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Degree of a pattern node.
+    pub fn degree(&self, node: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == node || b == node)
+            .count()
+    }
+
+    /// Whether the pattern is connected (patterns with 0 or 1 node count as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.nodes <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &(a, b) in &self.edges {
+                let other = if a == u {
+                    Some(b)
+                } else if b == u {
+                    Some(a)
+                } else {
+                    None
+                };
+                if let Some(v) = other {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} nodes, {} edges)", self.name, self.nodes, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_shape() {
+        let t = Pattern::triangle();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    fn k_star_shape() {
+        let s = Pattern::k_star(2);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.degree(0), 2);
+        assert_eq!(s.degree(1), 1);
+        let s5 = Pattern::k_star(5);
+        assert_eq!(s5.num_nodes(), 6);
+        assert_eq!(s5.degree(0), 5);
+    }
+
+    #[test]
+    fn k_triangle_shape() {
+        let kt = Pattern::k_triangle(2);
+        // Two triangles sharing the edge {0,1}: nodes {0,1,2,3}, 5 edges.
+        assert_eq!(kt.num_nodes(), 4);
+        assert_eq!(kt.num_edges(), 5);
+        assert_eq!(kt.degree(0), 3);
+        assert_eq!(kt.degree(2), 2);
+        assert!(kt.is_connected());
+        // 1-triangle is just the triangle.
+        assert_eq!(Pattern::k_triangle(1).edges(), Pattern::triangle().edges());
+    }
+
+    #[test]
+    fn clique_cycle_and_path_shapes() {
+        assert_eq!(Pattern::clique(4).num_edges(), 6);
+        assert_eq!(Pattern::cycle(5).num_edges(), 5);
+        assert_eq!(Pattern::path(3).num_edges(), 3);
+        // A 2-star and a path of length 2 are the same shape (up to labels).
+        assert_eq!(Pattern::path(2).num_edges(), Pattern::k_star(2).num_edges());
+        assert_eq!(Pattern::path(2).num_nodes(), Pattern::k_star(2).num_nodes());
+    }
+
+    #[test]
+    fn custom_normalises_edges() {
+        let p = Pattern::custom("p", &[(2, 0), (0, 2), (1, 1), (0, 1)]);
+        assert_eq!(p.edges(), &[(0, 1), (0, 2)]);
+        assert_eq!(p.num_nodes(), 3);
+    }
+
+    #[test]
+    fn disconnected_pattern_is_detected() {
+        let p = Pattern::custom("two-edges", &[(0, 1), (2, 3)]);
+        assert!(!p.is_connected());
+    }
+}

@@ -1,0 +1,134 @@
+//! Graph statistics used by the baseline mechanisms' sensitivity formulas.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Maximum degree `d_max`.
+    pub max_degree: usize,
+    /// Average degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum number of common neighbours over all *adjacent* pairs
+    /// (`a_max` in Karwa et al.'s k-triangle analysis).
+    pub max_common_neighbors_adjacent: usize,
+    /// Maximum number of common neighbours over all pairs of nodes (the
+    /// local sensitivity of edge-privacy triangle counting).
+    pub max_common_neighbors_any: usize,
+}
+
+/// Computes [`GraphStats`] in `O(|V|·d_max + |E|·d_max)` time (plus an
+/// `O(|V|² d_max)` pass for the all-pairs common-neighbour maximum, which is
+/// skipped for graphs with more than `max_pairs_nodes` nodes and approximated
+/// by the adjacent-pair maximum instead).
+pub fn graph_stats(g: &Graph, max_pairs_nodes: usize) -> GraphStats {
+    let nodes = g.num_nodes();
+    let edges = g.num_edges();
+    let max_degree = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+    let avg_degree = if nodes == 0 {
+        0.0
+    } else {
+        2.0 * edges as f64 / nodes as f64
+    };
+
+    let max_common_adjacent = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| g.common_neighbors(u, v).len())
+        .max()
+        .unwrap_or(0);
+
+    let max_common_any = if nodes <= max_pairs_nodes {
+        let mut best = 0;
+        for u in g.nodes() {
+            for v in (u + 1)..nodes as u32 {
+                best = best.max(g.common_neighbors(u, v).len());
+            }
+        }
+        best
+    } else {
+        max_common_adjacent
+    };
+
+    GraphStats {
+        nodes,
+        edges,
+        max_degree,
+        avg_degree,
+        max_common_neighbors_adjacent: max_common_adjacent,
+        max_common_neighbors_any: max_common_any,
+    }
+}
+
+/// The degree sequence, sorted descending.
+pub fn degree_sequence(g: &Graph) -> Vec<usize> {
+    let mut degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    degrees
+}
+
+/// Global clustering coefficient: `3·#triangles / #2-stars` (0 when the graph
+/// has no 2-star).
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let triangles = crate::subgraph::triangle_count(g) as f64;
+    let wedges = crate::subgraph::k_star_count(g, 2) as f64;
+    if wedges == 0.0 {
+        0.0
+    } else {
+        3.0 * triangles / wedges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)])
+    }
+
+    #[test]
+    fn stats_of_the_paper_graph() {
+        let s = graph_stats(&paper_graph(), 1000);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 7);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.avg_degree - 14.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.max_common_neighbors_adjacent, 2);
+        assert_eq!(s.max_common_neighbors_any, 2);
+    }
+
+    #[test]
+    fn all_pairs_maximum_can_exceed_adjacent_maximum() {
+        // Two nodes sharing 3 common neighbours but not adjacent.
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        let s = graph_stats(&g, 1000);
+        assert_eq!(s.max_common_neighbors_any, 3);
+        assert_eq!(s.max_common_neighbors_adjacent, 0);
+        // With the all-pairs pass disabled the approximation falls back.
+        let s2 = graph_stats(&g, 2);
+        assert_eq!(s2.max_common_neighbors_any, 0);
+    }
+
+    #[test]
+    fn degree_sequence_is_sorted() {
+        let seq = degree_sequence(&paper_graph());
+        assert_eq!(seq, vec![4, 3, 3, 2, 2, 0]);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_complete_graph_is_one() {
+        let mut g = Graph::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                g.add_edge(u, v);
+            }
+        }
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        assert!((clustering_coefficient(&Graph::new(3)) - 0.0).abs() < 1e-12);
+    }
+}

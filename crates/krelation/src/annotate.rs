@@ -1,0 +1,178 @@
+//! Safe annotation of sensitive base tables.
+//!
+//! Before the efficient mechanism can run, the sensitive database has to be
+//! turned into a sensitive K-relation: every base-table tuple is annotated
+//! with a positive Boolean expression stating which participants it depends
+//! on (Sec. 3.2). Positive relational algebra then propagates the annotations
+//! to the query output, and Sec. 5.2 shows this propagation is always *safe*
+//! (neighbouring databases yield neighbouring K-relations).
+//!
+//! This module provides the typical annotation strategies:
+//!
+//! * [`annotate_per_tuple_owner`] — each tuple owned by exactly one
+//!   participant (the classical one-row-per-person table).
+//! * [`annotate_with`] — arbitrary per-tuple annotation derived from the
+//!   tuple content (e.g. an edge table annotated with the conjunction of its
+//!   endpoints for node privacy, or with a dedicated edge participant for
+//!   edge privacy).
+//! * [`AnnotatedDatabase`] — a named collection of annotated base tables plus
+//!   the shared participant universe, the starting point for relational
+//!   algebra pipelines.
+
+use crate::expr::Expr;
+use crate::hash::FxHashMap;
+use crate::participant::{ParticipantId, ParticipantUniverse};
+use crate::relation::KRelation;
+use crate::tuple::Tuple;
+
+/// Annotates each tuple with a single participant variable chosen by `owner`.
+///
+/// This models the classical differential-privacy setting where each row
+/// belongs to exactly one individual.
+pub fn annotate_per_tuple_owner<I, F>(
+    tuples: I,
+    universe: &mut ParticipantUniverse,
+    mut owner: F,
+) -> KRelation
+where
+    I: IntoIterator<Item = Tuple>,
+    F: FnMut(&Tuple) -> String,
+{
+    let mut out = KRelation::empty();
+    for t in tuples {
+        let label = owner(&t);
+        let p = universe.intern(&label);
+        out.insert(t, Expr::Var(p));
+    }
+    out
+}
+
+/// Annotates each tuple with an arbitrary expression derived from its
+/// content.
+pub fn annotate_with<I, F>(tuples: I, mut annotation: F) -> KRelation
+where
+    I: IntoIterator<Item = Tuple>,
+    F: FnMut(&Tuple) -> Expr,
+{
+    let mut out = KRelation::empty();
+    for t in tuples {
+        let e = annotation(&t);
+        out.insert(t, e);
+    }
+    out
+}
+
+/// A named collection of annotated base tables sharing one participant
+/// universe — the "sensitive database turned into K-relations" that a
+/// relational-algebra query plan consumes.
+#[derive(Clone, Debug, Default)]
+pub struct AnnotatedDatabase {
+    universe: ParticipantUniverse,
+    tables: FxHashMap<String, KRelation>,
+}
+
+impl AnnotatedDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn insert_table(&mut self, name: &str, table: KRelation) {
+        self.tables.insert(name.to_owned(), table);
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<&KRelation> {
+        self.tables.get(name)
+    }
+
+    /// The shared participant universe.
+    pub fn universe(&self) -> &ParticipantUniverse {
+        &self.universe
+    }
+
+    /// Mutable access to the participant universe (for interning new
+    /// participants while loading data).
+    pub fn universe_mut(&mut self) -> &mut ParticipantUniverse {
+        &mut self.universe
+    }
+
+    /// All participant ids that occur in any table annotation.
+    pub fn participants_in_use(&self) -> Vec<ParticipantId> {
+        let mut ids: Vec<ParticipantId> = self
+            .tables
+            .values()
+            .flat_map(|r| r.participants())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    #[test]
+    fn per_tuple_owner_annotation() {
+        let tuples = vec![
+            Tuple::new([("uid", 1i64), ("age", 30i64)]),
+            Tuple::new([("uid", 2i64), ("age", 40i64)]),
+        ];
+        let mut universe = ParticipantUniverse::new();
+        let r = annotate_per_tuple_owner(tuples, &mut universe, |t| {
+            format!("user-{}", t.get_named("uid").unwrap())
+        });
+        assert_eq!(r.len(), 2);
+        assert_eq!(universe.len(), 2);
+        let ann = r.annotation(&Tuple::new([("uid", 1i64), ("age", 30i64)]));
+        assert_eq!(ann, Expr::Var(universe.get("user-1").unwrap()));
+    }
+
+    #[test]
+    fn annotate_with_custom_expression() {
+        // Edge table annotated for node privacy: both endpoints must opt in.
+        let universe = ParticipantUniverse::with_size(3);
+        let edges = vec![
+            Tuple::new([("u", 0i64), ("v", 1i64)]),
+            Tuple::new([("u", 1i64), ("v", 2i64)]),
+        ];
+        let r = annotate_with(edges, |t| {
+            let u = t.get_named("u").unwrap().as_int().unwrap() as u32;
+            let v = t.get_named("v").unwrap().as_int().unwrap() as u32;
+            Expr::conjunction_of_vars([ParticipantId(u), ParticipantId(v)])
+        });
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.participants().len(), 3);
+        assert_eq!(universe.len(), 3);
+    }
+
+    #[test]
+    fn annotated_database_round_trips_tables() {
+        let mut db = AnnotatedDatabase::new();
+        let alice = db.universe_mut().intern("alice");
+        let bob = db.universe_mut().intern("bob");
+
+        let mut friends = KRelation::new(["a", "b"]);
+        friends.insert(
+            Tuple::new([("a", Value::str("alice")), ("b", Value::str("bob"))]),
+            Expr::conjunction_of_vars([alice, bob]),
+        );
+        db.insert_table("friends", friends);
+
+        assert_eq!(db.table_names(), vec!["friends"]);
+        assert_eq!(db.table("friends").unwrap().len(), 1);
+        assert!(db.table("missing").is_none());
+        assert_eq!(db.participants_in_use(), vec![alice, bob]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Disjunctive and conjunctive normal forms of positive expressions.
+//!
+//! Sec. 5.2 of the paper notes that expanding annotations into disjunctive
+//! normal form makes annotation always safe and caps every φ-sensitivity at 1
+//! (each variable occurs at most once per clause and `∨` takes the max).
+//! Distributivity of `∧` over `∨` is a φ-invariant transformation, so the DNF
+//! of an expression has the same relaxation `φ` — at the price of a possibly
+//! exponentially larger expression.
+//!
+//! For *positive* (monotone) expressions, removing clauses that are supersets
+//! of other clauses (absorption) yields exactly the set of prime implicants,
+//! which is a canonical form: two positive expressions have the same truth
+//! table iff their canonical DNFs are equal. Note that truth-table equality is
+//! weaker than φ-equivalence (Def. 19); see [`crate::equiv`].
+
+use crate::expr::Expr;
+use crate::participant::ParticipantId;
+use std::collections::BTreeSet;
+
+/// A DNF clause: a conjunction of distinct participant variables.
+pub type Clause = BTreeSet<ParticipantId>;
+
+/// A positive expression in disjunctive normal form: a disjunction of
+/// conjunctive clauses. The empty disjunction is `False`; a clause that is the
+/// empty conjunction makes the whole formula `True`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dnf {
+    clauses: Vec<Clause>,
+}
+
+/// Error returned when DNF expansion would exceed the configured clause
+/// budget (expansion is worst-case exponential).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnfTooLarge {
+    /// The budget that was exceeded.
+    pub max_clauses: usize,
+}
+
+impl std::fmt::Display for DnfTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DNF expansion exceeded the clause budget of {}",
+            self.max_clauses
+        )
+    }
+}
+
+impl std::error::Error for DnfTooLarge {}
+
+impl Dnf {
+    /// The DNF with no clause (`False`).
+    pub fn r#false() -> Self {
+        Dnf { clauses: vec![] }
+    }
+
+    /// The DNF with a single empty clause (`True`).
+    pub fn r#true() -> Self {
+        Dnf {
+            clauses: vec![Clause::new()],
+        }
+    }
+
+    /// A DNF from explicit clauses.
+    pub fn from_clauses<I>(clauses: I) -> Self
+    where
+        I: IntoIterator<Item = Clause>,
+    {
+        Dnf {
+            clauses: clauses.into_iter().collect(),
+        }
+    }
+
+    /// The clauses of the DNF.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the DNF is the constant `False`.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Whether the DNF is the constant `True`.
+    pub fn is_true(&self) -> bool {
+        self.clauses.iter().any(Clause::is_empty)
+    }
+
+    /// Expands an arbitrary positive expression into DNF.
+    ///
+    /// Returns an error if the number of intermediate clauses would exceed
+    /// `max_clauses` (distribution of `∧` over `∨` is worst-case exponential).
+    pub fn expand(expr: &Expr, max_clauses: usize) -> Result<Self, DnfTooLarge> {
+        let clauses = expand_rec(expr, max_clauses)?;
+        Ok(Dnf { clauses })
+    }
+
+    /// Removes clauses that are supersets of other clauses (absorption) and
+    /// duplicate clauses, producing the canonical prime-implicant form of the
+    /// underlying monotone Boolean function.
+    pub fn canonicalize(mut self) -> Self {
+        if self.is_true() {
+            return Dnf::r#true();
+        }
+        self.clauses.sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+        self.clauses.dedup();
+        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len());
+        for clause in self.clauses {
+            // Clauses are visited by increasing size, so any absorber is
+            // already in `kept`.
+            if !kept.iter().any(|k| k.is_subset(&clause)) {
+                kept.push(clause);
+            }
+        }
+        kept.sort();
+        Dnf { clauses: kept }
+    }
+
+    /// Converts back into an expression (a disjunction of variable
+    /// conjunctions). Each clause keeps every variable exactly once, so every
+    /// φ-sensitivity of the result is at most 1.
+    pub fn to_expr(&self) -> Expr {
+        Expr::or(
+            self.clauses
+                .iter()
+                .map(|c| Expr::conjunction_of_vars(c.iter().copied())),
+        )
+    }
+
+    /// Evaluates the DNF under a Boolean assignment.
+    pub fn evaluate<F>(&self, truth: &F) -> bool
+    where
+        F: Fn(ParticipantId) -> bool,
+    {
+        self.clauses
+            .iter()
+            .any(|c| c.iter().all(|&p| truth(p)))
+    }
+}
+
+fn expand_rec(expr: &Expr, max_clauses: usize) -> Result<Vec<Clause>, DnfTooLarge> {
+    match expr {
+        Expr::False => Ok(vec![]),
+        Expr::True => Ok(vec![Clause::new()]),
+        Expr::Var(p) => {
+            let mut c = Clause::new();
+            c.insert(*p);
+            Ok(vec![c])
+        }
+        Expr::Or(children) => {
+            let mut out: Vec<Clause> = Vec::new();
+            for child in children {
+                out.extend(expand_rec(child, max_clauses)?);
+                if out.len() > max_clauses {
+                    return Err(DnfTooLarge { max_clauses });
+                }
+            }
+            Ok(out)
+        }
+        Expr::And(children) => {
+            let mut acc: Vec<Clause> = vec![Clause::new()];
+            for child in children {
+                let child_clauses = expand_rec(child, max_clauses)?;
+                let mut next = Vec::with_capacity(acc.len() * child_clauses.len().max(1));
+                for a in &acc {
+                    for c in &child_clauses {
+                        let mut merged = a.clone();
+                        merged.extend(c.iter().copied());
+                        next.push(merged);
+                        if next.len() > max_clauses {
+                            return Err(DnfTooLarge { max_clauses });
+                        }
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// A CNF clause: a disjunction of distinct participant variables. Used by the
+/// experiment workload generators (a 3-CNF K-relation models a join of many
+/// unions, Sec. 6.2).
+pub type CnfClause = BTreeSet<ParticipantId>;
+
+/// A positive expression in conjunctive normal form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    clauses: Vec<CnfClause>,
+}
+
+impl Cnf {
+    /// A CNF from explicit clauses. The empty CNF is `True`.
+    pub fn from_clauses<I>(clauses: I) -> Self
+    where
+        I: IntoIterator<Item = CnfClause>,
+    {
+        Cnf {
+            clauses: clauses.into_iter().collect(),
+        }
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[CnfClause] {
+        &self.clauses
+    }
+
+    /// Converts into an expression: a conjunction of variable disjunctions.
+    pub fn to_expr(&self) -> Expr {
+        Expr::and(
+            self.clauses
+                .iter()
+                .map(|c| Expr::disjunction_of_vars(c.iter().copied())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phi::phi;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn clause(vars: &[u32]) -> Clause {
+        vars.iter().map(|&i| p(i)).collect()
+    }
+
+    #[test]
+    fn expand_distributes_and_over_or() {
+        // (a ∨ b) ∧ c  =>  (a ∧ c) ∨ (b ∧ c)
+        let e = Expr::and2(Expr::or2(Expr::var(p(0)), Expr::var(p(1))), Expr::var(p(2)));
+        let d = Dnf::expand(&e, 100).unwrap().canonicalize();
+        assert_eq!(d.clauses(), &[clause(&[0, 2]), clause(&[1, 2])]);
+    }
+
+    #[test]
+    fn expansion_preserves_truth_table() {
+        let e = Expr::and2(
+            Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::or2(Expr::var(p(0)), Expr::var(p(2))),
+        );
+        let d = Dnf::expand(&e, 100).unwrap();
+        for bits in 0..8u32 {
+            let truth = |q: ParticipantId| (bits >> q.0) & 1 == 1;
+            assert_eq!(e.evaluate(&truth), d.evaluate(&truth));
+        }
+    }
+
+    #[test]
+    fn expansion_preserves_phi() {
+        // Distributivity is φ-invariant (Sec. 5.2), so expansion must not
+        // change φ as long as no idempotence collapse happens.
+        let e = Expr::and2(Expr::or2(Expr::var(p(0)), Expr::var(p(1))), Expr::var(p(2)));
+        let d = Dnf::expand(&e, 100).unwrap().to_expr();
+        let grid = [0.0, 0.3, 0.6, 1.0];
+        for &a in &grid {
+            for &b in &grid {
+                for &c in &grid {
+                    let f = vec![a, b, c];
+                    assert!((phi(&e, &f) - phi(&d, &f)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalize_applies_absorption() {
+        // (a) ∨ (a ∧ b) ∨ (b ∧ c)  =>  a ∨ (b ∧ c)
+        let d = Dnf::from_clauses([clause(&[0]), clause(&[0, 1]), clause(&[1, 2])]).canonicalize();
+        assert_eq!(d.clauses(), &[clause(&[0]), clause(&[1, 2])]);
+    }
+
+    #[test]
+    fn canonical_form_identifies_equal_truth_tables() {
+        // (b1 ∨ b2) ∧ (b1 ∨ b3) and b1 ∨ (b2 ∧ b3) have the same truth table,
+        // hence the same canonical DNF — even though they are NOT
+        // φ-equivalent (see crate::equiv tests).
+        let lhs = Expr::and2(
+            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
+            Expr::or2(Expr::var(p(1)), Expr::var(p(3))),
+        );
+        let rhs = Expr::or2(Expr::var(p(1)), Expr::and2(Expr::var(p(2)), Expr::var(p(3))));
+        let dl = Dnf::expand(&lhs, 100).unwrap().canonicalize();
+        let dr = Dnf::expand(&rhs, 100).unwrap().canonicalize();
+        assert_eq!(dl, dr);
+    }
+
+    #[test]
+    fn constants_expand_correctly() {
+        assert!(Dnf::expand(&Expr::False, 10).unwrap().is_empty());
+        assert!(Dnf::expand(&Expr::True, 10).unwrap().is_true());
+        assert_eq!(Dnf::r#false().to_expr(), Expr::False);
+        assert_eq!(Dnf::r#true().to_expr(), Expr::True);
+    }
+
+    #[test]
+    fn expansion_respects_budget() {
+        // (a1 ∨ b1) ∧ ... ∧ (a10 ∨ b10) has 2^10 clauses.
+        let e = Expr::and((0..10).map(|i| Expr::or2(Expr::var(p(2 * i)), Expr::var(p(2 * i + 1)))));
+        assert_eq!(
+            Dnf::expand(&e, 100),
+            Err(DnfTooLarge { max_clauses: 100 })
+        );
+        assert!(Dnf::expand(&e, 2000).is_ok());
+    }
+
+    #[test]
+    fn dnf_expression_has_unit_sensitivities() {
+        use crate::phi::max_phi_sensitivity;
+        let e = Expr::and2(
+            Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::or2(Expr::var(p(0)), Expr::var(p(2))),
+        );
+        assert!(max_phi_sensitivity(&e) > 1.0);
+        let d = Dnf::expand(&e, 100).unwrap().canonicalize().to_expr();
+        assert!(max_phi_sensitivity(&d) <= 1.0);
+    }
+
+    #[test]
+    fn cnf_roundtrip() {
+        let c = Cnf::from_clauses([clause(&[0, 1]), clause(&[2, 3])]);
+        let e = c.to_expr();
+        assert_eq!(e.len(), 4);
+        let truth_true = |q: ParticipantId| q.0 == 0 || q.0 == 2;
+        assert!(e.evaluate(&truth_true));
+        let truth_false = |q: ParticipantId| q.0 == 0;
+        assert!(!e.evaluate(&truth_false));
+    }
+}

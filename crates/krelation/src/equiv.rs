@@ -1,0 +1,181 @@
+//! Equivalence of annotations.
+//!
+//! Def. 19 of the paper calls two expressions equivalent when their relaxed
+//! functions under `φ` coincide: `k₁ ∼ k₂ ⇔ φ_{k₁} = φ_{k₂}`. Equivalence
+//! implies equal truth tables but is strictly finer: `(b₁∨b₂)∧(b₁∨b₃)` and
+//! `b₁∨(b₂∧b₃)` agree on Boolean inputs yet differ under `φ`, which is why the
+//! efficient mechanism must not rewrite one into the other.
+//!
+//! φ is invariant under the transformations listed in Sec. 5.2 (identity,
+//! annihilator, associativity, distributivity of `∧` over `∨`). This module
+//! provides:
+//!
+//! * [`phi_equivalent_sampled`] — a randomized check of `φ_{k₁} = φ_{k₂}`.
+//!   Because both sides are piecewise-linear functions with breakpoints on a
+//!   known lattice, agreement on a dense random sample is strong evidence of
+//!   equality; it is used in tests and debug assertions, not in the privacy
+//!   path.
+//! * [`truth_table_equivalent`] — exact equality of the underlying monotone
+//!   Boolean functions via canonical DNF.
+//! * [`safe_after_withdrawal`] — the "safe annotation" check of Sec. 5.2: an
+//!   annotation update after participant `p` opts out is safe when the new
+//!   expression is φ-equivalent to `old|_{p→False}`.
+
+use crate::dnf::Dnf;
+use crate::expr::Expr;
+use crate::hash::FxHashSet;
+use crate::participant::ParticipantId;
+use crate::phi::phi;
+
+/// Randomized check that two expressions have the same relaxation `φ`.
+///
+/// Samples `samples` random assignments over the union of the two variable
+/// sets (plus all Boolean corners when there are at most `12` variables) and
+/// compares `φ` values within `1e-9`.
+pub fn phi_equivalent_sampled<R: rand::Rng>(a: &Expr, b: &Expr, samples: usize, rng: &mut R) -> bool {
+    let mut vars: FxHashSet<ParticipantId> = a.variables();
+    vars.extend(b.variables());
+    let vars: Vec<ParticipantId> = vars.into_iter().collect();
+    let dim = vars
+        .iter()
+        .map(|p| p.index() + 1)
+        .max()
+        .unwrap_or(0);
+
+    let check = |f: &Vec<f64>| (phi(a, f) - phi(b, f)).abs() < 1e-9;
+
+    // Boolean corners give exact truth-table agreement for small dimension.
+    if vars.len() <= 12 {
+        for bits in 0..(1u32 << vars.len()) {
+            let mut f = vec![0.0; dim];
+            for (i, p) in vars.iter().enumerate() {
+                if (bits >> i) & 1 == 1 {
+                    f[p.index()] = 1.0;
+                }
+            }
+            if !check(&f) {
+                return false;
+            }
+        }
+    }
+
+    for _ in 0..samples {
+        let mut f = vec![0.0; dim];
+        for p in &vars {
+            f[p.index()] = rng.gen_range(0.0..=1.0);
+        }
+        if !check(&f) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact equality of the truth tables of two positive expressions, decided by
+/// comparing canonical (prime-implicant) DNFs.
+///
+/// Returns `None` when either DNF expansion exceeds `max_clauses`.
+pub fn truth_table_equivalent(a: &Expr, b: &Expr, max_clauses: usize) -> Option<bool> {
+    let da = Dnf::expand(a, max_clauses).ok()?.canonicalize();
+    let db = Dnf::expand(b, max_clauses).ok()?.canonicalize();
+    Some(da == db)
+}
+
+/// Checks the safe-annotation condition of Sec. 5.2: after participant `p`
+/// withdraws, the updated annotation `new` must be φ-equivalent to
+/// `old|_{p→False}`.
+///
+/// The check is randomized (see [`phi_equivalent_sampled`]); it is intended
+/// for tests and validation tooling around annotation pipelines.
+pub fn safe_after_withdrawal<R: rand::Rng>(
+    old: &Expr,
+    new: &Expr,
+    withdrawn: ParticipantId,
+    samples: usize,
+    rng: &mut R,
+) -> bool {
+    let restricted = old.restrict(withdrawn, false);
+    phi_equivalent_sampled(&restricted, new, samples, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn associativity_is_phi_invariant() {
+        let lhs = Expr::And(vec![
+            Expr::var(p(0)),
+            Expr::And(vec![Expr::var(p(1)), Expr::var(p(2))]),
+        ]);
+        let rhs = Expr::And(vec![
+            Expr::And(vec![Expr::var(p(0)), Expr::var(p(1))]),
+            Expr::var(p(2)),
+        ]);
+        assert!(phi_equivalent_sampled(&lhs, &rhs, 200, &mut rng()));
+    }
+
+    #[test]
+    fn distributivity_is_phi_invariant() {
+        // x ∧ (y ∨ z) ~ (x ∧ y) ∨ (x ∧ z)
+        let lhs = Expr::and2(Expr::var(p(0)), Expr::or2(Expr::var(p(1)), Expr::var(p(2))));
+        let rhs = Expr::or2(
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::and2(Expr::var(p(0)), Expr::var(p(2))),
+        );
+        assert!(phi_equivalent_sampled(&lhs, &rhs, 200, &mut rng()));
+    }
+
+    #[test]
+    fn truth_table_equal_but_not_phi_equivalent() {
+        // The paper's running example (Sec. 2.4): (b1∨b2)∧(b1∨b3) vs b1∨(b2∧b3).
+        let lhs = Expr::and2(
+            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
+            Expr::or2(Expr::var(p(1)), Expr::var(p(3))),
+        );
+        let rhs = Expr::or2(Expr::var(p(1)), Expr::and2(Expr::var(p(2)), Expr::var(p(3))));
+        assert_eq!(truth_table_equivalent(&lhs, &rhs, 100), Some(true));
+        assert!(!phi_equivalent_sampled(&lhs, &rhs, 500, &mut rng()));
+    }
+
+    #[test]
+    fn idempotent_collapse_is_not_phi_invariant() {
+        let lhs = Expr::And(vec![Expr::var(p(0)), Expr::var(p(0))]);
+        let rhs = Expr::var(p(0));
+        assert!(!phi_equivalent_sampled(&lhs, &rhs, 500, &mut rng()));
+        assert_eq!(truth_table_equivalent(&lhs, &rhs, 10), Some(true));
+    }
+
+    #[test]
+    fn safe_annotation_after_withdrawal() {
+        // Annotation of the bc tuple in Fig. 2(b): b ∧ c ∧ (a ∨ d).
+        let old = Expr::and(vec![
+            Expr::var(p(1)),
+            Expr::var(p(2)),
+            Expr::or2(Expr::var(p(0)), Expr::var(p(3))),
+        ]);
+        // After a withdraws, the condition becomes b ∧ c ∧ d.
+        let new = Expr::conjunction_of_vars([p(1), p(2), p(3)]);
+        assert!(safe_after_withdrawal(&old, &new, p(0), 200, &mut rng()));
+        // Writing b ∧ c instead would NOT be safe.
+        let wrong = Expr::conjunction_of_vars([p(1), p(2)]);
+        assert!(!safe_after_withdrawal(&old, &wrong, p(0), 500, &mut rng()));
+    }
+
+    #[test]
+    fn truth_table_equivalence_detects_differences() {
+        let lhs = Expr::or2(Expr::var(p(0)), Expr::var(p(1)));
+        let rhs = Expr::and2(Expr::var(p(0)), Expr::var(p(1)));
+        assert_eq!(truth_table_equivalent(&lhs, &rhs, 10), Some(false));
+    }
+}

@@ -1,0 +1,411 @@
+//! Positive Boolean provenance expressions.
+//!
+//! Tuples of a sensitive K-relation are annotated with *positive* Boolean
+//! expressions over participant variables: no negation, only conjunction,
+//! disjunction and the constants `True` / `False` (paper Sec. 2.4).
+//!
+//! Conjunction and disjunction are stored n-ary. Flattening an associative
+//! chain (`a ∧ (b ∧ c)` ↦ `∧(a, b, c)`) is one of the φ-invariant
+//! transformations listed in Sec. 5.2, so the n-ary representation never
+//! changes the relaxation `φ` — and it lets the LP encoding of the efficient
+//! mechanism use a single constraint row per conjunction.
+//!
+//! The *smart constructors* [`Expr::and`] and [`Expr::or`] additionally apply
+//! the identity and annihilator laws (also φ-invariant). They never apply
+//! idempotence of `∧` (`x ∧ x ↦ x`), which is **not** φ-invariant
+//! (`φ_{x∧x}(f) = max(0, 2f(x) − 1) ≠ f(x)` in general).
+
+use crate::hash::FxHashSet;
+use crate::participant::ParticipantId;
+use std::fmt;
+
+/// A positive Boolean expression over participant variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Expr {
+    /// The constant `False` (annotation of an absent tuple).
+    False,
+    /// The constant `True` (tuple present regardless of participants).
+    True,
+    /// A single participant variable.
+    Var(ParticipantId),
+    /// n-ary conjunction. Invariant: at least two children, no nested `And`,
+    /// no `True`/`False` children.
+    And(Vec<Expr>),
+    /// n-ary disjunction. Invariant: at least two children, no nested `Or`,
+    /// no `True`/`False` children.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// A single participant variable.
+    #[inline]
+    pub fn var(p: impl Into<ParticipantId>) -> Self {
+        Expr::Var(p.into())
+    }
+
+    /// Smart n-ary conjunction.
+    ///
+    /// Applies only φ-invariant rewrites: flattening of nested conjunctions,
+    /// dropping `True` children (identity) and collapsing to `False` if any
+    /// child is `False` (annihilator). The empty conjunction is `True`.
+    pub fn and<I>(children: I) -> Self
+    where
+        I: IntoIterator<Item = Expr>,
+    {
+        let mut flat = Vec::new();
+        for child in children {
+            match child {
+                Expr::True => {}
+                Expr::False => return Expr::False,
+                Expr::And(grand) => flat.extend(grand),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::And(flat),
+        }
+    }
+
+    /// Smart n-ary disjunction.
+    ///
+    /// Applies only φ-invariant rewrites: flattening of nested disjunctions,
+    /// dropping `False` children (identity) and collapsing to `True` if any
+    /// child is `True` (annihilator). The empty disjunction is `False`.
+    pub fn or<I>(children: I) -> Self
+    where
+        I: IntoIterator<Item = Expr>,
+    {
+        let mut flat = Vec::new();
+        for child in children {
+            match child {
+                Expr::False => {}
+                Expr::True => return Expr::True,
+                Expr::Or(grand) => flat.extend(grand),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Or(flat),
+        }
+    }
+
+    /// Conjunction of two expressions.
+    pub fn and2(a: Expr, b: Expr) -> Self {
+        Expr::and([a, b])
+    }
+
+    /// Disjunction of two expressions.
+    pub fn or2(a: Expr, b: Expr) -> Self {
+        Expr::or([a, b])
+    }
+
+    /// Conjunction of a set of participant variables (the typical annotation
+    /// of one matched subgraph: `a ∧ b ∧ c`).
+    pub fn conjunction_of_vars<I>(vars: I) -> Self
+    where
+        I: IntoIterator<Item = ParticipantId>,
+    {
+        Expr::and(vars.into_iter().map(Expr::Var))
+    }
+
+    /// Disjunction of a set of participant variables.
+    pub fn disjunction_of_vars<I>(vars: I) -> Self
+    where
+        I: IntoIterator<Item = ParticipantId>,
+    {
+        Expr::or(vars.into_iter().map(Expr::Var))
+    }
+
+    /// Evaluates the expression under a Boolean assignment.
+    ///
+    /// `truth(p)` gives the value of variable `p` (`true` iff participant `p`
+    /// contributes its data).
+    pub fn evaluate<F>(&self, truth: &F) -> bool
+    where
+        F: Fn(ParticipantId) -> bool,
+    {
+        match self {
+            Expr::False => false,
+            Expr::True => true,
+            Expr::Var(p) => truth(*p),
+            Expr::And(children) => children.iter().all(|c| c.evaluate(truth)),
+            Expr::Or(children) => children.iter().any(|c| c.evaluate(truth)),
+        }
+    }
+
+    /// Replaces every occurrence of variable `p` with the constant `value`
+    /// and re-applies the φ-invariant identity/annihilator simplifications.
+    ///
+    /// `restrict(p, false)` is the operation `k|_{p→False}` used in the
+    /// definition of neighbouring sensitive K-relations (Def. 14).
+    pub fn restrict(&self, p: ParticipantId, value: bool) -> Expr {
+        match self {
+            Expr::False => Expr::False,
+            Expr::True => Expr::True,
+            Expr::Var(q) => {
+                if *q == p {
+                    if value {
+                        Expr::True
+                    } else {
+                        Expr::False
+                    }
+                } else {
+                    Expr::Var(*q)
+                }
+            }
+            Expr::And(children) => Expr::and(children.iter().map(|c| c.restrict(p, value))),
+            Expr::Or(children) => Expr::or(children.iter().map(|c| c.restrict(p, value))),
+        }
+    }
+
+    /// Collects the distinct variables occurring in the expression.
+    pub fn variables(&self) -> FxHashSet<ParticipantId> {
+        let mut out = FxHashSet::default();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    /// Collects variables into an existing set (avoids re-allocating when
+    /// scanning a whole relation).
+    pub fn collect_variables(&self, out: &mut FxHashSet<ParticipantId>) {
+        match self {
+            Expr::False | Expr::True => {}
+            Expr::Var(p) => {
+                out.insert(*p);
+            }
+            Expr::And(children) | Expr::Or(children) => {
+                for c in children {
+                    c.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// Whether variable `p` occurs anywhere in the expression.
+    pub fn contains_var(&self, p: ParticipantId) -> bool {
+        match self {
+            Expr::False | Expr::True => false,
+            Expr::Var(q) => *q == p,
+            Expr::And(children) | Expr::Or(children) => {
+                children.iter().any(|c| c.contains_var(p))
+            }
+        }
+    }
+
+    /// Number of variable occurrences (the *length* `L` of the annotation in
+    /// the paper's complexity statements, Sec. 5.3).
+    pub fn len(&self) -> usize {
+        match self {
+            Expr::False | Expr::True => 0,
+            Expr::Var(_) => 1,
+            Expr::And(children) | Expr::Or(children) => children.iter().map(Expr::len).sum(),
+        }
+    }
+
+    /// Whether the expression contains no variable occurrence.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of expression-tree nodes (constants, variables and operators).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::False | Expr::True | Expr::Var(_) => 1,
+            Expr::And(children) | Expr::Or(children) => {
+                1 + children.iter().map(Expr::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth of the expression tree (a constant or a variable has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::False | Expr::True | Expr::Var(_) => 1,
+            Expr::And(children) | Expr::Or(children) => {
+                1 + children.iter().map(Expr::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// `true` iff the expression is the constant `False`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Expr::False)
+    }
+
+    /// `true` iff the expression is the constant `True`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Expr::True)
+    }
+
+    /// `true` iff the expression is a pure conjunction of distinct variables
+    /// (possibly a single variable or `True`). Such annotations are produced
+    /// by subgraph counting and admit a one-row LP encoding.
+    pub fn is_simple_conjunction(&self) -> bool {
+        match self {
+            Expr::True | Expr::Var(_) => true,
+            Expr::And(children) => children.iter().all(|c| matches!(c, Expr::Var(_))),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_child(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                Expr::And(_) | Expr::Or(_) => write!(f, "({e})"),
+                _ => write!(f, "{e}"),
+            }
+        }
+        match self {
+            Expr::False => write!(f, "⊥"),
+            Expr::True => write!(f, "⊤"),
+            Expr::Var(p) => write!(f, "{p}"),
+            Expr::And(children) => {
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write_child(c, f)?;
+                }
+                Ok(())
+            }
+            Expr::Or(children) => {
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write_child(c, f)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    #[test]
+    fn smart_and_applies_identity_and_annihilator() {
+        assert_eq!(Expr::and([Expr::True, Expr::var(p(0))]), Expr::var(p(0)));
+        assert_eq!(Expr::and([Expr::False, Expr::var(p(0))]), Expr::False);
+        assert_eq!(Expr::and(std::iter::empty()), Expr::True);
+    }
+
+    #[test]
+    fn smart_or_applies_identity_and_annihilator() {
+        assert_eq!(Expr::or([Expr::False, Expr::var(p(0))]), Expr::var(p(0)));
+        assert_eq!(Expr::or([Expr::True, Expr::var(p(0))]), Expr::True);
+        assert_eq!(Expr::or(std::iter::empty()), Expr::False);
+    }
+
+    #[test]
+    fn nested_operators_are_flattened() {
+        let e = Expr::and2(
+            Expr::var(p(0)),
+            Expr::and2(Expr::var(p(1)), Expr::var(p(2))),
+        );
+        match &e {
+            Expr::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flattened And, got {other}"),
+        }
+        let e = Expr::or2(Expr::var(p(0)), Expr::or2(Expr::var(p(1)), Expr::var(p(2))));
+        match &e {
+            Expr::Or(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flattened Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn idempotence_is_not_applied() {
+        // x ∧ x must be kept as-is: collapsing it would change φ.
+        let e = Expr::and([Expr::var(p(0)), Expr::var(p(0))]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn evaluate_matches_boolean_semantics() {
+        // (a ∧ b) ∨ c
+        let e = Expr::or2(
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::var(p(2)),
+        );
+        let t = |vals: [bool; 3]| e.evaluate(&|q: ParticipantId| vals[q.index()]);
+        assert!(t([true, true, false]));
+        assert!(t([false, false, true]));
+        assert!(!t([true, false, false]));
+        assert!(!t([false, false, false]));
+    }
+
+    #[test]
+    fn restrict_to_false_removes_the_variable() {
+        // a ∧ (b ∨ c), restrict c -> False gives a ∧ b.
+        let e = Expr::and2(
+            Expr::var(p(0)),
+            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
+        );
+        let r = e.restrict(p(2), false);
+        assert_eq!(r, Expr::and2(Expr::var(p(0)), Expr::var(p(1))));
+        assert!(!r.contains_var(p(2)));
+    }
+
+    #[test]
+    fn restrict_to_true_simplifies() {
+        // a ∧ (b ∨ c), restrict b -> True gives a.
+        let e = Expr::and2(
+            Expr::var(p(0)),
+            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
+        );
+        assert_eq!(e.restrict(p(1), true), Expr::var(p(0)));
+    }
+
+    #[test]
+    fn length_counts_variable_occurrences() {
+        let e = Expr::or2(
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::and2(Expr::var(p(0)), Expr::var(p(2))),
+        );
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.variables().len(), 3);
+        assert_eq!(e.depth(), 3);
+        assert_eq!(e.node_count(), 7);
+    }
+
+    #[test]
+    fn simple_conjunction_detection() {
+        assert!(Expr::conjunction_of_vars([p(0), p(1), p(2)]).is_simple_conjunction());
+        assert!(Expr::var(p(0)).is_simple_conjunction());
+        assert!(Expr::True.is_simple_conjunction());
+        let mixed = Expr::and2(
+            Expr::var(p(0)),
+            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
+        );
+        assert!(!mixed.is_simple_conjunction());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::or2(
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::var(p(2)),
+        );
+        assert_eq!(format!("{e}"), "(p0 ∧ p1) ∨ p2");
+    }
+}

@@ -1,0 +1,36 @@
+//! Positive Boolean provenance expressions, the relaxation `φ`, K-relations
+//! and positive relational algebra.
+//!
+//! This crate implements the data-model substrate of the recursive mechanism
+//! (Chen & Zhou, SIGMOD 2013, Sec. 2.4 and 5.2):
+//!
+//! * [`expr::Expr`] — positive Boolean expressions over participant variables
+//!   (no negation; only `∧`, `∨`, `True`, `False`).
+//! * [`phi`] — the relaxation `φ : K → [0,1]^{[0,1]^P}` with
+//!   `φ_{x∧y} = max(0, φ_x + φ_y − 1)` and `φ_{x∨y} = max(φ_x, φ_y)`, and the
+//!   φ-sensitivities `S_{k,p}` bounding `∂φ_k/∂f(p)`.
+//! * [`dnf`] — disjunctive/conjunctive normal forms and the canonical
+//!   (absorption-reduced) DNF of a monotone expression.
+//! * [`relation::KRelation`] — relations whose tuples are annotated with
+//!   positive Boolean expressions (c-tables with positive conditions).
+//! * [`algebra`] — the positive relational algebra of Green et al. lifted to
+//!   annotated relations: union, projection, selection, natural join,
+//!   renaming, product and intersection.
+//! * [`annotate`] — safe annotation helpers for building sensitive base
+//!   tables from per-participant data.
+
+pub mod algebra;
+pub mod annotate;
+pub mod dnf;
+pub mod equiv;
+pub mod expr;
+pub mod hash;
+pub mod participant;
+pub mod phi;
+pub mod relation;
+pub mod tuple;
+
+pub use expr::Expr;
+pub use participant::{ParticipantId, ParticipantUniverse};
+pub use relation::KRelation;
+pub use tuple::{Attr, Tuple, Value};

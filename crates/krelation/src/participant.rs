@@ -1,0 +1,170 @@
+//! Participants: the unit of privacy protection.
+//!
+//! In the sensitive-database model of the paper (Def. 5) a database is a pair
+//! `(P, M)` where `P` is a finite set of participants. Each participant gets a
+//! compact numeric [`ParticipantId`]; the [`ParticipantUniverse`] maps between
+//! human-readable labels (graph nodes, edges, table keys, …) and ids and fixes
+//! the dimension of the real assignments `f : P → [0,1]` used by the
+//! relaxation `φ`.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A compact identifier for a participant (a node, an edge, a person, …).
+///
+/// Ids are dense indices `0..universe.len()` so assignments over participants
+/// can be stored in plain vectors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ParticipantId(pub u32);
+
+impl ParticipantId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ParticipantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ParticipantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ParticipantId {
+    fn from(v: u32) -> Self {
+        ParticipantId(v)
+    }
+}
+
+/// A registry of participants: maps labels to dense [`ParticipantId`]s.
+///
+/// ```
+/// use rmdp_krelation::participant::ParticipantUniverse;
+///
+/// let mut universe = ParticipantUniverse::new();
+/// let alice = universe.intern("alice");
+/// let bob = universe.intern("bob");
+/// assert_ne!(alice, bob);
+/// assert_eq!(universe.intern("alice"), alice);
+/// assert_eq!(universe.len(), 2);
+/// assert_eq!(universe.label(alice), Some("alice"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ParticipantUniverse {
+    labels: Vec<String>,
+    by_label: FxHashMap<String, ParticipantId>,
+}
+
+impl ParticipantUniverse {
+    /// An empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A universe of `n` anonymous participants labelled `"0"..."n-1"`.
+    pub fn with_size(n: usize) -> Self {
+        let mut u = Self::new();
+        for i in 0..n {
+            u.intern(&i.to_string());
+        }
+        u
+    }
+
+    /// Returns the id for `label`, registering it if it is new.
+    pub fn intern(&mut self, label: &str) -> ParticipantId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = ParticipantId(self.labels.len() as u32);
+        self.labels.push(label.to_owned());
+        self.by_label.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Looks a label up without registering it.
+    pub fn get(&self, label: &str) -> Option<ParticipantId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// The label of an id, if the id belongs to this universe.
+    pub fn label(&self, id: ParticipantId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of registered participants.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no participant has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over all ids in increasing order.
+    pub fn ids(&self) -> impl Iterator<Item = ParticipantId> + '_ {
+        (0..self.labels.len() as u32).map(ParticipantId)
+    }
+
+    /// Iterates over `(id, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParticipantId, &str)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (ParticipantId(i as u32), l.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut u = ParticipantUniverse::new();
+        let a = u.intern("a");
+        let a2 = u.intern("a");
+        assert_eq!(a, a2);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut u = ParticipantUniverse::new();
+        for i in 0..100 {
+            let id = u.intern(&format!("node-{i}"));
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(u.ids().count(), 100);
+    }
+
+    #[test]
+    fn with_size_creates_anonymous_participants() {
+        let u = ParticipantUniverse::with_size(5);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.get("3"), Some(ParticipantId(3)));
+        assert_eq!(u.label(ParticipantId(4)), Some("4"));
+        assert_eq!(u.label(ParticipantId(5)), None);
+    }
+
+    #[test]
+    fn lookup_of_unknown_label_is_none() {
+        let u = ParticipantUniverse::with_size(2);
+        assert_eq!(u.get("zzz"), None);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let p = ParticipantId(7);
+        assert_eq!(format!("{p}"), "p7");
+        assert_eq!(format!("{p:?}"), "p7");
+    }
+}

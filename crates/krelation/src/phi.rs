@@ -1,0 +1,428 @@
+//! The relaxation `φ` of positive Boolean expressions and its sensitivities.
+//!
+//! Sec. 5.2 of the paper defines, for every expression `k`, a function
+//! `φ_k : [0,1]^P → [0,1]`:
+//!
+//! * `φ_False(f) = 0`, `φ_True(f) = 1`,
+//! * `φ_p(f) = f(p)`,
+//! * `φ_{x∧y}(f) = max(0, φ_x(f) + φ_y(f) − 1)`  (Łukasiewicz t-norm),
+//! * `φ_{x∨y}(f) = max(φ_x(f), φ_y(f))`.
+//!
+//! `φ` is correct on Boolean inputs, natural, monotone, convex and satisfies
+//! truncated linearity (Theorem 5). For an n-ary conjunction the associative
+//! law gives the closed form `φ_{∧(x_1..x_n)}(f) = max(0, Σφ_{x_i}(f) − (n−1))`
+//! and for an n-ary disjunction `φ_{∨(x_1..x_n)}(f) = max_i φ_{x_i}(f)`; both
+//! are used directly here and by the LP encoding.
+//!
+//! The φ-sensitivity `S_{k,p}` bounds the partial derivative of `φ_k` with
+//! respect to `f(p)` (Eq. 17) and is computed recursively:
+//! `S_{True,p} = S_{False,p} = 0`, `S_{p,p} = 1`,
+//! `S_{x∧y,p} = S_{x,p} + S_{y,p}`, `S_{x∨y,p} = max(S_{x,p}, S_{y,p})`.
+
+use crate::expr::Expr;
+use crate::hash::FxHashMap;
+use crate::participant::ParticipantId;
+
+/// A real assignment `f : P → [0,1]`.
+///
+/// Implemented for dense vectors/slices indexed by participant id and for
+/// hash maps (missing entries read as `0`, i.e. the participant has opted
+/// out).
+pub trait RealAssignment {
+    /// The value `f(p) ∈ [0,1]`.
+    fn value(&self, p: ParticipantId) -> f64;
+}
+
+impl RealAssignment for [f64] {
+    #[inline]
+    fn value(&self, p: ParticipantId) -> f64 {
+        self.get(p.index()).copied().unwrap_or(0.0)
+    }
+}
+
+impl RealAssignment for Vec<f64> {
+    #[inline]
+    fn value(&self, p: ParticipantId) -> f64 {
+        self.as_slice().value(p)
+    }
+}
+
+impl RealAssignment for FxHashMap<ParticipantId, f64> {
+    #[inline]
+    fn value(&self, p: ParticipantId) -> f64 {
+        self.get(&p).copied().unwrap_or(0.0)
+    }
+}
+
+impl<T: RealAssignment + ?Sized> RealAssignment for &T {
+    #[inline]
+    fn value(&self, p: ParticipantId) -> f64 {
+        (**self).value(p)
+    }
+}
+
+/// A closure-based assignment, convenient in tests.
+pub struct FnAssignment<F>(pub F);
+
+impl<F: Fn(ParticipantId) -> f64> RealAssignment for FnAssignment<F> {
+    #[inline]
+    fn value(&self, p: ParticipantId) -> f64 {
+        (self.0)(p)
+    }
+}
+
+/// Evaluates the relaxation `φ_k(f)`.
+///
+/// The result always lies in `[0, 1]` when every `f(p)` does.
+///
+/// ```
+/// use rmdp_krelation::expr::Expr;
+/// use rmdp_krelation::participant::ParticipantId;
+/// use rmdp_krelation::phi::phi;
+///
+/// let a = ParticipantId(0);
+/// let b = ParticipantId(1);
+/// let k = Expr::and2(Expr::Var(a), Expr::Var(b));
+/// assert_eq!(phi(&k, &vec![0.9, 0.8]), 0.7000000000000002);
+/// assert_eq!(phi(&k, &vec![0.3, 0.4]), 0.0);
+/// ```
+pub fn phi<A: RealAssignment + ?Sized>(expr: &Expr, f: &A) -> f64 {
+    match expr {
+        Expr::False => 0.0,
+        Expr::True => 1.0,
+        Expr::Var(p) => f.value(*p).clamp(0.0, 1.0),
+        Expr::And(children) => {
+            let sum: f64 = children.iter().map(|c| phi(c, f)).sum();
+            (sum - (children.len() as f64 - 1.0)).max(0.0)
+        }
+        Expr::Or(children) => children
+            .iter()
+            .map(|c| phi(c, f))
+            .fold(0.0_f64, f64::max),
+    }
+}
+
+/// Evaluates `φ*_k(f) = 1 − φ_k(1 − ψ∘f)` with `ψ(x) = min(1, x)`, the dual
+/// used in the truncated-linearity property (Sec. 5.1).
+pub fn phi_star<A: RealAssignment + ?Sized>(expr: &Expr, f: &A) -> f64 {
+    let complement = FnAssignment(|p: ParticipantId| 1.0 - f.value(p).min(1.0));
+    1.0 - phi(expr, &complement)
+}
+
+/// The φ-sensitivity `S_{k,p}` of expression `k` for participant `p`.
+///
+/// `S_{k,p}` upper-bounds the change of `φ_k(f)` per unit change of `f(p)`
+/// (Eq. 17). It is `0` when `p` does not occur in `k`.
+pub fn phi_sensitivity(expr: &Expr, p: ParticipantId) -> f64 {
+    match expr {
+        Expr::False | Expr::True => 0.0,
+        Expr::Var(q) => {
+            if *q == p {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Expr::And(children) => children.iter().map(|c| phi_sensitivity(c, p)).sum(),
+        Expr::Or(children) => children
+            .iter()
+            .map(|c| phi_sensitivity(c, p))
+            .fold(0.0_f64, f64::max),
+    }
+}
+
+/// All non-zero φ-sensitivities of an expression in one pass.
+///
+/// Equivalent to calling [`phi_sensitivity`] for every variable of the
+/// expression but traverses the tree only once.
+pub fn phi_sensitivities(expr: &Expr) -> FxHashMap<ParticipantId, f64> {
+    fn go(expr: &Expr, out: &mut FxHashMap<ParticipantId, f64>) {
+        match expr {
+            Expr::False | Expr::True => {}
+            Expr::Var(p) => {
+                *out.entry(*p).or_insert(0.0) += 1.0;
+            }
+            Expr::And(children) => {
+                // Sensitivities of a conjunction add up across children.
+                for c in children {
+                    go(c, out);
+                }
+            }
+            Expr::Or(children) => {
+                // Sensitivities of a disjunction take the max across children.
+                let mut acc: FxHashMap<ParticipantId, f64> = FxHashMap::default();
+                for c in children {
+                    let mut child_map = FxHashMap::default();
+                    go(c, &mut child_map);
+                    for (p, s) in child_map {
+                        let entry = acc.entry(p).or_insert(0.0);
+                        if s > *entry {
+                            *entry = s;
+                        }
+                    }
+                }
+                for (p, s) in acc {
+                    *out.entry(p).or_insert(0.0) += s;
+                }
+            }
+        }
+    }
+    // The accumulation above is additive, which matches the And rule; the Or
+    // rule is handled by combining complete child maps with max before adding
+    // into the parent accumulator. Starting from an empty map at the root
+    // yields exactly the recursive definition.
+    let mut out = FxHashMap::default();
+    go(expr, &mut out);
+    out
+}
+
+/// The maximum φ-sensitivity of an expression over all participants
+/// (the quantity `S` in the error discussion of Sec. 5.2).
+pub fn max_phi_sensitivity(expr: &Expr) -> f64 {
+    phi_sensitivities(expr)
+        .values()
+        .fold(0.0_f64, |a, &b| a.max(b))
+}
+
+/// Evaluates `φ` for a whole family of weighted expressions:
+/// `Σ_t q(t) · φ_{R(t)}(f)`, the objective of Eq. 16.
+pub fn weighted_phi_sum<'a, A, I>(terms: I, f: &A) -> f64
+where
+    A: RealAssignment + ?Sized,
+    I: IntoIterator<Item = (&'a Expr, f64)>,
+{
+    terms.into_iter().map(|(e, q)| q * phi(e, f)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn constants_and_variables() {
+        let f = vec![0.25, 0.75];
+        assert_close(phi(&Expr::False, &f), 0.0);
+        assert_close(phi(&Expr::True, &f), 1.0);
+        assert_close(phi(&Expr::var(p(0)), &f), 0.25);
+        assert_close(phi(&Expr::var(p(1)), &f), 0.75);
+    }
+
+    #[test]
+    fn and_is_lukasiewicz() {
+        let k = Expr::and2(Expr::var(p(0)), Expr::var(p(1)));
+        assert_close(phi(&k, &vec![1.0, 1.0]), 1.0);
+        assert_close(phi(&k, &vec![0.6, 0.6]), 0.2);
+        assert_close(phi(&k, &vec![0.4, 0.4]), 0.0);
+    }
+
+    #[test]
+    fn or_is_max() {
+        let k = Expr::or2(Expr::var(p(0)), Expr::var(p(1)));
+        assert_close(phi(&k, &vec![0.3, 0.8]), 0.8);
+        assert_close(phi(&k, &vec![0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn nary_and_matches_binary_chain() {
+        // Flattened n-ary And must equal the binary chain (associativity is
+        // φ-invariant).
+        let nary = Expr::And(vec![Expr::var(p(0)), Expr::var(p(1)), Expr::var(p(2))]);
+        let chain = Expr::And(vec![
+            Expr::var(p(0)),
+            Expr::And(vec![Expr::var(p(1)), Expr::var(p(2))]),
+        ]);
+        for f in [
+            vec![1.0, 1.0, 1.0],
+            vec![0.9, 0.9, 0.9],
+            vec![0.9, 0.5, 0.9],
+            vec![0.2, 0.9, 0.9],
+        ] {
+            assert_close(phi(&nary, &f), phi(&chain, &f));
+        }
+    }
+
+    #[test]
+    fn correctness_on_boolean_inputs() {
+        // φ_k(f) = k(f) for Boolean f (Theorem 5, correctness).
+        let exprs = [
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::or2(Expr::var(p(0)), Expr::and2(Expr::var(p(1)), Expr::var(p(2)))),
+            Expr::and2(
+                Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
+                Expr::or2(Expr::var(p(0)), Expr::var(p(2))),
+            ),
+        ];
+        for e in &exprs {
+            for bits in 0..8u32 {
+                let f: Vec<f64> = (0..3).map(|i| f64::from((bits >> i) & 1)).collect();
+                let truth = |q: ParticipantId| (bits >> q.0) & 1 == 1;
+                assert_close(phi(e, &f), if e.evaluate(&truth) { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn phi_sensitivity_paper_examples() {
+        // Figure 3 of the paper.
+        let a = p(0);
+        let b = p(1);
+        let c = p(2);
+        let d = p(3);
+
+        // a ∧ b ∧ c : all sensitivities 1.
+        let k1 = Expr::conjunction_of_vars([a, b, c]);
+        for q in [a, b, c] {
+            assert_close(phi_sensitivity(&k1, q), 1.0);
+        }
+
+        // (a ∨ b) ∧ (a ∨ c) ∧ (b ∨ d) : S_a = S_b = 2, S_c = S_d = 1.
+        let k2 = Expr::and(vec![
+            Expr::or2(Expr::var(a), Expr::var(b)),
+            Expr::or2(Expr::var(a), Expr::var(c)),
+            Expr::or2(Expr::var(b), Expr::var(d)),
+        ]);
+        assert_close(phi_sensitivity(&k2, a), 2.0);
+        assert_close(phi_sensitivity(&k2, b), 2.0);
+        assert_close(phi_sensitivity(&k2, c), 1.0);
+        assert_close(phi_sensitivity(&k2, d), 1.0);
+
+        // (a ∧ b) ∨ (a ∧ c) ∨ (b ∧ d) : all sensitivities 1 (DNF ⇒ S ≤ 1).
+        let k3 = Expr::or(vec![
+            Expr::and2(Expr::var(a), Expr::var(b)),
+            Expr::and2(Expr::var(a), Expr::var(c)),
+            Expr::and2(Expr::var(b), Expr::var(d)),
+        ]);
+        for q in [a, b, c, d] {
+            assert_close(phi_sensitivity(&k3, q), 1.0);
+        }
+    }
+
+    #[test]
+    fn phi_sensitivities_map_matches_single_queries() {
+        let k = Expr::and(vec![
+            Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::or2(Expr::var(p(0)), Expr::var(p(2))),
+            Expr::var(p(3)),
+        ]);
+        let all = phi_sensitivities(&k);
+        for q in k.variables() {
+            assert_close(all[&q], phi_sensitivity(&k, q));
+        }
+        assert_close(max_phi_sensitivity(&k), 2.0);
+    }
+
+    #[test]
+    fn sensitivity_bounds_hold() {
+        // S_{k,p} never exceeds the number of occurrences of p (property 1,
+        // Sec. 5.2).
+        let k = Expr::and(vec![
+            Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::var(p(0)),
+            Expr::or2(Expr::var(p(0)), Expr::var(p(2))),
+        ]);
+        assert!(phi_sensitivity(&k, p(0)) <= 3.0);
+        assert_close(phi_sensitivity(&k, p(0)), 3.0);
+    }
+
+    #[test]
+    fn sensitivity_is_zero_for_absent_variables() {
+        let k = Expr::conjunction_of_vars([p(0), p(1)]);
+        assert_close(phi_sensitivity(&k, p(9)), 0.0);
+        assert!(!phi_sensitivities(&k).contains_key(&p(9)));
+    }
+
+    #[test]
+    fn monotonicity_sampled() {
+        // f ≤ g pointwise implies φ(f) ≤ φ(g) (Theorem 5, monotonicity).
+        let k = Expr::or(vec![
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::and2(Expr::var(p(1)), Expr::var(p(2))),
+        ]);
+        let grid: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+        for &a in &grid {
+            for &b in &grid {
+                for &c in &grid {
+                    let f = vec![a, b, c];
+                    let g = vec![(a + 0.2).min(1.0), (b + 0.2).min(1.0), (c + 0.2).min(1.0)];
+                    assert!(phi(&k, &f) <= phi(&k, &g) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convexity_sampled() {
+        // φ(λf + (1-λ)g) ≤ λφ(f) + (1-λ)φ(g) (Theorem 5, convexity).
+        let k = Expr::and2(
+            Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
+        );
+        let points = [
+            vec![0.1, 0.9, 0.3],
+            vec![0.7, 0.2, 0.8],
+            vec![1.0, 0.0, 0.5],
+            vec![0.4, 0.4, 0.4],
+        ];
+        for f in &points {
+            for g in &points {
+                for lambda in [0.25, 0.5, 0.75] {
+                    let mix: Vec<f64> = f
+                        .iter()
+                        .zip(g)
+                        .map(|(&x, &y)| lambda * x + (1.0 - lambda) * y)
+                        .collect();
+                    assert!(
+                        phi(&k, &mix) <= lambda * phi(&k, f) + (1.0 - lambda) * phi(&k, g) + 1e-12
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naturalness_sampled() {
+        // f(p) = 0 ⇒ φ_k(f) = φ_{k|p→False}(f); f(p) = 1 ⇒ φ_k(f) = φ_{k|p→True}(f).
+        let k = Expr::and2(
+            Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::or2(Expr::var(p(0)), Expr::var(p(2))),
+        );
+        let mut f = vec![0.0, 0.6, 0.7];
+        assert_close(phi(&k, &f), phi(&k.restrict(p(0), false), &f));
+        f[0] = 1.0;
+        assert_close(phi(&k, &f), phi(&k.restrict(p(0), true), &f));
+    }
+
+    #[test]
+    fn truncated_linearity_sampled() {
+        // φ*_k(c·f) = min(1, c·φ*_k(f)) for c ≥ 1 (Theorem 5).
+        let k = Expr::or(vec![
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
+            Expr::var(p(2)),
+        ]);
+        let f = vec![0.2, 0.3, 0.1];
+        for c in [1.0, 1.5, 2.0, 4.0] {
+            let scaled: Vec<f64> = f.iter().map(|&x| c * x).collect();
+            let lhs = phi_star(&k, &scaled);
+            let rhs = (c * phi_star(&k, &f)).min(1.0);
+            assert_close(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_matches_manual_computation() {
+        let e1 = Expr::conjunction_of_vars([p(0), p(1)]);
+        let e2 = Expr::var(p(2));
+        let f = vec![0.9, 0.8, 0.5];
+        let total = weighted_phi_sum([(&e1, 2.0), (&e2, 3.0)], &f);
+        assert_close(total, 2.0 * 0.7000000000000002 + 3.0 * 0.5);
+    }
+}

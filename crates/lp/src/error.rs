@@ -1,0 +1,52 @@
+//! Error type of the LP solver.
+
+use std::fmt;
+
+/// Errors reported by [`crate::Model::solve`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// A variable was declared with `lower > upper` or a non-finite bound
+    /// combination the solver does not support.
+    InvalidBounds {
+        /// Index of the offending variable.
+        var: usize,
+    },
+    /// A constraint references a variable that does not belong to the model.
+    UnknownVariable {
+        /// Index of the offending variable.
+        var: usize,
+    },
+    /// The iteration limit was exceeded (indicates cycling or an extremely
+    /// degenerate instance).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A non-finite coefficient or right-hand side was supplied.
+    NonFiniteInput,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "the linear program is infeasible"),
+            LpError::Unbounded => write!(f, "the linear program is unbounded"),
+            LpError::InvalidBounds { var } => {
+                write!(f, "variable {var} has invalid bounds")
+            }
+            LpError::UnknownVariable { var } => {
+                write!(f, "constraint references unknown variable {var}")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            LpError::NonFiniteInput => write!(f, "model contains a non-finite coefficient"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,35 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The efficient recursive mechanism (paper Sec. 5.3) computes each entry of
+//! the sequences `H` and `G` by solving a linear program with `O(L)`
+//! variables, where `L` is the total length of the annotations of the
+//! sensitive K-relation. This crate provides the solver: a dense two-phase
+//! primal simplex over a model with variable bounds and `≤ / ≥ / =`
+//! constraints.
+//!
+//! The solver is deliberately simple and exact-by-construction rather than
+//! tuned for huge instances: the LPs produced by the mechanism have at most a
+//! few thousand rows at the default experiment scale. See `DESIGN.md` for the
+//! scale presets.
+//!
+//! ```
+//! use rmdp_lp::{Model, Sense};
+//!
+//! // minimize  x + 2y   subject to  x + y >= 1,  0 <= x,y <= 1
+//! let mut m = Model::new(Sense::Minimize);
+//! let x = m.add_var(0.0, 1.0, 1.0);
+//! let y = m.add_var(0.0, 1.0, 2.0);
+//! m.add_ge([(x, 1.0), (y, 1.0)], 1.0);
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective - 1.0).abs() < 1e-9);
+//! assert!((sol.value(x) - 1.0).abs() < 1e-9);
+//! ```
+
+pub mod error;
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+pub use error::LpError;
+pub use model::{Constraint, ConstraintOp, Model, Sense, Var};
+pub use solution::{Solution, SolveStats};

@@ -1,0 +1,34 @@
+//! Solutions returned by the simplex solver.
+
+use crate::model::Var;
+
+/// Counters describing the work done by one solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SolveStats {
+    /// Simplex pivots performed in phase 1.
+    pub phase1_iterations: usize,
+    /// Simplex pivots performed in phase 2.
+    pub phase2_iterations: usize,
+    /// Rows of the standardised tableau.
+    pub rows: usize,
+    /// Columns of the standardised tableau (excluding the right-hand side).
+    pub cols: usize,
+}
+
+/// An optimal solution of a linear program.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Optimal objective value (in the caller's optimisation direction).
+    pub objective: f64,
+    /// Optimal value of every model variable, indexed by [`Var::index`].
+    pub values: Vec<f64>,
+    /// Work counters.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// The optimal value of a variable.
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+}

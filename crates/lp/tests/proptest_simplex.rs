@@ -1,0 +1,149 @@
+//! Property-based tests for the simplex solver.
+//!
+//! For random small LPs over box-bounded variables the solver's answer is
+//! checked against a rejection-sampled feasible set: the returned point must
+//! be feasible and no sampled feasible point may be better.
+
+use proptest::prelude::*;
+use rmdp_lp::{ConstraintOp, LpError, Model, Sense};
+
+#[derive(Clone, Debug)]
+struct RandomLp {
+    n_vars: usize,
+    objective: Vec<f64>,
+    // (coefficients, op_le, rhs)
+    constraints: Vec<(Vec<f64>, bool, f64)>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..=4)
+        .prop_flat_map(|n_vars| {
+            let obj = proptest::collection::vec(-3.0..3.0f64, n_vars);
+            let cons = proptest::collection::vec(
+                (
+                    proptest::collection::vec(-2.0..2.0f64, n_vars),
+                    any::<bool>(),
+                    -1.0..3.0f64,
+                ),
+                1..5,
+            );
+            (Just(n_vars), obj, cons)
+        })
+        .prop_map(|(n_vars, objective, constraints)| RandomLp {
+            n_vars,
+            objective,
+            constraints,
+        })
+}
+
+fn build_model(lp: &RandomLp) -> (Model, Vec<rmdp_lp::Var>) {
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = lp
+        .objective
+        .iter()
+        .map(|&c| m.add_var(0.0, 1.0, c))
+        .collect();
+    for (coeffs, le, rhs) in &lp.constraints {
+        let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        let op = if *le { ConstraintOp::Le } else { ConstraintOp::Ge };
+        m.add_constraint(terms, op, *rhs);
+    }
+    (m, vars)
+}
+
+fn is_feasible(lp: &RandomLp, x: &[f64], tol: f64) -> bool {
+    for (coeffs, le, rhs) in &lp.constraints {
+        let lhs: f64 = coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        let ok = if *le { lhs <= rhs + tol } else { lhs >= rhs - tol };
+        if !ok {
+            return false;
+        }
+    }
+    x.iter().all(|&v| (-tol..=1.0 + tol).contains(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The solver never returns an infeasible point, and when it declares
+    /// optimality no sampled feasible point beats it.
+    #[test]
+    fn simplex_solution_is_feasible_and_not_dominated(lp in random_lp(), seed in any::<u64>()) {
+        let (model, _vars) = build_model(&lp);
+        let solved = model.solve();
+
+        // Sample candidate feasible points on a coarse grid plus random
+        // points derived from the seed.
+        let mut feasible_points: Vec<Vec<f64>> = Vec::new();
+        let steps = 4usize;
+        let total = (steps + 1).pow(lp.n_vars as u32);
+        for idx in 0..total {
+            let mut x = vec![0.0; lp.n_vars];
+            let mut rest = idx;
+            for v in x.iter_mut() {
+                *v = (rest % (steps + 1)) as f64 / steps as f64;
+                rest /= steps + 1;
+            }
+            if is_feasible(&lp, &x, 1e-9) {
+                feasible_points.push(x);
+            }
+        }
+        let mut state = seed;
+        let mut next01 = || {
+            // xorshift-based deterministic pseudo-random in [0, 1]
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let x: Vec<f64> = (0..lp.n_vars).map(|_| next01()).collect();
+            if is_feasible(&lp, &x, 1e-9) {
+                feasible_points.push(x);
+            }
+        }
+
+        match solved {
+            Ok(sol) => {
+                prop_assert!(is_feasible(&lp, &sol.values, 1e-6),
+                    "solver returned infeasible point {:?}", sol.values);
+                let obj = |x: &[f64]| -> f64 {
+                    lp.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+                };
+                prop_assert!((obj(&sol.values) - sol.objective).abs() < 1e-6);
+                for p in &feasible_points {
+                    prop_assert!(sol.objective <= obj(p) + 1e-6,
+                        "sampled point {:?} with objective {} beats reported optimum {}",
+                        p, obj(p), sol.objective);
+                }
+            }
+            Err(LpError::Infeasible) => {
+                // No sampled point may be strictly feasible.
+                for p in &feasible_points {
+                    prop_assert!(!is_feasible(&lp, p, -1e-6),
+                        "solver said infeasible but {:?} is strictly feasible", p);
+                }
+            }
+            Err(LpError::Unbounded) => {
+                // Impossible: all variables live in [0, 1].
+                prop_assert!(false, "bounded LP reported as unbounded");
+            }
+            Err(other) => {
+                prop_assert!(false, "unexpected solver error: {other}");
+            }
+        }
+    }
+
+    /// Adding a redundant constraint never changes the optimum.
+    #[test]
+    fn redundant_constraints_do_not_change_optimum(lp in random_lp()) {
+        let (model, _) = build_model(&lp);
+        if let Ok(base) = model.solve() {
+            let (mut with_redundant, vars) = build_model(&lp);
+            // x_0 <= 2 is implied by the unit box.
+            with_redundant.add_le([(vars[0], 1.0)], 2.0);
+            let again = with_redundant.solve().expect("still solvable");
+            prop_assert!((again.objective - base.objective).abs() < 1e-6);
+        }
+    }
+}

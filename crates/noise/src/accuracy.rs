@@ -1,0 +1,113 @@
+//! Accuracy notions.
+//!
+//! Def. 2 of the paper calls an answer (ε, δ)-accurate when
+//! `Pr[|A(D) − q(D)| > ε] ≤ δ`. For Laplace noise the two quantities are
+//! linked by the tail bound `Pr[|Lap(b)| > c·b] = e^{−c}`.
+
+use crate::laplace::laplace_tail;
+
+/// The error bound `t` such that `Pr[|Lap(scale)| > t] ≤ delta`, i.e.
+/// `t = scale · ln(1/delta)`.
+pub fn laplace_error_at_confidence(scale: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    scale * (1.0 / delta).ln()
+}
+
+/// The failure probability of a Laplace release at error tolerance `t`.
+pub fn laplace_failure_probability(scale: f64, t: f64) -> f64 {
+    laplace_tail(t, scale)
+}
+
+/// Empirical check of (ε, δ)-accuracy over a batch of released answers
+/// against the true answer: the fraction of answers whose absolute error
+/// exceeds `error_bound` must be at most `delta` (plus the statistical slack
+/// supplied by the caller).
+pub fn is_empirically_accurate(
+    answers: &[f64],
+    true_answer: f64,
+    error_bound: f64,
+    delta: f64,
+    slack: f64,
+) -> bool {
+    if answers.is_empty() {
+        return true;
+    }
+    let exceed = answers
+        .iter()
+        .filter(|a| (*a - true_answer).abs() > error_bound)
+        .count() as f64
+        / answers.len() as f64;
+    exceed <= delta + slack
+}
+
+/// Relative error `|answer − truth| / truth`, the metric plotted throughout
+/// the paper's evaluation (with the convention that the error is the absolute
+/// error when the true answer is 0).
+pub fn relative_error(answer: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        answer.abs()
+    } else {
+        (answer - truth).abs() / truth.abs()
+    }
+}
+
+/// Median of a slice (0 for an empty slice). Used for the median relative
+/// error reported in the experiments.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace::sample_laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn error_bound_and_failure_probability_are_inverse() {
+        let scale = 2.0;
+        let delta = 0.05;
+        let t = laplace_error_at_confidence(scale, delta);
+        assert!((laplace_failure_probability(scale, t) - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_mechanism_is_empirically_accurate() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let scale = 3.0;
+        let truth = 100.0;
+        let answers: Vec<f64> = (0..20_000)
+            .map(|_| truth + sample_laplace(scale, &mut rng))
+            .collect();
+        let delta = 0.1;
+        let bound = laplace_error_at_confidence(scale, delta);
+        assert!(is_empirically_accurate(&answers, truth, bound, delta, 0.01));
+        // A much tighter bound must fail.
+        assert!(!is_empirically_accurate(&answers, truth, bound / 10.0, delta, 0.01));
+    }
+
+    #[test]
+    fn relative_error_handles_zero_truth() {
+        assert!((relative_error(3.0, 0.0) - 3.0).abs() < 1e-12);
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(-90.0, -100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_odd_and_even_lengths() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

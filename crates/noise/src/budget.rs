@@ -1,0 +1,120 @@
+//! Privacy budgets and sequential composition.
+
+use std::fmt;
+
+/// An (ε, δ) differential-privacy budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacyBudget {
+    /// The ε parameter.
+    pub epsilon: f64,
+    /// The δ parameter (0 for pure ε-DP).
+    pub delta: f64,
+}
+
+impl PrivacyBudget {
+    /// A pure ε-DP budget.
+    pub fn pure(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        PrivacyBudget { epsilon, delta: 0.0 }
+    }
+
+    /// An approximate (ε, δ)-DP budget.
+    pub fn approximate(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && (0.0..1.0).contains(&delta), "invalid budget");
+        PrivacyBudget { epsilon, delta }
+    }
+
+    /// Whether this is a pure ε-DP budget.
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+
+    /// Sequential composition: running a mechanism with budget `self` and then
+    /// one with budget `other` on the same data costs the sum of both.
+    pub fn compose(&self, other: &PrivacyBudget) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: self.epsilon + other.epsilon,
+            delta: self.delta + other.delta,
+        }
+    }
+
+    /// Splits the budget into `n` equal parts (the recursive mechanism splits
+    /// its ε between the Δ̂ release and the X̂ release).
+    pub fn split(&self, n: usize) -> PrivacyBudget {
+        assert!(n >= 1);
+        PrivacyBudget {
+            epsilon: self.epsilon / n as f64,
+            delta: self.delta / n as f64,
+        }
+    }
+
+    /// Splits the ε into two parts with ratio `fraction` for the first part.
+    pub fn split_fraction(&self, fraction: f64) -> (PrivacyBudget, PrivacyBudget) {
+        assert!((0.0..=1.0).contains(&fraction));
+        let first = PrivacyBudget {
+            epsilon: self.epsilon * fraction,
+            delta: self.delta * fraction,
+        };
+        let second = PrivacyBudget {
+            epsilon: self.epsilon - first.epsilon,
+            delta: self.delta - first.delta,
+        };
+        (first, second)
+    }
+}
+
+impl fmt::Display for PrivacyBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pure() {
+            write!(f, "{}-DP", self.epsilon)
+        } else {
+            write!(f, "({}, {})-DP", self.epsilon, self.delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_adds_parameters() {
+        let a = PrivacyBudget::pure(0.3);
+        let b = PrivacyBudget::approximate(0.2, 1e-6);
+        let c = a.compose(&b);
+        assert!((c.epsilon - 0.5).abs() < 1e-12);
+        assert!((c.delta - 1e-6).abs() < 1e-18);
+        assert!(!c.is_pure());
+    }
+
+    #[test]
+    fn split_divides_evenly() {
+        let b = PrivacyBudget::pure(1.0).split(4);
+        assert!((b.epsilon - 0.25).abs() < 1e-12);
+        assert!(b.is_pure());
+    }
+
+    #[test]
+    fn split_fraction_partitions_the_budget() {
+        let (a, b) = PrivacyBudget::pure(0.5).split_fraction(0.4);
+        assert!((a.epsilon - 0.2).abs() < 1e-12);
+        assert!((b.epsilon - 0.3).abs() < 1e-12);
+        let total = a.compose(&b);
+        assert!((total.epsilon - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", PrivacyBudget::pure(0.5)), "0.5-DP");
+        assert_eq!(
+            format!("{}", PrivacyBudget::approximate(0.5, 0.1)),
+            "(0.5, 0.1)-DP"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn non_positive_epsilon_rejected() {
+        let _ = PrivacyBudget::pure(0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Cauchy noise, used by smooth-sensitivity mechanisms.
+
+use rand::Rng;
+
+/// Samples the standard Cauchy distribution (median 0, scale 1).
+pub fn sample_standard_cauchy<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Inverse CDF: tan(π(u − 1/2)).
+    let u: f64 = rng.gen::<f64>();
+    (std::f64::consts::PI * (u - 0.5)).tan()
+}
+
+/// Samples a Cauchy distribution with the given scale.
+pub fn sample_cauchy<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    assert!(scale >= 0.0 && scale.is_finite(), "invalid Cauchy scale {scale}");
+    scale * sample_standard_cauchy(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn median_is_zero_and_quartiles_match() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| sample_standard_cauchy(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        let q3 = samples[3 * n / 4];
+        // Median 0, upper quartile 1 for the standard Cauchy.
+        assert!(median.abs() < 0.02, "median {median}");
+        assert!((q3 - 1.0).abs() < 0.05, "q3 {q3}");
+    }
+
+    #[test]
+    fn scale_multiplies_quartiles() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| sample_cauchy(4.0, &mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q3 = samples[3 * n / 4];
+        assert!((q3 - 4.0).abs() < 0.2, "q3 {q3}");
+    }
+
+    #[test]
+    fn zero_scale_is_degenerate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_cauchy(0.0, &mut rng), 0.0);
+    }
+}

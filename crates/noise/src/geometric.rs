@@ -1,0 +1,76 @@
+//! Two-sided geometric ("discrete Laplace") noise.
+//!
+//! Useful when the released statistic is integral (e.g. unweighted subgraph
+//! counts) and an integer-valued release is preferred.
+
+use rand::Rng;
+
+/// Samples the two-sided geometric distribution with parameter
+/// `alpha = exp(−ε / sensitivity)`:
+/// `Pr[Z = z] ∝ alpha^{|z|}`.
+pub fn sample_two_sided_geometric<R: Rng + ?Sized>(
+    epsilon: f64,
+    sensitivity: f64,
+    rng: &mut R,
+) -> i64 {
+    assert!(epsilon > 0.0 && sensitivity >= 0.0, "invalid geometric parameters");
+    if sensitivity == 0.0 {
+        return 0;
+    }
+    let alpha = (-epsilon / sensitivity).exp();
+    // Difference of two geometric variables with success probability 1 − α.
+    let g1 = sample_geometric(1.0 - alpha, rng);
+    let g2 = sample_geometric(1.0 - alpha, rng);
+    g1 - g2
+}
+
+fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> i64 {
+    // Number of failures before the first success.
+    let u: f64 = rng.gen::<f64>();
+    if p >= 1.0 {
+        return 0;
+    }
+    (u.ln() / (1.0 - p).ln()).floor() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sensitivity_is_noiseless() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_two_sided_geometric(0.5, 0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn distribution_is_centred_and_symmetric() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<i64> = (0..n)
+            .map(|_| sample_two_sided_geometric(1.0, 1.0, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        let pos = samples.iter().filter(|&&z| z > 0).count() as f64;
+        let neg = samples.iter().filter(|&&z| z < 0).count() as f64;
+        assert!((pos - neg).abs() / n as f64 <= 0.02);
+    }
+
+    #[test]
+    fn smaller_epsilon_means_wider_noise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let spread = |eps: f64, rng: &mut StdRng| {
+            (0..n)
+                .map(|_| sample_two_sided_geometric(eps, 1.0, rng).abs())
+                .sum::<i64>() as f64
+                / n as f64
+        };
+        let wide = spread(0.1, &mut rng);
+        let narrow = spread(2.0, &mut rng);
+        assert!(wide > 3.0 * narrow, "wide {wide}, narrow {narrow}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Differential-privacy noise primitives.
+//!
+//! This crate collects the standard machinery the recursive mechanism and the
+//! baseline mechanisms are built from (paper Sec. 2.1–2.3):
+//!
+//! * [`laplace`] / [`cauchy`] / [`geometric`] — noise samplers.
+//! * [`budget::PrivacyBudget`] — (ε, δ) bookkeeping with sequential
+//!   composition.
+//! * [`accuracy`] — the (ε, δ)-accuracy notion of Def. 2 and the tail bounds
+//!   of the Laplace distribution.
+//! * [`mechanism::LaplaceMechanism`] — the global-sensitivity Laplace
+//!   mechanism of Dwork et al.
+//! * [`smooth`] — the smooth-sensitivity framework of Nissim, Raskhodnikova
+//!   and Smith, used by the local-sensitivity baselines of the evaluation.
+
+pub mod accuracy;
+pub mod budget;
+pub mod cauchy;
+pub mod geometric;
+pub mod laplace;
+pub mod mechanism;
+pub mod smooth;
+
+pub use budget::PrivacyBudget;
+pub use laplace::sample_laplace;
+pub use mechanism::LaplaceMechanism;

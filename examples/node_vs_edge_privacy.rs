@@ -1,0 +1,83 @@
+//! Node privacy vs edge privacy, and constrained subgraph queries.
+//!
+//! The same pattern can be counted under either privacy unit — node privacy
+//! is stronger (a participant is a person plus all of their relationships)
+//! but needs more noise. This example measures both on the same graph for
+//! three patterns, and demonstrates a constrained query ("triangles that
+//! touch the monitored group"), a feature the prior mechanisms do not
+//! support.
+//!
+//! ```text
+//! cargo run --release --example node_vs_edge_privacy
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recursive_mechanism_dp::core::params::MechanismParams;
+use recursive_mechanism_dp::core::subgraph::{PrivacyUnit, SubgraphCounter};
+use recursive_mechanism_dp::graph::{generators, Pattern};
+use recursive_mechanism_dp::noise::accuracy::{median, relative_error};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let graph = generators::gnp_average_degree(60, 6.0, &mut rng);
+    let epsilon = 0.5;
+    let trials = 21;
+
+    println!(
+        "graph: {} nodes, {} edges; epsilon = {epsilon}, {trials} trials per setting\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "{:<12} {:>10} {:>22} {:>22}",
+        "pattern", "true", "median rel err (node)", "median rel err (edge)"
+    );
+
+    for pattern in [Pattern::triangle(), Pattern::k_star(2), Pattern::k_triangle(2)] {
+        let mut row = (0.0, 0.0, 0.0);
+        for (privacy, slot) in [(PrivacyUnit::Node, 0usize), (PrivacyUnit::Edge, 1)] {
+            let params = match privacy {
+                PrivacyUnit::Node => MechanismParams::paper_node_privacy(epsilon),
+                PrivacyUnit::Edge => MechanismParams::paper_edge_privacy(epsilon),
+            };
+            let counter = SubgraphCounter::new(pattern.clone(), privacy, params);
+            let mut prepared = counter.prepare(&graph).expect("prepare");
+            let answers = prepared.release_many(trials, &mut rng).expect("releases");
+            let errors: Vec<f64> = answers
+                .iter()
+                .map(|a| relative_error(a.noisy_count, a.true_count))
+                .collect();
+            let med = median(&errors);
+            row.0 = prepared.true_count;
+            if slot == 0 {
+                row.1 = med;
+            } else {
+                row.2 = med;
+            }
+        }
+        println!(
+            "{:<12} {:>10} {:>22.3} {:>22.3}",
+            pattern.name(),
+            row.0,
+            row.1,
+            row.2
+        );
+    }
+
+    // Constrained counting: only triangles containing at least one node of a
+    // monitored group. Constraints simply filter the matched occurrences; the
+    // privacy analysis is unchanged.
+    let monitored: Vec<u32> = (0..10).collect();
+    let constrained = SubgraphCounter::new(
+        Pattern::triangle(),
+        PrivacyUnit::Node,
+        MechanismParams::paper_node_privacy(epsilon),
+    )
+    .with_constraint(move |occ| occ.nodes.iter().any(|n| monitored.contains(n)));
+    let answer = constrained.release(&graph, &mut rng).expect("release");
+    println!(
+        "\nconstrained query (triangles touching nodes 0..10): true {} / released {:.1}",
+        answer.true_count, answer.noisy_count
+    );
+}

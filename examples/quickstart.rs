@@ -1,0 +1,56 @@
+//! Quickstart: node-differentially-private triangle counting.
+//!
+//! Builds a small social network, counts its triangles with the recursive
+//! mechanism under **node** differential privacy (ε = 1), and prints the true
+//! and released counts. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recursive_mechanism_dp::core::params::MechanismParams;
+use recursive_mechanism_dp::core::subgraph::{PrivacyUnit, SubgraphCounter};
+use recursive_mechanism_dp::graph::{generators, Pattern};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // A synthetic social network: 120 people, ~8 friends each.
+    let graph = generators::gnp_average_degree(120, 8.0, &mut rng);
+    println!(
+        "graph: {} people, {} friendships",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Node privacy protects each person together with all of their
+    // friendships — the guarantee no prior subgraph-counting mechanism could
+    // offer.
+    let counter = SubgraphCounter::new(
+        Pattern::triangle(),
+        PrivacyUnit::Node,
+        MechanismParams::paper_node_privacy(1.0),
+    );
+
+    let mut prepared = counter.prepare(&graph).expect("mechanism setup");
+    println!(
+        "matched {} triangles; universal empirical sensitivity = {}",
+        prepared.support_size, prepared.universal_sensitivity
+    );
+
+    let answer = prepared.release(&mut rng).expect("release");
+    println!("true triangle count      : {}", answer.true_count);
+    println!("released (1-DP, node)    : {:.1}", answer.noisy_count);
+    println!(
+        "relative error           : {:.3}",
+        (answer.noisy_count - answer.true_count).abs() / answer.true_count
+    );
+
+    // Additional releases reuse the cached sequences and each spend another
+    // ε of privacy budget.
+    let more = prepared.release_many(5, &mut rng).expect("releases");
+    let answers: Vec<String> = more.iter().map(|a| format!("{:.1}", a.noisy_count)).collect();
+    println!("five more releases        : {}", answers.join(", "));
+}

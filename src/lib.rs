@@ -1,0 +1,42 @@
+//! # recursive-mechanism-dp
+//!
+//! A reproduction of *"Recursive Mechanism: Towards Node Differential Privacy
+//! and Unrestricted Joins"* (Chen & Zhou, SIGMOD 2013).
+//!
+//! This facade crate re-exports the workspace crates so downstream users can
+//! depend on a single package:
+//!
+//! * [`krelation`] — positive Boolean provenance expressions, the relaxation
+//!   `φ`, K-relations and positive relational algebra.
+//! * [`lp`] — the bounded-variable simplex solver used by the efficient
+//!   mechanism.
+//! * [`graph`] — the graph substrate (generators, subgraph enumeration).
+//! * [`noise`] — differential-privacy noise primitives.
+//! * [`core`] — the recursive mechanism itself (general and efficient
+//!   instantiations, subgraph-counting front-end).
+//! * [`baselines`] — the competing mechanisms from the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use recursive_mechanism_dp::core::subgraph::{SubgraphCounter, PrivacyUnit};
+//! use recursive_mechanism_dp::core::params::MechanismParams;
+//! use recursive_mechanism_dp::graph::{Graph, generators};
+//! use recursive_mechanism_dp::graph::pattern::Pattern;
+//! use rand::SeedableRng;
+//! use rand::rngs::StdRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let graph = generators::gnp_average_degree(40, 6.0, &mut rng);
+//! let params = MechanismParams::paper_edge_privacy(0.5);
+//! let counter = SubgraphCounter::new(Pattern::triangle(), PrivacyUnit::Edge, params);
+//! let answer = counter.release(&graph, &mut rng).unwrap();
+//! assert!(answer.noisy_count.is_finite());
+//! ```
+
+pub use rmdp_baselines as baselines;
+pub use rmdp_core as core;
+pub use rmdp_graph as graph;
+pub use rmdp_krelation as krelation;
+pub use rmdp_lp as lp;
+pub use rmdp_noise as noise;
