@@ -62,7 +62,12 @@ impl BaselineMechanism for KStarMechanism {
     }
 
     fn release(&self, graph: &Graph, rng: &mut dyn RngCore) -> f64 {
-        release_with_cauchy(self.true_count(graph), self.smooth_bound(graph), self.epsilon, rng)
+        release_with_cauchy(
+            self.true_count(graph),
+            self.smooth_bound(graph),
+            self.epsilon,
+            rng,
+        )
     }
 }
 

@@ -72,7 +72,12 @@ impl BaselineMechanism for KTriangleMechanism {
     }
 
     fn release(&self, graph: &Graph, rng: &mut dyn RngCore) -> f64 {
-        release_with_laplace(self.true_count(graph), self.smooth_bound(graph), self.epsilon, rng)
+        release_with_laplace(
+            self.true_count(graph),
+            self.smooth_bound(graph),
+            self.epsilon,
+            rng,
+        )
     }
 }
 

@@ -65,7 +65,8 @@ impl GlobalSensitivityLaplace {
     /// side of an existing base).
     pub fn for_k_triangles(n: usize, k: usize, epsilon: f64) -> Self {
         let n2 = n.saturating_sub(2);
-        let gs = binomial_f(n2, k) + n2 as f64 * binomial_f(n.saturating_sub(3), k.saturating_sub(1));
+        let gs =
+            binomial_f(n2, k) + n2 as f64 * binomial_f(n.saturating_sub(3), k.saturating_sub(1));
         GlobalSensitivityLaplace {
             query: CountQuery::KTriangles(k),
             epsilon,

@@ -95,7 +95,11 @@ mod tests {
         ];
         for m in &mechanisms {
             let answer = m.release(&g, &mut rng);
-            assert!(answer.is_finite(), "{} returned a non-finite answer", m.name());
+            assert!(
+                answer.is_finite(),
+                "{} returned a non-finite answer",
+                m.name()
+            );
             assert!(m.noise_scale(&g) > 0.0);
             assert!(!m.name().is_empty());
         }

@@ -63,7 +63,12 @@ impl BaselineMechanism for SmoothSensitivityTriangle {
     }
 
     fn release(&self, graph: &Graph, rng: &mut dyn RngCore) -> f64 {
-        release_with_cauchy(self.true_count(graph), self.smooth_bound(graph), self.epsilon, rng)
+        release_with_cauchy(
+            self.true_count(graph),
+            self.smooth_bound(graph),
+            self.epsilon,
+            rng,
+        )
     }
 }
 

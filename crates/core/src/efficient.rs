@@ -226,7 +226,9 @@ impl EfficientSequences {
                     continue;
                 }
                 let coeff = weight * s;
-                let entry = per_participant.entry(p).or_insert_with(|| (Vec::new(), 0.0));
+                let entry = per_participant
+                    .entry(p)
+                    .or_insert_with(|| (Vec::new(), 0.0));
                 match root {
                     Operand::Const(c) => entry.1 += coeff * c,
                     Operand::Variable(v) => entry.0.push((*v, coeff)),
@@ -319,7 +321,10 @@ mod tests {
     fn h_endpoints_match_the_definition() {
         let mut seq = EfficientSequences::new(fig2a());
         assert!((seq.h(0).unwrap() - 0.0).abs() < 1e-7);
-        assert!((seq.h(5).unwrap() - 3.0).abs() < 1e-7, "H_|P| must be the true answer");
+        assert!(
+            (seq.h(5).unwrap() - 3.0).abs() < 1e-7,
+            "H_|P| must be the true answer"
+        );
         assert!((seq.true_answer().unwrap() - 3.0).abs() < 1e-7);
     }
 
@@ -365,7 +370,10 @@ mod tests {
         let bound = 2.0 * query.max_phi_sensitivity() * query.universal_sensitivity();
         let mut seq = EfficientSequences::new(query);
         let g_full = seq.g(5).unwrap();
-        assert!(g_full <= bound + 1e-7, "G_|P| = {g_full} exceeds 2·S·ŨS = {bound}");
+        assert!(
+            g_full <= bound + 1e-7,
+            "G_|P| = {g_full} exceeds 2·S·ŨS = {bound}"
+        );
         assert!(g_full > 0.0);
     }
 
@@ -425,10 +433,7 @@ mod tests {
 
     #[test]
     fn constant_true_annotations_contribute_a_constant_offset() {
-        let terms = vec![
-            (Expr::True, 2.5),
-            (Expr::var(p(0)), 1.0),
-        ];
+        let terms = vec![(Expr::True, 2.5), (Expr::var(p(0)), 1.0)];
         let query = SensitiveKRelation::from_terms(vec![p(0)], terms);
         let mut seq = EfficientSequences::new(query);
         assert!((seq.h(0).unwrap() - 2.5).abs() < 1e-7);
@@ -462,7 +467,7 @@ mod tests {
         // Δ is determined by G and the ladder; for this tiny relation it is
         // a small constant ≥ θ = 1.
         let delta = mech.delta().unwrap();
-        assert!(delta >= 1.0 && delta < 20.0, "Δ = {delta}");
+        assert!((1.0..20.0).contains(&delta), "Δ = {delta}");
     }
 
     #[test]

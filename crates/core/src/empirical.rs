@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn universal_sensitivity_counts_impacted_weight() {
-        let terms = vec![
+        let terms = [
             (Expr::conjunction_of_vars([p(0), p(1)]), 1.0),
             (Expr::conjunction_of_vars([p(1), p(2)]), 2.0),
             (Expr::or2(Expr::var(p(3)), Expr::var(p(1))), 4.0),

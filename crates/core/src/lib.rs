@@ -47,7 +47,10 @@ pub mod sensitive;
 pub mod sequences;
 pub mod subgraph;
 
+pub use efficient::{EfficientSequences, LpWorkStats};
 pub use error::MechanismError;
+pub use general::GeneralSequences;
 pub use krelation_query::SensitiveKRelation;
 pub use mechanism::{RecursiveMechanism, Release};
 pub use params::MechanismParams;
+pub use sequences::MechanismSequences;

@@ -341,7 +341,10 @@ mod tests {
                 let v = m.sequences_mut().h(i).unwrap() + (200 - i) as f64 * delta_hat;
                 slow = slow.min(v);
             }
-            assert!((fast - slow).abs() < 1e-9, "Δ̂={delta_hat}: {fast} vs {slow}");
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "Δ̂={delta_hat}: {fast} vs {slow}"
+            );
         }
     }
 
@@ -370,7 +373,11 @@ mod tests {
                 Ok(i as f64)
             }
             fn g(&mut self, i: usize) -> Result<f64, MechanismError> {
-                Ok(if i == 0 { 0.0 } else { self.bump + i as f64 * 0.05 })
+                Ok(if i == 0 {
+                    0.0
+                } else {
+                    self.bump + i as f64 * 0.05
+                })
             }
             fn bounding_factor(&self) -> f64 {
                 1.0

@@ -57,7 +57,10 @@ pub fn validate_monotone_start_at_zero<S: MechanismSequences>(
     for i in 1..=n {
         let cur = extract(seq, i).map_err(|e| e.to_string())?;
         if cur + 1e-7 < prev {
-            return Err(format!("entry {i} = {cur} decreased below entry {} = {prev}", i - 1));
+            return Err(format!(
+                "entry {i} = {cur} decreased below entry {} = {prev}",
+                i - 1
+            ));
         }
         prev = cur;
     }
@@ -76,9 +79,7 @@ where
     let n1 = smaller.num_participants();
     let n2 = larger.num_participants();
     if n2 != n1 + 1 {
-        return Err(format!(
-            "expected |P2| = |P1| + 1, got {n1} and {n2}"
-        ));
+        return Err(format!("expected |P2| = |P1| + 1, got {n1} and {n2}"));
     }
     for i in 0..=n1 {
         let h1 = smaller.h(i).map_err(|e| e.to_string())?;
@@ -88,7 +89,10 @@ where
             return Err(format!("H_{i}(P2) = {h2} exceeds H_{i}(P1) = {h1}"));
         }
         if h1 > h2_next + 1e-7 {
-            return Err(format!("H_{i}(P1) = {h1} exceeds H_{}(P2) = {h2_next}", i + 1));
+            return Err(format!(
+                "H_{i}(P1) = {h1} exceeds H_{}(P2) = {h2_next}",
+                i + 1
+            ));
         }
         let g1 = smaller.g(i).map_err(|e| e.to_string())?;
         let g2 = larger.g(i).map_err(|e| e.to_string())?;
@@ -97,7 +101,10 @@ where
             return Err(format!("G_{i}(P2) = {g2} exceeds G_{i}(P1) = {g1}"));
         }
         if g1 > g2_next + 1e-7 {
-            return Err(format!("G_{i}(P1) = {g1} exceeds G_{}(P2) = {g2_next}", i + 1));
+            return Err(format!(
+                "G_{i}(P1) = {g1} exceeds G_{}(P2) = {g2_next}",
+                i + 1
+            ));
         }
     }
     Ok(())

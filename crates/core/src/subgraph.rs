@@ -48,8 +48,11 @@ pub struct SubgraphCounter {
     privacy: PrivacyUnit,
     params: MechanismParams,
     enumeration_limit: usize,
-    constraint: Option<Box<dyn Fn(&Occurrence) -> bool + Send + Sync>>,
+    constraint: Option<OccurrenceConstraint>,
 }
+
+/// A caller-supplied filter on enumerated occurrences.
+type OccurrenceConstraint = Box<dyn Fn(&Occurrence) -> bool + Send + Sync>;
 
 /// A subgraph query that has been matched against a concrete graph: the
 /// mechanism is ready to produce any number of releases, reusing the cached
@@ -292,9 +295,11 @@ fn k_triangle_arity(pattern: &Pattern) -> Option<usize> {
     if pattern.num_edges() != 2 * k + 1 {
         return None;
     }
-    let hubs: Vec<usize> = (0..n).filter(|&v| pattern.degree(v) == k + 1).count().eq(&2).then(|| {
-        (0..n).filter(|&v| pattern.degree(v) == k + 1).collect()
-    })?;
+    let hubs: Vec<usize> = (0..n)
+        .filter(|&v| pattern.degree(v) == k + 1)
+        .count()
+        .eq(&2)
+        .then(|| (0..n).filter(|&v| pattern.degree(v) == k + 1).collect())?;
     let apexes_ok = (0..n)
         .filter(|&v| !hubs.contains(&v))
         .all(|v| pattern.degree(v) == 2);
@@ -331,7 +336,11 @@ mod tests {
         let counter = SubgraphCounter::new(Pattern::triangle(), PrivacyUnit::Node, node_params());
         let query = counter.build_sensitive_relation(&paper_graph());
         assert_eq!(query.support_size(), 3);
-        assert_eq!(query.num_participants(), 6, "all nodes, including isolated f");
+        assert_eq!(
+            query.num_participants(),
+            6,
+            "all nodes, including isolated f"
+        );
         assert_eq!(query.true_answer(), 3.0);
         // Every annotation is a 3-variable conjunction.
         for (e, _) in query.terms() {
@@ -387,9 +396,12 @@ mod tests {
     fn fast_paths_agree_with_generic_enumeration() {
         let mut rng = StdRng::seed_from_u64(23);
         let g = generators::gnp_average_degree(25, 6.0, &mut rng);
-        for pattern in [Pattern::triangle(), Pattern::k_star(2), Pattern::k_triangle(2)] {
-            let counter =
-                SubgraphCounter::new(pattern.clone(), PrivacyUnit::Node, node_params());
+        for pattern in [
+            Pattern::triangle(),
+            Pattern::k_star(2),
+            Pattern::k_triangle(2),
+        ] {
+            let counter = SubgraphCounter::new(pattern.clone(), PrivacyUnit::Node, node_params());
             let fast = counter.occurrences(&g).len();
             let generic = enumerate_pattern(&g, &pattern, usize::MAX).len();
             assert_eq!(fast, generic, "pattern {pattern}");

@@ -17,10 +17,7 @@ fn hinge_lp(participants: usize, tuples: usize, mass: f64, rng: &mut StdRng) -> 
         let a = rng.gen_range(0..participants);
         let b = rng.gen_range(0..participants);
         let c = rng.gen_range(0..participants);
-        m.add_ge(
-            [(v, 1.0), (f[a], -1.0), (f[b], -1.0), (f[c], -1.0)],
-            -2.0,
-        );
+        m.add_ge([(v, 1.0), (f[a], -1.0), (f[b], -1.0), (f[c], -1.0)], -2.0);
     }
     m.add_eq(f.iter().map(|&x| (x, 1.0)), mass);
     m

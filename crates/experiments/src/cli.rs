@@ -105,7 +105,15 @@ mod tests {
     #[test]
     fn all_flags_parse() {
         let o = CliOptions::parse([
-            "--scale", "paper", "--seed", "7", "--trials", "33", "--csv", "/tmp/x.csv", "--panel",
+            "--scale",
+            "paper",
+            "--seed",
+            "7",
+            "--trials",
+            "33",
+            "--csv",
+            "/tmp/x.csv",
+            "--panel",
             "b",
         ])
         .unwrap();

@@ -103,7 +103,7 @@ pub fn fmt_float(x: f64) -> String {
     let a = x.abs();
     if a == 0.0 {
         "0".to_owned()
-    } else if a >= 1000.0 || a < 0.001 {
+    } else if !(0.001..1000.0).contains(&a) {
         format!("{x:.3e}")
     } else if a >= 10.0 {
         format!("{x:.2}")

@@ -127,11 +127,13 @@ pub fn run_panel(panel: Panel, options: &CliOptions) -> Vec<Fig4Point> {
                     edge_errs.push(outcome.median_relative_error);
                 }
                 let local = query.local_sensitivity_baseline(epsilon, delta);
-                local_errs
-                    .push(run_baseline(local.as_ref(), &graph, trials, &mut rng).median_relative_error);
+                local_errs.push(
+                    run_baseline(local.as_ref(), &graph, trials, &mut rng).median_relative_error,
+                );
                 let rhms = query.rhms_baseline(epsilon);
-                rhms_errs
-                    .push(run_baseline(rhms.as_ref(), &graph, trials, &mut rng).median_relative_error);
+                rhms_errs.push(
+                    run_baseline(rhms.as_ref(), &graph, trials, &mut rng).median_relative_error,
+                );
             }
 
             points.push(Fig4Point {

@@ -197,9 +197,11 @@ mod tests {
     /// K-relation pipeline is exercised in the regular test suite.
     #[test]
     fn tiny_end_to_end_sweep() {
-        let mut options = CliOptions::default();
-        options.trials = Some(3);
-        options.scale = Scale::Quick;
+        let options = CliOptions {
+            trials: Some(3),
+            scale: Scale::Quick,
+            ..CliOptions::default()
+        };
         // Run a single hand-built point rather than the full quick grid.
         let spec = RandomKRelationSpec {
             support: 30,

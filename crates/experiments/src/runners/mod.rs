@@ -33,7 +33,11 @@ pub enum QueryKind {
 impl QueryKind {
     /// All three queries in the paper's order.
     pub fn all() -> [QueryKind; 3] {
-        [QueryKind::Triangle, QueryKind::TwoStar, QueryKind::TwoTriangle]
+        [
+            QueryKind::Triangle,
+            QueryKind::TwoStar,
+            QueryKind::TwoTriangle,
+        ]
     }
 
     /// The query pattern.
@@ -61,7 +65,11 @@ impl QueryKind {
     }
 
     /// The paper's local-sensitivity baseline for this query.
-    pub fn local_sensitivity_baseline(self, epsilon: f64, delta: f64) -> Box<dyn BaselineMechanism> {
+    pub fn local_sensitivity_baseline(
+        self,
+        epsilon: f64,
+        delta: f64,
+    ) -> Box<dyn BaselineMechanism> {
         match self {
             QueryKind::Triangle => Box::new(SmoothSensitivityTriangle::new(epsilon)),
             QueryKind::TwoStar => Box::new(KStarMechanism::new(2, epsilon)),
@@ -175,8 +183,8 @@ mod tests {
     fn recursive_and_baseline_runs_produce_sane_outcomes() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = generators::gnp_average_degree(25, 6.0, &mut rng);
-        let rec = run_recursive(&g, QueryKind::Triangle, PrivacyUnit::Edge, 1.0, 5, &mut rng)
-            .unwrap();
+        let rec =
+            run_recursive(&g, QueryKind::Triangle, PrivacyUnit::Edge, 1.0, 5, &mut rng).unwrap();
         assert!(rec.median_relative_error.is_finite());
         assert!(rec.true_count >= 0.0);
         assert!(rec.prepare_time > Duration::ZERO);

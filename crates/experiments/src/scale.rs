@@ -28,7 +28,9 @@ impl FromStr for Scale {
             "quick" => Ok(Scale::Quick),
             "paper" => Ok(Scale::Paper),
             "full" => Ok(Scale::Full),
-            other => Err(format!("unknown scale '{other}' (expected quick|paper|full)")),
+            other => Err(format!(
+                "unknown scale '{other}' (expected quick|paper|full)"
+            )),
         }
     }
 }
@@ -178,7 +180,10 @@ mod tests {
     fn paper_grids_match_the_publication() {
         let s = Scale::Paper;
         assert_eq!(s.fig4_nodes_grid().last(), Some(&200));
-        assert_eq!(s.fig4b_degree_grid(), vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+        assert_eq!(
+            s.fig4b_degree_grid(),
+            vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+        );
         assert_eq!(s.fig4bc_nodes(false), 200);
         assert_eq!(s.fig8_support(), 1000);
         assert_eq!(s.fig8_clause_grid().last(), Some(&10));

@@ -53,8 +53,7 @@ pub fn random_krelation<R: Rng + ?Sized>(
     spec: RandomKRelationSpec,
     rng: &mut R,
 ) -> SensitiveKRelation {
-    let participants: Vec<ParticipantId> =
-        (0..spec.support as u32).map(ParticipantId).collect();
+    let participants: Vec<ParticipantId> = (0..spec.support as u32).map(ParticipantId).collect();
     let mut terms = Vec::with_capacity(spec.support);
     for _ in 0..spec.support {
         let clauses: Vec<Expr> = (0..spec.clauses)

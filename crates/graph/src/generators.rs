@@ -163,13 +163,48 @@ pub struct RealGraphSpec {
 
 /// The seven datasets of the paper's Fig. 6, with the sizes it reports.
 pub const PAPER_REAL_GRAPHS: [RealGraphSpec; 7] = [
-    RealGraphSpec { name: "netscience", nodes: 1589, edges: 2742, triangles: 3764 },
-    RealGraphSpec { name: "power", nodes: 4941, edges: 6594, triangles: 651 },
-    RealGraphSpec { name: "1138_bus", nodes: 1138, edges: 2596, triangles: 128 },
-    RealGraphSpec { name: "bcspwr10", nodes: 5300, edges: 13571, triangles: 721 },
-    RealGraphSpec { name: "gemat12", nodes: 4929, edges: 33111, triangles: 592 },
-    RealGraphSpec { name: "ca-GrQc", nodes: 5242, edges: 14496, triangles: 48260 },
-    RealGraphSpec { name: "ca-HepTh", nodes: 9877, edges: 25998, triangles: 28339 },
+    RealGraphSpec {
+        name: "netscience",
+        nodes: 1589,
+        edges: 2742,
+        triangles: 3764,
+    },
+    RealGraphSpec {
+        name: "power",
+        nodes: 4941,
+        edges: 6594,
+        triangles: 651,
+    },
+    RealGraphSpec {
+        name: "1138_bus",
+        nodes: 1138,
+        edges: 2596,
+        triangles: 128,
+    },
+    RealGraphSpec {
+        name: "bcspwr10",
+        nodes: 5300,
+        edges: 13571,
+        triangles: 721,
+    },
+    RealGraphSpec {
+        name: "gemat12",
+        nodes: 4929,
+        edges: 33111,
+        triangles: 592,
+    },
+    RealGraphSpec {
+        name: "ca-GrQc",
+        nodes: 5242,
+        edges: 14496,
+        triangles: 48260,
+    },
+    RealGraphSpec {
+        name: "ca-HepTh",
+        nodes: 9877,
+        edges: 25998,
+        triangles: 28339,
+    },
 ];
 
 /// Looks a paper dataset spec up by name.
@@ -231,7 +266,10 @@ mod tests {
         let mut r = rng();
         let g = gnp_average_degree(400, 10.0, &mut r);
         let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!((avg - 10.0).abs() < 2.0, "average degree {avg} too far from 10");
+        assert!(
+            (avg - 10.0).abs() < 2.0,
+            "average degree {avg} too far from 10"
+        );
     }
 
     #[test]
@@ -259,7 +297,11 @@ mod tests {
     #[test]
     fn watts_strogatz_keeps_ring_density() {
         let g = watts_strogatz(100, 4, 0.1, &mut rng());
-        assert!(g.num_edges() >= 150 && g.num_edges() <= 210, "{}", g.num_edges());
+        assert!(
+            g.num_edges() >= 150 && g.num_edges() <= 210,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -154,12 +154,7 @@ impl Graph {
     /// withdraws" under edge privacy).
     pub fn without_edge(&self, u: u32, v: u32) -> Graph {
         let key = (u.min(v), u.max(v));
-        let edges: Vec<(u32, u32)> = self
-            .edges
-            .iter()
-            .copied()
-            .filter(|&e| e != key)
-            .collect();
+        let edges: Vec<(u32, u32)> = self.edges.iter().copied().filter(|&e| e != key).collect();
         Graph::from_edges(self.num_nodes(), &edges)
     }
 }

@@ -140,7 +140,13 @@ impl Pattern {
 
 impl fmt::Display for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} nodes, {} edges)", self.name, self.nodes, self.edges.len())
+        write!(
+            f,
+            "{} ({} nodes, {} edges)",
+            self.name,
+            self.nodes,
+            self.edges.len()
+        )
     }
 }
 

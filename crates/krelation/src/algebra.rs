@@ -71,11 +71,7 @@ where
 pub fn natural_join(r1: &KRelation, r2: &KRelation) -> KRelation {
     use crate::hash::FxHashMap;
 
-    let shared: Vec<Attr> = r1
-        .schema()
-        .intersection(r2.schema())
-        .cloned()
-        .collect();
+    let shared: Vec<Attr> = r1.schema().intersection(r2.schema()).cloned().collect();
 
     let mut schema: BTreeSet<Attr> = r1.schema().clone();
     schema.extend(r2.schema().iter().cloned());
@@ -111,6 +107,60 @@ pub fn product(r1: &KRelation, r2: &KRelation) -> KRelation {
 /// Intersection (natural join of relations with identical schemas).
 pub fn intersect(r1: &KRelation, r2: &KRelation) -> KRelation {
     natural_join(r1, r2)
+}
+
+/// Equi-join on explicit attribute pairs (annotations combined with `∧`).
+///
+/// `on` lists `(left, right)` attribute pairs; a tuple of `r1` joins a tuple
+/// of `r2` when `t1[left] = t2[right]` for every pair. Unlike
+/// [`natural_join`] the joined attributes keep their distinct names, so
+/// callers (e.g. a SQL planner joining `v1.person = r1.person` over aliased
+/// scans) do not have to rename both sides into a shared name first. Shared
+/// attribute names outside `on` must still agree for tuples to merge.
+pub fn equi_join_on(r1: &KRelation, r2: &KRelation, on: &[(Attr, Attr)]) -> KRelation {
+    theta_join(r1, r2, on, |_| true)
+}
+
+/// Theta-join: an [`equi_join_on`] hash join followed by an arbitrary
+/// residual predicate over the merged tuple (annotation kept iff the
+/// predicate holds — the `σ_P(R₁ ⋈ R₂)` composition done in one pass).
+///
+/// Tuples lacking one of the `on` attributes never join. With `on` empty this
+/// degenerates to a filtered Cartesian product over distinct schemas.
+pub fn theta_join<F>(r1: &KRelation, r2: &KRelation, on: &[(Attr, Attr)], residual: F) -> KRelation
+where
+    F: Fn(&Tuple) -> bool,
+{
+    use crate::hash::FxHashMap;
+    use crate::tuple::Value;
+
+    let mut schema: BTreeSet<Attr> = r1.schema().clone();
+    schema.extend(r2.schema().iter().cloned());
+    let mut out = KRelation::new(schema);
+
+    // Build side: index r2 by its values on the right-hand join attributes.
+    let mut index: FxHashMap<Vec<Value>, Vec<(&Tuple, &Expr)>> = FxHashMap::default();
+    for (t, e) in r2.iter() {
+        let key: Option<Vec<Value>> = on.iter().map(|(_, b)| t.get(b).cloned()).collect();
+        if let Some(key) = key {
+            index.entry(key).or_default().push((t, e));
+        }
+    }
+
+    for (t1, e1) in r1.iter() {
+        let key: Option<Vec<Value>> = on.iter().map(|(a, _)| t1.get(a).cloned()).collect();
+        let Some(key) = key else { continue };
+        if let Some(matches) = index.get(&key) {
+            for (t2, e2) in matches {
+                if let Some(joined) = t1.join(t2) {
+                    if residual(&joined) {
+                        out.insert(joined, Expr::and2(e1.clone(), (*e2).clone()));
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Renaming of attributes. `mapping(a)` gives the new name of attribute `a`;
@@ -237,11 +287,7 @@ mod tests {
 
         let j = natural_join(&r1, &r2);
         assert_eq!(j.len(), 1);
-        assert!(j.contains(&Tuple::new([
-            ("k", 1i64),
-            ("v1", 10i64),
-            ("v2", 100i64)
-        ])));
+        assert!(j.contains(&Tuple::new([("k", 1i64), ("v1", 10i64), ("v2", 100i64)])));
     }
 
     #[test]
@@ -274,6 +320,72 @@ mod tests {
             i.annotation(&Tuple::new([("x", 2i64)])),
             Expr::and2(Expr::var(p(1)), Expr::var(p(2)))
         );
+    }
+
+    #[test]
+    fn equi_join_on_matches_renamed_natural_join() {
+        // Joining Visits(person, place) with itself on place, via explicit
+        // pairs, must agree with the rename-into-natural-join encoding.
+        let mut v1 = KRelation::new(["p1", "place1"]);
+        let mut v2 = KRelation::new(["p2", "place2"]);
+        let data = [("ada", "museum"), ("bo", "museum"), ("cy", "cafe")];
+        for (i, (person, place)) in data.iter().enumerate() {
+            let ann = Expr::var(p(i as u32));
+            v1.insert(
+                Tuple::new([("p1", Value::str(person)), ("place1", Value::str(place))]),
+                ann.clone(),
+            );
+            v2.insert(
+                Tuple::new([("p2", Value::str(person)), ("place2", Value::str(place))]),
+                ann,
+            );
+        }
+        let joined = equi_join_on(&v1, &v2, &[(Attr::new("place1"), Attr::new("place2"))]);
+        // museum×museum gives 4 pairs, cafe×cafe gives 1.
+        assert_eq!(joined.len(), 5);
+        let ada_bo = Tuple::new([
+            ("p1", Value::str("ada")),
+            ("place1", Value::str("museum")),
+            ("p2", Value::str("bo")),
+            ("place2", Value::str("museum")),
+        ]);
+        assert_eq!(
+            joined.annotation(&ada_bo),
+            Expr::and2(Expr::var(p(0)), Expr::var(p(1)))
+        );
+    }
+
+    #[test]
+    fn theta_join_applies_the_residual_predicate() {
+        let mut l = KRelation::new(["a"]);
+        l.insert(Tuple::new([("a", 1i64)]), Expr::var(p(0)));
+        l.insert(Tuple::new([("a", 2i64)]), Expr::var(p(1)));
+        let mut r = KRelation::new(["b"]);
+        r.insert(Tuple::new([("b", 1i64)]), Expr::var(p(2)));
+        r.insert(Tuple::new([("b", 3i64)]), Expr::var(p(3)));
+
+        // No equi pairs: filtered Cartesian product a < b.
+        let lt = theta_join(&l, &r, &[], |t| {
+            t.get_named("a").unwrap().as_int() < t.get_named("b").unwrap().as_int()
+        });
+        assert_eq!(lt.len(), 2);
+        assert!(lt.contains(&Tuple::new([("a", 1i64), ("b", 3i64)])));
+        assert!(lt.contains(&Tuple::new([("a", 2i64), ("b", 3i64)])));
+        assert!(!lt.contains(&Tuple::new([("a", 1i64), ("b", 1i64)])));
+    }
+
+    #[test]
+    fn theta_join_skips_tuples_missing_a_join_attribute() {
+        let mut l = KRelation::new(["k"]);
+        l.insert(Tuple::new([("k", 1i64)]), Expr::True);
+        let r = KRelation::new(["k2"]); // empty, and no "k2" values anywhere
+        let j = theta_join(&l, &r, &[(Attr::new("k"), Attr::new("k2"))], |_| true);
+        assert!(j.is_empty());
+        // Missing left attribute: pair on an attribute l does not have.
+        let mut r2 = KRelation::new(["z"]);
+        r2.insert(Tuple::new([("z", 1i64)]), Expr::True);
+        let j2 = theta_join(&l, &r2, &[(Attr::new("nope"), Attr::new("z"))], |_| true);
+        assert!(j2.is_empty());
     }
 
     #[test]

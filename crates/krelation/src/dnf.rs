@@ -107,7 +107,8 @@ impl Dnf {
         if self.is_true() {
             return Dnf::r#true();
         }
-        self.clauses.sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+        self.clauses
+            .sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
         self.clauses.dedup();
         let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len());
         for clause in self.clauses {
@@ -137,9 +138,7 @@ impl Dnf {
     where
         F: Fn(ParticipantId) -> bool,
     {
-        self.clauses
-            .iter()
-            .any(|c| c.iter().all(|&p| truth(p)))
+        self.clauses.iter().any(|c| c.iter().all(|&p| truth(p)))
     }
 }
 
@@ -288,7 +287,10 @@ mod tests {
             Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
             Expr::or2(Expr::var(p(1)), Expr::var(p(3))),
         );
-        let rhs = Expr::or2(Expr::var(p(1)), Expr::and2(Expr::var(p(2)), Expr::var(p(3))));
+        let rhs = Expr::or2(
+            Expr::var(p(1)),
+            Expr::and2(Expr::var(p(2)), Expr::var(p(3))),
+        );
         let dl = Dnf::expand(&lhs, 100).unwrap().canonicalize();
         let dr = Dnf::expand(&rhs, 100).unwrap().canonicalize();
         assert_eq!(dl, dr);
@@ -306,10 +308,7 @@ mod tests {
     fn expansion_respects_budget() {
         // (a1 ∨ b1) ∧ ... ∧ (a10 ∨ b10) has 2^10 clauses.
         let e = Expr::and((0..10).map(|i| Expr::or2(Expr::var(p(2 * i)), Expr::var(p(2 * i + 1)))));
-        assert_eq!(
-            Dnf::expand(&e, 100),
-            Err(DnfTooLarge { max_clauses: 100 })
-        );
+        assert_eq!(Dnf::expand(&e, 100), Err(DnfTooLarge { max_clauses: 100 }));
         assert!(Dnf::expand(&e, 2000).is_ok());
     }
 

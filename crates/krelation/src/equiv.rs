@@ -32,15 +32,16 @@ use crate::phi::phi;
 /// Samples `samples` random assignments over the union of the two variable
 /// sets (plus all Boolean corners when there are at most `12` variables) and
 /// compares `φ` values within `1e-9`.
-pub fn phi_equivalent_sampled<R: rand::Rng>(a: &Expr, b: &Expr, samples: usize, rng: &mut R) -> bool {
+pub fn phi_equivalent_sampled<R: rand::Rng>(
+    a: &Expr,
+    b: &Expr,
+    samples: usize,
+    rng: &mut R,
+) -> bool {
     let mut vars: FxHashSet<ParticipantId> = a.variables();
     vars.extend(b.variables());
     let vars: Vec<ParticipantId> = vars.into_iter().collect();
-    let dim = vars
-        .iter()
-        .map(|p| p.index() + 1)
-        .max()
-        .unwrap_or(0);
+    let dim = vars.iter().map(|p| p.index() + 1).max().unwrap_or(0);
 
     let check = |f: &Vec<f64>| (phi(a, f) - phi(b, f)).abs() < 1e-9;
 
@@ -143,7 +144,10 @@ mod tests {
             Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
             Expr::or2(Expr::var(p(1)), Expr::var(p(3))),
         );
-        let rhs = Expr::or2(Expr::var(p(1)), Expr::and2(Expr::var(p(2)), Expr::var(p(3))));
+        let rhs = Expr::or2(
+            Expr::var(p(1)),
+            Expr::and2(Expr::var(p(2)), Expr::var(p(3))),
+        );
         assert_eq!(truth_table_equivalent(&lhs, &rhs, 100), Some(true));
         assert!(!phi_equivalent_sampled(&lhs, &rhs, 500, &mut rng()));
     }

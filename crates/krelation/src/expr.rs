@@ -191,9 +191,7 @@ impl Expr {
         match self {
             Expr::False | Expr::True => false,
             Expr::Var(q) => *q == p,
-            Expr::And(children) | Expr::Or(children) => {
-                children.iter().any(|c| c.contains_var(p))
-            }
+            Expr::And(children) | Expr::Or(children) => children.iter().any(|c| c.contains_var(p)),
         }
     }
 
@@ -357,10 +355,7 @@ mod tests {
     #[test]
     fn restrict_to_false_removes_the_variable() {
         // a ∧ (b ∨ c), restrict c -> False gives a ∧ b.
-        let e = Expr::and2(
-            Expr::var(p(0)),
-            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
-        );
+        let e = Expr::and2(Expr::var(p(0)), Expr::or2(Expr::var(p(1)), Expr::var(p(2))));
         let r = e.restrict(p(2), false);
         assert_eq!(r, Expr::and2(Expr::var(p(0)), Expr::var(p(1))));
         assert!(!r.contains_var(p(2)));
@@ -369,10 +364,7 @@ mod tests {
     #[test]
     fn restrict_to_true_simplifies() {
         // a ∧ (b ∨ c), restrict b -> True gives a.
-        let e = Expr::and2(
-            Expr::var(p(0)),
-            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
-        );
+        let e = Expr::and2(Expr::var(p(0)), Expr::or2(Expr::var(p(1)), Expr::var(p(2))));
         assert_eq!(e.restrict(p(1), true), Expr::var(p(0)));
     }
 
@@ -393,10 +385,7 @@ mod tests {
         assert!(Expr::conjunction_of_vars([p(0), p(1), p(2)]).is_simple_conjunction());
         assert!(Expr::var(p(0)).is_simple_conjunction());
         assert!(Expr::True.is_simple_conjunction());
-        let mixed = Expr::and2(
-            Expr::var(p(0)),
-            Expr::or2(Expr::var(p(1)), Expr::var(p(2))),
-        );
+        let mixed = Expr::and2(Expr::var(p(0)), Expr::or2(Expr::var(p(1)), Expr::var(p(2))));
         assert!(!mixed.is_simple_conjunction());
     }
 

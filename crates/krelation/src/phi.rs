@@ -95,10 +95,7 @@ pub fn phi<A: RealAssignment + ?Sized>(expr: &Expr, f: &A) -> f64 {
             let sum: f64 = children.iter().map(|c| phi(c, f)).sum();
             (sum - (children.len() as f64 - 1.0)).max(0.0)
         }
-        Expr::Or(children) => children
-            .iter()
-            .map(|c| phi(c, f))
-            .fold(0.0_f64, f64::max),
+        Expr::Or(children) => children.iter().map(|c| phi(c, f)).fold(0.0_f64, f64::max),
     }
 }
 
@@ -255,7 +252,10 @@ mod tests {
         // φ_k(f) = k(f) for Boolean f (Theorem 5, correctness).
         let exprs = [
             Expr::and2(Expr::var(p(0)), Expr::var(p(1))),
-            Expr::or2(Expr::var(p(0)), Expr::and2(Expr::var(p(1)), Expr::var(p(2)))),
+            Expr::or2(
+                Expr::var(p(0)),
+                Expr::and2(Expr::var(p(1)), Expr::var(p(2))),
+            ),
             Expr::and2(
                 Expr::or2(Expr::var(p(0)), Expr::var(p(1))),
                 Expr::or2(Expr::var(p(0)), Expr::var(p(2))),

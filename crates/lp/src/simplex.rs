@@ -251,11 +251,7 @@ impl Tableau {
     /// Runs simplex iterations until optimality/unboundedness. `allowed_cols`
     /// limits which columns may enter (used to keep artificials out in phase
     /// 2). Returns the number of iterations or an error.
-    fn iterate(
-        &mut self,
-        allowed_cols: usize,
-        options: &SimplexOptions,
-    ) -> Result<usize, LpError> {
+    fn iterate(&mut self, allowed_cols: usize, options: &SimplexOptions) -> Result<usize, LpError> {
         let tol = options.tol;
         let mut iterations = 0usize;
         loop {
@@ -350,9 +346,7 @@ pub fn solve(model: &Model, options: &SimplexOptions) -> Result<Solution, LpErro
     // unboundedness verdict: on heavily degenerate instances accumulated
     // rounding can empty a pivot column, and the perturbed re-solve settles
     // the question from a fresh tableau.
-    let retryable = |e: &LpError| {
-        matches!(e, LpError::IterationLimit { .. } | LpError::Unbounded)
-    };
+    let retryable = |e: &LpError| matches!(e, LpError::IterationLimit { .. } | LpError::Unbounded);
     match solve_once(model, options, 0.0) {
         Err(ref e) if retryable(e) => match solve_once(model, options, 1e-8) {
             Err(ref e2) if retryable(e2) => solve_once(model, options, 1e-6),
@@ -386,13 +380,13 @@ fn solve_once(
     for (i, row) in std.rows.iter().enumerate() {
         // A slack column with coefficient +1 in this row (and zero elsewhere
         // by construction) can serve as the initial basic variable.
-        for j in std.slack_start..n {
-            if (row[j] - 1.0).abs() <= tol {
-                // Slack columns appear in exactly one row, so +1 here means
-                // the column is a valid starting basis column.
-                needs_artificial[i] = false;
-                break;
-            }
+        if row[std.slack_start..n]
+            .iter()
+            .any(|&v| (v - 1.0).abs() <= tol)
+        {
+            // Slack columns appear in exactly one row, so +1 there means
+            // the column is a valid starting basis column.
+            needs_artificial[i] = false;
         }
         if needs_artificial[i] {
             n_artificial += 1;
@@ -410,13 +404,9 @@ fn solve_once(
             basis.push(next_artificial);
             next_artificial += 1;
         } else {
-            let mut basic_col = usize::MAX;
-            for j in std.slack_start..n {
-                if (row[j] - 1.0).abs() <= tol {
-                    basic_col = j;
-                    break;
-                }
-            }
+            let basic_col = (std.slack_start..n)
+                .find(|&j| (row[j] - 1.0).abs() <= tol)
+                .unwrap_or(usize::MAX);
             basis.push(basic_col);
         }
         rows.push(padded);
@@ -434,9 +424,7 @@ fn solve_once(
         width: total,
         cost: {
             let mut c = vec![0.0; total + 1];
-            for j in n..total {
-                c[j] = 1.0;
-            }
+            c[n..total].fill(1.0);
             c
         },
         basis,

@@ -45,7 +45,11 @@ fn build_model(lp: &RandomLp) -> (Model, Vec<rmdp_lp::Var>) {
         .collect();
     for (coeffs, le, rhs) in &lp.constraints {
         let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
-        let op = if *le { ConstraintOp::Le } else { ConstraintOp::Ge };
+        let op = if *le {
+            ConstraintOp::Le
+        } else {
+            ConstraintOp::Ge
+        };
         m.add_constraint(terms, op, *rhs);
     }
     (m, vars)
@@ -54,7 +58,11 @@ fn build_model(lp: &RandomLp) -> (Model, Vec<rmdp_lp::Var>) {
 fn is_feasible(lp: &RandomLp, x: &[f64], tol: f64) -> bool {
     for (coeffs, le, rhs) in &lp.constraints {
         let lhs: f64 = coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
-        let ok = if *le { lhs <= rhs + tol } else { lhs >= rhs - tol };
+        let ok = if *le {
+            lhs <= rhs + tol
+        } else {
+            lhs >= rhs - tol
+        };
         if !ok {
             return false;
         }

@@ -94,7 +94,13 @@ mod tests {
         let bound = laplace_error_at_confidence(scale, delta);
         assert!(is_empirically_accurate(&answers, truth, bound, delta, 0.01));
         // A much tighter bound must fail.
-        assert!(!is_empirically_accurate(&answers, truth, bound / 10.0, delta, 0.01));
+        assert!(!is_empirically_accurate(
+            &answers,
+            truth,
+            bound / 10.0,
+            delta,
+            0.01
+        ));
     }
 
     #[test]

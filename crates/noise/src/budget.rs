@@ -15,12 +15,18 @@ impl PrivacyBudget {
     /// A pure ε-DP budget.
     pub fn pure(epsilon: f64) -> Self {
         assert!(epsilon > 0.0, "epsilon must be positive");
-        PrivacyBudget { epsilon, delta: 0.0 }
+        PrivacyBudget {
+            epsilon,
+            delta: 0.0,
+        }
     }
 
     /// An approximate (ε, δ)-DP budget.
     pub fn approximate(epsilon: f64, delta: f64) -> Self {
-        assert!(epsilon > 0.0 && (0.0..1.0).contains(&delta), "invalid budget");
+        assert!(
+            epsilon > 0.0 && (0.0..1.0).contains(&delta),
+            "invalid budget"
+        );
         PrivacyBudget { epsilon, delta }
     }
 

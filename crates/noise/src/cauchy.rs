@@ -11,7 +11,10 @@ pub fn sample_standard_cauchy<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 
 /// Samples a Cauchy distribution with the given scale.
 pub fn sample_cauchy<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
-    assert!(scale >= 0.0 && scale.is_finite(), "invalid Cauchy scale {scale}");
+    assert!(
+        scale >= 0.0 && scale.is_finite(),
+        "invalid Cauchy scale {scale}"
+    );
     scale * sample_standard_cauchy(rng)
 }
 

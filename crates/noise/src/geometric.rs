@@ -13,7 +13,10 @@ pub fn sample_two_sided_geometric<R: Rng + ?Sized>(
     sensitivity: f64,
     rng: &mut R,
 ) -> i64 {
-    assert!(epsilon > 0.0 && sensitivity >= 0.0, "invalid geometric parameters");
+    assert!(
+        epsilon > 0.0 && sensitivity >= 0.0,
+        "invalid geometric parameters"
+    );
     if sensitivity == 0.0 {
         return 0;
     }

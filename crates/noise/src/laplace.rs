@@ -11,7 +11,10 @@ use rand::Rng;
 /// `scale = 0` returns exactly `0`, which is convenient for "no noise"
 /// debugging runs.
 pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
-    assert!(scale >= 0.0 && scale.is_finite(), "invalid Laplace scale {scale}");
+    assert!(
+        scale >= 0.0 && scale.is_finite(),
+        "invalid Laplace scale {scale}"
+    );
     if scale == 0.0 {
         return 0.0;
     }

@@ -86,8 +86,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let n = 400_000;
         let bucket = |x: f64| (x.round() as i64).clamp(0, 21);
-        let mut hist_d = vec![0.0f64; 22];
-        let mut hist_dp = vec![0.0f64; 22];
+        let mut hist_d = [0.0f64; 22];
+        let mut hist_dp = [0.0f64; 22];
         for _ in 0..n {
             hist_d[bucket(m.release(10.0, &mut rng)) as usize] += 1.0;
             hist_dp[bucket(m.release(11.0, &mut rng)) as usize] += 1.0;

@@ -1,0 +1,141 @@
+//! The typed AST the parser produces.
+//!
+//! The grammar is the positive SQL subset of the paper's setting: a single
+//! aggregate (`COUNT(*)` or `SUM(col)`) over a chain of inner joins with
+//! conjunctive `ON` / `WHERE` predicates. Everything that could make the
+//! query non-monotone in the underlying data (negation, set difference,
+//! outer joins) is unrepresentable here — the parser rejects it with a
+//! targeted error before an AST exists.
+
+use crate::token::Span;
+use rmdp_krelation::tuple::Value;
+
+/// The aggregate of the `SELECT` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)` — each output row weighs 1.
+    CountStar,
+    /// `SUM(col)` — each output row weighs its value of `col`.
+    Sum(ColumnRef),
+}
+
+/// A possibly-qualified column reference, e.g. `v1.person` or `city`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnRef {
+    /// The alias before the dot, if any.
+    pub qualifier: Option<String>,
+    /// The column name (folded to lowercase).
+    pub column: String,
+    /// Source span of the whole reference.
+    pub span: Span,
+}
+
+impl ColumnRef {
+    /// The reference as written, e.g. `v1.person`.
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// A table reference with its (explicit or implicit) alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    /// The table name (folded to lowercase).
+    pub table: String,
+    /// The alias; defaults to the table name when none is written.
+    pub alias: String,
+    /// Span of the table name.
+    pub table_span: Span,
+    /// Span of the alias (= `table_span` for implicit aliases).
+    pub alias_span: Span,
+}
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl Comparison {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Comparison::Eq => "=",
+            Comparison::Neq => "<>",
+            Comparison::Lt => "<",
+            Comparison::Gt => ">",
+            Comparison::Le => "<=",
+            Comparison::Ge => ">=",
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal constant with its span.
+    Literal(Value, Span),
+}
+
+impl Operand {
+    /// The operand's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Operand::Column(c) => c.span,
+            Operand::Literal(_, span) => *span,
+        }
+    }
+}
+
+/// An atomic predicate `lhs op rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Operator.
+    pub op: Comparison,
+    /// Right operand.
+    pub rhs: Operand,
+    /// Span covering the whole predicate.
+    pub span: Span,
+}
+
+/// One `JOIN … ON …` step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: TableRef,
+    /// The conjuncts of the `ON` condition.
+    pub on: Vec<Predicate>,
+}
+
+/// A full parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The aggregate of the `SELECT` clause.
+    pub aggregate: Aggregate,
+    /// Span of the aggregate (for error reporting).
+    pub aggregate_span: Span,
+    /// The first table (`FROM …`).
+    pub from: TableRef,
+    /// The join chain, in source order.
+    pub joins: Vec<JoinClause>,
+    /// The conjuncts of the `WHERE` clause (empty when absent).
+    pub filter: Vec<Predicate>,
+}

@@ -1,0 +1,200 @@
+//! SQL frontend errors, all carrying precise source spans.
+
+use crate::token::Span;
+use rmdp_core::MechanismError;
+use std::fmt;
+
+/// Everything that can go wrong between a SQL string and a DP release.
+#[derive(Clone, Debug)]
+pub enum SqlError {
+    /// The tokenizer hit text it cannot lex.
+    Lex {
+        /// What went wrong.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+    /// The token stream does not match the grammar.
+    Parse {
+        /// What was expected / found.
+        message: String,
+        /// Offending token.
+        span: Span,
+    },
+    /// A construct that is recognised but outside the positive fragment the
+    /// recursive mechanism supports (negation, outer joins, …).
+    Unsupported {
+        /// The construct's name, e.g. `NOT IN`.
+        construct: String,
+        /// Why it is rejected.
+        reason: String,
+        /// Offending token(s).
+        span: Span,
+    },
+    /// `FROM`/`JOIN` references a table the database does not have.
+    UnknownTable {
+        /// The missing table.
+        name: String,
+        /// Offending token.
+        span: Span,
+        /// The tables that do exist (sorted).
+        available: Vec<String>,
+    },
+    /// A column reference that resolves to no visible table.
+    UnknownColumn {
+        /// The column as written.
+        column: String,
+        /// Offending token(s).
+        span: Span,
+    },
+    /// An unqualified column that lives in more than one visible table.
+    AmbiguousColumn {
+        /// The column as written.
+        column: String,
+        /// Offending token.
+        span: Span,
+        /// Aliases that all carry the column, in `FROM`/`JOIN` order.
+        candidates: Vec<String>,
+    },
+    /// Two table references share one alias.
+    DuplicateAlias {
+        /// The repeated alias.
+        alias: String,
+        /// The second occurrence.
+        span: Span,
+    },
+    /// `SUM` over values that are not (nonnegative) numbers.
+    BadAggregate {
+        /// What went wrong.
+        message: String,
+        /// The aggregate's span.
+        span: Span,
+    },
+    /// The underlying mechanism failed (LP solve, parameter validation, …).
+    Mechanism(MechanismError),
+}
+
+impl SqlError {
+    /// The span the error points at, when it has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SqlError::Lex { span, .. }
+            | SqlError::Parse { span, .. }
+            | SqlError::Unsupported { span, .. }
+            | SqlError::UnknownTable { span, .. }
+            | SqlError::UnknownColumn { span, .. }
+            | SqlError::AmbiguousColumn { span, .. }
+            | SqlError::DuplicateAlias { span, .. }
+            | SqlError::BadAggregate { span, .. } => Some(*span),
+            SqlError::Mechanism(_) => None,
+        }
+    }
+
+    /// Renders the error with the query text and a caret line underlining the
+    /// offending span:
+    ///
+    /// ```text
+    /// error: negation (`NOT`) is not part of positive relational algebra …
+    ///   | SELECT COUNT(*) FROM t WHERE NOT a = 1
+    ///   |                               ^^^
+    /// ```
+    pub fn render(&self, sql: &str) -> String {
+        let mut out = format!("error: {self}");
+        if let Some(span) = self.span() {
+            // Work on the line containing the span start.
+            let line_start = sql[..span.start.min(sql.len())]
+                .rfind('\n')
+                .map_or(0, |i| i + 1);
+            let line_end = sql[line_start..]
+                .find('\n')
+                .map_or(sql.len(), |i| line_start + i);
+            let line = &sql[line_start..line_end];
+            let col = span.start.saturating_sub(line_start);
+            let width = span.end.min(line_end).saturating_sub(span.start).max(1);
+            out.push_str(&format!("\n  | {line}\n  | "));
+            out.push_str(&" ".repeat(col));
+            out.push_str(&"^".repeat(width));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, .. } => write!(f, "{message}"),
+            SqlError::Parse { message, .. } => write!(f, "{message}"),
+            SqlError::Unsupported {
+                construct, reason, ..
+            } => write!(f, "{construct} is not supported: {reason}"),
+            SqlError::UnknownTable {
+                name, available, ..
+            } => {
+                write!(f, "unknown table `{name}`")?;
+                if !available.is_empty() {
+                    write!(f, " (known tables: {})", available.join(", "))?;
+                }
+                Ok(())
+            }
+            SqlError::UnknownColumn { column, .. } => {
+                write!(f, "unknown column `{column}`")
+            }
+            SqlError::AmbiguousColumn {
+                column, candidates, ..
+            } => write!(
+                f,
+                "ambiguous column `{column}` (found in {}); qualify it with an alias",
+                candidates.join(", ")
+            ),
+            SqlError::DuplicateAlias { alias, .. } => {
+                write!(f, "duplicate table alias `{alias}`")
+            }
+            SqlError::BadAggregate { message, .. } => write!(f, "{message}"),
+            SqlError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<MechanismError> for SqlError {
+    fn from(e: MechanismError) -> Self {
+        SqlError::Mechanism(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_underlines_the_span() {
+        let sql = "SELECT COUNT(*) FROM t WHERE NOT a = 1";
+        let err = SqlError::Unsupported {
+            construct: "negation (`NOT`)".to_owned(),
+            reason: "only positive predicates are allowed".to_owned(),
+            span: Span::new(29, 32),
+        };
+        let rendered = err.render(sql);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("error: negation"));
+        assert_eq!(lines[1], format!("  | {sql}"));
+        let caret_col = lines[2].find('^').unwrap();
+        assert_eq!(&lines[1][caret_col..caret_col + 3], "NOT");
+        assert!(lines[2].contains("^^^"));
+    }
+
+    #[test]
+    fn render_handles_multiline_queries() {
+        let sql = "SELECT COUNT(*)\nFROM nope";
+        let err = SqlError::UnknownTable {
+            name: "nope".to_owned(),
+            span: Span::new(21, 25),
+            available: vec!["visits".to_owned()],
+        };
+        let rendered = err.render(sql);
+        assert!(rendered.contains("  | FROM nope"));
+        assert!(rendered.contains("known tables: visits"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Recursive-descent parser for the positive SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT aggregate FROM table_ref join* where? ';'? EOF
+//! aggregate := COUNT '(' '*' ')' | SUM '(' column ')'
+//! table_ref := ident (AS? ident)?
+//! join      := INNER? JOIN table_ref ON conjunction
+//! where     := WHERE conjunction
+//! conjunction := predicate (AND predicate)*
+//! predicate := operand op operand        op ∈ { =, <>, !=, <, >, <=, >= }
+//! operand   := ident '.' ident | ident | int | string
+//! ```
+//!
+//! Constructs outside the positive fragment — `NOT`, `NOT IN`, `OR`,
+//! `CROSS JOIN`, `LEFT|RIGHT|FULL [OUTER] JOIN`, `UNION`, `EXCEPT`, `INTERSECT`,
+//! `GROUP BY`, `ORDER BY`, `HAVING`, `DISTINCT` — are recognised and
+//! rejected with an [`SqlError::Unsupported`] explaining why, pointing at
+//! the offending keyword.
+
+use crate::ast::{
+    Aggregate, ColumnRef, Comparison, JoinClause, Operand, Predicate, Query, TableRef,
+};
+use crate::error::SqlError;
+use crate::token::{tokenize, Span, Token, TokenKind};
+use rmdp_krelation::tuple::Value;
+
+/// Parses a SQL string into a [`Query`].
+pub fn parse(sql: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(sql)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, SqlError> {
+        if &self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> SqlError {
+        let tok = self.peek();
+        SqlError::Parse {
+            message: format!("expected {expected}, found {}", tok.kind.describe()),
+            span: tok.span,
+        }
+    }
+
+    /// Rejects the current token if it opens a construct outside the positive
+    /// fragment. Called wherever such keywords could legally start.
+    fn reject_unsupported(&self) -> Result<(), SqlError> {
+        let tok = self.peek();
+        let (construct, reason) = match tok.kind {
+            TokenKind::Not => {
+                if self.peek2().kind == TokenKind::In {
+                    (
+                        "`NOT IN`",
+                        "set complement is negation, which breaks the monotonicity the \
+                         recursive mechanism requires",
+                    )
+                } else {
+                    (
+                        "negation (`NOT`)",
+                        "only positive predicates are expressible in positive relational \
+                         algebra; a negated condition can turn a participant's withdrawal \
+                         into an answer increase",
+                    )
+                }
+            }
+            TokenKind::Or => (
+                "disjunction (`OR`)",
+                "only conjunctive WHERE/ON clauses are supported by this frontend; \
+                 split the query into one query per disjunct and combine the releases",
+            ),
+            TokenKind::Cross => (
+                "`CROSS JOIN`",
+                "write an inner join with an `ON` condition instead; an unconstrained \
+                 Cartesian product is available in the algebra layer \
+                 (`rmdp_krelation::algebra::product`)",
+            ),
+            TokenKind::Left | TokenKind::Right | TokenKind::Full | TokenKind::Outer => (
+                "outer joins",
+                "padding non-matching rows with NULLs is not monotone; only inner \
+                 (theta) joins are part of positive relational algebra",
+            ),
+            TokenKind::Union => (
+                "`UNION`",
+                "set operations between subqueries are not part of this frontend; \
+                 positive union exists in the algebra layer (`rmdp_krelation::algebra::union`)",
+            ),
+            TokenKind::Except => (
+                "`EXCEPT`",
+                "set difference is negation, which breaks the monotonicity the \
+                 recursive mechanism requires",
+            ),
+            TokenKind::Intersect => (
+                "`INTERSECT`",
+                "set operations between subqueries are not part of this frontend; \
+                 express the intersection as a join",
+            ),
+            TokenKind::Group | TokenKind::Order | TokenKind::Having => (
+                "grouping/ordering clauses",
+                "the frontend releases a single differentially private aggregate; \
+                 per-group releases would each need their own privacy budget",
+            ),
+            TokenKind::Distinct => (
+                "`DISTINCT`",
+                "duplicate elimination inside the aggregate is a projection whose \
+                 weight function this frontend does not support",
+            ),
+            _ => return Ok(()),
+        };
+        Err(SqlError::Unsupported {
+            construct: construct.to_owned(),
+            reason: reason.to_owned(),
+            span: tok.span,
+        })
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect(&TokenKind::Select, "`SELECT`")?;
+        self.reject_unsupported()?;
+        let (aggregate, aggregate_span) = self.aggregate()?;
+        self.expect(&TokenKind::From, "`FROM`")?;
+        let from = self.table_ref()?;
+
+        let mut joins = Vec::new();
+        loop {
+            self.reject_unsupported()?;
+            if self.eat(&TokenKind::Inner) {
+                // INNER JOIN is exactly the join this frontend supports.
+                self.expect(&TokenKind::Join, "`JOIN` after `INNER`")?;
+            } else if !self.eat(&TokenKind::Join) {
+                break;
+            }
+            let table = self.table_ref()?;
+            self.expect(&TokenKind::On, "`ON`")?;
+            let on = self.conjunction()?;
+            joins.push(JoinClause { table, on });
+        }
+
+        self.reject_unsupported()?;
+        let filter = if self.eat(&TokenKind::Where) {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+
+        self.reject_unsupported()?;
+        self.eat(&TokenKind::Semi);
+        self.reject_unsupported()?;
+        if self.peek().kind != TokenKind::Eof {
+            return Err(self.unexpected("end of query"));
+        }
+        Ok(Query {
+            aggregate,
+            aggregate_span,
+            from,
+            joins,
+            filter,
+        })
+    }
+
+    fn aggregate(&mut self) -> Result<(Aggregate, Span), SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Count => {
+                let start = self.advance().span;
+                self.expect(&TokenKind::LParen, "`(`")?;
+                self.expect(&TokenKind::Star, "`*`")?;
+                let end = self.expect(&TokenKind::RParen, "`)`")?.span;
+                Ok((Aggregate::CountStar, start.to(end)))
+            }
+            TokenKind::Sum => {
+                let start = self.advance().span;
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let column = self.column_ref()?;
+                let end = self.expect(&TokenKind::RParen, "`)`")?.span;
+                Ok((Aggregate::Sum(column), start.to(end)))
+            }
+            _ => Err(self.unexpected("an aggregate (`COUNT(*)` or `SUM(column)`)")),
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        self.reject_unsupported()?;
+        let (table, table_span) = self.ident("a table name")?;
+        // Optional alias: `AS alias` or a bare identifier.
+        let (alias, alias_span) = if self.eat(&TokenKind::As) {
+            self.ident("an alias after `AS`")?
+        } else if matches!(self.peek().kind, TokenKind::Ident(_)) {
+            self.ident("an alias")?
+        } else {
+            (table.clone(), table_span)
+        };
+        Ok(TableRef {
+            table,
+            alias,
+            table_span,
+            alias_span,
+        })
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Predicate>, SqlError> {
+        let mut predicates = vec![self.predicate()?];
+        loop {
+            self.reject_unsupported()?;
+            if !self.eat(&TokenKind::And) {
+                break;
+            }
+            predicates.push(self.predicate()?);
+        }
+        Ok(predicates)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, SqlError> {
+        self.reject_unsupported()?;
+        let lhs = self.operand()?;
+        self.reject_unsupported()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => Comparison::Eq,
+            TokenKind::Neq => Comparison::Neq,
+            TokenKind::Lt => Comparison::Lt,
+            TokenKind::Gt => Comparison::Gt,
+            TokenKind::Le => Comparison::Le,
+            TokenKind::Ge => Comparison::Ge,
+            _ => return Err(self.unexpected("a comparison operator")),
+        };
+        self.advance();
+        self.reject_unsupported()?;
+        let rhs = self.operand()?;
+        let span = lhs.span().to(rhs.span());
+        Ok(Predicate { lhs, op, rhs, span })
+    }
+
+    fn operand(&mut self) -> Result<Operand, SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(_) => Ok(Operand::Column(self.column_ref()?)),
+            TokenKind::Int(v) => {
+                let span = self.advance().span;
+                Ok(Operand::Literal(Value::Int(v), span))
+            }
+            TokenKind::Str(s) => {
+                let span = self.advance().span;
+                Ok(Operand::Literal(Value::str(&s), span))
+            }
+            _ => Err(self.unexpected("a column, integer or string")),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let (first, first_span) = self.ident("a column name")?;
+        if self.eat(&TokenKind::Dot) {
+            let (column, col_span) = self.ident("a column name after `.`")?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+                span: first_span.to(col_span),
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+                span: first_span,
+            })
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.advance().span;
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_star_with_joins_and_where() {
+        let q = parse(
+            "SELECT COUNT(*) FROM visits v1 JOIN visits AS v2 ON v1.place = v2.place \
+             WHERE v1.person < v2.person",
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::CountStar);
+        assert_eq!(q.from.table, "visits");
+        assert_eq!(q.from.alias, "v1");
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table.alias, "v2");
+        assert_eq!(q.joins[0].on.len(), 1);
+        assert_eq!(q.filter.len(), 1);
+        assert_eq!(q.filter[0].op, Comparison::Lt);
+    }
+
+    #[test]
+    fn inner_join_is_accepted_and_cross_join_rejected() {
+        let q = parse(
+            "SELECT COUNT(*) FROM visits v1 INNER JOIN residents r1 ON r1.person = v1.person",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.from.alias, "v1"); // INNER must not be swallowed as an alias
+        let sql = "SELECT COUNT(*) FROM t CROSS JOIN u";
+        let (construct, span) = unsupported(sql);
+        assert_eq!(construct, "`CROSS JOIN`");
+        assert_eq!(span.slice(sql), "CROSS");
+    }
+
+    #[test]
+    fn parses_sum_and_implicit_alias() {
+        let q = parse("SELECT SUM(amount) FROM payments;").unwrap();
+        match q.aggregate {
+            Aggregate::Sum(ref c) => assert_eq!(c.column, "amount"),
+            ref other => panic!("expected SUM, got {other:?}"),
+        }
+        assert_eq!(q.from.alias, "payments");
+        assert!(q.joins.is_empty());
+        assert!(q.filter.is_empty());
+    }
+
+    #[test]
+    fn literals_and_all_operators_parse() {
+        let sql = "SELECT COUNT(*) FROM t WHERE a = 1 AND b <> 'x' AND c < 2 AND d > 3 \
+             AND e <= 4 AND f >= 5 AND g != 6";
+        let q = parse(sql).unwrap();
+        assert_eq!(q.filter.len(), 7);
+        match &q.filter[1].rhs {
+            Operand::Literal(v, span) => {
+                assert_eq!(v, &Value::str("x"));
+                assert_eq!(span.slice(sql), "'x'");
+            }
+            other => panic!("expected literal, got {other:?}"),
+        }
+        assert_eq!(q.filter[6].op, Comparison::Neq);
+    }
+
+    fn unsupported(sql: &str) -> (String, Span) {
+        match parse(sql).unwrap_err() {
+            SqlError::Unsupported {
+                construct, span, ..
+            } => (construct, span),
+            other => panic!("expected Unsupported for {sql:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_not_with_a_span_on_the_keyword() {
+        let sql = "SELECT COUNT(*) FROM t WHERE NOT a = 1";
+        let (construct, span) = unsupported(sql);
+        assert!(construct.contains("NOT"));
+        assert_eq!(span.slice(sql), "NOT");
+    }
+
+    #[test]
+    fn rejects_not_in_specifically() {
+        let sql = "SELECT COUNT(*) FROM t WHERE a NOT IN (1, 2)";
+        let (construct, _) = unsupported(sql);
+        assert_eq!(construct, "`NOT IN`");
+    }
+
+    #[test]
+    fn rejects_outer_join_variants() {
+        for kw in ["LEFT", "RIGHT", "FULL", "LEFT OUTER"] {
+            let sql = format!("SELECT COUNT(*) FROM t {kw} JOIN u ON t.a = u.a");
+            let (construct, span) = unsupported(&sql);
+            assert_eq!(construct, "outer joins");
+            assert_eq!(span.start, 23, "span for {kw}");
+        }
+    }
+
+    #[test]
+    fn rejects_or_union_except_group_by_distinct() {
+        assert_eq!(
+            unsupported("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2").0,
+            "disjunction (`OR`)"
+        );
+        assert_eq!(
+            unsupported("SELECT COUNT(*) FROM t UNION SELECT COUNT(*) FROM u").0,
+            "`UNION`"
+        );
+        assert_eq!(
+            unsupported("SELECT COUNT(*) FROM t EXCEPT SELECT COUNT(*) FROM u").0,
+            "`EXCEPT`"
+        );
+        assert_eq!(
+            unsupported("SELECT COUNT(*) FROM t GROUP BY a").0,
+            "grouping/ordering clauses"
+        );
+        assert_eq!(
+            unsupported("SELECT DISTINCT COUNT(*) FROM t").0,
+            "`DISTINCT`"
+        );
+    }
+
+    #[test]
+    fn parse_errors_point_at_the_offending_token() {
+        let sql = "SELECT COUNT(*) FROM";
+        match parse(sql).unwrap_err() {
+            SqlError::Parse { message, span } => {
+                assert!(message.contains("table name"), "{message}");
+                assert_eq!(span.start, sql.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("SELECT MAX(x) FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t JOIN u").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a = 1 b").is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! Logical planner: validates a parsed [`Query`] against a database schema
+//! and lowers it to K-relation algebra operators.
+//!
+//! The lowering follows the safe-annotation recipe of paper Sec. 5.2:
+//!
+//! 1. every table reference becomes a **scan + rename** `ρ` that qualifies
+//!    each attribute with the reference's alias (`person` ↦ `v1.person`), so
+//!    self-joins never collide;
+//! 2. every `JOIN … ON` becomes a **theta-join**: the `ON` conjuncts that
+//!    equate a column of the new table with a column of the accumulated
+//!    relation become hash-join keys ([`rmdp_krelation::algebra::theta_join`]);
+//!    the remaining conjuncts become a residual selection `σ`;
+//! 3. the `WHERE` conjuncts become a final selection `σ`.
+//!
+//! Because only `ρ`, `⋈` and `σ` are emitted, the provenance annotations of
+//! the output are conjunctions/disjunctions of base-table annotations —
+//! negation-free by construction, which is exactly the monotonicity the
+//! recursive mechanism requires (Theorem 5).
+
+use crate::ast::{Aggregate, ColumnRef, Comparison, Operand, Predicate, Query, TableRef};
+use crate::error::SqlError;
+use crate::parser::parse;
+use rmdp_krelation::annotate::AnnotatedDatabase;
+use rmdp_krelation::tuple::{Attr, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A scan of one base table under an alias; `renames` maps every base
+/// attribute to its alias-qualified name.
+#[derive(Clone, Debug)]
+pub struct ScanStep {
+    /// The base table.
+    pub table: String,
+    /// The alias qualifying this scan's attributes.
+    pub alias: String,
+    /// `(base, qualified)` attribute pairs, sorted by base attribute.
+    pub renames: Vec<(Attr, Attr)>,
+}
+
+/// A comparison compiled against qualified attribute names.
+#[derive(Clone, Debug)]
+pub struct CompiledPredicate {
+    /// Left operand.
+    pub lhs: CompiledOperand,
+    /// Operator.
+    pub op: Comparison,
+    /// Right operand.
+    pub rhs: CompiledOperand,
+}
+
+/// An operand compiled to a qualified attribute or a constant.
+#[derive(Clone, Debug)]
+pub enum CompiledOperand {
+    /// A qualified attribute of the intermediate relation.
+    Column(Attr),
+    /// A constant.
+    Literal(Value),
+}
+
+impl CompiledPredicate {
+    /// Evaluates the predicate on a merged tuple. Comparisons between values
+    /// of different types (or on absent attributes) are `false`, mirroring
+    /// SQL's "unknown is not true".
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        let lookup = |op: &CompiledOperand| -> Option<Value> {
+            match op {
+                CompiledOperand::Column(attr) => tuple.get(attr).cloned(),
+                CompiledOperand::Literal(v) => Some(v.clone()),
+            }
+        };
+        let (Some(lhs), Some(rhs)) = (lookup(&self.lhs), lookup(&self.rhs)) else {
+            return false;
+        };
+        let comparable = matches!(
+            (&lhs, &rhs),
+            (Value::Int(_), Value::Int(_))
+                | (Value::Str(_), Value::Str(_))
+                | (Value::Bool(_), Value::Bool(_))
+        );
+        if !comparable {
+            return false;
+        }
+        match self.op {
+            Comparison::Eq => lhs == rhs,
+            Comparison::Neq => lhs != rhs,
+            Comparison::Lt => lhs < rhs,
+            Comparison::Gt => lhs > rhs,
+            Comparison::Le => lhs <= rhs,
+            Comparison::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CompiledPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |op: &CompiledOperand| match op {
+            CompiledOperand::Column(a) => a.name().to_owned(),
+            CompiledOperand::Literal(v) => format!("{v:?}"),
+        };
+        write!(
+            f,
+            "{} {} {}",
+            side(&self.lhs),
+            self.op.symbol(),
+            side(&self.rhs)
+        )
+    }
+}
+
+/// One join of the chain: equi-join keys plus residual predicates.
+#[derive(Clone, Debug)]
+pub struct JoinStep {
+    /// The scan joined in by this step.
+    pub scan: ScanStep,
+    /// `(accumulated, new)` qualified attribute pairs joined with `=`.
+    pub equi: Vec<(Attr, Attr)>,
+    /// `ON` conjuncts that are not equi-join keys.
+    pub residual: Vec<CompiledPredicate>,
+}
+
+/// The weight function of the aggregate, compiled.
+#[derive(Clone, Debug)]
+pub enum PlanAggregate {
+    /// `COUNT(*)`: weight 1 per output tuple.
+    CountStar,
+    /// `SUM(col)`: weight = the tuple's value of the qualified column.
+    Sum(Attr),
+}
+
+/// A validated, lowered query plan.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// The compiled aggregate.
+    pub aggregate: PlanAggregate,
+    /// Source span of the aggregate (for runtime aggregate errors).
+    pub aggregate_span: crate::token::Span,
+    /// The first scan (`FROM`).
+    pub from: ScanStep,
+    /// The join chain in execution order.
+    pub joins: Vec<JoinStep>,
+    /// The `WHERE` conjuncts.
+    pub filter: Vec<CompiledPredicate>,
+}
+
+impl fmt::Display for QueryPlan {
+    /// Renders the plan as an algebra pipeline, one operator per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ρ_{} (scan {})", self.from.alias, self.from.table)?;
+        for step in &self.joins {
+            let keys: Vec<String> = step
+                .equi
+                .iter()
+                .map(|(a, b)| format!("{a} = {b}"))
+                .collect();
+            writeln!(
+                f,
+                "⋈ ρ_{} (scan {}) on [{}]",
+                step.scan.alias,
+                step.scan.table,
+                keys.join(", ")
+            )?;
+            for r in &step.residual {
+                writeln!(f, "  σ {r}")?;
+            }
+        }
+        for r in &self.filter {
+            writeln!(f, "σ {r}")?;
+        }
+        match &self.aggregate {
+            PlanAggregate::CountStar => write!(f, "Σ count(*)"),
+            PlanAggregate::Sum(attr) => write!(f, "Σ sum({attr})"),
+        }
+    }
+}
+
+/// Parses and plans `sql` against the schema of `db`.
+pub fn plan(db: &AnnotatedDatabase, sql: &str) -> Result<QueryPlan, SqlError> {
+    let query = parse(sql)?;
+    Planner { db }.lower(&query)
+}
+
+struct Planner<'a> {
+    db: &'a AnnotatedDatabase,
+}
+
+/// A table reference resolved against the schema.
+struct ResolvedRef {
+    scan: ScanStep,
+    /// Base attribute names of the table (unqualified).
+    columns: BTreeSet<String>,
+}
+
+impl Planner<'_> {
+    fn lower(&self, query: &Query) -> Result<QueryPlan, SqlError> {
+        // Resolve all table references, checking aliases are unique.
+        let mut resolved: Vec<ResolvedRef> = vec![self.resolve_table(&query.from)?];
+        for join in &query.joins {
+            let r = self.resolve_table(&join.table)?;
+            if resolved.iter().any(|seen| seen.scan.alias == r.scan.alias) {
+                return Err(SqlError::DuplicateAlias {
+                    alias: r.scan.alias.clone(),
+                    span: join.table.alias_span,
+                });
+            }
+            resolved.push(r);
+        }
+
+        // Lower the join chain. `visible` grows one alias per step.
+        let mut joins = Vec::new();
+        for (k, join) in query.joins.iter().enumerate() {
+            let visible = &resolved[..k + 2]; // FROM + joins up to and including this one
+            let new_alias = &resolved[k + 1].scan.alias;
+            let mut equi = Vec::new();
+            let mut residual = Vec::new();
+            for pred in &join.on {
+                match self.as_equi_key(pred, visible, new_alias)? {
+                    Some(pair) => equi.push(pair),
+                    None => residual.push(self.compile_predicate(pred, visible)?),
+                }
+            }
+            joins.push(JoinStep {
+                scan: resolved[k + 1].scan.clone(),
+                equi,
+                residual,
+            });
+        }
+
+        // WHERE sees every alias.
+        let filter = query
+            .filter
+            .iter()
+            .map(|p| self.compile_predicate(p, &resolved))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let aggregate = match &query.aggregate {
+            Aggregate::CountStar => PlanAggregate::CountStar,
+            Aggregate::Sum(col) => PlanAggregate::Sum(self.resolve_column(col, &resolved)?),
+        };
+
+        Ok(QueryPlan {
+            aggregate,
+            aggregate_span: query.aggregate_span,
+            from: resolved.swap_remove(0).scan,
+            joins,
+            filter,
+        })
+    }
+
+    fn resolve_table(&self, table_ref: &TableRef) -> Result<ResolvedRef, SqlError> {
+        let Some(table) = self.db.table(&table_ref.table) else {
+            return Err(SqlError::UnknownTable {
+                name: table_ref.table.clone(),
+                span: table_ref.table_span,
+                available: self
+                    .db
+                    .table_names()
+                    .into_iter()
+                    .map(str::to_owned)
+                    .collect(),
+            });
+        };
+        let mut renames = Vec::new();
+        let mut columns = BTreeSet::new();
+        for attr in table.schema() {
+            renames.push((attr.clone(), qualified(&table_ref.alias, attr.name())));
+            columns.insert(attr.name().to_owned());
+        }
+        Ok(ResolvedRef {
+            scan: ScanStep {
+                table: table_ref.table.clone(),
+                alias: table_ref.alias.clone(),
+                renames,
+            },
+            columns,
+        })
+    }
+
+    /// Resolves a column reference against the visible aliases, returning its
+    /// qualified attribute.
+    fn resolve_column(&self, col: &ColumnRef, visible: &[ResolvedRef]) -> Result<Attr, SqlError> {
+        if let Some(qualifier) = &col.qualifier {
+            let Some(r) = visible.iter().find(|r| &r.scan.alias == qualifier) else {
+                return Err(SqlError::UnknownColumn {
+                    column: col.display_name(),
+                    span: col.span,
+                });
+            };
+            if !r.columns.contains(&col.column) {
+                return Err(SqlError::UnknownColumn {
+                    column: col.display_name(),
+                    span: col.span,
+                });
+            }
+            Ok(qualified(qualifier, &col.column))
+        } else {
+            let holders: Vec<&ResolvedRef> = visible
+                .iter()
+                .filter(|r| r.columns.contains(&col.column))
+                .collect();
+            match holders.len() {
+                0 => Err(SqlError::UnknownColumn {
+                    column: col.display_name(),
+                    span: col.span,
+                }),
+                1 => Ok(qualified(&holders[0].scan.alias, &col.column)),
+                _ => Err(SqlError::AmbiguousColumn {
+                    column: col.display_name(),
+                    span: col.span,
+                    candidates: holders.iter().map(|r| r.scan.alias.clone()).collect(),
+                }),
+            }
+        }
+    }
+
+    fn compile_operand(
+        &self,
+        operand: &Operand,
+        visible: &[ResolvedRef],
+    ) -> Result<CompiledOperand, SqlError> {
+        Ok(match operand {
+            Operand::Column(col) => CompiledOperand::Column(self.resolve_column(col, visible)?),
+            Operand::Literal(v, _) => CompiledOperand::Literal(v.clone()),
+        })
+    }
+
+    fn compile_predicate(
+        &self,
+        pred: &Predicate,
+        visible: &[ResolvedRef],
+    ) -> Result<CompiledPredicate, SqlError> {
+        Ok(CompiledPredicate {
+            lhs: self.compile_operand(&pred.lhs, visible)?,
+            op: pred.op,
+            rhs: self.compile_operand(&pred.rhs, visible)?,
+        })
+    }
+
+    /// Returns `Some((accumulated, new))` when the predicate is an equality
+    /// between a column of an earlier alias and a column of the newly joined
+    /// alias — i.e. a hash-join key for this step.
+    fn as_equi_key(
+        &self,
+        pred: &Predicate,
+        visible: &[ResolvedRef],
+        new_alias: &str,
+    ) -> Result<Option<(Attr, Attr)>, SqlError> {
+        if pred.op != Comparison::Eq {
+            return Ok(None);
+        }
+        let (Operand::Column(a), Operand::Column(b)) = (&pred.lhs, &pred.rhs) else {
+            return Ok(None);
+        };
+        let attr_a = self.resolve_column(a, visible)?;
+        let attr_b = self.resolve_column(b, visible)?;
+        let is_new = |attr: &Attr| attr.name().starts_with(&format!("{new_alias}."));
+        match (is_new(&attr_a), is_new(&attr_b)) {
+            (false, true) => Ok(Some((attr_a, attr_b))),
+            (true, false) => Ok(Some((attr_b, attr_a))),
+            // new = new or old = old: keep it as a residual filter.
+            _ => Ok(None),
+        }
+    }
+}
+
+/// The qualified attribute name `alias.column`.
+pub fn qualified(alias: &str, column: &str) -> Attr {
+    Attr::new(&format!("{alias}.{column}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdp_krelation::{Expr, KRelation};
+
+    fn db() -> AnnotatedDatabase {
+        let mut db = AnnotatedDatabase::new();
+        let mut residents = KRelation::new(["person", "city"]);
+        let mut visits = KRelation::new(["person", "place"]);
+        for (i, (person, city)) in [("ada", "rome"), ("bo", "oslo")].iter().enumerate() {
+            let p = db.universe_mut().intern(person);
+            residents.insert(
+                Tuple::new([("person", Value::str(person)), ("city", Value::str(city))]),
+                Expr::Var(p),
+            );
+            visits.insert(
+                Tuple::new([
+                    ("person", Value::str(person)),
+                    ("place", Value::str(if i == 0 { "museum" } else { "cafe" })),
+                ]),
+                Expr::Var(p),
+            );
+        }
+        db.insert_table("residents", residents);
+        db.insert_table("visits", visits);
+        db
+    }
+
+    #[test]
+    fn equality_on_the_new_table_becomes_a_join_key() {
+        let db = db();
+        let plan = plan(
+            &db,
+            "SELECT COUNT(*) FROM visits v1 JOIN residents r1 ON r1.person = v1.person",
+        )
+        .unwrap();
+        assert_eq!(plan.joins.len(), 1);
+        assert_eq!(plan.joins[0].equi.len(), 1);
+        let (acc, new) = &plan.joins[0].equi[0];
+        assert_eq!(acc.name(), "v1.person");
+        assert_eq!(new.name(), "r1.person");
+        assert!(plan.joins[0].residual.is_empty());
+    }
+
+    #[test]
+    fn non_equality_on_conjuncts_become_residuals() {
+        let db = db();
+        let plan = plan(
+            &db,
+            "SELECT COUNT(*) FROM visits v1 JOIN visits v2 \
+             ON v1.place = v2.place AND v1.person < v2.person",
+        )
+        .unwrap();
+        assert_eq!(plan.joins[0].equi.len(), 1);
+        assert_eq!(plan.joins[0].residual.len(), 1);
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_when_unambiguous() {
+        let db = db();
+        let plan = plan(&db, "SELECT COUNT(*) FROM residents WHERE city = 'rome'").unwrap();
+        match &plan.filter[0].lhs {
+            CompiledOperand::Column(attr) => assert_eq!(attr.name(), "residents.city"),
+            other => panic!("expected column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns_are_rejected() {
+        let db = db();
+        let sql = "SELECT COUNT(*) FROM visits v1 JOIN residents r1 \
+                   ON r1.person = v1.person WHERE person = 'ada'";
+        match plan(&db, sql).unwrap_err() {
+            SqlError::AmbiguousColumn {
+                column,
+                candidates,
+                span,
+            } => {
+                assert_eq!(column, "person");
+                assert_eq!(candidates, vec!["v1".to_owned(), "r1".to_owned()]);
+                assert_eq!(span.slice(sql), "person");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match plan(&db, "SELECT COUNT(*) FROM visits WHERE nope = 1").unwrap_err() {
+            SqlError::UnknownColumn { column, .. } => assert_eq!(column, "nope"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match plan(&db, "SELECT COUNT(*) FROM visits v WHERE zz.person = 1").unwrap_err() {
+            SqlError::UnknownColumn { column, .. } => assert_eq!(column, "zz.person"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tables_and_duplicate_aliases_are_rejected() {
+        let db = db();
+        match plan(&db, "SELECT COUNT(*) FROM trips").unwrap_err() {
+            SqlError::UnknownTable {
+                name, available, ..
+            } => {
+                assert_eq!(name, "trips");
+                assert_eq!(available, vec!["residents".to_owned(), "visits".to_owned()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = plan(
+            &db,
+            "SELECT COUNT(*) FROM visits v JOIN residents v ON v.person = v.person",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateAlias { ref alias, .. } if alias == "v"));
+    }
+
+    #[test]
+    fn sum_column_resolves_to_a_qualified_attribute() {
+        let db = db();
+        let plan = plan(&db, "SELECT SUM(city) FROM residents").unwrap();
+        match plan.aggregate {
+            PlanAggregate::Sum(ref attr) => assert_eq!(attr.name(), "residents.city"),
+            ref other => panic!("expected SUM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_shows_the_algebra_pipeline() {
+        let db = db();
+        let plan = plan(
+            &db,
+            "SELECT COUNT(*) FROM visits v1 JOIN residents r1 ON r1.person = v1.person \
+             WHERE r1.city <> 'rome'",
+        )
+        .unwrap();
+        let shown = plan.to_string();
+        assert!(shown.contains("ρ_v1 (scan visits)"));
+        assert!(shown.contains("⋈ ρ_r1 (scan residents) on [v1.person = r1.person]"));
+        assert!(shown.contains("σ r1.city <> \"rome\""));
+        assert!(shown.ends_with("Σ count(*)"));
+    }
+}

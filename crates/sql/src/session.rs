@@ -1,0 +1,208 @@
+//! The public entry point: a SQL session over one annotated database.
+
+use crate::error::SqlError;
+use crate::exec::{execute, weigh};
+use crate::plan::{plan, QueryPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmdp_core::{
+    EfficientSequences, MechanismParams, RecursiveMechanism, Release, SensitiveKRelation,
+};
+use rmdp_krelation::annotate::AnnotatedDatabase;
+use rmdp_krelation::KRelation;
+
+/// A SQL session: an annotated database plus mechanism parameters and a
+/// seeded noise source.
+///
+/// One call to [`SqlSession::query`] spends `ε₁ + ε₂` of privacy budget (the
+/// split lives in the [`MechanismParams`]); the session does not meter a
+/// total budget across queries — compose releases with
+/// `rmdp_noise::budget::PrivacyBudget`-style sequential accounting one level
+/// up if needed.
+///
+/// ```
+/// use rmdp_core::MechanismParams;
+/// use rmdp_krelation::annotate::AnnotatedDatabase;
+/// use rmdp_krelation::tuple::{Tuple, Value};
+/// use rmdp_krelation::{Expr, KRelation};
+/// use rmdp_sql::SqlSession;
+///
+/// let mut db = AnnotatedDatabase::new();
+/// let mut visits = KRelation::new(["person", "place"]);
+/// for (person, place) in [("ada", "museum"), ("bo", "museum"), ("bo", "cafe")] {
+///     let p = db.universe_mut().intern(person);
+///     visits.insert(
+///         Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+///         Expr::Var(p),
+///     );
+/// }
+/// db.insert_table("visits", visits);
+///
+/// let mut session = SqlSession::new(db, MechanismParams::paper_edge_privacy(1.0));
+/// let release = session
+///     .query("SELECT COUNT(*) FROM visits WHERE place = 'museum'")
+///     .unwrap();
+/// assert_eq!(release.true_answer, 2.0);
+/// assert!(release.noisy_answer.is_finite());
+/// ```
+pub struct SqlSession {
+    db: AnnotatedDatabase,
+    params: MechanismParams,
+    rng: StdRng,
+}
+
+impl SqlSession {
+    /// Opens a session with a fixed default noise seed (releases are
+    /// deterministic given the database and query sequence; use
+    /// [`SqlSession::with_seed`] to vary it).
+    pub fn new(db: AnnotatedDatabase, params: MechanismParams) -> Self {
+        Self::with_seed(db, params, 0x5EED)
+    }
+
+    /// Opens a session whose noise stream derives from `seed`.
+    pub fn with_seed(db: AnnotatedDatabase, params: MechanismParams, seed: u64) -> Self {
+        SqlSession {
+            db,
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &AnnotatedDatabase {
+        &self.db
+    }
+
+    /// The mechanism parameters used by [`SqlSession::query`].
+    pub fn params(&self) -> &MechanismParams {
+        &self.params
+    }
+
+    /// Parses, validates and lowers `sql` without touching the data — the
+    /// `EXPLAIN` of this frontend. The plan's `Display` renders the algebra
+    /// pipeline.
+    pub fn plan(&self, sql: &str) -> Result<QueryPlan, SqlError> {
+        plan(&self.db, sql)
+    }
+
+    /// Evaluates `sql` **without differential privacy**, returning the
+    /// annotated output relation. Intended for tests and debugging: the
+    /// result reveals raw data.
+    pub fn evaluate(&self, sql: &str) -> Result<KRelation, SqlError> {
+        let plan = self.plan(sql)?;
+        execute(&self.db, &plan)
+    }
+
+    /// Runs `sql` end-to-end and releases the aggregate through the
+    /// recursive mechanism (efficient LP instantiation, paper Sec. 5).
+    ///
+    /// The participant universe is the database's full universe — people
+    /// interned but absent from every table still count toward `|P|`, as in
+    /// node privacy where isolated nodes are still protected.
+    pub fn query(&mut self, sql: &str) -> Result<Release, SqlError> {
+        let plan = self.plan(sql)?;
+        let output = execute(&self.db, &plan)?;
+
+        // Validate all weights before handing them to the mechanism (whose
+        // constructor asserts) so bad aggregates surface as SqlError.
+        for (tuple, _) in output.iter() {
+            weigh(&plan, tuple)?;
+        }
+        let participants = self.db.universe().ids().collect();
+        let query = SensitiveKRelation::new(&output, participants, |t| {
+            weigh(&plan, t).expect("weights validated above")
+        });
+
+        let mut mechanism = RecursiveMechanism::new(EfficientSequences::new(query), self.params)?;
+        Ok(mechanism.release(&mut self.rng)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdp_krelation::tuple::{Tuple, Value};
+    use rmdp_krelation::Expr;
+
+    fn db() -> AnnotatedDatabase {
+        let mut db = AnnotatedDatabase::new();
+        let mut payments = KRelation::new(["person", "amount"]);
+        for (person, amount) in [("ada", 3i64), ("bo", 5), ("cy", -2)] {
+            let p = db.universe_mut().intern(person);
+            payments.insert(
+                Tuple::new([
+                    ("person", Value::str(person)),
+                    ("amount", Value::Int(amount)),
+                ]),
+                Expr::Var(p),
+            );
+        }
+        db.insert_table("payments", payments);
+        db
+    }
+
+    #[test]
+    fn count_release_has_the_right_true_answer() {
+        let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
+        let release = session.query("SELECT COUNT(*) FROM payments").unwrap();
+        assert_eq!(release.true_answer, 3.0);
+        assert!(release.noisy_answer.is_finite());
+        assert!((release.epsilon_spent - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_aggregates_weights() {
+        let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
+        let release = session
+            .query("SELECT SUM(amount) FROM payments WHERE amount > 0")
+            .unwrap();
+        assert_eq!(release.true_answer, 8.0);
+    }
+
+    #[test]
+    fn negative_sum_weights_are_a_sql_error_not_a_panic() {
+        let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
+        let err = session
+            .query("SELECT SUM(amount) FROM payments")
+            .unwrap_err();
+        match err {
+            SqlError::BadAggregate { message, .. } => {
+                assert!(message.contains("negative"), "{message}")
+            }
+            other => panic!("expected BadAggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_over_strings_is_a_sql_error() {
+        let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
+        let err = session
+            .query("SELECT SUM(person) FROM payments")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::BadAggregate { .. }));
+    }
+
+    #[test]
+    fn releases_are_deterministic_per_seed() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let a = SqlSession::with_seed(db(), params, 1)
+            .query("SELECT COUNT(*) FROM payments")
+            .unwrap();
+        let b = SqlSession::with_seed(db(), params, 1)
+            .query("SELECT COUNT(*) FROM payments")
+            .unwrap();
+        let c = SqlSession::with_seed(db(), params, 2)
+            .query("SELECT COUNT(*) FROM payments")
+            .unwrap();
+        assert_eq!(a.noisy_answer, b.noisy_answer);
+        assert_ne!(a.noisy_answer, c.noisy_answer);
+    }
+
+    #[test]
+    fn invalid_params_surface_as_mechanism_errors() {
+        let params = MechanismParams::new(0.0, 0.5, 0.1, 1.0, 0.5);
+        let mut session = SqlSession::new(db(), params);
+        let err = session.query("SELECT COUNT(*) FROM payments").unwrap_err();
+        assert!(matches!(err, SqlError::Mechanism(_)));
+    }
+}

@@ -1,0 +1,453 @@
+//! Tokenizer for the positive SQL subset.
+//!
+//! Every token carries its byte span in the input so later stages (parser,
+//! planner) can point error messages at the exact offending text. Keywords
+//! are case-insensitive; unquoted identifiers are folded to lowercase (the
+//! usual SQL identifier folding), so `Visits`, `VISITS` and `visits` name the
+//! same table.
+//!
+//! Keywords of *rejected* constructs (`NOT`, `OR`, `LEFT`, …) are tokenized
+//! too: the parser wants to recognise them and explain *why* they are outside
+//! the positive fragment, rather than emit a generic syntax error.
+
+use crate::error::SqlError;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the query text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The spanned slice of `sql`.
+    pub fn slice<'a>(&self, sql: &'a str) -> &'a str {
+        &sql[self.start.min(sql.len())..self.end.min(sql.len())]
+    }
+
+    /// A span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    // Supported keywords.
+    Select,
+    Count,
+    Sum,
+    From,
+    Join,
+    Inner,
+    On,
+    Where,
+    And,
+    As,
+    // Keywords recognised only to be rejected with a targeted message.
+    Not,
+    In,
+    Or,
+    Cross,
+    Left,
+    Right,
+    Full,
+    Outer,
+    Union,
+    Except,
+    Intersect,
+    Group,
+    Order,
+    By,
+    Having,
+    Distinct,
+    // Values.
+    Ident(String),
+    Int(i64),
+    Str(String),
+    // Punctuation and operators.
+    Star,
+    LParen,
+    RParen,
+    Dot,
+    Comma,
+    Semi,
+    Eq,
+    Neq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    /// End of input (simplifies the parser's lookahead).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Eof => "end of query".to_owned(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            TokenKind::Select => "SELECT",
+            TokenKind::Count => "COUNT",
+            TokenKind::Sum => "SUM",
+            TokenKind::From => "FROM",
+            TokenKind::Join => "JOIN",
+            TokenKind::Inner => "INNER",
+            TokenKind::On => "ON",
+            TokenKind::Where => "WHERE",
+            TokenKind::And => "AND",
+            TokenKind::As => "AS",
+            TokenKind::Not => "NOT",
+            TokenKind::In => "IN",
+            TokenKind::Or => "OR",
+            TokenKind::Cross => "CROSS",
+            TokenKind::Left => "LEFT",
+            TokenKind::Right => "RIGHT",
+            TokenKind::Full => "FULL",
+            TokenKind::Outer => "OUTER",
+            TokenKind::Union => "UNION",
+            TokenKind::Except => "EXCEPT",
+            TokenKind::Intersect => "INTERSECT",
+            TokenKind::Group => "GROUP",
+            TokenKind::Order => "ORDER",
+            TokenKind::By => "BY",
+            TokenKind::Having => "HAVING",
+            TokenKind::Distinct => "DISTINCT",
+            TokenKind::Star => "*",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Dot => ".",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Eq => "=",
+            TokenKind::Neq => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::Ident(_) | TokenKind::Int(_) | TokenKind::Str(_) | TokenKind::Eof => {
+                unreachable!("value tokens render through describe()")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// One token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token's kind (and payload for values).
+    pub kind: TokenKind,
+    /// Where it sits in the query text.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => TokenKind::Select,
+        "COUNT" => TokenKind::Count,
+        "SUM" => TokenKind::Sum,
+        "FROM" => TokenKind::From,
+        "JOIN" => TokenKind::Join,
+        "INNER" => TokenKind::Inner,
+        "ON" => TokenKind::On,
+        "WHERE" => TokenKind::Where,
+        "AND" => TokenKind::And,
+        "AS" => TokenKind::As,
+        "NOT" => TokenKind::Not,
+        "IN" => TokenKind::In,
+        "OR" => TokenKind::Or,
+        "CROSS" => TokenKind::Cross,
+        "LEFT" => TokenKind::Left,
+        "RIGHT" => TokenKind::Right,
+        "FULL" => TokenKind::Full,
+        "OUTER" => TokenKind::Outer,
+        "UNION" => TokenKind::Union,
+        "EXCEPT" => TokenKind::Except,
+        "INTERSECT" => TokenKind::Intersect,
+        "GROUP" => TokenKind::Group,
+        "ORDER" => TokenKind::Order,
+        "BY" => TokenKind::By,
+        "HAVING" => TokenKind::Having,
+        "DISTINCT" => TokenKind::Distinct,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `sql`. The returned stream always ends with an [`TokenKind::Eof`]
+/// token spanning the end of the input.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            b'<' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'>') => (TokenKind::Neq, 2),
+                    Some(b'=') => (TokenKind::Le, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, start + len),
+                });
+                i += len;
+            }
+            b'>' => {
+                let (kind, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, start + len),
+                });
+                i += len;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        span: Span::new(start, start + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        message: "unexpected `!` (did you mean `!=` or `<>`?)".to_owned(),
+                        span: Span::new(start, start + 1),
+                    });
+                }
+            }
+            b'\'' => {
+                // String literal with '' as the escaped quote.
+                let mut value = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            value.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Copy one full character: `i` always sits on a
+                            // char boundary (every other token is ASCII).
+                            let c = sql[i..].chars().next().expect("in bounds");
+                            value.push(c);
+                            i += c.len_utf8();
+                        }
+                        None => {
+                            return Err(SqlError::Lex {
+                                message: "unterminated string literal".to_owned(),
+                                span: Span::new(start, bytes.len()),
+                            });
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let value: i64 = text.parse().map_err(|_| SqlError::Lex {
+                    message: format!("integer literal `{text}` out of range"),
+                    span: Span::new(start, i),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span: Span::new(start, i),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let kind =
+                    keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_ascii_lowercase()));
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let c = sql[start..].chars().next().expect("in bounds");
+                return Err(SqlError::Lex {
+                    message: format!("unexpected character `{c}`"),
+                    span: Span::new(start, start + c.len_utf8()),
+                });
+            }
+        }
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(sql.len(), sql.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive_and_identifiers_fold() {
+        let toks = tokenize("SELECT Count(*) from Visits").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Select);
+        assert_eq!(toks[1].kind, TokenKind::Count);
+        assert_eq!(toks[2].kind, TokenKind::LParen);
+        assert_eq!(toks[3].kind, TokenKind::Star);
+        assert_eq!(toks[5].kind, TokenKind::From);
+        assert_eq!(toks[6].kind, TokenKind::Ident("visits".to_owned()));
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+    }
+
+    #[test]
+    fn spans_point_at_source_text() {
+        let sql = "SELECT COUNT(*) FROM t WHERE a <> 10";
+        let toks = tokenize(sql).unwrap();
+        let neq = toks.iter().find(|t| t.kind == TokenKind::Neq).unwrap();
+        assert_eq!(neq.span.slice(sql), "<>");
+        let ten = toks
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::Int(10)))
+            .unwrap();
+        assert_eq!(ten.span.slice(sql), "10");
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        let toks = tokenize("a <= 2 AND b >= 3 AND c != 'x''y'").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(kinds.contains(&&TokenKind::Le));
+        assert!(kinds.contains(&&TokenKind::Ge));
+        assert!(kinds.contains(&&TokenKind::Neq));
+        assert!(kinds.contains(&&TokenKind::Str("x'y".to_owned())));
+    }
+
+    #[test]
+    fn non_ascii_string_literals_survive_lexing() {
+        let sql = "SELECT COUNT(*) FROM t WHERE city = 'm\u{fc}nchen'";
+        let toks = tokenize(sql).unwrap();
+        let lit = toks
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::Str(s) => Some((s.clone(), t.span)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(lit.0, "m\u{fc}nchen");
+        assert_eq!(lit.1.slice(sql), "'m\u{fc}nchen'");
+        // Unexpected non-ASCII characters outside strings error cleanly.
+        let err = tokenize("SELECT \u{3bb}").unwrap_err();
+        match err {
+            SqlError::Lex { message, span } => {
+                assert!(message.contains('\u{3bb}'), "{message}");
+                assert_eq!(span.end - span.start, '\u{3bb}'.len_utf8());
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lex_errors_have_spans() {
+        let err = tokenize("SELECT #").unwrap_err();
+        match err {
+            SqlError::Lex { span, .. } => assert_eq!(span.start, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("SELECT 'oops").is_err());
+        assert!(tokenize("SELECT 99999999999999999999").is_err());
+    }
+}

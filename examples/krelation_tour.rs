@@ -15,7 +15,7 @@ use recursive_mechanism_dp::core::subgraph::{PrivacyUnit, SubgraphCounter};
 use recursive_mechanism_dp::core::MechanismParams;
 use recursive_mechanism_dp::graph::{Graph, Pattern};
 use recursive_mechanism_dp::krelation::participant::ParticipantId;
-use recursive_mechanism_dp::krelation::phi::{phi_sensitivities, phi};
+use recursive_mechanism_dp::krelation::phi::{phi, phi_sensitivities};
 use recursive_mechanism_dp::krelation::Expr;
 
 fn main() {
@@ -32,7 +32,10 @@ fn main() {
             MechanismParams::paper_node_privacy(0.5),
         );
         let query = counter.build_sensitive_relation(&graph);
-        println!("-- {label} differential privacy ({} tuples):", query.support_size());
+        println!(
+            "-- {label} differential privacy ({} tuples):",
+            query.support_size()
+        );
         for (idx, (expr, _)) in query.terms().iter().enumerate() {
             println!("   t{idx}: {expr}");
         }
@@ -61,7 +64,10 @@ fn main() {
                 Expr::var(ParticipantId(v)),
                 Expr::or(common.iter().map(|&w| Expr::var(ParticipantId(w)))),
             ]);
-            println!("   {}{}: {}", names[u as usize], names[v as usize], annotation);
+            println!(
+                "   {}{}: {}",
+                names[u as usize], names[v as usize], annotation
+            );
         }
     }
 
@@ -98,7 +104,11 @@ fn main() {
         Expr::or2(Expr::var(a), Expr::var(b)),
         Expr::or2(Expr::var(a), Expr::var(c)),
     );
-    for f in [vec![1.0, 0.0, 0.0, 0.0], vec![0.5, 0.5, 0.5, 0.0], vec![0.0, 1.0, 1.0, 0.0]] {
+    for f in [
+        vec![1.0, 0.0, 0.0, 0.0],
+        vec![0.5, 0.5, 0.5, 0.0],
+        vec![0.0, 1.0, 1.0, 0.0],
+    ] {
         println!("   φ_{{{k}}}({f:?}) = {}", phi(&k, &f));
     }
 }

@@ -34,7 +34,11 @@ fn main() {
         "pattern", "true", "median rel err (node)", "median rel err (edge)"
     );
 
-    for pattern in [Pattern::triangle(), Pattern::k_star(2), Pattern::k_triangle(2)] {
+    for pattern in [
+        Pattern::triangle(),
+        Pattern::k_star(2),
+        Pattern::k_triangle(2),
+    ] {
         let mut row = (0.0, 0.0, 0.0);
         for (privacy, slot) in [(PrivacyUnit::Node, 0usize), (PrivacyUnit::Edge, 1)] {
             let params = match privacy {

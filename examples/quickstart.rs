@@ -51,6 +51,9 @@ fn main() {
     // Additional releases reuse the cached sequences and each spend another
     // ε of privacy budget.
     let more = prepared.release_many(5, &mut rng).expect("releases");
-    let answers: Vec<String> = more.iter().map(|a| format!("{:.1}", a.noisy_count)).collect();
+    let answers: Vec<String> = more
+        .iter()
+        .map(|a| format!("{:.1}", a.noisy_count))
+        .collect();
     println!("five more releases        : {}", answers.join(", "));
 }

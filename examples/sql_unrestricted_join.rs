@@ -1,4 +1,5 @@
-//! Unrestricted joins over a multi-table sensitive database.
+//! Unrestricted joins over a multi-table sensitive database — now posed as
+//! actual SQL.
 //!
 //! The motivating scenario of the paper beyond subgraph counting: a user
 //! poses a positive relational-algebra query (with joins) against a sensitive
@@ -23,19 +24,28 @@
 //! participants per output row, with one prolific traveller appearing in
 //! many rows.
 //!
+//! The example runs the query twice: once through the `rmdp-sql` frontend
+//! (the exact SQL string above) and once as the hand-built algebra plan the
+//! frontend compiles to, asserting both agree before releasing the count.
+//!
 //! ```text
 //! cargo run --release --example sql_unrestricted_join
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use recursive_mechanism_dp::core::efficient::EfficientSequences;
 use recursive_mechanism_dp::core::params::MechanismParams;
-use recursive_mechanism_dp::core::{RecursiveMechanism, SensitiveKRelation};
 use recursive_mechanism_dp::krelation::algebra::{natural_join, rename, select};
 use recursive_mechanism_dp::krelation::annotate::AnnotatedDatabase;
 use recursive_mechanism_dp::krelation::tuple::{Attr, Tuple, Value};
 use recursive_mechanism_dp::krelation::{Expr, KRelation};
+use recursive_mechanism_dp::sql::SqlSession;
+
+/// The SQL text from the module doc comment, verbatim.
+const SQL: &str = "\
+SELECT COUNT(*)
+FROM   Visits v1 JOIN Visits v2 ON v1.place = v2.place
+JOIN   Residents r1 ON r1.person = v1.person
+JOIN   Residents r2 ON r2.person = v2.person
+WHERE  r1.city <> r2.city AND v1.person < v2.person";
 
 fn main() {
     let mut db = AnnotatedDatabase::new();
@@ -81,9 +91,10 @@ fn main() {
     db.insert_table("residents", residents.clone());
     db.insert_table("visits", visits.clone());
 
-    // The relational-algebra plan. Renaming gives the two sides of the
-    // self-join distinct attribute names; annotations are combined with ∧ at
-    // every join, so an output row's provenance mentions both people.
+    // The hand-built relational-algebra plan the frontend's compilation is
+    // checked against. Renaming gives the two sides of the self-join distinct
+    // attribute names; annotations are combined with ∧ at every join, so an
+    // output row's provenance mentions both people.
     let v1 = rename(&visits, |a| match a.name() {
         "person" => Attr::new("p1"),
         other => Attr::new(other),
@@ -106,33 +117,35 @@ fn main() {
         other => Attr::new(other),
     });
     let joined = natural_join(&natural_join(&same_place, &r1), &r2);
-    let result = select(&joined, |t| {
+    let hand_built = select(&joined, |t| {
         t.get_named("city1").unwrap() != t.get_named("city2").unwrap()
     });
 
-    println!("query output ({} rows):", result.len());
-    println!("{result:?}");
+    // The SQL path. `plan` is the compiled algebra pipeline; `evaluate` runs
+    // it without privacy so the output can be compared against the hand-built
+    // plan; `query` performs the differentially private release through the
+    // recursive mechanism's efficient (LP-based) instantiation.
+    let params = MechanismParams::paper_edge_privacy(1.0);
+    let mut session = SqlSession::with_seed(db, params, 7);
 
-    // Wrap the output as a sensitive K-relation (count query, weight 1) and
-    // release the count with the recursive mechanism.
-    let participants = db.universe().ids().collect();
-    let query = SensitiveKRelation::new(&result, participants, |_| 1.0);
-    println!(
-        "|P| = {}, |supp(R)| = {}, universal empirical sensitivity = {}",
-        query.num_participants(),
-        query.support_size(),
-        query.universal_sensitivity()
+    println!("SQL:\n{SQL}\n");
+    println!("plan:\n{}\n", session.plan(SQL).expect("query plans"));
+
+    let sql_output = session.evaluate(SQL).expect("query evaluates");
+    assert_eq!(
+        sql_output.len(),
+        hand_built.len(),
+        "SQL frontend and hand-built algebra plan disagree"
     );
+    println!("query output ({} rows):", sql_output.len());
+    println!("{sql_output:?}");
 
-    let mut mechanism = RecursiveMechanism::new(
-        EfficientSequences::new(query),
-        MechanismParams::paper_edge_privacy(1.0),
-    )
-    .expect("valid parameters");
-
-    let mut rng = StdRng::seed_from_u64(7);
-    let release = mechanism.release(&mut rng).expect("release");
+    let release = session.query(SQL).expect("release");
+    assert_eq!(release.true_answer, hand_built.len() as f64);
     println!("true count                 : {}", release.true_answer);
     println!("released (1-DP)            : {:.2}", release.noisy_answer);
-    println!("noise scale used (Δ̂/ε₂)    : {:.2}", release.delta_hat / 0.5);
+    println!(
+        "noise scale used (Δ̂/ε₂)    : {:.2}",
+        release.delta_hat / session.params().epsilon2
+    );
 }

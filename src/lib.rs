@@ -15,6 +15,9 @@
 //! * [`core`] — the recursive mechanism itself (general and efficient
 //!   instantiations, subgraph-counting front-end).
 //! * [`baselines`] — the competing mechanisms from the paper's evaluation.
+//! * [`sql`] — a SQL frontend: a positive SQL subset (joins, including
+//!   self-joins, with conjunctive predicates) compiled to the K-relation
+//!   algebra and released through the recursive mechanism.
 //!
 //! ## Quickstart
 //!
@@ -34,9 +37,37 @@
 //! assert!(answer.noisy_count.is_finite());
 //! ```
 
+//! ## SQL quickstart
+//!
+//! ```
+//! use recursive_mechanism_dp::core::MechanismParams;
+//! use recursive_mechanism_dp::krelation::annotate::AnnotatedDatabase;
+//! use recursive_mechanism_dp::krelation::tuple::{Tuple, Value};
+//! use recursive_mechanism_dp::krelation::{Expr, KRelation};
+//! use recursive_mechanism_dp::sql::SqlSession;
+//!
+//! let mut db = AnnotatedDatabase::new();
+//! let mut visits = KRelation::new(["person", "place"]);
+//! for (person, place) in [("ada", "museum"), ("bo", "museum")] {
+//!     let p = db.universe_mut().intern(person);
+//!     visits.insert(
+//!         Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+//!         Expr::Var(p),
+//!     );
+//! }
+//! db.insert_table("visits", visits);
+//! let mut session = SqlSession::new(db, MechanismParams::paper_edge_privacy(1.0));
+//! let release = session
+//!     .query("SELECT COUNT(*) FROM visits v1 JOIN visits v2 ON v1.place = v2.place \
+//!             WHERE v1.person < v2.person")
+//!     .unwrap();
+//! assert_eq!(release.true_answer, 1.0);
+//! ```
+
 pub use rmdp_baselines as baselines;
 pub use rmdp_core as core;
 pub use rmdp_graph as graph;
 pub use rmdp_krelation as krelation;
 pub use rmdp_lp as lp;
 pub use rmdp_noise as noise;
+pub use rmdp_sql as sql;

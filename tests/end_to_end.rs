@@ -69,10 +69,7 @@ fn relational_algebra_plan_matches_subgraph_front_end() {
 
     assert_eq!(algebra_query.true_answer(), 3.0);
     assert_eq!(algebra_query.true_answer(), front_end_query.true_answer());
-    assert_eq!(
-        algebra_query.support_size(),
-        front_end_query.support_size()
-    );
+    assert_eq!(algebra_query.support_size(), front_end_query.support_size());
     // The join-produced annotations repeat variables (e.g. (a∧b)∧(b∧c)∧(a∧c)),
     // but the impacted-participant structure is identical, so the universal
     // empirical sensitivity agrees with the front-end's.
@@ -196,8 +193,7 @@ fn weighted_linear_statistic_release() {
         .enumerate()
         .map(|(i, (e, _))| (e.clone(), if i == 0 { 2.0 } else { 1.0 }))
         .collect();
-    let weighted =
-        SensitiveKRelation::from_terms(relation_tuples.participants().to_vec(), terms);
+    let weighted = SensitiveKRelation::from_terms(relation_tuples.participants().to_vec(), terms);
     assert_eq!(weighted.true_answer(), 4.0);
 
     let mut mech = RecursiveMechanism::new(

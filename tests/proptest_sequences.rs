@@ -46,10 +46,7 @@ fn arb_relation() -> impl Strategy<Value = (u32, Vec<(Expr, f64)>)> {
 }
 
 fn build(n: u32, terms: &[(Expr, f64)]) -> SensitiveKRelation {
-    SensitiveKRelation::from_terms(
-        (0..n).map(ParticipantId).collect(),
-        terms.to_vec(),
-    )
+    SensitiveKRelation::from_terms((0..n).map(ParticipantId).collect(), terms.to_vec())
 }
 
 proptest! {

@@ -1,0 +1,77 @@
+//! The `any::<T>()` entry point.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// The full-domain strategy for this type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u64>()`, …).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+struct FromFn<T>(fn(&mut TestRng) -> T);
+
+impl<T: 'static> Strategy for FromFn<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! arbitrary_via {
+    ($($t:ty => $f:expr;)*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                FromFn::<$t>($f).boxed()
+            }
+        }
+    )*};
+}
+
+arbitrary_via! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+    // Finite floats over a moderate range; the workspace's tests do not rely
+    // on NaN/infinity edge cases.
+    f64 => |rng| (rng.unit_f64() - 0.5) * 2e6;
+    f32 => |rng| ((rng.unit_f64() - 0.5) * 2e6) as f32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::for_test("any-bool");
+        let strat = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::for_test("any-u64");
+        let strat = any::<u64>();
+        let a = strat.sample(&mut rng);
+        let b = strat.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+}

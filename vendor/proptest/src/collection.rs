@@ -1,0 +1,134 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// A size specification: an exact length or an inclusive interval.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo >= self.hi {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+///
+/// If the element strategy cannot produce enough distinct values the set may
+/// come out smaller than requested (the real `proptest` rejects instead).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 50 + 50 {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_exact_and_ranged_sizes() {
+        let mut rng = TestRng::for_test("vec-sizes");
+        for _ in 0..50 {
+            assert_eq!(vec(0u32..5, 3usize).sample(&mut rng).len(), 3);
+            let ranged = vec(0u32..5, 1..4).sample(&mut rng);
+            assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_produces_distinct_elements_in_target_range() {
+        let mut rng = TestRng::for_test("set-sizes");
+        for _ in 0..50 {
+            let s = btree_set(0u32..6, 2..4).sample(&mut rng);
+            assert!((2..4).contains(&s.len()), "len {}", s.len());
+        }
+    }
+}

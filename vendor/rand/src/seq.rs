@@ -1,0 +1,90 @@
+//! Sequence-related helpers (`choose`, `shuffle`).
+
+use crate::Rng;
+
+/// Random selection and shuffling on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly random element, or `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// `amount` distinct elements in random order (all of them when the
+    /// slice is shorter), as an iterator like the real API's.
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a T> {
+        // Partial Fisher–Yates over an index vector.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices
+            .into_iter()
+            .take(amount)
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_returns_an_element() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = [1, 2, 3, 4];
+        for _ in 0..20 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+}
