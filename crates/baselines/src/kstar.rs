@@ -1,5 +1,5 @@
 //! k-star counting with local-sensitivity calibration
-//! (Karwa, Raskhodnikova, Smith & Yaroslavtsev [7]).
+//! (Karwa, Raskhodnikova, Smith & Yaroslavtsev \[7\]).
 //!
 //! Edge privacy, ε-DP. Adding or removing an edge `{u, v}` changes the number
 //! of k-stars by `C(d_u, k−1) + C(d_v, k−1)` (stars centred at `u` or `v`

@@ -1,5 +1,5 @@
 //! k-triangle counting, the (ε, δ) local-sensitivity mechanism
-//! (Karwa, Raskhodnikova, Smith & Yaroslavtsev [7]).
+//! (Karwa, Raskhodnikova, Smith & Yaroslavtsev \[7\]).
 //!
 //! Edge privacy, (ε, δ)-DP. A k-triangle is `k` triangles sharing one edge.
 //! Removing or adding an edge `{u, v}` changes the count by

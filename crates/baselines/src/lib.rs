@@ -7,20 +7,22 @@
 //!   (Dwork et al.), included as the "what if we just calibrated to the worst
 //!   case" reference.
 //! * [`smooth_triangle`] — triangle counting with smooth sensitivity and
-//!   Cauchy noise (Nissim, Raskhodnikova & Smith [10]); ε-DP, edge privacy.
+//!   Cauchy noise (Nissim, Raskhodnikova & Smith \[10\]); ε-DP, edge privacy.
 //! * [`kstar`] — k-star counting calibrated to a smooth bound on the local
-//!   sensitivity (Karwa, Raskhodnikova, Smith & Yaroslavtsev [7]); ε-DP,
+//!   sensitivity (Karwa, Raskhodnikova, Smith & Yaroslavtsev \[7\]); ε-DP,
 //!   edge privacy.
 //! * [`ktriangle`] — k-triangle counting, the (ε, δ) local-sensitivity
 //!   mechanism of the same paper; edge privacy.
 //! * [`rhms`] — the output-perturbation mechanism of Rastogi, Hay, Miklau &
-//!   Suciu [12] for arbitrary connected subgraphs, modelled at its published
+//!   Suciu \[12\] for arbitrary connected subgraphs, modelled at its published
 //!   noise magnitude `Θ((k·l²·ln|V|)^{l−1}/ε)`; (ε, γ)-adversarial privacy,
 //!   edge privacy.
 //!
 //! All baselines provide **edge** privacy only — none of them can offer node
 //! privacy, which is the point of the comparison. See `DESIGN.md` for the
 //! faithfulness discussion of each re-implementation.
+
+#![deny(missing_docs)]
 
 pub mod kstar;
 pub mod ktriangle;

@@ -1,5 +1,5 @@
 //! The RHMS output-perturbation mechanism
-//! (Rastogi, Hay, Miklau & Suciu [12]).
+//! (Rastogi, Hay, Miklau & Suciu \[12\]).
 //!
 //! RHMS answers counting queries for arbitrary connected subgraphs under
 //! (ε, γ)-*adversarial* privacy — a strictly weaker guarantee than

@@ -1,4 +1,4 @@
-//! Smooth-sensitivity triangle counting (Nissim, Raskhodnikova & Smith [10]).
+//! Smooth-sensitivity triangle counting (Nissim, Raskhodnikova & Smith \[10\]).
 //!
 //! Edge privacy, ε-DP. The local sensitivity of the triangle count at a graph
 //! `G` is `max_{i,j} a_{ij}` — the largest number of common neighbours over
@@ -8,7 +8,7 @@
 //! The distance-`s` local sensitivity is upper-bounded by
 //! `min(n − 2, a_max + s)`: each of the `s` edge modifications can raise any
 //! pair's common-neighbour count by at most one. We take the smooth bound of
-//! this envelope, which upper-bounds the exact smooth sensitivity of [10]
+//! this envelope, which upper-bounds the exact smooth sensitivity of \[10\]
 //! (privacy is preserved; the error is within a small constant of the exact
 //! computation — see DESIGN.md, substitutions).
 

@@ -34,6 +34,7 @@ use rmdp_krelation::participant::ParticipantId;
 use rmdp_krelation::phi::phi_sensitivities;
 use rmdp_krelation::Expr;
 use rmdp_lp::{Model, Sense, Var};
+use rmdp_runtime::{par_map_indexed, Parallelism};
 
 /// Cumulative counters describing the LP work done by one instantiation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -49,14 +50,30 @@ pub struct LpWorkStats {
 /// The LP-based instantiation of the recursive mechanism over a sensitive
 /// K-relation. Computed entries are cached, so repeated releases on the same
 /// relation only pay for the entries they newly touch.
+///
+/// Entries are independent LPs over a shared immutable view of the query
+/// (the internal `SequenceLps`), so [`MechanismSequences::precompute`] can
+/// solve all of them concurrently on the scoped worker pool of
+/// `rmdp-runtime`; the values (and the resulting releases) are bit-identical
+/// to the lazy serial path.
 pub struct EfficientSequences {
+    /// The shared immutable problem view each LP solve reads from.
+    lps: SequenceLps,
+    h_cache: FxHashMap<usize, f64>,
+    g_cache: FxHashMap<usize, f64>,
+    stats: LpWorkStats,
+}
+
+/// The immutable LP-construction view: the query plus its precomputed
+/// φ-sensitivities. Every `solve_*` call builds its own [`Model`] from this
+/// shared data (`&self` only), so the struct is `Sync` and worker threads can
+/// build and solve entry LPs concurrently without any cache contention —
+/// caching stays in [`EfficientSequences`], outside the parallel region.
+struct SequenceLps {
     query: SensitiveKRelation,
     /// φ-sensitivities of each term's annotation (aligned with the query's
     /// terms), precomputed once.
     term_sensitivities: Vec<FxHashMap<ParticipantId, f64>>,
-    h_cache: FxHashMap<usize, f64>,
-    g_cache: FxHashMap<usize, f64>,
-    stats: LpWorkStats,
 }
 
 /// Either a constant or an LP variable — the value of an encoded
@@ -65,6 +82,13 @@ pub struct EfficientSequences {
 enum Operand {
     Const(f64),
     Variable(Var),
+}
+
+/// One sequence entry to solve: which sequence and which index.
+#[derive(Clone, Copy, Debug)]
+enum EntryJob {
+    H(usize),
+    G(usize),
 }
 
 impl EfficientSequences {
@@ -76,8 +100,10 @@ impl EfficientSequences {
             .map(|(e, _)| phi_sensitivities(e))
             .collect();
         EfficientSequences {
-            query,
-            term_sensitivities,
+            lps: SequenceLps {
+                query,
+                term_sensitivities,
+            },
             h_cache: FxHashMap::default(),
             g_cache: FxHashMap::default(),
             stats: LpWorkStats::default(),
@@ -86,14 +112,16 @@ impl EfficientSequences {
 
     /// The wrapped query.
     pub fn query(&self) -> &SensitiveKRelation {
-        &self.query
+        &self.lps.query
     }
 
     /// LP work counters.
     pub fn stats(&self) -> LpWorkStats {
         self.stats
     }
+}
 
+impl SequenceLps {
     /// Creates the per-participant variables `f_p ∈ [0,1]` and the mass
     /// constraint `Σ_p f_p = i`.
     fn add_participant_vars(&self, model: &mut Model, i: usize) -> FxHashMap<ParticipantId, Var> {
@@ -178,7 +206,9 @@ impl EfficientSequences {
         }
     }
 
-    fn solve_h(&mut self, i: usize) -> Result<f64, MechanismError> {
+    /// Builds and solves the `H_i` LP, returning the entry value and the
+    /// number of simplex pivots it took.
+    fn solve_h(&self, i: usize) -> Result<(f64, usize), MechanismError> {
         let mut model = Model::new(Sense::Minimize);
         let f_vars = self.add_participant_vars(&mut model, i);
 
@@ -195,13 +225,13 @@ impl EfficientSequences {
         }
 
         let solution = model.solve()?;
-        self.stats.h_solves += 1;
-        self.stats.total_pivots +=
-            solution.stats.phase1_iterations + solution.stats.phase2_iterations;
-        Ok(solution.objective + constant_offset)
+        let pivots = solution.stats.phase1_iterations + solution.stats.phase2_iterations;
+        Ok((solution.objective + constant_offset, pivots))
     }
 
-    fn solve_g(&mut self, i: usize) -> Result<f64, MechanismError> {
+    /// Builds and solves the `G_i` LP, returning the entry value and the
+    /// number of simplex pivots it took.
+    fn solve_g(&self, i: usize) -> Result<(f64, usize), MechanismError> {
         let mut model = Model::new(Sense::Minimize);
         let f_vars = self.add_participant_vars(&mut model, i);
 
@@ -243,16 +273,14 @@ impl EfficientSequences {
         }
 
         let solution = model.solve()?;
-        self.stats.g_solves += 1;
-        self.stats.total_pivots +=
-            solution.stats.phase1_iterations + solution.stats.phase2_iterations;
-        Ok(solution.objective)
+        let pivots = solution.stats.phase1_iterations + solution.stats.phase2_iterations;
+        Ok((solution.objective, pivots))
     }
 }
 
 impl MechanismSequences for EfficientSequences {
     fn num_participants(&self) -> usize {
-        self.query.num_participants()
+        self.lps.query.num_participants()
     }
 
     fn h(&mut self, i: usize) -> Result<f64, MechanismError> {
@@ -260,7 +288,9 @@ impl MechanismSequences for EfficientSequences {
         if let Some(&v) = self.h_cache.get(&i) {
             return Ok(v);
         }
-        let v = self.solve_h(i)?;
+        let (v, pivots) = self.lps.solve_h(i)?;
+        self.stats.h_solves += 1;
+        self.stats.total_pivots += pivots;
         self.h_cache.insert(i, v);
         Ok(v)
     }
@@ -270,13 +300,67 @@ impl MechanismSequences for EfficientSequences {
         if let Some(&v) = self.g_cache.get(&i) {
             return Ok(v);
         }
-        let v = self.solve_g(i)?;
+        let (v, pivots) = self.lps.solve_g(i)?;
+        self.stats.g_solves += 1;
+        self.stats.total_pivots += pivots;
         self.g_cache.insert(i, v);
         Ok(v)
     }
 
     fn bounding_factor(&self) -> f64 {
         2.0
+    }
+
+    /// Solves every not-yet-cached `H_i` and `G_i` LP (`2(|P|+1)` independent
+    /// solves when the caches are cold) on the scoped worker pool. Each
+    /// worker builds its own [`Model`] from the shared immutable problem
+    /// view; results and stats are folded back in entry order on the calling
+    /// thread, so the caches end up exactly as the serial path would leave
+    /// them.
+    ///
+    /// Best-effort by design: an entry whose LP fails (e.g. the simplex
+    /// iteration limit on a pathological instance) is simply left uncached
+    /// and will be re-solved lazily if the driver ever asks for it — so a
+    /// failure on an entry the driver never touches cannot fail a query that
+    /// would have succeeded serially, and the error surface is identical for
+    /// every [`Parallelism`] setting.
+    fn precompute(&mut self, parallelism: Parallelism) -> Result<(), MechanismError> {
+        let n = self.num_participants();
+        let mut jobs: Vec<EntryJob> = Vec::with_capacity(2 * (n + 1));
+        jobs.extend(
+            (0..=n)
+                .filter(|i| !self.h_cache.contains_key(i))
+                .map(EntryJob::H),
+        );
+        jobs.extend(
+            (0..=n)
+                .filter(|i| !self.g_cache.contains_key(i))
+                .map(EntryJob::G),
+        );
+
+        let lps = &self.lps;
+        let solved = par_map_indexed(parallelism, jobs.len(), |k| match jobs[k] {
+            EntryJob::H(i) => lps.solve_h(i),
+            EntryJob::G(i) => lps.solve_g(i),
+        });
+
+        for (job, result) in jobs.iter().zip(solved) {
+            let Ok((value, pivots)) = result else {
+                continue;
+            };
+            self.stats.total_pivots += pivots;
+            match *job {
+                EntryJob::H(i) => {
+                    self.stats.h_solves += 1;
+                    self.h_cache.insert(i, value);
+                }
+                EntryJob::G(i) => {
+                    self.stats.g_solves += 1;
+                    self.g_cache.insert(i, value);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -468,6 +552,58 @@ mod tests {
         // a small constant ≥ θ = 1.
         let delta = mech.delta().unwrap();
         assert!((1.0..20.0).contains(&delta), "Δ = {delta}");
+    }
+
+    #[test]
+    fn parallel_precompute_is_bit_identical_to_lazy_serial() {
+        let mut lazy = EfficientSequences::new(fig2a());
+        let mut eager = EfficientSequences::new(fig2a());
+        eager.precompute(Parallelism::Threads(3)).unwrap();
+        assert_eq!(eager.stats().h_solves, 6);
+        assert_eq!(eager.stats().g_solves, 6);
+        for i in 0..=5usize {
+            // Bitwise equality, not tolerance: the parallel path must run the
+            // exact same deterministic LP solves as the serial one.
+            assert_eq!(lazy.h(i).unwrap(), eager.h(i).unwrap(), "H_{i}");
+            assert_eq!(lazy.g(i).unwrap(), eager.g(i).unwrap(), "G_{i}");
+        }
+        // All entries were cached by precompute: serving them solved nothing.
+        assert_eq!(eager.stats().h_solves, 6);
+        assert_eq!(eager.stats().g_solves, 6);
+        assert_eq!(lazy.stats().total_pivots, eager.stats().total_pivots);
+    }
+
+    #[test]
+    fn precompute_skips_already_cached_entries() {
+        let mut seq = EfficientSequences::new(fig2a());
+        let _ = seq.h(2).unwrap();
+        let _ = seq.g(4).unwrap();
+        seq.precompute(Parallelism::Threads(2)).unwrap();
+        assert_eq!(seq.stats().h_solves, 6);
+        assert_eq!(seq.stats().g_solves, 6);
+    }
+
+    #[test]
+    fn parallel_params_release_matches_serial_release_bit_for_bit() {
+        let serial_params = MechanismParams::paper_node_privacy(1.0);
+        let parallel_params = serial_params.with_parallelism(Parallelism::Threads(4));
+        let mut serial_mech =
+            RecursiveMechanism::new(EfficientSequences::new(fig2a()), serial_params).unwrap();
+        let mut parallel_mech =
+            RecursiveMechanism::new(EfficientSequences::new(fig2a()), parallel_params).unwrap();
+        let a = serial_mech
+            .release_many(5, &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        let b = parallel_mech
+            .release_many(5, &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.noisy_answer, rb.noisy_answer);
+            assert_eq!(ra.delta, rb.delta);
+            assert_eq!(ra.delta_hat, rb.delta_hat);
+            assert_eq!(ra.x, rb.x);
+            assert_eq!(ra.argmin_index, rb.argmin_index);
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::sensitive::SensitiveQuery;
 use crate::sequences::MechanismSequences;
 use rmdp_krelation::hash::FxHashSet;
 use rmdp_krelation::participant::ParticipantId;
+use rmdp_runtime::{par_map_indexed, Parallelism};
 
 /// Hard cap on `|P|` for the exhaustive enumeration.
 pub const MAX_PARTICIPANTS: usize = 22;
@@ -37,9 +38,20 @@ pub struct GeneralSequences {
     g: Vec<f64>,
 }
 
+/// Evaluates `q(M(S))` for the subset encoded by `mask`.
+fn eval_mask<Q: SensitiveQuery>(query: &Q, participants: &[ParticipantId], mask: usize) -> f64 {
+    let subset: FxHashSet<ParticipantId> = participants
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (mask >> i) & 1 == 1)
+        .map(|(_, &p)| p)
+        .collect();
+    query.query_on_subset(&subset)
+}
+
 impl GeneralSequences {
-    /// Builds the sequences for a sensitive query by exhaustive enumeration.
-    pub fn build<Q: SensitiveQuery>(query: &Q) -> Result<Self, MechanismError> {
+    /// Checks the enumeration cap and returns `(participants, 2^|P|)`.
+    fn check<Q: SensitiveQuery>(query: &Q) -> Result<(Vec<ParticipantId>, usize), MechanismError> {
         let participants = query.participants();
         let n = participants.len();
         if n > MAX_PARTICIPANTS {
@@ -47,19 +59,57 @@ impl GeneralSequences {
                 "general instantiation enumerates 2^|P| subsets; |P| = {n} exceeds the cap of {MAX_PARTICIPANTS}"
             )));
         }
+        Ok((participants, 1usize << n))
+    }
 
-        let size = 1usize << n;
-        // q(M(S)) per subset bitmask.
-        let mut q_of: Vec<f64> = vec![0.0; size];
-        for (mask, q_slot) in q_of.iter_mut().enumerate() {
-            let subset: FxHashSet<ParticipantId> = participants
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| (mask >> i) & 1 == 1)
-                .map(|(_, &p)| p)
-                .collect();
-            *q_slot = query.query_on_subset(&subset);
+    /// Builds the sequences for a sensitive query by exhaustive enumeration
+    /// on the calling thread. See [`GeneralSequences::build_with`] for the
+    /// parallel variant (which additionally needs `Q: Sync`).
+    pub fn build<Q: SensitiveQuery>(query: &Q) -> Result<Self, MechanismError> {
+        let (participants, size) = Self::check(query)?;
+        let q_of: Vec<f64> = (0..size)
+            .map(|mask| eval_mask(query, &participants, mask))
+            .collect();
+        Ok(Self::from_subset_values(participants.len(), q_of))
+    }
+
+    /// Builds the sequences for a sensitive query by exhaustive enumeration,
+    /// evaluating the `2^{|P|}` subset queries — the expensive part, each an
+    /// independent evaluation of `q(M(S))` — in chunks on the scoped worker
+    /// pool. The sensitivity DP that follows is inherently sequential (each
+    /// subset reads its one-bit-smaller subsets) but costs only a few float
+    /// ops per subset, so it stays on the calling thread. Results are
+    /// bit-identical to the serial build.
+    pub fn build_with<Q: SensitiveQuery + Sync>(
+        query: &Q,
+        parallelism: Parallelism,
+    ) -> Result<Self, MechanismError> {
+        if parallelism.workers() <= 1 {
+            return Self::build(query);
         }
+        let (participants, size) = Self::check(query)?;
+        // Computed in contiguous chunks so each worker writes one dense run
+        // and the merge is a concatenation in chunk (= mask) order.
+        let chunk = size.div_ceil(parallelism.workers() * 8).max(1);
+        let num_chunks = size.div_ceil(chunk);
+        let chunks = par_map_indexed(parallelism, num_chunks, |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(size);
+            (lo..hi)
+                .map(|mask| eval_mask(query, &participants, mask))
+                .collect::<Vec<f64>>()
+        });
+        Ok(Self::from_subset_values(
+            participants.len(),
+            chunks.concat(),
+        ))
+    }
+
+    /// Finishes the build from the per-mask query values: the sensitivity DP
+    /// and the per-size minima.
+    fn from_subset_values(n: usize, q_of: Vec<f64>) -> Self {
+        let size = q_of.len();
+        debug_assert_eq!(size, 1usize << n);
 
         // Local empirical sensitivity per subset, then the global empirical
         // sensitivity G̃S(S) = max(L̃S(S), max_{p∈S} G̃S(S − {p})) via a DP in
@@ -88,7 +138,7 @@ impl GeneralSequences {
             g[i] = g[i].min(gs[mask]);
         }
 
-        Ok(GeneralSequences { n, h, g })
+        GeneralSequences { n, h, g }
     }
 
     /// The precomputed `H` entries (diagnostic access).
@@ -202,6 +252,17 @@ mod tests {
         let mut small = GeneralSequences::build(&q_small).unwrap();
         let mut large = GeneralSequences::build(&q_large).unwrap();
         validate_recursive_monotonicity(&mut small, &mut large).unwrap();
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let q = edge_count_query(4, SQUARE_WITH_DIAGONAL);
+        let serial = GeneralSequences::build(&q).unwrap();
+        for p in [Parallelism::Threads(2), Parallelism::Threads(5)] {
+            let parallel = GeneralSequences::build_with(&q, p).unwrap();
+            assert_eq!(serial.h_entries(), parallel.h_entries(), "{p}");
+            assert_eq!(serial.g_entries(), parallel.g_entries(), "{p}");
+        }
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! println!("true {} / released {}", answer.true_count, answer.noisy_count);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod efficient;
 pub mod empirical;
 pub mod error;
@@ -53,4 +55,5 @@ pub use general::GeneralSequences;
 pub use krelation_query::SensitiveKRelation;
 pub use mechanism::{RecursiveMechanism, Release};
 pub use params::MechanismParams;
+pub use rmdp_runtime::Parallelism;
 pub use sequences::MechanismSequences;

@@ -55,8 +55,17 @@ pub struct RecursiveMechanism<S: MechanismSequences> {
 
 impl<S: MechanismSequences> RecursiveMechanism<S> {
     /// Wraps an instantiation with the given parameters.
-    pub fn new(sequences: S, params: MechanismParams) -> Result<Self, MechanismError> {
+    ///
+    /// When `params.parallelism` resolves to more than one worker, every
+    /// sequence entry is precomputed here on the scoped worker pool (the
+    /// `2(|P|+1)` entry LPs of the efficient instantiation are independent);
+    /// serially, entries stay lazy and only the ones the driver touches are
+    /// solved. Released values are identical either way.
+    pub fn new(mut sequences: S, params: MechanismParams) -> Result<Self, MechanismError> {
         params.validate()?;
+        if params.parallelism.is_parallel() {
+            sequences.precompute(params.parallelism)?;
+        }
         Ok(RecursiveMechanism {
             sequences,
             params,

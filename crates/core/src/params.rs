@@ -7,8 +7,14 @@
 //!
 //! The paper's experiments use `θ = 1`, `β = ε/5`, `μ = 0.5` for edge privacy
 //! and `μ = 1` for node privacy; the total privacy cost is `ε₁ + ε₂`.
+//!
+//! A sixth, non-privacy knob rides along: [`Parallelism`] selects how many
+//! worker threads the instantiation may use to precompute its sequence
+//! entries. It never affects the released values — the parallel path is
+//! bit-identical to the serial one — only wall-clock time.
 
 use crate::error::MechanismError;
+use rmdp_runtime::Parallelism;
 
 /// Parameters of the recursive mechanism.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -25,10 +31,17 @@ pub struct MechanismParams {
     /// `Δ̂ < Δ` — the only failure mode of the utility analysis — less
     /// likely, at the price of more noise).
     pub mu: f64,
+    /// Worker-thread budget for precomputing the sequences `H` and `G`
+    /// (default [`Parallelism::Serial`]). With more than one worker the
+    /// driver precomputes **all** `2(|P|+1)` entries concurrently up front;
+    /// serially it computes only the entries it touches, lazily. Either way
+    /// the entry values — and therefore the releases — are identical.
+    pub parallelism: Parallelism,
 }
 
 impl MechanismParams {
-    /// Explicit constructor.
+    /// Explicit constructor (serial execution; see
+    /// [`MechanismParams::with_parallelism`]).
     pub fn new(epsilon1: f64, epsilon2: f64, beta: f64, theta: f64, mu: f64) -> Self {
         MechanismParams {
             epsilon1,
@@ -36,7 +49,15 @@ impl MechanismParams {
             beta,
             theta,
             mu,
+            parallelism: Parallelism::Serial,
         }
+    }
+
+    /// Sets the worker-thread budget for sequence precomputation. Purely a
+    /// performance knob: releases are bit-identical for every setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The paper's experimental setting for edge privacy at total budget
@@ -48,6 +69,7 @@ impl MechanismParams {
             beta: epsilon / 5.0,
             theta: 1.0,
             mu: 0.5,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -107,6 +129,22 @@ mod tests {
         let node = MechanismParams::paper_node_privacy(0.5);
         assert!((node.mu - 1.0).abs() < 1e-12);
         assert!((node.total_epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_serial_and_is_a_pure_perf_knob() {
+        let base = MechanismParams::paper_edge_privacy(0.5);
+        assert_eq!(base.parallelism, Parallelism::Serial);
+        let parallel = base.with_parallelism(Parallelism::Threads(4));
+        assert_eq!(parallel.parallelism, Parallelism::Threads(4));
+        // Everything privacy-relevant is untouched.
+        assert_eq!(parallel.total_epsilon(), base.total_epsilon());
+        assert_eq!(parallel.beta, base.beta);
+        assert!(parallel.validate().is_ok());
+        assert_eq!(
+            MechanismParams::new(0.25, 0.25, 0.1, 1.0, 0.5).parallelism,
+            Parallelism::Serial
+        );
     }
 
     #[test]

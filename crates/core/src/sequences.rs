@@ -18,6 +18,7 @@
 //! property tests of both instantiations.
 
 use crate::error::MechanismError;
+use rmdp_runtime::Parallelism;
 
 /// The interface the mechanism driver needs from an instantiation.
 pub trait MechanismSequences {
@@ -39,6 +40,17 @@ pub trait MechanismSequences {
     fn true_answer(&mut self) -> Result<f64, MechanismError> {
         let n = self.num_participants();
         self.h(n)
+    }
+
+    /// Computes (and caches) every entry the instantiation can serve, using
+    /// up to `parallelism` worker threads. A performance hook, not a
+    /// semantic one: afterwards [`MechanismSequences::h`] and
+    /// [`MechanismSequences::g`] must return exactly the values they would
+    /// have computed lazily. The default does nothing, which is correct for
+    /// instantiations that are already eager (e.g. the general one).
+    fn precompute(&mut self, parallelism: Parallelism) -> Result<(), MechanismError> {
+        let _ = parallelism;
+        Ok(())
     }
 }
 

@@ -1,0 +1,104 @@
+//! Parallel scaling of the sequence precomputation (the `2(|P|+1)` entry
+//! LPs of the efficient instantiation) on the fig-4 subgraph workloads.
+//!
+//! Each benchmark builds the sensitive K-relation once, then times a cold
+//! `precompute` of every `H_i`/`G_i` entry at 1 (serial), 2, 4 and 8
+//! workers. The LP solves are independent, so on a machine with `w` idle
+//! cores the expected speedup at `w` workers approaches `w` (modulo the
+//! skew between small-`i` and large-`i` LPs, which the pool's dynamic
+//! index-stealing smooths out). Run with:
+//!
+//! ```text
+//! cargo bench -p rmdp-experiments --bench parallel_scaling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmdp_core::params::MechanismParams;
+use rmdp_core::subgraph::{PrivacyUnit, SubgraphCounter};
+use rmdp_core::{EfficientSequences, MechanismSequences, Parallelism, SensitiveKRelation};
+use rmdp_graph::{generators, Pattern};
+
+/// The fig-4 workload: triangle counting under node privacy on a G(n, p)
+/// graph with the paper's average degree 10.
+fn fig4_relation(nodes: usize) -> SensitiveKRelation {
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::gnp_average_degree(nodes, 10.0, &mut rng);
+    let counter = SubgraphCounter::new(
+        Pattern::triangle(),
+        PrivacyUnit::Node,
+        MechanismParams::paper_node_privacy(0.5),
+    );
+    counter.build_sensitive_relation(&graph)
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling_fig4_triangle_node");
+    group.sample_size(5);
+    for &nodes in &[40usize, 60] {
+        let relation = fig4_relation(nodes);
+        for workers in [1usize, 2, 4, 8] {
+            let parallelism = if workers == 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Threads(workers)
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("precompute_{nodes}nodes"), workers),
+                &workers,
+                |b, _| {
+                    b.iter(|| {
+                        // Fresh instance every iteration: the caches must be
+                        // cold for all 2(|P|+1) LPs to actually solve.
+                        let mut seq = EfficientSequences::new(relation.clone());
+                        seq.precompute(parallelism).unwrap();
+                        criterion::black_box(seq.stats().total_pivots)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The two-star workload of fig-4's second query family, smaller because the
+/// K-relation support grows like Σ deg², at the same worker grid.
+fn bench_parallel_scaling_two_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling_fig4_twostar_node");
+    group.sample_size(3);
+    let mut rng = StdRng::seed_from_u64(11);
+    let graph = generators::gnp_average_degree(24, 4.0, &mut rng);
+    let counter = SubgraphCounter::new(
+        Pattern::k_star(2),
+        PrivacyUnit::Node,
+        MechanismParams::paper_node_privacy(0.5),
+    );
+    let relation = counter.build_sensitive_relation(&graph);
+    for workers in [1usize, 2, 4, 8] {
+        let parallelism = if workers == 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(workers)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("precompute_24nodes", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let mut seq = EfficientSequences::new(relation.clone());
+                    seq.precompute(parallelism).unwrap();
+                    criterion::black_box(seq.stats().total_pivots)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_scaling,
+    bench_parallel_scaling_two_star
+);
+criterion_main!(benches);

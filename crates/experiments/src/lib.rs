@@ -17,6 +17,15 @@
 //! published parameters (and, like the original implementation, can take
 //! hours for the largest points). `EXPERIMENTS.md` records the
 //! paper-vs-measured comparison for each artefact.
+//!
+//! Criterion benches live under `benches/`: raw simplex (`lp_bench`),
+//! φ-encoding (`phi_bench`), subgraph enumeration (`subgraph_bench`),
+//! end-to-end releases (`mechanism_bench`, `ablation_bench`) and the
+//! serial-vs-parallel sequence precompute on the fig-4 workloads
+//! (`parallel_scaling`, exercising the `Parallelism` knob of
+//! `MechanismParams` at 1/2/4/8 workers).
+
+#![deny(missing_docs)]
 
 pub mod cli;
 pub mod report;

@@ -15,6 +15,8 @@
 //! * [`stats`] — degree statistics (`d_max`, `a_max`, …) used by the baseline
 //!   mechanisms' sensitivity formulas.
 
+#![deny(missing_docs)]
+
 pub mod generators;
 pub mod graph;
 pub mod pattern;

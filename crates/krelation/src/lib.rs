@@ -19,6 +19,8 @@
 //! * [`annotate`] — safe annotation helpers for building sensitive base
 //!   tables from per-participant data.
 
+#![deny(missing_docs)]
+
 pub mod algebra;
 pub mod annotate;
 pub mod dnf;

@@ -25,6 +25,8 @@
 //! assert!((sol.value(x) - 1.0).abs() < 1e-9);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod model;
 pub mod simplex;

@@ -79,6 +79,107 @@ impl fmt::Display for PrivacyBudget {
     }
 }
 
+/// A requested debit would overdraw a [`BudgetAccountant`]. Nothing was
+/// consumed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BudgetExhausted {
+    /// The cost of the refused operation.
+    pub requested: PrivacyBudget,
+    /// What the accountant had left.
+    pub remaining: PrivacyBudget,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exhausted: requested {}, remaining {}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// Slack for comparing accumulated floating-point spend against a total,
+/// **relative to that total** so that e.g. five debits of `ε/5` still exactly
+/// exhaust `ε` while tiny budgets (δ is routinely `1e-6..1e-12`) cannot be
+/// overdrawn by an absolute allowance that dwarfs them.
+fn budget_tolerance(total: f64) -> f64 {
+    total.abs() * 1e-12
+}
+
+/// A sequential-composition ledger over a fixed total [`PrivacyBudget`].
+///
+/// Debits are all-or-nothing: [`BudgetAccountant::try_spend`] either records
+/// the full cost or — when the cost exceeds what remains — refuses and
+/// leaves the ledger untouched, so a refused operation consumes no privacy.
+/// The accountant is deliberately sequential (plain sequential composition,
+/// the guarantee the recursive mechanism's per-release `ε₁ + ε₂` costs
+/// compose under); callers that parallelise work must still funnel their
+/// debits through one accountant, which is what `SqlSession::query_batch`
+/// does.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BudgetAccountant {
+    total: PrivacyBudget,
+    spent_epsilon: f64,
+    spent_delta: f64,
+}
+
+impl BudgetAccountant {
+    /// A fresh ledger over `total`.
+    pub fn new(total: PrivacyBudget) -> Self {
+        BudgetAccountant {
+            total,
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+        }
+    }
+
+    /// The total budget the ledger started with.
+    pub fn total(&self) -> PrivacyBudget {
+        self.total
+    }
+
+    /// What has been debited so far.
+    pub fn spent(&self) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: self.spent_epsilon,
+            delta: self.spent_delta,
+        }
+    }
+
+    /// What is still available (clamped at zero).
+    pub fn remaining(&self) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: (self.total.epsilon - self.spent_epsilon).max(0.0),
+            delta: (self.total.delta - self.spent_delta).max(0.0),
+        }
+    }
+
+    /// Whether a debit of `cost` would be accepted right now.
+    pub fn can_afford(&self, cost: PrivacyBudget) -> bool {
+        self.spent_epsilon + cost.epsilon
+            <= self.total.epsilon + budget_tolerance(self.total.epsilon)
+            && self.spent_delta + cost.delta
+                <= self.total.delta + budget_tolerance(self.total.delta)
+    }
+
+    /// Debits `cost`, or refuses without consuming anything when `cost`
+    /// exceeds the remaining budget.
+    pub fn try_spend(&mut self, cost: PrivacyBudget) -> Result<(), BudgetExhausted> {
+        if !self.can_afford(cost) {
+            return Err(BudgetExhausted {
+                requested: cost,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent_epsilon += cost.epsilon;
+        self.spent_delta += cost.delta;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +223,56 @@ mod tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn non_positive_epsilon_rejected() {
         let _ = PrivacyBudget::pure(0.0);
+    }
+
+    #[test]
+    fn accountant_debits_and_refuses_overdrafts_atomically() {
+        let mut acc = BudgetAccountant::new(PrivacyBudget::pure(1.0));
+        assert!(acc.try_spend(PrivacyBudget::pure(0.6)).is_ok());
+        assert!((acc.remaining().epsilon - 0.4).abs() < 1e-12);
+
+        let err = acc.try_spend(PrivacyBudget::pure(0.6)).unwrap_err();
+        assert!((err.requested.epsilon - 0.6).abs() < 1e-12);
+        assert!((err.remaining.epsilon - 0.4).abs() < 1e-12);
+        // The refused debit consumed nothing.
+        assert!((acc.remaining().epsilon - 0.4).abs() < 1e-12);
+
+        assert!(acc.try_spend(PrivacyBudget::pure(0.4)).is_ok());
+        assert_eq!(acc.remaining().epsilon, 0.0);
+    }
+
+    #[test]
+    fn repeated_fractional_debits_exactly_exhaust_the_total() {
+        let mut acc = BudgetAccountant::new(PrivacyBudget::pure(1.0));
+        for _ in 0..5 {
+            acc.try_spend(PrivacyBudget::pure(0.2)).unwrap();
+        }
+        assert!(!acc.can_afford(PrivacyBudget::pure(0.2)));
+        assert!(acc.spent().epsilon <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn delta_is_tracked_independently() {
+        let mut acc = BudgetAccountant::new(PrivacyBudget::approximate(1.0, 1e-6));
+        acc.try_spend(PrivacyBudget::approximate(0.1, 1e-6))
+            .unwrap();
+        // δ is gone even though plenty of ε remains.
+        assert!(!acc.can_afford(PrivacyBudget::approximate(0.1, 1e-7)));
+        assert!(acc.can_afford(PrivacyBudget::pure(0.1)));
+    }
+
+    #[test]
+    fn tolerance_is_relative_so_tiny_delta_budgets_cannot_be_overdrawn() {
+        // With an absolute slack, a 1e-9 allowance would admit a δ debit 10x
+        // the entire 1e-10 budget. The relative tolerance must refuse it.
+        let mut acc = BudgetAccountant::new(PrivacyBudget::approximate(1.0, 1e-10));
+        let err = acc
+            .try_spend(PrivacyBudget::approximate(0.1, 1e-9))
+            .unwrap_err();
+        assert_eq!(err.remaining.delta, 1e-10);
+        // The exact budget is still spendable.
+        acc.try_spend(PrivacyBudget::approximate(0.1, 1e-10))
+            .unwrap();
+        assert!(!acc.can_afford(PrivacyBudget::approximate(0.1, 1e-12)));
     }
 }

@@ -13,6 +13,8 @@
 //! * [`smooth`] — the smooth-sensitivity framework of Nissim, Raskhodnikova
 //!   and Smith, used by the local-sensitivity baselines of the evaluation.
 
+#![deny(missing_docs)]
+
 pub mod accuracy;
 pub mod budget;
 pub mod cauchy;
@@ -21,6 +23,6 @@ pub mod laplace;
 pub mod mechanism;
 pub mod smooth;
 
-pub use budget::PrivacyBudget;
+pub use budget::{BudgetAccountant, BudgetExhausted, PrivacyBudget};
 pub use laplace::sample_laplace;
 pub use mechanism::LaplaceMechanism;

@@ -4,7 +4,7 @@
 //! `S(D) = max_{s ≥ 0} e^{−βs} · LS^{(s)}(D)` where `LS^{(s)}` is the maximum
 //! local sensitivity over databases at distance at most `s` from `D`. Adding
 //! Cauchy noise scaled by `2·S(D)/ε` with `β = ε/6` yields ε-differential
-//! privacy. The paper's local-sensitivity baselines ([7], [10]) are built on
+//! privacy. The paper's local-sensitivity baselines (\[7\], \[10\]) are built on
 //! this machinery.
 
 use crate::cauchy::sample_standard_cauchy;

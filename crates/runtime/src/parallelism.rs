@@ -1,0 +1,101 @@
+//! The parallelism knob.
+
+use std::num::NonZeroUsize;
+
+/// How much hardware parallelism a computation may use.
+///
+/// The knob travels inside `MechanismParams`, so it has to be `Copy` and
+/// comparable; `Auto` resolves against the machine lazily (at
+/// [`Parallelism::workers`] time), not at construction time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run on the calling thread, spawning nothing. The default: it adds no
+    /// thread-creation overhead to small queries and is the reference the
+    /// parallel paths must match bit-for-bit.
+    #[default]
+    Serial,
+    /// Use exactly `n` workers (`n = 0` or `1` behaves like `Serial`).
+    Threads(usize),
+    /// Use one worker per available CPU
+    /// ([`std::thread::available_parallelism`]; falls back to 1 if the
+    /// platform cannot say).
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this knob resolves to on the current machine
+    /// (always at least 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Whether this knob can spawn worker threads (more than one worker).
+    pub fn is_parallel(self) -> bool {
+        self.workers() > 1
+    }
+
+    /// Parses a CLI/env-style spelling: `serial`, `auto`, or a worker count.
+    pub fn parse(s: &str) -> Result<Parallelism, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "serial" | "none" | "1" => Ok(Parallelism::Serial),
+            "auto" => Ok(Parallelism::Auto),
+            other => other
+                .parse::<usize>()
+                .map(Parallelism::Threads)
+                .map_err(|_| {
+                    format!("invalid parallelism '{s}' (expected 'serial', 'auto' or a number)")
+                }),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Serial => write!(f, "serial"),
+            Parallelism::Threads(n) => write!(f, "{n} threads"),
+            Parallelism::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_resolution() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(1).workers(), 1);
+        assert_eq!(Parallelism::Threads(6).workers(), 6);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn is_parallel_matches_worker_count() {
+        assert!(!Parallelism::Serial.is_parallel());
+        assert!(!Parallelism::Threads(1).is_parallel());
+        assert!(Parallelism::Threads(2).is_parallel());
+    }
+
+    #[test]
+    fn parsing_round_trips_the_cli_spellings() {
+        assert_eq!(Parallelism::parse("serial").unwrap(), Parallelism::Serial);
+        assert_eq!(Parallelism::parse("AUTO").unwrap(), Parallelism::Auto);
+        assert_eq!(Parallelism::parse("4").unwrap(), Parallelism::Threads(4));
+        assert_eq!(Parallelism::parse("1").unwrap(), Parallelism::Serial);
+        assert!(Parallelism::parse("many").is_err());
+    }
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+    }
+}

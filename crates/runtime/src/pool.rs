@@ -1,0 +1,252 @@
+//! The scoped worker pool and its `par_map_indexed` primitive.
+
+use crate::parallelism::Parallelism;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Maps `f` over `0..len` using up to `parallelism.workers()` scoped worker
+/// threads and returns the results **in index order**.
+///
+/// Work distribution is dynamic (an atomic next-index counter), so items with
+/// wildly different costs — LP sizes grow with the index `i` of the sequence
+/// entry — still balance across workers. Because `std::thread::scope` is
+/// used, `f` may borrow from the caller's stack; because results are placed
+/// by index, the output is independent of scheduling.
+///
+/// A panic in `f` is resumed on the calling thread after the scope joins.
+pub fn par_map_indexed<T, F>(parallelism: Parallelism, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = parallelism.workers().min(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    });
+
+    // Stitch the per-worker runs back into index order.
+    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    for run in per_worker {
+        for (i, value) in run {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index in 0..len is claimed exactly once"))
+        .collect()
+}
+
+/// Fallible variant of [`par_map_indexed`]: maps `f` over `0..len` and
+/// returns either every success (in index order) or one error.
+///
+/// Failure cancels the pool early: once any item fails, workers stop
+/// claiming new indices (items already in flight finish), so a batch whose
+/// first item errors does not pay for the whole batch. The reported error is
+/// the one with the **smallest index among the items that ran** — serially
+/// that is simply the first failure, and with a single failing item it is
+/// that item for every `Parallelism`. The success path is unconditionally
+/// deterministic.
+pub fn par_try_map_indexed<T, E, F>(parallelism: Parallelism, len: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let workers = parallelism.workers().min(len);
+    if workers <= 1 {
+        // Serial fast path: stop at the first (= smallest-index) failure.
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let f = &f;
+    let next = &next;
+    let failed = &failed;
+    let per_worker: Vec<Vec<(usize, Result<T, E>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while !failed.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let result = f(i);
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        local.push((i, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    let mut first_error: Option<(usize, E)> = None;
+    for run in per_worker {
+        for (i, result) in run {
+            match result {
+                Ok(value) => slots[i] = Some(value),
+                Err(e) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("no failure, so every index completed"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order_for_every_parallelism() {
+        let expected: Vec<usize> = (0..100).map(|i| i * 3 + 1).collect();
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(par_map_indexed(p, 100, |i| i * 3 + 1), expected, "{p}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        assert_eq!(par_map_indexed(Parallelism::Threads(8), 0, |i| i), vec![]);
+        assert_eq!(par_map_indexed(Parallelism::Threads(8), 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn workers_can_borrow_from_the_caller() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let doubled = par_map_indexed(Parallelism::Threads(4), data.len(), |i| data[i] * 2.0);
+        assert_eq!(doubled[49], 98.0);
+    }
+
+    #[test]
+    fn every_index_is_computed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map_indexed(Parallelism::Threads(5), 64, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_reports_the_single_failing_index_for_every_parallelism() {
+        for p in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let result: Result<Vec<usize>, usize> =
+                par_try_map_indexed(p, 100, |i| if i == 17 { Err(i) } else { Ok(i) });
+            assert_eq!(result.unwrap_err(), 17, "{p}");
+        }
+    }
+
+    #[test]
+    fn serial_try_map_reports_the_first_of_several_failures() {
+        let result: Result<Vec<usize>, usize> =
+            par_try_map_indexed(Parallelism::Serial, 100, |i| {
+                if i % 30 == 17 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+        assert_eq!(result.unwrap_err(), 17);
+    }
+
+    #[test]
+    fn failure_cancels_remaining_work() {
+        // Index 0 fails instantly; every other item sleeps long enough for
+        // the cancellation flag to be seen. At most the items already in
+        // flight when the flag flips can still run, so the call count stays
+        // far below `len`.
+        let calls = AtomicUsize::new(0);
+        let workers = 4;
+        let result: Result<Vec<usize>, &str> =
+            par_try_map_indexed(Parallelism::Threads(workers), 1000, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    Err("boom")
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    Ok(i)
+                }
+            });
+        assert_eq!(result.unwrap_err(), "boom");
+        let total = calls.load(Ordering::Relaxed);
+        assert!(total < 1000 / 2, "cancellation did not help: {total} calls");
+    }
+
+    #[test]
+    fn try_map_succeeds_when_nothing_fails() {
+        let result: Result<Vec<usize>, ()> =
+            par_try_map_indexed(Parallelism::Threads(3), 10, |i| Ok(i + 1));
+        assert_eq!(result.unwrap(), (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_indexed(Parallelism::Threads(3), 16, |i| {
+                if i == 5 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

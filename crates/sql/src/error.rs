@@ -72,6 +72,9 @@ pub enum SqlError {
     },
     /// The underlying mechanism failed (LP solve, parameter validation, …).
     Mechanism(MechanismError),
+    /// The release (or batch of releases) would exceed the session's total
+    /// privacy budget; nothing was consumed.
+    BudgetExhausted(rmdp_noise::BudgetExhausted),
 }
 
 impl SqlError {
@@ -86,7 +89,7 @@ impl SqlError {
             | SqlError::AmbiguousColumn { span, .. }
             | SqlError::DuplicateAlias { span, .. }
             | SqlError::BadAggregate { span, .. } => Some(*span),
-            SqlError::Mechanism(_) => None,
+            SqlError::Mechanism(_) | SqlError::BudgetExhausted(_) => None,
         }
     }
 
@@ -151,6 +154,7 @@ impl fmt::Display for SqlError {
             }
             SqlError::BadAggregate { message, .. } => write!(f, "{message}"),
             SqlError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            SqlError::BudgetExhausted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -160,6 +164,12 @@ impl std::error::Error for SqlError {}
 impl From<MechanismError> for SqlError {
     fn from(e: MechanismError) -> Self {
         SqlError::Mechanism(e)
+    }
+}
+
+impl From<rmdp_noise::BudgetExhausted> for SqlError {
+    fn from(e: rmdp_noise::BudgetExhausted) -> Self {
+        SqlError::BudgetExhausted(e)
     }
 }
 

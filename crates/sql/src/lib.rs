@@ -14,7 +14,7 @@
 //!   WHERE …` with conjunctive predicates. Constructs outside positive
 //!   relational algebra (`NOT`, `NOT IN`, outer joins, `EXCEPT`, …) are
 //!   rejected with span-carrying errors explaining the monotonicity reason.
-//! * [`plan`] — validation against the [`AnnotatedDatabase`] schema (alias
+//! * [`mod@plan`] — validation against the [`AnnotatedDatabase`] schema (alias
 //!   resolution, ambiguity checks) and lowering to the algebra operators of
 //!   `rmdp_krelation`: scans + `ρ` renames, hash theta-joins, selections.
 //! * [`exec`] — plan evaluation producing the annotated output relation.
@@ -49,6 +49,8 @@
 //!     .unwrap();
 //! assert_eq!(release.true_answer, 1.0); // ada and bo met at the museum
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod error;

@@ -4,21 +4,30 @@ use crate::error::SqlError;
 use crate::exec::{execute, weigh};
 use crate::plan::{plan, QueryPlan};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rmdp_core::{
-    EfficientSequences, MechanismParams, RecursiveMechanism, Release, SensitiveKRelation,
+    EfficientSequences, MechanismParams, Parallelism, RecursiveMechanism, Release,
+    SensitiveKRelation,
 };
 use rmdp_krelation::annotate::AnnotatedDatabase;
 use rmdp_krelation::KRelation;
+use rmdp_noise::{BudgetAccountant, PrivacyBudget};
+use rmdp_runtime::par_try_map_indexed;
 
 /// A SQL session: an annotated database plus mechanism parameters and a
 /// seeded noise source.
 ///
 /// One call to [`SqlSession::query`] spends `ε₁ + ε₂` of privacy budget (the
-/// split lives in the [`MechanismParams`]); the session does not meter a
-/// total budget across queries — compose releases with
-/// `rmdp_noise::budget::PrivacyBudget`-style sequential accounting one level
-/// up if needed.
+/// split lives in the [`MechanismParams`]). By default the session does not
+/// meter a total budget across queries; [`SqlSession::with_budget`] attaches
+/// a [`BudgetAccountant`] that debits every release under sequential
+/// composition and refuses — without consuming anything — queries and
+/// batches that would overdraw it.
+///
+/// [`SqlSession::query_batch`] releases several independent queries in one
+/// call, running them concurrently on the worker pool when the params'
+/// [`Parallelism`] knob allows; results are bit-identical to running the
+/// batch serially.
 ///
 /// ```
 /// use rmdp_core::MechanismParams;
@@ -49,6 +58,7 @@ pub struct SqlSession {
     db: AnnotatedDatabase,
     params: MechanismParams,
     rng: StdRng,
+    accountant: Option<BudgetAccountant>,
 }
 
 impl SqlSession {
@@ -65,7 +75,18 @@ impl SqlSession {
             db,
             params,
             rng: StdRng::seed_from_u64(seed),
+            accountant: None,
         }
+    }
+
+    /// Caps the session's total privacy spend. Every admitted query debits
+    /// `ε₁ + ε₂` from the accountant (sequential composition) before the
+    /// data is touched; a query or batch that would overdraw is refused with
+    /// [`SqlError::BudgetExhausted`] **before** any release happens, so a
+    /// refusal consumes nothing.
+    pub fn with_budget(mut self, total: PrivacyBudget) -> Self {
+        self.accountant = Some(BudgetAccountant::new(total));
+        self
     }
 
     /// The underlying database.
@@ -76,6 +97,20 @@ impl SqlSession {
     /// The mechanism parameters used by [`SqlSession::query`].
     pub fn params(&self) -> &MechanismParams {
         &self.params
+    }
+
+    /// What is left of the session budget (`None` when the session is
+    /// unmetered).
+    pub fn remaining_budget(&self) -> Option<PrivacyBudget> {
+        self.accountant.as_ref().map(BudgetAccountant::remaining)
+    }
+
+    /// The per-release cost under sequential composition: pure `ε₁ + ε₂`.
+    fn release_cost(&self) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: self.params.total_epsilon(),
+            delta: 0.0,
+        }
     }
 
     /// Parses, validates and lowers `sql` without touching the data — the
@@ -99,23 +134,107 @@ impl SqlSession {
     /// The participant universe is the database's full universe — people
     /// interned but absent from every table still count toward `|P|`, as in
     /// node privacy where isolated nodes are still protected.
+    ///
+    /// Budget accounting is **debit-at-admission**: once the query has
+    /// planned and the parameters validated (both data-independent checks)
+    /// and the budget covers `ε₁ + ε₂`, the cost is spent — *before* the
+    /// data is touched. A failure during execution or release (e.g. a
+    /// negative `SUM` weight) can depend on the data, so it must not refund
+    /// the budget: refunding would let a caller probe the database for free
+    /// through the error channel.
     pub fn query(&mut self, sql: &str) -> Result<Release, SqlError> {
         let plan = self.plan(sql)?;
-        let output = execute(&self.db, &plan)?;
-
-        // Validate all weights before handing them to the mechanism (whose
-        // constructor asserts) so bad aggregates surface as SqlError.
-        for (tuple, _) in output.iter() {
-            weigh(&plan, tuple)?;
+        // Validate params before debiting: a misconfigured session must not
+        // drain its budget on queries that can never release.
+        self.params.validate()?;
+        let cost = self.release_cost();
+        if let Some(acc) = &mut self.accountant {
+            acc.try_spend(cost)?;
         }
-        let participants = self.db.universe().ids().collect();
-        let query = SensitiveKRelation::new(&output, participants, |t| {
-            weigh(&plan, t).expect("weights validated above")
-        });
-
-        let mut mechanism = RecursiveMechanism::new(EfficientSequences::new(query), self.params)?;
-        Ok(mechanism.release(&mut self.rng)?)
+        release_plan(&self.db, &plan, self.params, &mut self.rng)
     }
+
+    /// Runs several independent queries and releases each through the
+    /// recursive mechanism, spending `ε₁ + ε₂` **per query** under
+    /// sequential composition.
+    ///
+    /// The whole batch is admitted atomically: every query must plan
+    /// successfully and the parameters must validate (both data-independent
+    /// checks), and when the session carries a budget the batch's total cost
+    /// `k·(ε₁+ε₂)` is debited in one all-or-nothing step — an over-budget
+    /// batch is refused with no release performed and **no privacy
+    /// consumed**. As with [`SqlSession::query`], post-admission failures do
+    /// not refund (they can be data-dependent); in that case the whole batch
+    /// errors and the debited budget stays spent, so pre-validate doubtful
+    /// aggregates (e.g. with [`SqlSession::evaluate`] in a trusted context)
+    /// before batching them.
+    ///
+    /// When `params.parallelism` resolves to more than one worker the
+    /// queries run concurrently on the scoped pool (each on its own
+    /// K-relation, LPs and noise stream); worker threads left over by a
+    /// batch smaller than the worker budget are given to the per-query
+    /// mechanisms instead. A per-query noise seed is drawn from the session
+    /// RNG *before* fanning out, in query order, so the batch's releases are
+    /// bit-identical whatever the parallelism — and the session RNG advances
+    /// exactly `sqls.len()` draws either way.
+    pub fn query_batch<S: AsRef<str>>(&mut self, sqls: &[S]) -> Result<Vec<Release>, SqlError> {
+        let plans: Vec<QueryPlan> = sqls
+            .iter()
+            .map(|sql| self.plan(sql.as_ref()))
+            .collect::<Result<_, _>>()?;
+        self.params.validate()?;
+
+        let total_cost = PrivacyBudget {
+            epsilon: self.release_cost().epsilon * plans.len() as f64,
+            delta: 0.0,
+        };
+        if let Some(acc) = &mut self.accountant {
+            acc.try_spend(total_cost)?;
+        }
+
+        let seeds: Vec<u64> = plans.iter().map(|_| self.rng.next_u64()).collect();
+
+        // The batch level owns the concurrency; the worker budget is split
+        // so total thread counts do not multiply. A batch smaller than the
+        // budget hands the spare workers to each query's own precompute
+        // (e.g. a 1-query batch at Threads(8) behaves like `query`).
+        let db = &self.db;
+        let workers = self.params.parallelism.workers();
+        let per_query = workers / plans.len().max(1);
+        let worker_params = self.params.with_parallelism(if per_query > 1 {
+            Parallelism::Threads(per_query)
+        } else {
+            Parallelism::Serial
+        });
+        par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
+            let mut rng = StdRng::seed_from_u64(seeds[i]);
+            release_plan(db, &plans[i], worker_params, &mut rng)
+        })
+    }
+}
+
+/// Executes a validated plan and releases its aggregate: the shared tail of
+/// [`SqlSession::query`] and each [`SqlSession::query_batch`] worker.
+fn release_plan(
+    db: &AnnotatedDatabase,
+    plan: &QueryPlan,
+    params: MechanismParams,
+    rng: &mut StdRng,
+) -> Result<Release, SqlError> {
+    let output = execute(db, plan)?;
+
+    // Validate all weights before handing them to the mechanism (whose
+    // constructor asserts) so bad aggregates surface as SqlError.
+    for (tuple, _) in output.iter() {
+        weigh(plan, tuple)?;
+    }
+    let participants = db.universe().ids().collect();
+    let query = SensitiveKRelation::new(&output, participants, |t| {
+        weigh(plan, t).expect("weights validated above")
+    });
+
+    let mut mechanism = RecursiveMechanism::new(EfficientSequences::new(query), params)?;
+    Ok(mechanism.release(rng)?)
 }
 
 #[cfg(test)]
@@ -196,6 +315,112 @@ mod tests {
             .unwrap();
         assert_eq!(a.noisy_answer, b.noisy_answer);
         assert_ne!(a.noisy_answer, c.noisy_answer);
+    }
+
+    #[test]
+    fn query_batch_matches_itself_across_parallelism_settings() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let sqls = [
+            "SELECT COUNT(*) FROM payments",
+            "SELECT SUM(amount) FROM payments WHERE amount > 0",
+            "SELECT COUNT(*) FROM payments WHERE amount > 4",
+        ];
+        let serial = SqlSession::with_seed(db(), params, 7)
+            .query_batch(&sqls)
+            .unwrap();
+        let parallel = SqlSession::with_seed(
+            db(),
+            params.with_parallelism(rmdp_core::Parallelism::Threads(3)),
+            7,
+        )
+        .query_batch(&sqls)
+        .unwrap();
+        assert_eq!(serial.len(), 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.noisy_answer, b.noisy_answer);
+            assert_eq!(a.true_answer, b.true_answer);
+        }
+        assert_eq!(serial[0].true_answer, 3.0);
+        assert_eq!(serial[1].true_answer, 8.0);
+        assert_eq!(serial[2].true_answer, 1.0);
+    }
+
+    #[test]
+    fn query_batch_fails_whole_batch_on_a_bad_query_without_spending() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session =
+            SqlSession::new(db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(10.0));
+        let err = session
+            .query_batch(&["SELECT COUNT(*) FROM payments", "SELECT * FROM nowhere"])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SqlError::Parse { .. }
+                    | SqlError::Unsupported { .. }
+                    | SqlError::UnknownTable { .. }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 10.0);
+    }
+
+    #[test]
+    fn over_budget_batch_is_refused_without_consuming_epsilon() {
+        let params = MechanismParams::paper_edge_privacy(0.6);
+        let mut session =
+            SqlSession::new(db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(1.0));
+        // Two releases need 1.2ε but only 1.0ε exists: refused atomically.
+        let err = session
+            .query_batch(&[
+                "SELECT COUNT(*) FROM payments",
+                "SELECT COUNT(*) FROM payments",
+            ])
+            .unwrap_err();
+        match err {
+            SqlError::BudgetExhausted(e) => {
+                assert!((e.requested.epsilon - 1.2).abs() < 1e-12);
+                assert!((e.remaining.epsilon - 1.0).abs() < 1e-12);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 1.0);
+
+        // A batch that fits goes through and debits exactly its cost.
+        let releases = session
+            .query_batch(&["SELECT COUNT(*) FROM payments"])
+            .unwrap();
+        assert_eq!(releases.len(), 1);
+        assert!((session.remaining_budget().unwrap().epsilon - 0.4).abs() < 1e-12);
+
+        // And now the single-query path is over budget too.
+        let err = session.query("SELECT COUNT(*) FROM payments").unwrap_err();
+        assert!(matches!(err, SqlError::BudgetExhausted(_)));
+        assert!((session.remaining_budget().unwrap().epsilon - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_params_do_not_drain_the_budget() {
+        // Parameter validation is data-independent, so it must run before
+        // the debit: a misconfigured session keeps its full budget.
+        let params = MechanismParams::new(0.0, 0.5, 0.1, 1.0, 0.5);
+        let mut session =
+            SqlSession::new(db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(1.0));
+        for _ in 0..3 {
+            let err = session.query("SELECT COUNT(*) FROM payments").unwrap_err();
+            assert!(matches!(err, SqlError::Mechanism(_)));
+        }
+        let err = session
+            .query_batch(&["SELECT COUNT(*) FROM payments"])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Mechanism(_)));
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 1.0);
+    }
+
+    #[test]
+    fn unmetered_sessions_report_no_remaining_budget() {
+        let session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
+        assert!(session.remaining_budget().is_none());
     }
 
     #[test]

@@ -46,49 +46,90 @@ impl Span {
 #[derive(Clone, Debug, PartialEq)]
 pub enum TokenKind {
     // Supported keywords.
+    /// `SELECT`.
     Select,
+    /// `COUNT`.
     Count,
+    /// `SUM`.
     Sum,
+    /// `FROM`.
     From,
+    /// `JOIN`.
     Join,
+    /// `INNER`.
     Inner,
+    /// `ON`.
     On,
+    /// `WHERE`.
     Where,
+    /// `AND`.
     And,
+    /// `AS`.
     As,
     // Keywords recognised only to be rejected with a targeted message.
+    /// `NOT` (rejected: negation is non-monotone).
     Not,
+    /// `IN` (rejected in its negated form).
     In,
+    /// `OR` (rejected in predicates of this fragment).
     Or,
+    /// `CROSS` (rejected join flavour).
     Cross,
+    /// `LEFT` (rejected join flavour).
     Left,
+    /// `RIGHT` (rejected join flavour).
     Right,
+    /// `FULL` (rejected join flavour).
     Full,
+    /// `OUTER` (rejected join flavour).
     Outer,
+    /// `UNION` (rejected set operation).
     Union,
+    /// `EXCEPT` (rejected: set difference is non-monotone).
     Except,
+    /// `INTERSECT` (rejected set operation).
     Intersect,
+    /// `GROUP` (rejected: grouping is not yet supported).
     Group,
+    /// `ORDER` (rejected: ordering a single aggregate is meaningless).
     Order,
+    /// `BY` (part of the rejected `GROUP BY`/`ORDER BY`).
     By,
+    /// `HAVING` (rejected alongside `GROUP BY`).
     Having,
+    /// `DISTINCT` (rejected: duplicate elimination changes the aggregate).
     Distinct,
     // Values.
+    /// An identifier (lowercase-folded unless quoted).
     Ident(String),
+    /// An integer literal.
     Int(i64),
+    /// A single-quoted string literal (unescaped).
     Str(String),
     // Punctuation and operators.
+    /// `*`.
     Star,
+    /// `(`.
     LParen,
+    /// `)`.
     RParen,
+    /// `.`.
     Dot,
+    /// `,`.
     Comma,
+    /// `;`.
     Semi,
+    /// `=`.
     Eq,
+    /// `<>` or `!=`.
     Neq,
+    /// `<`.
     Lt,
+    /// `>`.
     Gt,
+    /// `<=`.
     Le,
+    /// `>=`.
     Ge,
     /// End of input (simplifies the parser's lookahead).
     Eof,

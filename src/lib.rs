@@ -64,6 +64,8 @@
 //! assert_eq!(release.true_answer, 1.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use rmdp_baselines as baselines;
 pub use rmdp_core as core;
 pub use rmdp_graph as graph;

@@ -1,0 +1,204 @@
+//! Serial/parallel equivalence and budget accounting, end to end.
+//!
+//! The `Parallelism` knob must be a pure wall-clock knob: the parallel
+//! precompute has to produce bit-identical `H`/`G` vectors — and, given a
+//! fixed seed, bit-identical `Release`s — to the lazy serial path. And the
+//! `SqlSession` budget accountant has to refuse over-budget batches
+//! atomically, consuming nothing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recursive_mechanism_dp::core::efficient::EfficientSequences;
+use recursive_mechanism_dp::core::general::GeneralSequences;
+use recursive_mechanism_dp::core::params::MechanismParams;
+use recursive_mechanism_dp::core::sequences::MechanismSequences;
+use recursive_mechanism_dp::core::subgraph::{PrivacyUnit, SubgraphCounter};
+use recursive_mechanism_dp::core::{Parallelism, RecursiveMechanism, SensitiveKRelation};
+use recursive_mechanism_dp::graph::{generators, Pattern};
+use recursive_mechanism_dp::krelation::annotate::AnnotatedDatabase;
+use recursive_mechanism_dp::krelation::tuple::{Tuple, Value};
+use recursive_mechanism_dp::krelation::{Expr, KRelation};
+use recursive_mechanism_dp::noise::PrivacyBudget;
+use recursive_mechanism_dp::sql::{SqlError, SqlSession};
+
+/// The fig-4 workload at small scale: triangles under node privacy on a
+/// G(n, p) random graph.
+fn fig4_relation() -> SensitiveKRelation {
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = generators::gnp_average_degree(40, 8.0, &mut rng);
+    SubgraphCounter::new(
+        Pattern::triangle(),
+        PrivacyUnit::Node,
+        MechanismParams::paper_node_privacy(0.5),
+    )
+    .build_sensitive_relation(&graph)
+}
+
+#[test]
+fn serial_and_parallel_efficient_sequences_are_bit_identical() {
+    let relation = fig4_relation();
+    let n = relation.num_participants();
+
+    let mut serial = EfficientSequences::new(relation.clone());
+    let mut parallel = EfficientSequences::new(relation);
+    parallel.precompute(Parallelism::Threads(4)).unwrap();
+
+    let serial_h: Vec<f64> = (0..=n).map(|i| serial.h(i).unwrap()).collect();
+    let serial_g: Vec<f64> = (0..=n).map(|i| serial.g(i).unwrap()).collect();
+    let parallel_h: Vec<f64> = (0..=n).map(|i| parallel.h(i).unwrap()).collect();
+    let parallel_g: Vec<f64> = (0..=n).map(|i| parallel.g(i).unwrap()).collect();
+
+    // Bitwise equality — not within-tolerance — because both paths must run
+    // the exact same deterministic LP solves.
+    assert_eq!(serial_h, parallel_h);
+    assert_eq!(serial_g, parallel_g);
+    assert_eq!(serial.stats().h_solves, n + 1);
+    assert_eq!(parallel.stats().h_solves, n + 1);
+    assert_eq!(
+        serial.stats().total_pivots,
+        parallel.stats().total_pivots,
+        "same LPs, same pivots"
+    );
+}
+
+#[test]
+fn serial_and_parallel_mechanisms_release_identically_under_a_fixed_seed() {
+    let serial_params = MechanismParams::paper_node_privacy(1.0);
+    let parallel_params = serial_params.with_parallelism(Parallelism::Threads(4));
+
+    let mut serial_mech =
+        RecursiveMechanism::new(EfficientSequences::new(fig4_relation()), serial_params).unwrap();
+    let mut parallel_mech =
+        RecursiveMechanism::new(EfficientSequences::new(fig4_relation()), parallel_params).unwrap();
+
+    let serial_releases = serial_mech
+        .release_many(8, &mut StdRng::seed_from_u64(123))
+        .unwrap();
+    let parallel_releases = parallel_mech
+        .release_many(8, &mut StdRng::seed_from_u64(123))
+        .unwrap();
+
+    for (a, b) in serial_releases.iter().zip(&parallel_releases) {
+        assert_eq!(a.noisy_answer, b.noisy_answer);
+        assert_eq!(a.delta, b.delta);
+        assert_eq!(a.delta_hat, b.delta_hat);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.argmin_index, b.argmin_index);
+        assert_eq!(a.true_answer, b.true_answer);
+    }
+}
+
+#[test]
+fn general_sequences_parallel_build_matches_serial() {
+    let relation = fig4_relation();
+    // Shrink to the general instantiation's exhaustive range by restricting
+    // to a 12-participant sub-universe.
+    let keep = 12u32;
+    let terms: Vec<(Expr, f64)> = relation
+        .terms()
+        .iter()
+        .filter(|(e, _)| {
+            (keep..relation.num_participants() as u32).all(|p| {
+                e.restrict(recursive_mechanism_dp::krelation::ParticipantId(p), false) == *e
+            })
+        })
+        .cloned()
+        .collect();
+    let small = SensitiveKRelation::from_terms(
+        (0..keep)
+            .map(recursive_mechanism_dp::krelation::ParticipantId)
+            .collect(),
+        terms,
+    );
+    let serial = GeneralSequences::build(&small).unwrap();
+    let parallel = GeneralSequences::build_with(&small, Parallelism::Threads(4)).unwrap();
+    assert_eq!(serial.h_entries(), parallel.h_entries());
+    assert_eq!(serial.g_entries(), parallel.g_entries());
+}
+
+fn visits_db() -> AnnotatedDatabase {
+    let mut db = AnnotatedDatabase::new();
+    let mut visits = KRelation::new(["person", "place"]);
+    for (person, place) in [
+        ("ada", "museum"),
+        ("bo", "museum"),
+        ("bo", "cafe"),
+        ("cy", "cafe"),
+        ("dee", "museum"),
+    ] {
+        let p = db.universe_mut().intern(person);
+        visits.insert(
+            Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+            Expr::Var(p),
+        );
+    }
+    db.insert_table("visits", visits);
+    db
+}
+
+const BATCH: [&str; 3] = [
+    "SELECT COUNT(*) FROM visits WHERE place = 'museum'",
+    "SELECT COUNT(*) FROM visits",
+    "SELECT COUNT(*) FROM visits v1 JOIN visits v2 ON v1.place = v2.place WHERE v1.person < v2.person",
+];
+
+#[test]
+fn sql_batch_is_bit_identical_across_parallelism_settings() {
+    let params = MechanismParams::paper_edge_privacy(1.0);
+    let serial = SqlSession::with_seed(visits_db(), params, 99)
+        .query_batch(&BATCH)
+        .unwrap();
+    for parallelism in [
+        Parallelism::Threads(2),
+        Parallelism::Threads(8),
+        Parallelism::Auto,
+    ] {
+        let parallel = SqlSession::with_seed(visits_db(), params.with_parallelism(parallelism), 99)
+            .query_batch(&BATCH)
+            .unwrap();
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.noisy_answer, b.noisy_answer);
+            assert_eq!(a.true_answer, b.true_answer);
+            assert_eq!(a.delta_hat, b.delta_hat);
+        }
+    }
+    assert_eq!(serial[0].true_answer, 3.0);
+    assert_eq!(serial[1].true_answer, 5.0);
+}
+
+#[test]
+fn over_budget_batch_is_rejected_without_consuming_epsilon() {
+    let params = MechanismParams::paper_edge_privacy(0.5); // 0.5ε per release
+    let mut session =
+        SqlSession::with_seed(visits_db(), params, 5).with_budget(PrivacyBudget::pure(1.0));
+
+    // Three releases need 1.5ε against a 1.0ε budget: refused atomically.
+    let err = session.query_batch(&BATCH).unwrap_err();
+    match err {
+        SqlError::BudgetExhausted(e) => {
+            assert!((e.requested.epsilon - 1.5).abs() < 1e-12);
+            assert!((e.remaining.epsilon - 1.0).abs() < 1e-12);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(
+        session.remaining_budget().unwrap().epsilon,
+        1.0,
+        "a refused batch must consume nothing"
+    );
+
+    // Two of the three fit exactly and drain the budget to zero.
+    let releases = session.query_batch(&BATCH[..2]).unwrap();
+    assert_eq!(releases.len(), 2);
+    assert!(session.remaining_budget().unwrap().epsilon.abs() < 1e-9);
+
+    // Everything afterwards — batch or single — is refused.
+    assert!(matches!(
+        session.query_batch(&BATCH[..1]).unwrap_err(),
+        SqlError::BudgetExhausted(_)
+    ));
+    assert!(matches!(
+        session.query("SELECT COUNT(*) FROM visits").unwrap_err(),
+        SqlError::BudgetExhausted(_)
+    ));
+}
