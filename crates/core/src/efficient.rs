@@ -25,16 +25,38 @@
 //! Because the objective only ever pushes epigraph variables down and all
 //! weights are nonnegative, the LP optimum equals the exact minimum of the
 //! relaxed objective — no approximation is introduced.
+//!
+//! ## Warm-started chains
+//!
+//! Within a family, consecutive entries differ **only** in the right-hand
+//! side of the mass-tie equality, so the family is standardized once into a
+//! [`rmdp_lp::PreparedLp`] (the mass row is always constraint 0) and walked
+//! as a chain: entry `i+1` re-enters the simplex from entry `i`'s optimal
+//! basis ([`rmdp_lp::PreparedLp::solve_warm`]) instead of paying a cold
+//! two-phase solve. Chains are cut into fixed contiguous runs
+//! ([`rmdp_runtime::contiguous_runs`], independent of the worker count), and
+//! runs — not entries — are the unit of work everywhere: a lazy `h(i)` call
+//! solves the whole run containing `i`, and
+//! [`MechanismSequences::precompute`] maps uncached runs onto the worker
+//! pool. Because both paths execute byte-identical run chains, the cached
+//! values, the releases, and even the pivot counters are bit-identical for
+//! every [`Parallelism`] setting.
 
-use crate::error::MechanismError;
+use crate::error::{MechanismError, SequenceFamily};
 use crate::krelation_query::SensitiveKRelation;
 use crate::sequences::MechanismSequences;
 use rmdp_krelation::hash::FxHashMap;
 use rmdp_krelation::participant::ParticipantId;
 use rmdp_krelation::phi::phi_sensitivities;
 use rmdp_krelation::Expr;
-use rmdp_lp::{Model, Sense, Var};
-use rmdp_runtime::{par_map_indexed, Parallelism};
+use rmdp_lp::{Basis, Model, Sense, SimplexOptions, SolveStats, Var};
+use rmdp_runtime::{contiguous_runs, par_map_indexed, run_containing, Parallelism};
+use std::ops::Range;
+
+/// Default number of consecutive entries per warm-start run. Small enough
+/// that a fig-4-sized family still splits into several independent runs for
+/// the worker pool, large enough that most solves in a run are warm.
+const DEFAULT_CHAIN_RUN_LEN: usize = 8;
 
 /// Cumulative counters describing the LP work done by one instantiation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -45,35 +67,67 @@ pub struct LpWorkStats {
     pub g_solves: usize,
     /// Total simplex pivots across all solves.
     pub total_pivots: usize,
+    /// Pivots spent restoring primal feasibility (phase 1). Warm-started
+    /// solves whose previous basis is still feasible contribute 0 here.
+    pub phase1_pivots: usize,
+    /// Pivots spent optimising from a feasible basis (phase 2).
+    pub phase2_pivots: usize,
+    /// Solves that re-entered from the previous entry's optimal basis
+    /// instead of a cold start.
+    pub warm_start_hits: usize,
+    /// Basis-inverse refactorizations across all solves.
+    pub refactorizations: usize,
+}
+
+impl LpWorkStats {
+    fn absorb_solve(&mut self, family: SequenceFamily, stats: &SolveStats) {
+        match family {
+            SequenceFamily::H => self.h_solves += 1,
+            SequenceFamily::G => self.g_solves += 1,
+        }
+        let pivots = stats.phase1_iterations + stats.phase2_iterations;
+        self.total_pivots += pivots;
+        self.phase1_pivots += stats.phase1_iterations;
+        self.phase2_pivots += stats.phase2_iterations;
+        self.refactorizations += stats.refactorizations;
+        if stats.warm_started {
+            self.warm_start_hits += 1;
+        }
+    }
 }
 
 /// The LP-based instantiation of the recursive mechanism over a sensitive
 /// K-relation. Computed entries are cached, so repeated releases on the same
 /// relation only pay for the entries they newly touch.
 ///
-/// Entries are independent LPs over a shared immutable view of the query
-/// (the internal `SequenceLps`), so [`MechanismSequences::precompute`] can
-/// solve all of them concurrently on the scoped worker pool of
-/// `rmdp-runtime`; the values (and the resulting releases) are bit-identical
-/// to the lazy serial path.
+/// Entry LPs are solved in warm-started chains over a shared immutable view
+/// of the query (the internal `SequenceLps`); runs of consecutive entries
+/// are the unit of work, so [`MechanismSequences::precompute`] can map them
+/// onto the scoped worker pool of `rmdp-runtime` and the values (and the
+/// resulting releases) stay bit-identical to the lazy serial path.
 pub struct EfficientSequences {
     /// The shared immutable problem view each LP solve reads from.
     lps: SequenceLps,
+    /// Entries per warm-start run (≥ 1; 1 disables warm starts).
+    chain_run_len: usize,
     h_cache: FxHashMap<usize, f64>,
     g_cache: FxHashMap<usize, f64>,
     stats: LpWorkStats,
 }
 
 /// The immutable LP-construction view: the query plus its precomputed
-/// φ-sensitivities. Every `solve_*` call builds its own [`Model`] from this
-/// shared data (`&self` only), so the struct is `Sync` and worker threads can
-/// build and solve entry LPs concurrently without any cache contention —
-/// caching stays in [`EfficientSequences`], outside the parallel region.
+/// φ-sensitivities and solver options. Every chain run builds its own
+/// [`rmdp_lp::PreparedLp`] from this shared data (`&self` only), so the
+/// struct is `Sync` and worker threads can run whole chains concurrently
+/// without any cache contention — caching stays in [`EfficientSequences`],
+/// outside the parallel region.
 struct SequenceLps {
     query: SensitiveKRelation,
     /// φ-sensitivities of each term's annotation (aligned with the query's
     /// terms), precomputed once.
     term_sensitivities: Vec<FxHashMap<ParticipantId, f64>>,
+    /// Solver options every entry LP is solved with.
+    options: SimplexOptions,
 }
 
 /// Either a constant or an LP variable — the value of an encoded
@@ -84,11 +138,11 @@ enum Operand {
     Variable(Var),
 }
 
-/// One sequence entry to solve: which sequence and which index.
-#[derive(Clone, Copy, Debug)]
-enum EntryJob {
-    H(usize),
-    G(usize),
+/// One solved chain entry: its index, its value, and the solver counters.
+struct EntrySolve {
+    index: usize,
+    value: f64,
+    stats: SolveStats,
 }
 
 impl EfficientSequences {
@@ -103,11 +157,32 @@ impl EfficientSequences {
             lps: SequenceLps {
                 query,
                 term_sensitivities,
+                options: SimplexOptions::default(),
             },
+            chain_run_len: DEFAULT_CHAIN_RUN_LEN,
             h_cache: FxHashMap::default(),
             g_cache: FxHashMap::default(),
             stats: LpWorkStats::default(),
         }
+    }
+
+    /// Sets the number of consecutive entries solved as one warm-started
+    /// chain (clamped to ≥ 1; 1 reproduces entry-by-entry cold solves).
+    ///
+    /// Like [`Parallelism`] this is a pure performance knob *per value*:
+    /// serial and parallel execution are bit-identical for any fixed run
+    /// length. Different run lengths may differ in the last few floating
+    /// point bits of an entry (different pivot paths to the same optimum),
+    /// so pick one before the first solve and keep it.
+    pub fn with_chain_run_len(mut self, run_len: usize) -> Self {
+        self.chain_run_len = run_len.max(1);
+        self
+    }
+
+    /// Sets the LP solver options every entry is solved with.
+    pub fn with_solver_options(mut self, options: SimplexOptions) -> Self {
+        self.lps.options = options;
+        self
     }
 
     /// The wrapped query.
@@ -119,11 +194,46 @@ impl EfficientSequences {
     pub fn stats(&self) -> LpWorkStats {
         self.stats
     }
+
+    /// The run of entry indices solved together with `i` — the same cut
+    /// points [`MechanismSequences::precompute`] partitions with
+    /// ([`rmdp_runtime::contiguous_runs`]); sharing the arithmetic is part
+    /// of the lazy/eager bit-identity contract.
+    fn run_containing(&self, i: usize) -> Range<usize> {
+        run_containing(self.num_participants() + 1, self.chain_run_len, i)
+    }
+
+    /// Folds the results of one chain run into the caches and counters.
+    /// Entries that are somehow already cached are skipped so the counters
+    /// never double-count (runs are normally cached atomically).
+    fn absorb_run(&mut self, family: SequenceFamily, entries: Vec<EntrySolve>) {
+        for entry in entries {
+            let cache = match family {
+                SequenceFamily::H => &mut self.h_cache,
+                SequenceFamily::G => &mut self.g_cache,
+            };
+            if cache.contains_key(&entry.index) {
+                continue;
+            }
+            cache.insert(entry.index, entry.value);
+            self.stats.absorb_solve(family, &entry.stats);
+        }
+    }
+
+    /// Solves (and caches) the whole run containing entry `i` of `family`.
+    fn solve_run_for(&mut self, family: SequenceFamily, i: usize) -> Result<(), MechanismError> {
+        let run = self.run_containing(i);
+        let entries = self.lps.solve_family_run(family, run)?;
+        self.absorb_run(family, entries);
+        Ok(())
+    }
 }
 
 impl SequenceLps {
     /// Creates the per-participant variables `f_p ∈ [0,1]` and the mass
-    /// constraint `Σ_p f_p = i`.
+    /// constraint `Σ_p f_p = i`. The mass row is always the **first**
+    /// constraint of the model (row 0), which is what lets a chain step the
+    /// index with a single `set_rhs(0, i)`.
     fn add_participant_vars(&self, model: &mut Model, i: usize) -> FxHashMap<ParticipantId, Var> {
         let mut f_vars = FxHashMap::default();
         for &p in self.query.participants() {
@@ -166,8 +276,8 @@ impl SequenceLps {
                 }
                 // v ≥ Σ children − (n−1), v ≥ 0 — written as
                 // Σ children − v ≤ (n−1) − const_sum so the row's slack can
-                // serve as the initial basic variable (no artificial needed,
-                // which keeps phase 1 small and non-degenerate).
+                // serve as the initial basic variable (the all-slack cold
+                // start stays feasible, keeping phase 1 small).
                 let v = model.add_var(0.0, f64::INFINITY, 0.0);
                 let mut terms: Vec<(Var, f64)> = Vec::with_capacity(var_terms.len() + 1);
                 terms.push((v, -1.0));
@@ -206,9 +316,10 @@ impl SequenceLps {
         }
     }
 
-    /// Builds and solves the `H_i` LP, returning the entry value and the
-    /// number of simplex pivots it took.
-    fn solve_h(&self, i: usize) -> Result<(f64, usize), MechanismError> {
+    /// Builds the `H_i` family model at mass `i`, returning the model and
+    /// the constant objective offset (terms whose annotation encodes to a
+    /// constant). The offset is independent of `i`.
+    fn build_h_model(&self, i: usize) -> (Model, f64) {
         let mut model = Model::new(Sense::Minimize);
         let f_vars = self.add_participant_vars(&mut model, i);
 
@@ -223,15 +334,11 @@ impl SequenceLps {
         for (v, w) in objective_weights {
             model.set_objective(v, w);
         }
-
-        let solution = model.solve()?;
-        let pivots = solution.stats.phase1_iterations + solution.stats.phase2_iterations;
-        Ok((solution.objective + constant_offset, pivots))
+        (model, constant_offset)
     }
 
-    /// Builds and solves the `G_i` LP, returning the entry value and the
-    /// number of simplex pivots it took.
-    fn solve_g(&self, i: usize) -> Result<(f64, usize), MechanismError> {
+    /// Builds the `G_i` family model at mass `i`.
+    fn build_g_model(&self, i: usize) -> Model {
         let mut model = Model::new(Sense::Minimize);
         let f_vars = self.add_participant_vars(&mut model, i);
 
@@ -271,10 +378,48 @@ impl SequenceLps {
             row.push((z, -1.0));
             model.add_le(row, -constant);
         }
+        model
+    }
 
-        let solution = model.solve()?;
-        let pivots = solution.stats.phase1_iterations + solution.stats.phase2_iterations;
-        Ok((solution.objective, pivots))
+    /// Solves one contiguous run of a family as a warm-started chain: the
+    /// family is standardized once at `run.start`, each subsequent entry
+    /// steps the mass row with `set_rhs(0, i)` and re-enters from the
+    /// previous optimal basis. A failure anywhere discards the whole run
+    /// (runs are cached atomically) and names the failing entry.
+    fn solve_family_run(
+        &self,
+        family: SequenceFamily,
+        run: Range<usize>,
+    ) -> Result<Vec<EntrySolve>, MechanismError> {
+        debug_assert!(!run.is_empty());
+        let (model, offset) = match family {
+            SequenceFamily::H => self.build_h_model(run.start),
+            SequenceFamily::G => (self.build_g_model(run.start), 0.0),
+        };
+        let has_mass_row = !self.query.participants().is_empty();
+        let mut prepared = model
+            .prepare()
+            .map_err(|e| MechanismError::sequence_lp(family, run.start, e))?;
+
+        let mut entries = Vec::with_capacity(run.len());
+        let mut basis: Option<Basis> = None;
+        for i in run {
+            if has_mass_row {
+                prepared.set_rhs(0, i as f64);
+            }
+            let solved = match &basis {
+                None => prepared.solve(&self.options),
+                Some(b) => prepared.solve_warm(b, &self.options),
+            }
+            .map_err(|e| MechanismError::sequence_lp(family, i, e))?;
+            entries.push(EntrySolve {
+                index: i,
+                value: solved.solution.objective + offset,
+                stats: solved.solution.stats,
+            });
+            basis = Some(solved.basis);
+        }
+        Ok(entries)
     }
 }
 
@@ -284,81 +429,83 @@ impl MechanismSequences for EfficientSequences {
     }
 
     fn h(&mut self, i: usize) -> Result<f64, MechanismError> {
-        debug_assert!(i <= self.num_participants());
+        if i > self.num_participants() {
+            // Out of range: the mass constraint Σf = i is unsatisfiable over
+            // |P| unit variables (matches the LP verdict the entry would
+            // produce).
+            return Err(MechanismError::sequence_lp(
+                SequenceFamily::H,
+                i,
+                rmdp_lp::LpError::Infeasible,
+            ));
+        }
         if let Some(&v) = self.h_cache.get(&i) {
             return Ok(v);
         }
-        let (v, pivots) = self.lps.solve_h(i)?;
-        self.stats.h_solves += 1;
-        self.stats.total_pivots += pivots;
-        self.h_cache.insert(i, v);
-        Ok(v)
+        self.solve_run_for(SequenceFamily::H, i)?;
+        Ok(self.h_cache[&i])
     }
 
     fn g(&mut self, i: usize) -> Result<f64, MechanismError> {
-        debug_assert!(i <= self.num_participants());
+        if i > self.num_participants() {
+            return Err(MechanismError::sequence_lp(
+                SequenceFamily::G,
+                i,
+                rmdp_lp::LpError::Infeasible,
+            ));
+        }
         if let Some(&v) = self.g_cache.get(&i) {
             return Ok(v);
         }
-        let (v, pivots) = self.lps.solve_g(i)?;
-        self.stats.g_solves += 1;
-        self.stats.total_pivots += pivots;
-        self.g_cache.insert(i, v);
-        Ok(v)
+        self.solve_run_for(SequenceFamily::G, i)?;
+        Ok(self.g_cache[&i])
     }
 
     fn bounding_factor(&self) -> f64 {
         2.0
     }
 
-    /// Solves every not-yet-cached `H_i` and `G_i` LP (`2(|P|+1)` independent
-    /// solves when the caches are cold) on the scoped worker pool. Each
-    /// worker builds its own [`Model`] from the shared immutable problem
-    /// view; results and stats are folded back in entry order on the calling
-    /// thread, so the caches end up exactly as the serial path would leave
-    /// them.
+    /// Solves every not-yet-cached chain run (all `2(|P|+1)` entries when
+    /// the caches are cold) on the scoped worker pool. Runs are cut at fixed
+    /// points independent of the worker count, each run is one warm-started
+    /// chain executed entirely on one worker, and results and stats are
+    /// folded back in run order on the calling thread — so warm starts
+    /// survive parallelism and the caches end up exactly as the lazy serial
+    /// path would leave them, pivot counters included.
     ///
-    /// Best-effort by design: an entry whose LP fails (e.g. the simplex
+    /// Best-effort by design: a run whose chain fails (e.g. the simplex
     /// iteration limit on a pathological instance) is simply left uncached
-    /// and will be re-solved lazily if the driver ever asks for it — so a
-    /// failure on an entry the driver never touches cannot fail a query that
-    /// would have succeeded serially, and the error surface is identical for
-    /// every [`Parallelism`] setting.
+    /// and will be re-solved lazily if the driver ever asks for one of its
+    /// entries — so a failure in a run the driver never touches cannot fail
+    /// a query that would have succeeded serially, and the error surface is
+    /// identical for every [`Parallelism`] setting.
     fn precompute(&mut self, parallelism: Parallelism) -> Result<(), MechanismError> {
-        let n = self.num_participants();
-        let mut jobs: Vec<EntryJob> = Vec::with_capacity(2 * (n + 1));
-        jobs.extend(
-            (0..=n)
-                .filter(|i| !self.h_cache.contains_key(i))
-                .map(EntryJob::H),
-        );
-        jobs.extend(
-            (0..=n)
-                .filter(|i| !self.g_cache.contains_key(i))
-                .map(EntryJob::G),
-        );
+        let entries = self.num_participants() + 1;
+        let mut jobs: Vec<(SequenceFamily, Range<usize>)> = Vec::new();
+        for family in [SequenceFamily::H, SequenceFamily::G] {
+            let cache = match family {
+                SequenceFamily::H => &self.h_cache,
+                SequenceFamily::G => &self.g_cache,
+            };
+            jobs.extend(
+                contiguous_runs(entries, self.chain_run_len)
+                    .into_iter()
+                    .filter(|run| run.clone().any(|i| !cache.contains_key(&i)))
+                    .map(|run| (family, run)),
+            );
+        }
 
         let lps = &self.lps;
-        let solved = par_map_indexed(parallelism, jobs.len(), |k| match jobs[k] {
-            EntryJob::H(i) => lps.solve_h(i),
-            EntryJob::G(i) => lps.solve_g(i),
+        let solved = par_map_indexed(parallelism, jobs.len(), |k| {
+            let (family, run) = &jobs[k];
+            lps.solve_family_run(*family, run.clone())
         });
 
-        for (job, result) in jobs.iter().zip(solved) {
-            let Ok((value, pivots)) = result else {
+        for ((family, _), result) in jobs.iter().zip(solved) {
+            let Ok(entries) = result else {
                 continue;
             };
-            self.stats.total_pivots += pivots;
-            match *job {
-                EntryJob::H(i) => {
-                    self.stats.h_solves += 1;
-                    self.h_cache.insert(i, value);
-                }
-                EntryJob::G(i) => {
-                    self.stats.g_solves += 1;
-                    self.g_cache.insert(i, value);
-                }
-            }
+            self.absorb_run(*family, entries);
         }
         Ok(())
     }
@@ -374,9 +521,12 @@ mod tests {
         validate_bounding_property, validate_convexity, validate_monotone_start_at_zero,
         validate_recursive_monotonicity,
     };
+    use crate::subgraph::{PrivacyUnit, SubgraphCounter};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rmdp_graph::{generators, Pattern};
     use rmdp_krelation::{KRelation, Tuple};
+    use rmdp_lp::SolverBackend;
 
     fn p(i: u32) -> ParticipantId {
         ParticipantId(i)
@@ -417,13 +567,6 @@ mod tests {
         let mut seq = EfficientSequences::new(fig2a());
         // Dropping node c (f_c = 0, all others 1) kills every triangle.
         assert!((seq.h(4).unwrap() - 0.0).abs() < 1e-7);
-        // With |f| = 4.5 the best split keeps c at 0.5: each triangle hinge is
-        // at most max(0, 1 + 1 + 0.5 − 2) = 0.5 and the middle one can be
-        // driven to 0.5 too; the optimum is 1.0 (c = 0.5, a=b=d=e=1 gives
-        // 0.5 + 0.5 + 0.5 = 1.5; better: c = 1, e = 0.5, a = 1, b = 1,
-        // d = 0.5 gives 1 + 0.5 + 0 = 1.5; c = 0.75, d = 0.75 and a=b=e=1
-        // gives 0.75 + 0.5 + 0.5 = 1.75; the LP finds the exact optimum —
-        // just sanity-check monotonicity and the known integer points).
         let h4 = seq.h(4).unwrap();
         let h5 = seq.h(5).unwrap();
         assert!(h4 <= h5);
@@ -489,9 +632,7 @@ mod tests {
         ];
         let query = SensitiveKRelation::from_terms(vec![p(0), p(1)], terms);
         let mut seq = EfficientSequences::new(query);
-        // |f| = 1: put the whole unit on one participant: first tuple φ = 1,
-        // second φ = 0 ⇒ H_1 = ... but the minimiser can split 0.5/0.5:
-        // φ_or = 0.5, φ_and = 0 ⇒ 0.5. The LP must find 0.5.
+        // |f| = 1: the minimiser splits 0.5/0.5: φ_or = 0.5, φ_and = 0 ⇒ 0.5.
         assert!((seq.h(1).unwrap() - 0.5).abs() < 1e-7);
         assert!((seq.h(2).unwrap() - 2.0).abs() < 1e-7);
         assert!((seq.h(0).unwrap() - 0.0).abs() < 1e-7);
@@ -562,8 +703,8 @@ mod tests {
         assert_eq!(eager.stats().h_solves, 6);
         assert_eq!(eager.stats().g_solves, 6);
         for i in 0..=5usize {
-            // Bitwise equality, not tolerance: the parallel path must run the
-            // exact same deterministic LP solves as the serial one.
+            // Bitwise equality, not tolerance: both paths must execute the
+            // exact same deterministic chain runs.
             assert_eq!(lazy.h(i).unwrap(), eager.h(i).unwrap(), "H_{i}");
             assert_eq!(lazy.g(i).unwrap(), eager.g(i).unwrap(), "G_{i}");
         }
@@ -571,6 +712,7 @@ mod tests {
         assert_eq!(eager.stats().h_solves, 6);
         assert_eq!(eager.stats().g_solves, 6);
         assert_eq!(lazy.stats().total_pivots, eager.stats().total_pivots);
+        assert_eq!(lazy.stats().warm_start_hits, eager.stats().warm_start_hits);
     }
 
     #[test]
@@ -613,5 +755,145 @@ mod tests {
         let mut gen = GeneralSequences::build(&query).unwrap();
         assert!((eff.h(5).unwrap() - gen.h(5).unwrap()).abs() < 1e-7);
         assert!((eff.h(0).unwrap() - gen.h(0).unwrap()).abs() < 1e-7);
+    }
+
+    /// The fig-4 workload shapes at unit-test scale: triangles and 2-stars
+    /// under node privacy on a small G(n, p) graph.
+    fn fig4_relation(pattern: Pattern) -> SensitiveKRelation {
+        let mut rng = StdRng::seed_from_u64(31);
+        let graph = generators::gnp_average_degree(16, 5.0, &mut rng);
+        SubgraphCounter::new(
+            pattern,
+            PrivacyUnit::Node,
+            MechanismParams::paper_node_privacy(1.0),
+        )
+        .build_sensitive_relation(&graph)
+    }
+
+    #[test]
+    fn warm_chains_match_the_dense_oracle_on_fig4_entry_models() {
+        // Differential test on the *real* sequence models: every H_i/G_i
+        // value produced by the warm-started revised chain must match a cold
+        // dense-tableau solve of the same entry model.
+        let oracle = SimplexOptions {
+            backend: SolverBackend::DenseTableau,
+            ..SimplexOptions::default()
+        };
+        for pattern in [Pattern::triangle(), Pattern::k_star(2)] {
+            let relation = fig4_relation(pattern);
+            let n = relation.num_participants();
+            let mut seq = EfficientSequences::new(relation);
+            for i in 0..=n {
+                let h_chain = seq.h(i).unwrap();
+                let (h_model, offset) = seq.lps.build_h_model(i);
+                let h_dense = h_model.solve_with(&oracle).unwrap().objective + offset;
+                assert!(
+                    (h_chain - h_dense).abs() < 1e-6,
+                    "H_{i}: chain {h_chain} vs dense {h_dense}"
+                );
+                let g_chain = seq.g(i).unwrap();
+                let g_dense = seq
+                    .lps
+                    .build_g_model(i)
+                    .solve_with(&oracle)
+                    .unwrap()
+                    .objective;
+                assert!(
+                    (g_chain - g_dense).abs() < 1e-6,
+                    "G_{i}: chain {g_chain} vs dense {g_dense}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_chains_solve_the_full_family_with_fewer_pivots_than_cold() {
+        for pattern in [Pattern::triangle(), Pattern::k_star(2)] {
+            let relation = fig4_relation(pattern.clone());
+            let mut chained = EfficientSequences::new(relation.clone());
+            let mut cold = EfficientSequences::new(relation).with_chain_run_len(1);
+            chained.precompute(Parallelism::Serial).unwrap();
+            cold.precompute(Parallelism::Serial).unwrap();
+            let n = chained.num_participants();
+            for i in 0..=n {
+                assert!((chained.h(i).unwrap() - cold.h(i).unwrap()).abs() < 1e-6);
+                assert!((chained.g(i).unwrap() - cold.g(i).unwrap()).abs() < 1e-6);
+            }
+            assert!(chained.stats().warm_start_hits > 0);
+            assert_eq!(cold.stats().warm_start_hits, 0);
+            assert!(
+                chained.stats().total_pivots < cold.stats().total_pivots,
+                "{}: chain {} pivots vs cold {}",
+                pattern.name(),
+                chained.stats().total_pivots,
+                cold.stats().total_pivots
+            );
+        }
+    }
+
+    #[test]
+    fn chain_failures_name_the_failing_entry() {
+        // An unsatisfiable iteration budget makes the very first entry of
+        // the run fail; the error must say which one.
+        let mut seq = EfficientSequences::new(fig2a()).with_solver_options(SimplexOptions {
+            max_iterations: 0,
+            ..SimplexOptions::default()
+        });
+        match seq.h(3) {
+            Err(MechanismError::SequenceLp {
+                family: SequenceFamily::H,
+                index,
+                ..
+            }) => assert_eq!(index, 0, "the chain fails at its first entry"),
+            other => panic!("expected a named SequenceLp error, got {other:?}"),
+        }
+        match seq.g(2) {
+            Err(MechanismError::SequenceLp {
+                family: SequenceFamily::G,
+                ..
+            }) => {}
+            other => panic!("expected a named SequenceLp error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_entries_error_instead_of_panicking() {
+        // fig2a has 5 participants; entries 0..=5 exist. Anything beyond
+        // must surface as a named infeasible-entry error, not a panic.
+        let mut seq = EfficientSequences::new(fig2a());
+        match seq.h(6) {
+            Err(MechanismError::SequenceLp {
+                family: SequenceFamily::H,
+                index: 6,
+                ..
+            }) => {}
+            other => panic!("expected a named out-of-range error, got {other:?}"),
+        }
+        match seq.g(99) {
+            Err(MechanismError::SequenceLp {
+                family: SequenceFamily::G,
+                index: 99,
+                ..
+            }) => {}
+            other => panic!("expected a named out-of-range error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_partitioning_is_independent_of_parallelism_and_atomic() {
+        // Even with more workers than runs the values stay identical to the
+        // serial walk, and a partially queried family completes consistently.
+        let mut reference = EfficientSequences::new(fig2a());
+        for workers in [2usize, 3, 8] {
+            let mut par = EfficientSequences::new(fig2a());
+            let _ = par.h(1).unwrap(); // pre-populate one run lazily
+            par.precompute(Parallelism::Threads(workers)).unwrap();
+            for i in 0..=5usize {
+                assert_eq!(reference.h(i).unwrap(), par.h(i).unwrap());
+                assert_eq!(reference.g(i).unwrap(), par.g(i).unwrap());
+            }
+            assert_eq!(par.stats().h_solves, 6);
+            assert_eq!(par.stats().g_solves, 6);
+        }
     }
 }

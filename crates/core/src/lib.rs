@@ -50,7 +50,7 @@ pub mod sequences;
 pub mod subgraph;
 
 pub use efficient::{EfficientSequences, LpWorkStats};
-pub use error::MechanismError;
+pub use error::{MechanismError, SequenceFamily};
 pub use general::GeneralSequences;
 pub use krelation_query::SensitiveKRelation;
 pub use mechanism::{RecursiveMechanism, Release};

@@ -57,10 +57,13 @@ impl<S: MechanismSequences> RecursiveMechanism<S> {
     /// Wraps an instantiation with the given parameters.
     ///
     /// When `params.parallelism` resolves to more than one worker, every
-    /// sequence entry is precomputed here on the scoped worker pool (the
-    /// `2(|P|+1)` entry LPs of the efficient instantiation are independent);
-    /// serially, entries stay lazy and only the ones the driver touches are
-    /// solved. Released values are identical either way.
+    /// sequence entry is precomputed here on the scoped worker pool: the
+    /// efficient instantiation cuts each of its `H`/`G` families into fixed
+    /// contiguous runs, solves every run as one warm-started LP chain, and
+    /// distributes whole runs across workers. Serially, entries stay lazy
+    /// and only the runs the driver touches are solved. Released values are
+    /// identical either way; a failing entry LP surfaces as
+    /// [`MechanismError::SequenceLp`] naming the exact entry (`H_7`, `G_3`).
     pub fn new(mut sequences: S, params: MechanismParams) -> Result<Self, MechanismError> {
         params.validate()?;
         if params.parallelism.is_parallel() {

@@ -33,9 +33,12 @@ pub struct MechanismParams {
     pub mu: f64,
     /// Worker-thread budget for precomputing the sequences `H` and `G`
     /// (default [`Parallelism::Serial`]). With more than one worker the
-    /// driver precomputes **all** `2(|P|+1)` entries concurrently up front;
-    /// serially it computes only the entries it touches, lazily. Either way
-    /// the entry values — and therefore the releases — are identical.
+    /// driver precomputes **all** `2(|P|+1)` entries up front, distributing
+    /// fixed contiguous runs of each family across workers (every run is one
+    /// warm-started LP chain); serially it computes only the runs it
+    /// touches, lazily. The run cut points never depend on the worker
+    /// count, so the entry values — and therefore the releases — are
+    /// bit-identical for every setting.
     pub parallelism: Parallelism,
 }
 

@@ -1,11 +1,13 @@
 //! Micro-benchmark of the simplex solver on the LP shapes the efficient
-//! mechanism produces (hinge epigraphs over the capped simplex).
+//! mechanism produces (hinge epigraphs over the capped simplex): one-shot
+//! solves on both backends, plus the standardize-once warm-started chain
+//! that the `H`/`G` sequence computation runs on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rmdp_lp::{Model, Sense};
+use rmdp_lp::{Model, Sense, SimplexOptions, SolverBackend};
 
 /// Builds the H-style LP for `tuples` random 3-variable hinges over
 /// `participants` variables with mass `i`.
@@ -36,9 +38,69 @@ fn bench_simplex(c: &mut Criterion) {
                 b.iter(|| model.solve().expect("solvable"));
             },
         );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{participants}p_{tuples}t_dense_oracle")),
+            &(participants, tuples),
+            |b, &(participants, tuples)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let model = hinge_lp(participants, tuples, participants as f64 - 1.0, &mut rng);
+                let options = SimplexOptions {
+                    backend: SolverBackend::DenseTableau,
+                    ..SimplexOptions::default()
+                };
+                b.iter(|| model.solve_with(&options).expect("solvable"));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex);
+/// The sequence-chain access pattern: standardize once, then walk the mass
+/// index `0..=participants` warm-starting each solve from the previous
+/// optimal basis — versus re-solving every step cold.
+fn bench_warm_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_mass_chain");
+    group.sample_size(10);
+    for &(participants, tuples) in &[(30usize, 50usize), (60, 150)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = hinge_lp(participants, tuples, 0.0, &mut rng);
+        let mass_row = tuples; // the mass equality is added after the hinges
+        let options = SimplexOptions::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{participants}p_{tuples}t_warm")),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let mut prepared = model.prepare().expect("valid model");
+                    let mut basis = None;
+                    for i in 0..=participants {
+                        prepared.set_rhs(mass_row, i as f64);
+                        let solved = match &basis {
+                            None => prepared.solve(&options),
+                            Some(prev) => prepared.solve_warm(prev, &options),
+                        }
+                        .expect("solvable");
+                        basis = Some(solved.basis);
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{participants}p_{tuples}t_cold")),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let mut prepared = model.prepare().expect("valid model");
+                    for i in 0..=participants {
+                        prepared.set_rhs(mass_row, i as f64);
+                        prepared.solve(&options).expect("solvable");
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_warm_chain);
 criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Perf smoke test: cold vs warm-started sequence precompute on the fig-4
+//! workloads (triangle and 2-star counting under node privacy).
+//!
+//! Times a full `H`/`G` precompute twice per workload — entry-by-entry cold
+//! solves (`chain_run_len = 1`) and the default warm-started chains — and
+//! writes `BENCH_lp.json` with wall times and pivot counts. CI uploads the
+//! file as an artifact on every run, so the pivot/wall-time trajectory of
+//! the LP hot path is tracked over time. Pivot counts are deterministic;
+//! wall times are indicative (shared runners).
+//!
+//! Usage: `perf_smoke [output.json]` (default `BENCH_lp.json`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmdp_core::efficient::EfficientSequences;
+use rmdp_core::params::MechanismParams;
+use rmdp_core::subgraph::{PrivacyUnit, SubgraphCounter};
+use rmdp_core::{MechanismSequences, Parallelism, SensitiveKRelation};
+use rmdp_graph::{generators, Pattern};
+use std::time::Instant;
+
+struct WorkloadResult {
+    name: String,
+    participants: usize,
+    lp_solves: usize,
+    cold_wall_ms: f64,
+    cold_pivots: usize,
+    warm_wall_ms: f64,
+    warm_pivots: usize,
+    warm_start_hits: usize,
+}
+
+fn fig4_relation(pattern: &Pattern) -> SensitiveKRelation {
+    // Small enough to keep the CI smoke under a minute — the 2-star family
+    // on this graph is still a ~350-row LP per entry — while large enough
+    // that warm-vs-cold pivot counts are meaningful.
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = generators::gnp_average_degree(24, 6.0, &mut rng);
+    SubgraphCounter::new(
+        pattern.clone(),
+        PrivacyUnit::Node,
+        MechanismParams::paper_node_privacy(0.5),
+    )
+    .build_sensitive_relation(&graph)
+}
+
+fn precompute_timed(seq: &mut EfficientSequences) -> f64 {
+    let start = Instant::now();
+    seq.precompute(Parallelism::Serial)
+        .expect("fig-4 entry LPs are feasible and bounded");
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn run_workload(pattern: Pattern) -> WorkloadResult {
+    let relation = fig4_relation(&pattern);
+    let participants = relation.num_participants();
+
+    let mut cold = EfficientSequences::new(relation.clone()).with_chain_run_len(1);
+    let cold_wall_ms = precompute_timed(&mut cold);
+
+    let mut warm = EfficientSequences::new(relation);
+    let warm_wall_ms = precompute_timed(&mut warm);
+
+    let (c, w) = (cold.stats(), warm.stats());
+    assert_eq!(c.h_solves + c.g_solves, w.h_solves + w.g_solves);
+    WorkloadResult {
+        name: pattern.name().to_string(),
+        participants,
+        lp_solves: w.h_solves + w.g_solves,
+        cold_wall_ms,
+        cold_pivots: c.total_pivots,
+        warm_wall_ms,
+        warm_pivots: w.total_pivots,
+        warm_start_hits: w.warm_start_hits,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_lp.json".to_string());
+
+    let results: Vec<WorkloadResult> = [Pattern::triangle(), Pattern::k_star(2)]
+        .into_iter()
+        .map(run_workload)
+        .collect();
+
+    let mut json = String::from("{\n  \"benchmark\": \"lp_warm_chains\",\n  \"workloads\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        let ratio = r.warm_pivots as f64 / r.cold_pivots.max(1) as f64;
+        json.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"participants\": {}, \"lp_solves\": {}, ",
+                "\"cold\": {{\"wall_ms\": {:.3}, \"pivots\": {}}}, ",
+                "\"warm\": {{\"wall_ms\": {:.3}, \"pivots\": {}, \"warm_start_hits\": {}}}, ",
+                "\"pivot_ratio\": {:.4}}}{}\n"
+            ),
+            r.name,
+            r.participants,
+            r.lp_solves,
+            r.cold_wall_ms,
+            r.cold_pivots,
+            r.warm_wall_ms,
+            r.warm_pivots,
+            r.warm_start_hits,
+            ratio,
+            if k + 1 < results.len() { "," } else { "" },
+        ));
+        println!(
+            "{:>10}: {} LPs over {} participants — cold {} pivots / {:.1} ms, \
+             warm {} pivots / {:.1} ms ({} warm starts, pivot ratio {:.2})",
+            r.name,
+            r.lp_solves,
+            r.participants,
+            r.cold_pivots,
+            r.cold_wall_ms,
+            r.warm_pivots,
+            r.warm_wall_ms,
+            r.warm_start_hits,
+            ratio,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    let regressed: Vec<&WorkloadResult> = results
+        .iter()
+        .filter(|r| r.warm_pivots >= r.cold_pivots)
+        .collect();
+    if !regressed.is_empty() {
+        for r in &regressed {
+            eprintln!(
+                "PERF REGRESSION: {} warm chains spent {} pivots vs {} cold",
+                r.name, r.warm_pivots, r.cold_pivots
+            );
+        }
+        std::process::exit(1);
+    }
+}

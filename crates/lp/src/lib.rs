@@ -3,17 +3,26 @@
 //! The efficient recursive mechanism (paper Sec. 5.3) computes each entry of
 //! the sequences `H` and `G` by solving a linear program with `O(L)`
 //! variables, where `L` is the total length of the annotations of the
-//! sensitive K-relation. This crate provides the solver: a dense two-phase
-//! primal simplex over a model with variable bounds and `≤ / ≥ / =`
-//! constraints.
+//! sensitive K-relation. This crate provides the solver: a sparse
+//! bounded-variable **revised simplex** ([`revised`]) over models with boxed
+//! variables and `≤ / ≥ / =` constraints, with the original dense two-phase
+//! tableau retained as a differential-testing oracle
+//! ([`SolverBackend::DenseTableau`]).
 //!
-//! The solver is deliberately simple and exact-by-construction rather than
-//! tuned for huge instances: the LPs produced by the mechanism have at most a
-//! few thousand rows at the default experiment scale. See `DESIGN.md` for the
-//! scale presets.
+//! Two ways in:
+//!
+//! * [`Model::solve`] — one-shot: standardize and solve.
+//! * [`Model::prepare`] → [`PreparedLp`] — standardize once, then mutate the
+//!   right-hand side ([`PreparedLp::set_rhs`]) or objective
+//!   ([`PreparedLp::set_objective`]) and re-solve, warm-starting each solve
+//!   from the previous optimal [`Basis`] ([`PreparedLp::solve_warm`]). This
+//!   is the interface the mechanism's `H`/`G` sequence chains use: the
+//!   `2(|P|+1)` entry LPs of one query family share everything except the
+//!   mass-tie right-hand side, so a chain of warm solves replaces `O(|P|)`
+//!   cold starts.
 //!
 //! ```
-//! use rmdp_lp::{Model, Sense};
+//! use rmdp_lp::{Model, Sense, SimplexOptions};
 //!
 //! // minimize  x + 2y   subject to  x + y >= 1,  0 <= x,y <= 1
 //! let mut m = Model::new(Sense::Minimize);
@@ -23,15 +32,31 @@
 //! let sol = m.solve().unwrap();
 //! assert!((sol.objective - 1.0).abs() < 1e-9);
 //! assert!((sol.value(x) - 1.0).abs() < 1e-9);
+//!
+//! // The same model through the standardize-once path, re-solved after an
+//! // RHS step with a warm start.
+//! let mut prepared = m.prepare().unwrap();
+//! let options = SimplexOptions::default();
+//! let first = prepared.solve(&options).unwrap();
+//! prepared.set_rhs(0, 1.5);
+//! let second = prepared.solve_warm(&first.basis, &options).unwrap();
+//! // x runs to its cap, y covers the rest: 1 + 2·0.5 = 2.
+//! assert!((second.solution.objective - 2.0).abs() < 1e-9);
 //! ```
 
 #![deny(missing_docs)]
 
 pub mod error;
 pub mod model;
+pub mod prepared;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
 
 pub use error::LpError;
 pub use model::{Constraint, ConstraintOp, Model, Sense, Var};
+pub use prepared::{Basis, PreparedLp, PreparedSolution, VarStatus};
+pub use simplex::{SimplexOptions, SolverBackend};
 pub use solution::{Solution, SolveStats};
+pub use sparse::CscMatrix;

@@ -1,8 +1,10 @@
 //! LP model construction.
 //!
 //! A [`Model`] owns a set of bounded variables, a linear objective and a list
-//! of linear constraints. [`Model::solve`] standardises the model and runs the
-//! dense two-phase simplex of [`crate::simplex`].
+//! of linear constraints. [`Model::solve`] standardises the model and runs
+//! the backend selected by [`crate::simplex::SimplexOptions`] (the revised
+//! simplex by default); [`Model::prepare`] standardises once into a
+//! [`crate::PreparedLp`] for repeated warm-started solves.
 
 use crate::error::LpError;
 use crate::solution::Solution;
@@ -118,13 +120,47 @@ impl Model {
         self.constraints.len()
     }
 
-    /// Adds a general constraint.
+    /// Adds a general constraint. Terms naming the same variable more than
+    /// once are merged by summing their coefficients (first occurrence keeps
+    /// its position), so `x + x ≤ 1` and `2x ≤ 1` build the same row — no
+    /// standardization path can double-count or overwrite a duplicate.
     pub fn add_constraint<I>(&mut self, terms: I, op: ConstraintOp, rhs: f64)
     where
         I: IntoIterator<Item = (Var, f64)>,
     {
+        // Hybrid merge: a linear scan while the row is small (the typical
+        // hinge row has a handful of terms — no allocation), switching to a
+        // hash index once it grows (mass-tie rows have |P| terms and must
+        // not go quadratic).
+        const SCAN_LIMIT: usize = 16;
+        let mut merged: Vec<(Var, f64)> = Vec::new();
+        let mut position: Option<std::collections::HashMap<usize, usize>> = None;
+        for (var, coeff) in terms {
+            let slot = match &position {
+                Some(map) => map.get(&var.index()).copied(),
+                None => merged.iter().position(|(v, _)| *v == var),
+            };
+            match slot {
+                Some(k) => merged[k].1 += coeff,
+                None => {
+                    if let Some(map) = &mut position {
+                        map.insert(var.index(), merged.len());
+                    }
+                    merged.push((var, coeff));
+                    if position.is_none() && merged.len() >= SCAN_LIMIT {
+                        position = Some(
+                            merged
+                                .iter()
+                                .enumerate()
+                                .map(|(k, (v, _))| (v.index(), k))
+                                .collect(),
+                        );
+                    }
+                }
+            }
+        }
         self.constraints.push(Constraint {
-            terms: terms.into_iter().collect(),
+            terms: merged,
             op,
             rhs,
         });
@@ -172,6 +208,12 @@ impl Model {
         crate::simplex::solve(self, options)
     }
 
+    /// Standardizes the model once into a [`crate::PreparedLp`] for repeated
+    /// (warm-started) solves under right-hand-side or objective mutation.
+    pub fn prepare(&self) -> Result<crate::PreparedLp, LpError> {
+        crate::PreparedLp::new(self)
+    }
+
     pub(crate) fn validate(&self) -> Result<(), LpError> {
         for (i, v) in self.vars.iter().enumerate() {
             if v.lower.is_nan() || v.upper.is_nan() || !v.objective.is_finite() {
@@ -213,6 +255,37 @@ mod tests {
         assert_eq!(m.num_constraints(), 2);
         assert_eq!(x.index(), 0);
         assert_eq!(y.index(), 1);
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged_at_insertion() {
+        // x + x + y − x ≤ 1 must become x + y ≤ 1 — on both backends, the
+        // duplicate must neither double-count nor overwrite.
+        let mut m = Model::maximize();
+        let x = m.add_unit_var(1.0);
+        let y = m.add_unit_var(1.0);
+        m.add_le([(x, 1.0), (x, 1.0), (y, 1.0), (x, -1.0)], 1.0);
+        assert_eq!(m.constraints[0].terms, vec![(x, 1.0), (y, 1.0)]);
+        let revised = m.solve().unwrap();
+        let dense = m
+            .solve_with(&crate::simplex::SimplexOptions {
+                backend: crate::simplex::SolverBackend::DenseTableau,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!((revised.objective - 1.0).abs() < 1e-7);
+        assert!((dense.objective - 1.0).abs() < 1e-7);
+
+        // Full cancellation leaves a zero-coefficient term in the row (the
+        // CSC standardization drops exact zeros; the dense tableau stores
+        // them harmlessly).
+        let mut m = Model::minimize();
+        let x = m.add_unit_var(-1.0);
+        let y = m.add_unit_var(0.0);
+        m.add_le([(x, 2.0), (x, -2.0), (y, 1.0)], 0.5);
+        assert_eq!(m.constraints[0].terms, vec![(x, 0.0), (y, 1.0)]);
+        let s = m.solve().unwrap();
+        assert!((s.value(x) - 1.0).abs() < 1e-7, "x is unconstrained");
     }
 
     #[test]

@@ -1,0 +1,850 @@
+//! Sparse bounded-variable revised simplex.
+//!
+//! The solver works on a [`PreparedLp`] in equality form `Ax = b`,
+//! `l ≤ x ≤ u` and maintains a dense inverse `B⁻¹` of the basis matrix
+//! (column-major, updated by a product-form eta transformation per pivot;
+//! every [`SimplexOptions::refactor_every`] pivots an O(nnz) primal-residual
+//! check decides whether drift warrants a from-scratch refactorization).
+//! Bounds are handled natively:
+//!
+//! * nonbasic variables sit at a finite bound (or at 0 when free) and may
+//!   enter by increasing from their lower bound or decreasing from their
+//!   upper bound;
+//! * the ratio test also considers the entering variable's own opposite
+//!   bound — a *bound flip* changes no basis column at all;
+//! * fixed variables (`l = u`) never enter.
+//!
+//! Feasibility is restored by a composite (artificial-free) phase 1: basic
+//! variables outside their bounds get cost `±1`, the cost vector is
+//! recomputed every iteration, and an out-of-bounds basic leaves the basis at
+//! the bound it crosses. Because phase 1 works from *any* basis, the same
+//! routine serves both the cold start (all-slack basis) and warm re-entry
+//! from a previous optimal basis after an RHS step — when the old basis is
+//! still primal feasible, phase 1 exits immediately without a single pivot.
+//!
+//! Pricing is Dantzig's rule with Bland's anti-cycling rule after
+//! [`SimplexOptions::bland_after`] pivots, mirroring the dense oracle in
+//! [`crate::simplex`].
+
+use crate::error::LpError;
+use crate::model::Model;
+use crate::prepared::{Basis, PreparedLp, PreparedSolution, VarStatus};
+use crate::simplex::SimplexOptions;
+use crate::solution::{Solution, SolveStats};
+
+/// Bound-violation tolerance: a basic variable within this distance of its
+/// bounds counts as feasible.
+const FEAS_TOL: f64 = 1e-7;
+
+/// Smallest pivot magnitude accepted by the ratio test and the
+/// refactorization. Dividing by anything smaller would amplify rounding
+/// errors across `B⁻¹`.
+const PIVOT_TOL: f64 = 1e-7;
+
+/// Primal residual `‖b − A·x‖∞` above which the periodic drift check
+/// triggers a refactorization (kept below [`FEAS_TOL`] so the inverse is
+/// rebuilt before drift can corrupt feasibility decisions).
+const REFRESH_TOL: f64 = 1e-8;
+
+/// Solves a [`Model`] through the revised simplex (used by the
+/// [`crate::simplex::solve`] dispatcher for the default backend).
+pub(crate) fn solve_model(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
+    let prepared = PreparedLp::new(model)?;
+    Ok(solve_prepared(&prepared, None, options)?.solution)
+}
+
+/// Solves a prepared LP, cold (`start = None`, all-slack basis) or warm
+/// (from a previous basis). Iteration-limit stalls and Unbounded verdicts
+/// are retried once under maximum-robustness settings — Bland's rule from
+/// the first pivot and a drift check after every pivot — because on heavily
+/// degenerate instances accumulated rounding can empty a pivot column and
+/// fake an unbounded ray (the dense oracle guards the same failure mode
+/// with its RHS-perturbation retry).
+pub(crate) fn solve_prepared(
+    lp: &PreparedLp,
+    start: Option<&Basis>,
+    options: &SimplexOptions,
+) -> Result<PreparedSolution, LpError> {
+    match Engine::new(lp, start, options)?.run() {
+        Err(LpError::IterationLimit { .. } | LpError::Unbounded) => {
+            let robust = SimplexOptions {
+                bland_after: 0,
+                refactor_every: 1,
+                ..*options
+            };
+            Engine::new(lp, start, &robust)?.run()
+        }
+        other => other,
+    }
+}
+
+/// Which phase the iteration loop is running.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    One,
+    Two,
+}
+
+struct Engine<'a> {
+    lp: &'a PreparedLp,
+    options: &'a SimplexOptions,
+    m: usize,
+    /// Column-major basis inverse: `binv[k]` is `B⁻¹·e_k`.
+    binv: Vec<Vec<f64>>,
+    basic: Vec<usize>,
+    status: Vec<VarStatus>,
+    /// Current value of every standardized column.
+    x: Vec<f64>,
+    /// Pivots since the last refactorization.
+    since_refactor: usize,
+    stats: SolveStats,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        lp: &'a PreparedLp,
+        start: Option<&Basis>,
+        options: &'a SimplexOptions,
+    ) -> Result<Self, LpError> {
+        for &bi in &lp.b {
+            if !bi.is_finite() {
+                return Err(LpError::NonFiniteInput);
+            }
+        }
+        let m = lp.nrows;
+        let start = start.filter(|s| basis_is_consistent(lp, s));
+        let (basic, status, inherited_binv) = match start {
+            Some(s) => {
+                // Reuse the maintained inverse when the basis was produced
+                // against this exact matrix — the common chain case, turning
+                // warm re-entry from O(m³) into O(m²).
+                let binv = s
+                    .factor
+                    .as_ref()
+                    .filter(|f| f.fingerprint == lp.fingerprint && f.binv.len() == m)
+                    .map(|f| f.binv.clone());
+                (s.basic.clone(), s.status.clone(), binv)
+            }
+            None => {
+                // All-slack basis; structurals at their nearest finite bound.
+                let mut status = Vec::with_capacity(lp.ncols);
+                for j in 0..lp.ncols {
+                    status.push(if j >= lp.nvars {
+                        VarStatus::Basic
+                    } else {
+                        initial_status(lp.lower[j], lp.upper[j])
+                    });
+                }
+                // The all-slack basis matrix is the identity: no
+                // factorization needed.
+                let identity = (0..m)
+                    .map(|k| {
+                        let mut col = vec![0.0; m];
+                        col[k] = 1.0;
+                        col
+                    })
+                    .collect();
+                ((lp.nvars..lp.ncols).collect(), status, Some(identity))
+            }
+        };
+        let mut engine = Engine {
+            lp,
+            options,
+            m,
+            binv: inherited_binv.unwrap_or_default(),
+            basic,
+            status,
+            x: vec![0.0; lp.ncols],
+            since_refactor: 0,
+            stats: SolveStats {
+                rows: m,
+                cols: lp.ncols,
+                warm_started: start.is_some(),
+                ..SolveStats::default()
+            },
+        };
+        let inherited = engine.binv.len() == m && start.is_some();
+        if engine.binv.len() != m && engine.refactorize().is_err() {
+            // A singular warm basis is repaired by falling back to the
+            // all-slack basis (which is the identity, always invertible).
+            return Engine::new(lp, None, options);
+        }
+        engine.compute_x();
+        if inherited && engine.primal_residual() > REFRESH_TOL {
+            // The per-solve pivot counts inside a chain rarely reach the
+            // periodic drift check, so an inherited inverse is validated
+            // here instead: accumulated eta-update error across the chain
+            // forces a fresh factorization before it can corrupt this solve.
+            if engine.refactorize().is_err() {
+                return Engine::new(lp, None, options);
+            }
+            engine.stats.refactorizations += 1;
+            engine.compute_x();
+        }
+        Ok(engine)
+    }
+
+    /// Rebuilds `B⁻¹` from scratch by Gauss–Jordan with partial pivoting.
+    fn refactorize(&mut self) -> Result<(), ()> {
+        let m = self.m;
+        // Row-major copies of B and the growing inverse.
+        let mut mat = vec![vec![0.0; m]; m];
+        for (k, &j) in self.basic.iter().enumerate() {
+            for (i, v) in self.lp.a.col(j) {
+                mat[i][k] = v;
+            }
+        }
+        let mut inv = vec![vec![0.0; m]; m];
+        for (i, row) in inv.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        for col in 0..m {
+            let pivot_row = (col..m)
+                .max_by(|&a, &b| mat[a][col].abs().total_cmp(&mat[b][col].abs()))
+                .ok_or(())?;
+            if mat[pivot_row][col].abs() < PIVOT_TOL * 1e-2 {
+                return Err(());
+            }
+            mat.swap(col, pivot_row);
+            inv.swap(col, pivot_row);
+            let inv_p = 1.0 / mat[col][col];
+            for v in mat[col].iter_mut() {
+                *v *= inv_p;
+            }
+            for v in inv[col].iter_mut() {
+                *v *= inv_p;
+            }
+            let (mat_pivot, inv_pivot) =
+                (std::mem::take(&mut mat[col]), std::mem::take(&mut inv[col]));
+            for i in 0..m {
+                if i == col {
+                    continue;
+                }
+                let factor = mat[i][col];
+                if factor != 0.0 {
+                    for (x, &p) in mat[i].iter_mut().zip(&mat_pivot) {
+                        *x -= factor * p;
+                    }
+                    for (x, &p) in inv[i].iter_mut().zip(&inv_pivot) {
+                        *x -= factor * p;
+                    }
+                }
+            }
+            mat[col] = mat_pivot;
+            inv[col] = inv_pivot;
+        }
+        // Transpose row-major inverse into column-major `binv`.
+        self.binv = (0..m)
+            .map(|k| (0..m).map(|i| inv[i][k]).collect())
+            .collect();
+        self.since_refactor = 0;
+        Ok(())
+    }
+
+    /// The resting value of a nonbasic column.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.lp.lower[j],
+            VarStatus::AtUpper => self.lp.upper[j],
+            VarStatus::Free => 0.0,
+            VarStatus::Basic => unreachable!("nonbasic_value on a basic column"),
+        }
+    }
+
+    /// Recomputes every `x` from the basis: nonbasics at their bound, basics
+    /// as `B⁻¹(b − N x_N)`.
+    fn compute_x(&mut self) {
+        let mut r = self.lp.b.clone();
+        for j in 0..self.lp.ncols {
+            if self.status[j] == VarStatus::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            self.x[j] = v;
+            if v != 0.0 {
+                for (i, a) in self.lp.a.col(j) {
+                    r[i] -= a * v;
+                }
+            }
+        }
+        // x_B = B⁻¹ r, accumulated column-by-column of B⁻¹.
+        let mut xb = vec![0.0; self.m];
+        for (k, &rk) in r.iter().enumerate() {
+            if rk != 0.0 {
+                for (slot, &v) in xb.iter_mut().zip(&self.binv[k]) {
+                    *slot += rk * v;
+                }
+            }
+        }
+        for (row, &j) in self.basic.iter().enumerate() {
+            self.x[j] = xb[row];
+        }
+    }
+
+    /// `w = B⁻¹ · a_j` for a standardized column `j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for (r, a) in self.lp.a.col(j) {
+            for (slot, &v) in w.iter_mut().zip(&self.binv[r]) {
+                *slot += a * v;
+            }
+        }
+        w
+    }
+
+    /// `‖b − A·x‖∞` of the current iterate — the cheap (O(nnz)) drift
+    /// signal deciding whether the basis inverse needs a rebuild.
+    fn primal_residual(&self) -> f64 {
+        let mut r = self.lp.b.clone();
+        for j in 0..self.lp.ncols {
+            let xj = self.x[j];
+            if xj != 0.0 {
+                for (i, a) in self.lp.a.col(j) {
+                    r[i] -= a * xj;
+                }
+            }
+        }
+        r.iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
+    }
+
+    /// `y = (c_B)ᵀ · B⁻¹`.
+    fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        (0..self.m)
+            .map(|k| cb.iter().zip(&self.binv[k]).map(|(c, v)| c * v).sum())
+            .collect()
+    }
+
+    /// Total bound violation of the basic variables and the phase-1 cost
+    /// vector (−1 below lower, +1 above upper).
+    fn infeasibility(&self) -> (f64, Vec<f64>) {
+        let mut total = 0.0;
+        let mut cb = vec![0.0; self.m];
+        for (row, &j) in self.basic.iter().enumerate() {
+            let xj = self.x[j];
+            if xj < self.lp.lower[j] - FEAS_TOL {
+                cb[row] = -1.0;
+                total += self.lp.lower[j] - xj;
+            } else if xj > self.lp.upper[j] + FEAS_TOL {
+                cb[row] = 1.0;
+                total += xj - self.lp.upper[j];
+            }
+        }
+        (total, cb)
+    }
+
+    fn run(mut self) -> Result<PreparedSolution, LpError> {
+        self.stats.phase1_iterations = self.iterate(Phase::One)?;
+        self.stats.phase2_iterations = self.iterate(Phase::Two)?;
+
+        let values = self.x[..self.lp.nvars].to_vec();
+        let objective = self.lp.user_objective_value(&values);
+        Ok(PreparedSolution {
+            solution: Solution {
+                objective,
+                values,
+                stats: self.stats,
+            },
+            basis: Basis {
+                basic: self.basic,
+                status: self.status,
+                factor: Some(crate::prepared::BasisFactor {
+                    binv: self.binv,
+                    fingerprint: self.lp.fingerprint,
+                }),
+            },
+        })
+    }
+
+    /// Runs simplex iterations for one phase; returns the pivot count.
+    fn iterate(&mut self, phase: Phase) -> Result<usize, LpError> {
+        let tol = self.options.tol;
+        let pivot_tol = PIVOT_TOL.max(tol);
+        let mut iterations = 0usize;
+        loop {
+            // Phase-dependent cost of the current basis. Phase-1 costs depend
+            // on which basics are out of bounds, so they are recomputed every
+            // iteration.
+            let cb: Vec<f64> = match phase {
+                Phase::One => {
+                    let (infeasibility, cb) = self.infeasibility();
+                    if infeasibility <= FEAS_TOL {
+                        return Ok(iterations);
+                    }
+                    cb
+                }
+                Phase::Two => self.basic.iter().map(|&j| self.lp.cost[j]).collect(),
+            };
+            if iterations >= self.options.max_iterations {
+                return Err(LpError::IterationLimit {
+                    limit: self.options.max_iterations,
+                });
+            }
+            let use_bland = iterations >= self.options.bland_after;
+            let y = self.btran(&cb);
+
+            // Pricing: pick an entering nonbasic column whose reduced cost
+            // improves the phase objective in its admissible direction.
+            let mut entering: Option<(usize, f64)> = None; // (col, direction)
+            let mut best_score = tol;
+            for j in 0..self.lp.ncols {
+                if self.status[j] == VarStatus::Basic || self.lp.lower[j] == self.lp.upper[j] {
+                    continue;
+                }
+                let cj = match phase {
+                    Phase::One => 0.0,
+                    Phase::Two => self.lp.cost[j],
+                };
+                let d = cj - self.lp.a.col_dot(j, &y);
+                let (score, dir) = match self.status[j] {
+                    VarStatus::AtLower => (-d, 1.0),
+                    VarStatus::AtUpper => (d, -1.0),
+                    VarStatus::Free => (d.abs(), if d < 0.0 { 1.0 } else { -1.0 }),
+                    VarStatus::Basic => unreachable!(),
+                };
+                if score > tol {
+                    if use_bland {
+                        entering = Some((j, dir));
+                        break;
+                    }
+                    if score > best_score {
+                        best_score = score;
+                        entering = Some((j, dir));
+                    }
+                }
+            }
+            let Some((q, dir)) = entering else {
+                return match phase {
+                    // Phase-1 optimum with residual infeasibility (checked at
+                    // the top of the loop): no feasible point exists.
+                    Phase::One => Err(LpError::Infeasible),
+                    Phase::Two => Ok(iterations),
+                };
+            };
+
+            let w = self.ftran(q);
+
+            // Ratio test. The entering variable moves by `t ≥ 0` in direction
+            // `dir`; basic `row` changes as `x − t·dir·w[row]`. The entering
+            // variable's own opposite bound caps the step (a *bound flip*
+            // when nothing blocks earlier); with any infinite bound the range
+            // is infinite.
+            let mut t_best = self.lp.upper[q] - self.lp.lower[q];
+            let mut leaving: Option<(usize, VarStatus)> = None;
+            for row in 0..self.m {
+                let wi = w[row];
+                if wi.abs() <= pivot_tol {
+                    continue;
+                }
+                let j = self.basic[row];
+                let xj = self.x[j];
+                let delta = dir * wi; // x_Bj decreases at rate `delta` per unit t
+                let (target, leave_status) = if delta > 0.0 {
+                    if phase == Phase::One && xj < self.lp.lower[j] - FEAS_TOL {
+                        // Already below its lower bound and moving further
+                        // down: the phase-1 cost accounts for it linearly, so
+                        // it never blocks.
+                        continue;
+                    }
+                    if phase == Phase::One && xj > self.lp.upper[j] + FEAS_TOL {
+                        // Above its upper bound, moving down: it leaves when
+                        // it *reaches* the violated bound.
+                        (self.lp.upper[j], VarStatus::AtUpper)
+                    } else {
+                        (self.lp.lower[j], VarStatus::AtLower)
+                    }
+                } else {
+                    if phase == Phase::One && xj > self.lp.upper[j] + FEAS_TOL {
+                        continue;
+                    }
+                    if phase == Phase::One && xj < self.lp.lower[j] - FEAS_TOL {
+                        (self.lp.lower[j], VarStatus::AtLower)
+                    } else {
+                        (self.lp.upper[j], VarStatus::AtUpper)
+                    }
+                };
+                if !target.is_finite() {
+                    continue;
+                }
+                let ratio = ((xj - target) / delta).max(0.0);
+                let accept = match leaving {
+                    None => ratio < t_best + tol,
+                    Some((l, _)) => {
+                        if ratio < t_best - tol {
+                            true
+                        } else if ratio < t_best + tol {
+                            if use_bland {
+                                // Bland's tie-break: smallest basic index
+                                // leaves.
+                                self.basic[row] < self.basic[l]
+                            } else {
+                                // Stability tie-break: larger pivot element.
+                                wi.abs() > w[l].abs()
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if accept {
+                    t_best = t_best.min(ratio);
+                    leaving = Some((row, leave_status));
+                }
+            }
+
+            if t_best.is_infinite() {
+                return match phase {
+                    // A phase-1 objective is bounded below by zero, so an
+                    // unblocked improving ray can only be numerical noise;
+                    // report a stall so the Bland retry takes over.
+                    Phase::One => Err(LpError::IterationLimit {
+                        limit: self.options.max_iterations,
+                    }),
+                    Phase::Two => Err(LpError::Unbounded),
+                };
+            }
+
+            // Apply the step.
+            let t = t_best;
+            if t != 0.0 {
+                for (&j, &wi) in self.basic.iter().zip(&w) {
+                    self.x[j] -= t * dir * wi;
+                }
+            }
+            match leaving {
+                None => {
+                    // Bound flip: the entering variable runs to its opposite
+                    // bound; the basis is unchanged.
+                    self.status[q] = if dir > 0.0 {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.x[q] = self.nonbasic_value(q);
+                    self.stats.bound_flips += 1;
+                }
+                Some((row, leave_status)) => {
+                    let out = self.basic[row];
+                    self.x[q] = self.nonbasic_value(q) + dir * t;
+                    self.status[out] = leave_status;
+                    // Snap the leaving variable exactly onto its bound to
+                    // stop drift accumulating along a chain of pivots.
+                    self.x[out] = match leave_status {
+                        VarStatus::AtLower => self.lp.lower[out],
+                        VarStatus::AtUpper => self.lp.upper[out],
+                        _ => unreachable!("leaving variable always lands on a bound"),
+                    };
+                    self.basic[row] = q;
+                    self.status[q] = VarStatus::Basic;
+                    self.update_binv(row, &w);
+                    self.since_refactor += 1;
+                    if self.since_refactor >= self.options.refactor_every.max(1) {
+                        self.since_refactor = 0;
+                        // Refactorizing costs O(m³), so it is gated on an
+                        // O(nnz) drift check: only a primal residual above
+                        // tolerance triggers the rebuild. Well-scaled
+                        // instances (the mechanism's ±1-coefficient LPs)
+                        // essentially never pay it.
+                        if self.primal_residual() > REFRESH_TOL {
+                            if self.refactorize().is_err() {
+                                return Err(LpError::IterationLimit {
+                                    limit: self.options.max_iterations,
+                                });
+                            }
+                            self.stats.refactorizations += 1;
+                            self.compute_x();
+                        }
+                    }
+                }
+            }
+            iterations += 1;
+        }
+    }
+
+    /// Product-form update of `B⁻¹` after column `q` (with FTRAN image `w`)
+    /// replaces the basic column of `row`.
+    fn update_binv(&mut self, row: usize, w: &[f64]) {
+        let pivot = w[row];
+        debug_assert!(pivot.abs() > 0.0);
+        for col in self.binv.iter_mut() {
+            let vr = col[row];
+            if vr == 0.0 {
+                continue;
+            }
+            let scaled = vr / pivot;
+            for (i, slot) in col.iter_mut().enumerate() {
+                if i != row {
+                    *slot -= w[i] * scaled;
+                }
+            }
+            col[row] = scaled;
+        }
+    }
+}
+
+/// Initial nonbasic status for a structural variable given its bounds.
+fn initial_status(lower: f64, upper: f64) -> VarStatus {
+    if lower.is_finite() {
+        VarStatus::AtLower
+    } else if upper.is_finite() {
+        VarStatus::AtUpper
+    } else {
+        VarStatus::Free
+    }
+}
+
+/// Structural sanity of a warm basis: right shapes, exactly the basic
+/// columns flagged `Basic`, and every nonbasic resting on a bound that
+/// exists.
+fn basis_is_consistent(lp: &PreparedLp, basis: &Basis) -> bool {
+    if basis.basic.len() != lp.nrows || basis.status.len() != lp.ncols {
+        return false;
+    }
+    let mut seen = vec![false; lp.ncols];
+    for &j in &basis.basic {
+        if j >= lp.ncols || seen[j] || basis.status[j] != VarStatus::Basic {
+            return false;
+        }
+        seen[j] = true;
+    }
+    for (j, &s) in basis.status.iter().enumerate() {
+        match s {
+            VarStatus::Basic => {
+                if !seen[j] {
+                    return false;
+                }
+            }
+            VarStatus::AtLower => {
+                if !lp.lower[j].is_finite() {
+                    return false;
+                }
+            }
+            VarStatus::AtUpper => {
+                if !lp.upper[j].is_finite() {
+                    return false;
+                }
+            }
+            VarStatus::Free => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::SolverBackend;
+
+    fn opts() -> SimplexOptions {
+        SimplexOptions::default()
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    /// The H-style family: hinges over the capped simplex with a mass row.
+    fn hinge_family(mass: f64) -> Model {
+        let mut m = Model::minimize();
+        let f: Vec<_> = (0..5).map(|_| m.add_unit_var(0.0)).collect();
+        // Mass row first so set_rhs(0, i) steps the chain.
+        m.add_eq(f.iter().map(|&x| (x, 1.0)), mass);
+        for window in f.windows(3) {
+            let v = m.add_nonneg_var(1.0);
+            let mut terms = vec![(v, -1.0)];
+            terms.extend(window.iter().map(|&x| (x, 1.0)));
+            m.add_le(terms, 2.0);
+        }
+        m
+    }
+
+    #[test]
+    fn boxed_variables_take_no_extra_rows_or_columns() {
+        let mut m = Model::minimize();
+        let x = m.add_unit_var(-1.0);
+        let y = m.add_var(-2.0, 3.0, 1.0);
+        m.add_le([(x, 1.0), (y, 1.0)], 2.0);
+        let prepared = m.prepare().unwrap();
+        // 2 structural + 1 slack, 1 row: bounds are native, not rows.
+        assert_eq!(prepared.num_rows(), 1);
+        assert_eq!(prepared.num_cols(), 3);
+        let s = m.solve().unwrap();
+        assert_close(s.value(x), 1.0);
+        assert_close(s.value(y), -2.0);
+        assert_close(s.objective, -3.0);
+    }
+
+    #[test]
+    fn warm_start_after_rhs_step_skips_phase_one() {
+        let m = hinge_family(1.0);
+        let mut prepared = m.prepare().unwrap();
+        let first = prepared.solve(&opts()).unwrap();
+        assert!(!first.solution.stats.warm_started);
+
+        prepared.set_rhs(0, 2.0);
+        let second = prepared.solve_warm(&first.basis, &opts()).unwrap();
+        assert!(second.solution.stats.warm_started);
+        // The dense oracle agrees on the stepped instance.
+        let oracle = hinge_family(2.0)
+            .solve_with(&SimplexOptions {
+                backend: SolverBackend::DenseTableau,
+                ..opts()
+            })
+            .unwrap();
+        assert_close(second.solution.objective, oracle.objective);
+    }
+
+    #[test]
+    fn warm_chain_matches_cold_solves_and_spends_fewer_pivots() {
+        let mut prepared = hinge_family(0.0).prepare().unwrap();
+        let mut basis: Option<crate::Basis> = None;
+        let mut warm_pivots = 0usize;
+        let mut cold_pivots = 0usize;
+        for i in 0..=5usize {
+            prepared.set_rhs(0, i as f64);
+            let warm = match &basis {
+                None => prepared.solve(&opts()).unwrap(),
+                Some(b) => prepared.solve_warm(b, &opts()).unwrap(),
+            };
+            let cold = prepared.solve(&opts()).unwrap();
+            assert_close(warm.solution.objective, cold.solution.objective);
+            warm_pivots +=
+                warm.solution.stats.phase1_iterations + warm.solution.stats.phase2_iterations;
+            cold_pivots +=
+                cold.solution.stats.phase1_iterations + cold.solution.stats.phase2_iterations;
+            basis = Some(warm.basis);
+        }
+        assert!(
+            warm_pivots < cold_pivots,
+            "warm chain spent {warm_pivots} pivots vs cold {cold_pivots}"
+        );
+    }
+
+    #[test]
+    fn set_objective_changes_are_picked_up() {
+        let mut m = Model::minimize();
+        let x = m.add_unit_var(1.0);
+        let y = m.add_unit_var(2.0);
+        m.add_ge([(x, 1.0), (y, 1.0)], 1.0);
+        let mut prepared = m.prepare().unwrap();
+        let first = prepared.solve(&opts()).unwrap();
+        assert_close(first.solution.objective, 1.0);
+        // Make y the cheap variable; the optimum flips to y = 1.
+        prepared.set_objective(y, 0.5);
+        let second = prepared.solve_warm(&first.basis, &opts()).unwrap();
+        assert_close(second.solution.objective, 0.5);
+        assert_close(second.solution.values[y.index()], 1.0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_verdicts_survive_warm_starts() {
+        let mut m = Model::minimize();
+        let x = m.add_unit_var(1.0);
+        m.add_ge([(x, 1.0)], 0.5);
+        let mut prepared = m.prepare().unwrap();
+        let sol = prepared.solve(&opts()).unwrap();
+        // Step the RHS beyond the box: infeasible from the warm basis.
+        prepared.set_rhs(0, 2.0);
+        match prepared.solve_warm(&sol.basis, &opts()) {
+            Err(LpError::Infeasible) => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+
+        let mut m = Model::maximize();
+        let x = m.add_nonneg_var(1.0);
+        m.add_ge([(x, 1.0)], 1.0);
+        match m.solve() {
+            Err(LpError::Unbounded) => {}
+            other => panic!("expected Unbounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_stale_basis_from_another_shape_falls_back_to_cold() {
+        let small = hinge_family(1.0).prepare().unwrap();
+        let small_solution = small.solve(&opts()).unwrap();
+        let mut other = Model::minimize();
+        let x = other.add_unit_var(1.0);
+        other.add_ge([(x, 1.0)], 0.25);
+        let other = other.prepare().unwrap();
+        let sol = other.solve_warm(&small_solution.basis, &opts()).unwrap();
+        assert_close(sol.solution.objective, 0.25);
+        assert!(!sol.solution.stats.warm_started);
+    }
+
+    #[test]
+    fn unconstrained_model_settles_on_bounds() {
+        // No rows at all: every variable just runs to its cheaper bound.
+        let mut m = Model::minimize();
+        let x = m.add_var(-1.0, 2.0, 1.0);
+        let y = m.add_var(-3.0, 4.0, -1.0);
+        let s = m.solve().unwrap();
+        assert_close(s.value(x), -1.0);
+        assert_close(s.value(y), 4.0);
+        assert_close(s.objective, -5.0);
+    }
+
+    #[test]
+    fn free_variable_without_constraints_is_unbounded() {
+        let mut m = Model::minimize();
+        m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        match m.solve() {
+            Err(LpError::Unbounded) => {}
+            other => panic!("expected Unbounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refactorization_interval_does_not_change_the_optimum() {
+        let m = hinge_family(3.5);
+        let baseline = m.solve().unwrap();
+        let frequent = m
+            .solve_with(&SimplexOptions {
+                refactor_every: 1,
+                ..opts()
+            })
+            .unwrap();
+        assert_close(baseline.objective, frequent.objective);
+        assert!(frequent.stats.refactorizations >= baseline.stats.refactorizations);
+    }
+
+    #[test]
+    fn fixed_variables_stay_fixed() {
+        let mut m = Model::minimize();
+        let x = m.add_var(2.5, 2.5, -10.0);
+        let y = m.add_unit_var(1.0);
+        m.add_ge([(x, 1.0), (y, 1.0)], 3.0);
+        let s = m.solve().unwrap();
+        assert_close(s.value(x), 2.5);
+        assert_close(s.value(y), 0.5);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_handled_without_sign_normalisation() {
+        // min x  s.t.  -x <= -2  (i.e. x >= 2), x in [0, 5].
+        let mut m = Model::minimize();
+        let x = m.add_var(0.0, 5.0, 1.0);
+        m.add_le([(x, -1.0)], -2.0);
+        let s = m.solve().unwrap();
+        assert_close(s.value(x), 2.0);
+    }
+
+    #[test]
+    fn dense_and_revised_agree_on_the_mechanism_shape() {
+        for mass in [0.0, 1.0, 2.5, 4.0, 5.0] {
+            let m = hinge_family(mass);
+            let revised = m.solve().unwrap();
+            let dense = m
+                .solve_with(&SimplexOptions {
+                    backend: SolverBackend::DenseTableau,
+                    ..opts()
+                })
+                .unwrap();
+            assert!(
+                (revised.objective - dense.objective).abs() < 1e-7,
+                "mass {mass}: revised {} vs dense {}",
+                revised.objective,
+                dense.objective
+            );
+        }
+    }
+}

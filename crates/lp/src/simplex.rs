@@ -1,6 +1,12 @@
-//! Dense two-phase primal simplex.
+//! Solve dispatch and the dense two-phase tableau oracle.
 //!
-//! The solver standardises a [`Model`] into equality form
+//! [`solve`] routes a model to the configured [`SolverBackend`]: the sparse
+//! bounded-variable revised simplex of [`crate::revised`] by default, or the
+//! dense tableau below — retained as a structurally independent
+//! differential-testing oracle (the property tests pit the two against each
+//! other on random LPs and on the mechanism's real sequence models).
+//!
+//! The dense oracle standardises a [`Model`] into equality form
 //! `min c'ᵀx'  s.t.  Ax' = b, x' ≥ 0` (shifting finite lower bounds to zero,
 //! reflecting upper-bounded-only variables, splitting free variables and
 //! turning finite upper bounds into explicit rows), then runs the classical
@@ -18,6 +24,22 @@ use crate::error::LpError;
 use crate::model::{ConstraintOp, Model, Sense};
 use crate::solution::{Solution, SolveStats};
 
+/// Which solver implementation a solve runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverBackend {
+    /// The sparse bounded-variable revised simplex of [`crate::revised`]
+    /// (default): native bound handling, `O(m² + nnz)` per pivot, and the
+    /// only backend that supports [`crate::PreparedLp`] warm starts.
+    #[default]
+    Revised,
+    /// The dense two-phase tableau this crate started from. Kept as a
+    /// differential-testing oracle — structurally independent from the
+    /// revised path (column splits, explicit upper-bound rows, full tableau
+    /// updates), so agreement between the two is strong evidence both are
+    /// right.
+    DenseTableau,
+}
+
 /// Options controlling the simplex run.
 #[derive(Clone, Copy, Debug)]
 pub struct SimplexOptions {
@@ -28,6 +50,14 @@ pub struct SimplexOptions {
     pub bland_after: usize,
     /// Numerical tolerance for reduced costs, pivots and feasibility.
     pub tol: f64,
+    /// Which implementation solves the model.
+    pub backend: SolverBackend,
+    /// Revised backend only: pivots between drift checks of the maintained
+    /// basis inverse. Each check costs O(nnz); a primal residual above
+    /// tolerance triggers the O(rows³) refactorization (and a recomputation
+    /// of the primal point). Smaller values trade time for numerical
+    /// robustness on long pivot chains over badly scaled data.
+    pub refactor_every: usize,
 }
 
 impl Default for SimplexOptions {
@@ -36,6 +66,8 @@ impl Default for SimplexOptions {
             max_iterations: 30_000,
             bland_after: 5_000,
             tol: 1e-9,
+            backend: SolverBackend::default(),
+            refactor_every: 64,
         }
     }
 }
@@ -333,7 +365,16 @@ impl Tableau {
     }
 }
 
-/// Solves a model, returning an optimal solution or an error.
+/// Solves a model on the backend selected by
+/// [`SimplexOptions::backend`], returning an optimal solution or an error.
+pub fn solve(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
+    match options.backend {
+        SolverBackend::Revised => crate::revised::solve_model(model, options),
+        SolverBackend::DenseTableau => solve_dense(model, options),
+    }
+}
+
+/// Solves on the dense tableau oracle.
 ///
 /// Highly degenerate instances can stall the plain simplex; if the iteration
 /// limit is hit, the solve is retried with a tiny deterministic right-hand
@@ -341,7 +382,7 @@ impl Tableau {
 /// degeneracy. The perturbation changes the optimum by at most the
 /// perturbation times the dual magnitudes — negligible for the LPs produced
 /// by the mechanism — and is only used on the fallback path.
-pub fn solve(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
+pub(crate) fn solve_dense(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
     // Retry with perturbation on both stalling (iteration limit) and on an
     // unboundedness verdict: on heavily degenerate instances accumulated
     // rounding can empty a pivot column, and the perturbed re-solve settles

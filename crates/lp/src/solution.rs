@@ -5,14 +5,27 @@ use crate::model::Var;
 /// Counters describing the work done by one solve.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SolveStats {
-    /// Simplex pivots performed in phase 1.
+    /// Simplex pivots performed in phase 1 (for the revised backend: pivots
+    /// plus bound flips spent restoring primal feasibility; 0 when a warm
+    /// start re-entered feasible).
     pub phase1_iterations: usize,
     /// Simplex pivots performed in phase 2.
     pub phase2_iterations: usize,
-    /// Rows of the standardised tableau.
+    /// Rows of the standardised system.
     pub rows: usize,
-    /// Columns of the standardised tableau (excluding the right-hand side).
+    /// Columns of the standardised system (excluding the right-hand side).
+    /// The revised backend adds exactly one slack per row and splits nothing,
+    /// so this is `model vars + rows`; the dense oracle is wider (free-var
+    /// splits and explicit upper-bound rows).
     pub cols: usize,
+    /// Basis-inverse refactorizations performed (revised backend only).
+    pub refactorizations: usize,
+    /// Bound flips — iterations that moved a nonbasic variable to its other
+    /// bound without touching the basis (revised backend only).
+    pub bound_flips: usize,
+    /// Whether this solve re-entered from a caller-supplied basis
+    /// ([`crate::PreparedLp::solve_warm`]).
+    pub warm_started: bool,
 }
 
 /// An optimal solution of a linear program.

@@ -155,3 +155,161 @@ proptest! {
         }
     }
 }
+
+// ---- Differential testing: revised simplex vs the dense tableau oracle ----
+
+/// A random LP over *general* bounded variables: shifted boxes, one-sided
+/// bounds, fixed variables and free variables — every shape the two
+/// standardizations handle differently (the revised backend keeps bounds
+/// native; the dense oracle shifts, reflects, splits and adds bound rows).
+#[derive(Clone, Debug)]
+struct BoundedLp {
+    bounds: Vec<(f64, f64)>,
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<f64>, u8, f64)>, // op: 0 = Le, 1 = Ge, 2 = Eq
+}
+
+fn bound_pair() -> impl Strategy<Value = (f64, f64)> {
+    prop_oneof![
+        // Shifted box.
+        (-3.0..0.0f64, 0.0..3.0f64),
+        // Unit box (the mechanism's f-variables).
+        Just((0.0, 1.0)),
+        // One-sided: lower only / upper only.
+        (-2.0..1.0f64).prop_map(|l| (l, f64::INFINITY)),
+        (-1.0..2.0f64).prop_map(|u| (f64::NEG_INFINITY, u)),
+        // Fixed.
+        (-1.0..1.0f64).prop_map(|v| (v, v)),
+        // Free.
+        Just((f64::NEG_INFINITY, f64::INFINITY)),
+    ]
+}
+
+fn bounded_lp() -> impl Strategy<Value = BoundedLp> {
+    (2usize..=5)
+        .prop_flat_map(|n_vars| {
+            let bounds = proptest::collection::vec(bound_pair(), n_vars);
+            let obj = proptest::collection::vec(-3.0..3.0f64, n_vars);
+            let cons = proptest::collection::vec(
+                (
+                    proptest::collection::vec(-2.0..2.0f64, n_vars),
+                    0u8..3,
+                    -2.0..3.0f64,
+                ),
+                1..5,
+            );
+            (bounds, obj, cons)
+        })
+        .prop_map(|(bounds, objective, constraints)| BoundedLp {
+            bounds,
+            objective,
+            constraints,
+        })
+}
+
+fn build_bounded(lp: &BoundedLp) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = lp
+        .bounds
+        .iter()
+        .zip(&lp.objective)
+        .map(|(&(lo, hi), &c)| m.add_var(lo, hi, c))
+        .collect();
+    for (coeffs, op, rhs) in &lp.constraints {
+        let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        let op = match op {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        m.add_constraint(terms, op, *rhs);
+    }
+    m
+}
+
+/// Whether a free/one-sided variable makes the instance unbounded is a
+/// question both backends must answer the same way, and on bounded optima
+/// the values must agree. Iteration limits are treated as "no verdict".
+fn verdict(result: &Result<rmdp_lp::Solution, LpError>) -> Option<Result<f64, &LpError>> {
+    match result {
+        Ok(s) => Some(Ok(s.objective)),
+        Err(e @ (LpError::Infeasible | LpError::Unbounded)) => Some(Err(e)),
+        Err(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The revised simplex and the dense tableau agree on every random
+    /// bounded-variable LP: same optimum within tolerance, or the same
+    /// infeasible/unbounded verdict.
+    #[test]
+    fn revised_and_dense_backends_agree(lp in bounded_lp()) {
+        let model = build_bounded(&lp);
+        let revised = model.solve_with(&rmdp_lp::SimplexOptions {
+            backend: rmdp_lp::SolverBackend::Revised,
+            ..Default::default()
+        });
+        let dense = model.solve_with(&rmdp_lp::SimplexOptions {
+            backend: rmdp_lp::SolverBackend::DenseTableau,
+            ..Default::default()
+        });
+        match (verdict(&revised), verdict(&dense)) {
+            (Some(Ok(a)), Some(Ok(b))) => {
+                prop_assert!((a - b).abs() < 1e-6,
+                    "optima differ: revised {a} vs dense {b}");
+            }
+            (Some(Err(a)), Some(Err(b))) => {
+                prop_assert_eq!(a, b, "verdicts differ");
+            }
+            (Some(a), Some(b)) => {
+                prop_assert!(false, "revised says {a:?}, dense says {b:?}");
+            }
+            // One backend giving up (iteration limit) is not a disagreement.
+            _ => {}
+        }
+    }
+
+    /// A warm-started RHS chain returns the same optima as cold re-solves of
+    /// every step (the PreparedLp contract the sequence chains rely on).
+    #[test]
+    fn warm_chain_matches_cold_solves(lp in bounded_lp(), steps in proptest::collection::vec(-2.0..3.0f64, 1..5)) {
+        let model = build_bounded(&lp);
+        let options = rmdp_lp::SimplexOptions::default();
+        let mut prepared = model.prepare().expect("validated by construction");
+        let mut basis = if prepared.num_rows() == 0 {
+            None
+        } else {
+            prepared.solve(&options).ok().map(|s| s.basis)
+        };
+        let mut k = 0usize;
+        while let Some(prev) = basis.take() {
+            let Some(&rhs) = steps.get(k) else { break };
+            prepared.set_rhs(k % prepared.num_rows(), rhs);
+            let warm = prepared.solve_warm(&prev, &options);
+            let cold = prepared.solve(&options);
+            let warm_solution = warm
+                .as_ref()
+                .map(|s| s.solution.clone())
+                .map_err(|e| e.clone());
+            let cold_solution = cold
+                .as_ref()
+                .map(|s| s.solution.clone())
+                .map_err(|e| e.clone());
+            match (verdict(&warm_solution), verdict(&cold_solution)) {
+                (Some(Ok(a)), Some(Ok(b))) => {
+                    prop_assert!((a - b).abs() < 1e-6,
+                        "step {k}: warm {a} vs cold {b}");
+                }
+                (Some(Err(_)), Some(Err(_))) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert!(false, "step {k}: warm says {a:?}, cold says {b:?}");
+                }
+                _ => {}
+            }
+            basis = warm.ok().map(|s| s.basis);
+            k += 1;
+        }
+    }
+}

@@ -15,6 +15,11 @@
 //!   result ordering**: the output vector is always indexed by input index,
 //!   regardless of which worker computed which entry, and the first error in
 //!   *index* order (not completion order) is the one reported.
+//! * [`contiguous_runs`] — fixed, worker-count-independent partitioning of
+//!   an index range into contiguous runs, for callers whose items form
+//!   warm-start chains (consecutive sequence-entry LPs): a run is one chain
+//!   executed on one worker, so warm starts survive parallelism without
+//!   making the results depend on the schedule.
 //!
 //! The pool is deliberately tiny: an atomic next-index counter hands indices
 //! to workers (good load balancing when items have very different costs, as
@@ -35,8 +40,10 @@
 
 #![deny(missing_docs)]
 
+pub mod chunk;
 pub mod parallelism;
 pub mod pool;
 
+pub use chunk::{contiguous_runs, run_containing};
 pub use parallelism::Parallelism;
 pub use pool::{par_map_indexed, par_try_map_indexed};
