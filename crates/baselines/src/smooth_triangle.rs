@@ -106,7 +106,7 @@ mod tests {
         let m = SmoothSensitivityTriangle::new(1.0);
         let truth = m.true_count(&g);
         let mut answers: Vec<f64> = (0..2001).map(|_| m.release(&g, &mut rng)).collect();
-        answers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        answers.sort_by(f64::total_cmp);
         let median = answers[answers.len() / 2];
         // Cauchy noise has no mean but the median error is ~ the noise scale.
         assert!((median - truth).abs() < 4.0 * m.noise_scale(&g));

@@ -1,0 +1,510 @@
+//! Cross-query sequence cache.
+//!
+//! The recursive mechanism's cost is entirely in precomputing the `H`/`G`
+//! sequences — `2(|P|+1)` LP chains per query (Sec. 5.3). Production DP-SQL
+//! traffic, however, is dominated by *repeated query shapes* (Chorus:
+//! Johnson, Near, Song & Sarwate; FLEX: Johnson, Near & Song), so the second
+//! structurally identical query over the same data should not pay the
+//! simplex again. This module provides the storage layer of that reuse:
+//!
+//! * [`FrozenSequences`] — an immutable snapshot of a *completed*
+//!   instantiation (every `H_i`/`G_i` value plus the bounding factor), built
+//!   from any [`MechanismSequences`] — the LP-based [`EfficientSequences`]
+//!   or the subset-enumeration [`GeneralSequences`] alike. Frozen tables
+//!   implement [`MechanismSequences`] themselves, so a
+//!   [`RecursiveMechanism`](crate::RecursiveMechanism) can release straight
+//!   from a cache hit.
+//! * [`SequenceCache`] — a thread-safe, capacity-bounded LRU mapping
+//!   [`Fingerprint`] keys to `Arc<FrozenSequences>`, with hit/miss/eviction
+//!   counters surfaced through [`CacheStats`].
+//!
+//! ## What caching can and cannot change
+//!
+//! A frozen table stores the *exact* values the cold path computes — the
+//! same deterministic warm-started chains behind
+//! [`MechanismSequences::precompute`] — and the mechanism draws its noise
+//! per release from the caller's RNG either way. A cache hit therefore skips
+//! all LP work but leaves the released values **bit-identical** to a cold
+//! run under the same seed: caching is a wall-clock optimisation, never a
+//! distribution change.
+//!
+//! ## Keying discipline
+//!
+//! The cache itself is key-agnostic: it stores whatever the caller
+//! fingerprints. Soundness lives in the key — a key must determine the
+//! sequence values, i.e. it must cover the canonical query plan, the
+//! database identity *and* mutation epoch (see
+//! [`AnnotatedDatabase::annotation_epoch`](rmdp_krelation::annotate::AnnotatedDatabase::annotation_epoch)),
+//! and any parameter that shapes the values. `rmdp_sql::fingerprint` is the
+//! reference implementation of that contract.
+//!
+//! [`EfficientSequences`]: crate::EfficientSequences
+//! [`GeneralSequences`]: crate::GeneralSequences
+
+use crate::error::{MechanismError, SequenceFamily};
+use crate::sequences::MechanismSequences;
+use rmdp_krelation::fingerprint::Fingerprint;
+use rmdp_krelation::hash::FxHashMap;
+use rmdp_runtime::Parallelism;
+use std::sync::{Arc, Mutex};
+
+/// Default number of frozen sequence tables a cache holds before evicting.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// An immutable snapshot of a completed instantiation: every `H_i` and
+/// `G_i` value plus the bounding factor `g`.
+///
+/// The snapshot is `Send + Sync` plain data (`2(|P|+1)` floats), so it is
+/// cheap to share behind an [`Arc`] across sessions and worker threads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrozenSequences {
+    h: Vec<f64>,
+    g: Vec<f64>,
+    bounding_factor: f64,
+}
+
+impl FrozenSequences {
+    /// Completes `sequences` (precomputing every entry with up to
+    /// `parallelism` workers) and snapshots all of its values.
+    ///
+    /// The values are exactly what the live instantiation would serve —
+    /// [`MechanismSequences::precompute`] is contractually bit-identical to
+    /// the lazy path — so releasing from the snapshot is bit-identical to
+    /// releasing from the live instantiation under the same RNG stream.
+    pub fn compute<S: MechanismSequences>(
+        mut sequences: S,
+        parallelism: Parallelism,
+    ) -> Result<Self, MechanismError> {
+        sequences.precompute(parallelism)?;
+        let n = sequences.num_participants();
+        let mut h = Vec::with_capacity(n + 1);
+        let mut g = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            h.push(sequences.h(i)?);
+            g.push(sequences.g(i)?);
+        }
+        Ok(FrozenSequences {
+            h,
+            g,
+            bounding_factor: sequences.bounding_factor(),
+        })
+    }
+
+    /// The frozen `H` entries.
+    pub fn h_entries(&self) -> &[f64] {
+        &self.h
+    }
+
+    /// The frozen `G` entries.
+    pub fn g_entries(&self) -> &[f64] {
+        &self.g
+    }
+
+    /// Approximate heap size of the snapshot in bytes (diagnostics).
+    pub fn size_bytes(&self) -> usize {
+        (self.h.capacity() + self.g.capacity()) * std::mem::size_of::<f64>()
+    }
+
+    fn entry(
+        &self,
+        family: SequenceFamily,
+        values: &[f64],
+        i: usize,
+    ) -> Result<f64, MechanismError> {
+        values.get(i).copied().ok_or_else(|| {
+            // Mirrors the live instantiation: an out-of-range entry is the
+            // infeasible mass constraint Σf = i over |P| unit variables.
+            MechanismError::sequence_lp(family, i, rmdp_lp::LpError::Infeasible)
+        })
+    }
+}
+
+impl MechanismSequences for FrozenSequences {
+    fn num_participants(&self) -> usize {
+        self.h.len().saturating_sub(1)
+    }
+
+    fn h(&mut self, i: usize) -> Result<f64, MechanismError> {
+        self.entry(SequenceFamily::H, &self.h, i)
+    }
+
+    fn g(&mut self, i: usize) -> Result<f64, MechanismError> {
+        self.entry(SequenceFamily::G, &self.g, i)
+    }
+
+    fn bounding_factor(&self) -> f64 {
+        self.bounding_factor
+    }
+}
+
+/// A shared frozen snapshot, servable as [`MechanismSequences`].
+///
+/// This is what a cache hit hands to the mechanism driver: the `Arc` keeps
+/// the snapshot alive even if the cache evicts it mid-release.
+#[derive(Clone, Debug)]
+pub struct CachedSequences(pub Arc<FrozenSequences>);
+
+impl MechanismSequences for CachedSequences {
+    fn num_participants(&self) -> usize {
+        self.0.num_participants()
+    }
+
+    fn h(&mut self, i: usize) -> Result<f64, MechanismError> {
+        self.0.entry(SequenceFamily::H, &self.0.h, i)
+    }
+
+    fn g(&mut self, i: usize) -> Result<f64, MechanismError> {
+        self.0.entry(SequenceFamily::G, &self.0.g, i)
+    }
+
+    fn bounding_factor(&self) -> f64 {
+        self.0.bounding_factor
+    }
+}
+
+/// Cumulative counters of one [`SequenceCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a frozen table.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Tables inserted (including overwrites of an existing key).
+    pub insertions: u64,
+    /// Tables evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache slot: the shared snapshot plus its last-used tick.
+struct Slot {
+    value: Arc<FrozenSequences>,
+    last_used: u64,
+}
+
+/// The guarded interior of a [`SequenceCache`].
+struct CacheInner {
+    slots: FxHashMap<u128, Slot>,
+    stats: CacheStats,
+    /// Logical clock driving LRU order; bumped on every touch.
+    tick: u64,
+}
+
+/// A thread-safe, capacity-bounded LRU cache of completed sequence tables.
+///
+/// All methods take `&self`; interior state lives behind one [`Mutex`]. The
+/// lock is held only for the map operation itself — never while sequences
+/// are being *computed* — so concurrent batch workers contend for
+/// nanoseconds, and two workers racing on the same missing key simply both
+/// compute the (deterministic, bit-identical) table and the second insert
+/// overwrites the first with an equal value.
+pub struct SequenceCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl Default for SequenceCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl SequenceCache {
+    /// A cache holding at most `capacity` frozen tables (`capacity` is
+    /// clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SequenceCache {
+            inner: Mutex::new(CacheInner {
+                slots: FxHashMap::default(),
+                stats: CacheStats::default(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Convenience constructor returning the cache ready for sharing.
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tables currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Drops every cached table (counters are kept).
+    pub fn clear(&self) {
+        self.lock().slots.clear();
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing LRU order.
+    pub fn get(&self, key: Fingerprint) -> Option<Arc<FrozenSequences>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.slots.get_mut(&key.0) {
+            Some(slot) => {
+                slot.last_used = tick;
+                let value = Arc::clone(&slot.value);
+                inner.stats.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key`, evicting least-recently-used tables
+    /// while over capacity.
+    pub fn insert(&self, key: Fingerprint, value: Arc<FrozenSequences>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.insert(
+            key.0,
+            Slot {
+                value,
+                last_used: tick,
+            },
+        );
+        inner.stats.insertions += 1;
+        while inner.slots.len() > self.capacity {
+            let Some((&oldest, _)) = inner.slots.iter().min_by_key(|(_, slot)| slot.last_used)
+            else {
+                break;
+            };
+            inner.slots.remove(&oldest);
+            inner.stats.evictions += 1;
+        }
+    }
+
+    /// Returns the table under `key`, computing and inserting it on a miss.
+    ///
+    /// `compute` runs **outside** the lock, so a slow LP precompute never
+    /// blocks other sessions' lookups; the price is that concurrent misses
+    /// on the same key may compute the table more than once (harmlessly —
+    /// the computation is deterministic).
+    pub fn get_or_try_insert_with<F>(
+        &self,
+        key: Fingerprint,
+        compute: F,
+    ) -> Result<Arc<FrozenSequences>, MechanismError>
+    where
+        F: FnOnce() -> Result<FrozenSequences, MechanismError>,
+    {
+        if let Some(found) = self.get(key) {
+            return Ok(found);
+        }
+        let value = Arc::new(compute()?);
+        self.insert(key, Arc::clone(&value));
+        Ok(value)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // A poisoned mutex means a panic inside one of the short map-only
+        // critical sections above; the map itself is still structurally
+        // sound, so keep serving rather than wedging every session.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efficient::EfficientSequences;
+    use crate::general::GeneralSequences;
+    use crate::krelation_query::SensitiveKRelation;
+    use crate::mechanism::RecursiveMechanism;
+    use crate::params::MechanismParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rmdp_krelation::participant::ParticipantId;
+    use rmdp_krelation::{Expr, KRelation, Tuple};
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn fig2a() -> SensitiveKRelation {
+        let mut r = KRelation::new(["t"]);
+        r.insert(
+            Tuple::new([("t", "abc")]),
+            Expr::conjunction_of_vars([p(0), p(1), p(2)]),
+        );
+        r.insert(
+            Tuple::new([("t", "bcd")]),
+            Expr::conjunction_of_vars([p(1), p(2), p(3)]),
+        );
+        r.insert(
+            Tuple::new([("t", "cde")]),
+            Expr::conjunction_of_vars([p(2), p(3), p(4)]),
+        );
+        SensitiveKRelation::counting(&r)
+    }
+
+    fn frozen_fig2a() -> FrozenSequences {
+        FrozenSequences::compute(EfficientSequences::new(fig2a()), Parallelism::Serial).unwrap()
+    }
+
+    #[test]
+    fn frozen_tables_serve_the_exact_live_values() {
+        let mut live = EfficientSequences::new(fig2a());
+        let mut frozen = frozen_fig2a();
+        assert_eq!(frozen.num_participants(), 5);
+        assert_eq!(frozen.bounding_factor(), 2.0);
+        for i in 0..=5usize {
+            assert_eq!(frozen.h(i).unwrap(), live.h(i).unwrap(), "H_{i}");
+            assert_eq!(frozen.g(i).unwrap(), live.g(i).unwrap(), "G_{i}");
+        }
+        // Out of range mirrors the live error shape.
+        match frozen.h(6) {
+            Err(MechanismError::SequenceLp {
+                family: SequenceFamily::H,
+                index: 6,
+                ..
+            }) => {}
+            other => panic!("expected a named out-of-range error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_general_sequences_work_too() {
+        let general = GeneralSequences::build(&fig2a()).unwrap();
+        let h_ref = general.h_entries().to_vec();
+        let frozen = FrozenSequences::compute(general, Parallelism::Serial).unwrap();
+        assert_eq!(frozen.h_entries(), &h_ref[..]);
+        assert_eq!(frozen.bounding_factor(), 1.0);
+    }
+
+    #[test]
+    fn cached_release_is_bit_identical_to_the_live_release() {
+        let params = MechanismParams::paper_node_privacy(1.0);
+        let frozen = Arc::new(frozen_fig2a());
+        let mut live = RecursiveMechanism::new(EfficientSequences::new(fig2a()), params).unwrap();
+        let mut cached = RecursiveMechanism::new(CachedSequences(frozen), params).unwrap();
+        let a = live
+            .release_many(6, &mut StdRng::seed_from_u64(17))
+            .unwrap();
+        let b = cached
+            .release_many(6, &mut StdRng::seed_from_u64(17))
+            .unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.noisy_answer, rb.noisy_answer);
+            assert_eq!(ra.delta, rb.delta);
+            assert_eq!(ra.delta_hat, rb.delta_hat);
+            assert_eq!(ra.x, rb.x);
+        }
+    }
+
+    #[test]
+    fn hits_misses_and_insertions_are_counted() {
+        let cache = SequenceCache::new(4);
+        let key = Fingerprint(42);
+        assert!(cache.get(key).is_none());
+        let table = cache
+            .get_or_try_insert_with(key, || Ok(frozen_fig2a()))
+            .unwrap();
+        let again = cache
+            .get_or_try_insert_with(key, || panic!("must not recompute on a hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&table, &again));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2); // the bare get + the populating lookup
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(cache.len(), 1);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used_table() {
+        let cache = SequenceCache::new(2);
+        let table = Arc::new(frozen_fig2a());
+        cache.insert(Fingerprint(1), Arc::clone(&table));
+        cache.insert(Fingerprint(2), Arc::clone(&table));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(Fingerprint(1)).is_some());
+        cache.insert(Fingerprint(3), Arc::clone(&table));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(Fingerprint(1)).is_some());
+        assert!(cache.get(Fingerprint(2)).is_none(), "2 was evicted");
+        assert!(cache.get(Fingerprint(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_is_clamped_and_clear_keeps_counters() {
+        let cache = SequenceCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        let table = Arc::new(frozen_fig2a());
+        cache.insert(Fingerprint(1), Arc::clone(&table));
+        cache.insert(Fingerprint(2), table);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_deterministic() {
+        let cache = SequenceCache::shared(8);
+        let key = Fingerprint(7);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    let table = cache
+                        .get_or_try_insert_with(key, || Ok(frozen_fig2a()))
+                        .unwrap();
+                    assert_eq!(table.h_entries().len(), 6);
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+    }
+
+    #[test]
+    fn compute_errors_propagate_and_cache_nothing() {
+        let cache = SequenceCache::new(4);
+        let err = cache
+            .get_or_try_insert_with(Fingerprint(9), || {
+                Err(MechanismError::UnsupportedInstance("boom".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, MechanismError::UnsupportedInstance(_)));
+        assert!(cache.is_empty());
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`efficient`] | the efficient LP-based instantiation with the relaxation `φ` (Sec. 5) |
 //! | [`subgraph`] | subgraph counting under node or edge privacy (Sec. 1.1, 6.1) |
 //! | [`params`] | the parameters ε₁, ε₂, β, θ, μ with the paper's experimental defaults |
+//! | [`cache`] | cross-query sequence cache: frozen `H`/`G` tables behind a fingerprint-keyed LRU |
 //!
 //! ## Quick example: node-private triangle counting
 //!
@@ -38,6 +39,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod efficient;
 pub mod empirical;
 pub mod error;
@@ -49,6 +51,7 @@ pub mod sensitive;
 pub mod sequences;
 pub mod subgraph;
 
+pub use cache::{CacheStats, CachedSequences, FrozenSequences, SequenceCache};
 pub use efficient::{EfficientSequences, LpWorkStats};
 pub use error::{MechanismError, SequenceFamily};
 pub use general::GeneralSequences;

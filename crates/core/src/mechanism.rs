@@ -316,7 +316,7 @@ mod tests {
         let true_answer = 45.0 * 3.0 / 3.0 * 3.0; // (50 − 5)·3 = 135
         let median = {
             let mut xs: Vec<f64> = releases.iter().map(|r| r.noisy_answer).collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.sort_by(f64::total_cmp);
             xs[xs.len() / 2]
         };
         assert!((median - true_answer).abs() < 25.0, "median {median}");

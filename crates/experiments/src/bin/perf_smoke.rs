@@ -1,22 +1,43 @@
-//! Perf smoke test: cold vs warm-started sequence precompute on the fig-4
-//! workloads (triangle and 2-star counting under node privacy).
+//! Perf smoke test for the two sequence-layer optimisations.
 //!
-//! Times a full `H`/`G` precompute twice per workload — entry-by-entry cold
-//! solves (`chain_run_len = 1`) and the default warm-started chains — and
-//! writes `BENCH_lp.json` with wall times and pivot counts. CI uploads the
-//! file as an artifact on every run, so the pivot/wall-time trajectory of
-//! the LP hot path is tracked over time. Pivot counts are deterministic;
-//! wall times are indicative (shared runners).
+//! **LP chains** (`BENCH_lp.json`): times a full `H`/`G` precompute twice
+//! per fig-4 workload (triangle and 2-star counting under node privacy) —
+//! entry-by-entry cold solves (`chain_run_len = 1`) and the default
+//! warm-started chains — with wall times and pivot counts.
 //!
-//! Usage: `perf_smoke [output.json]` (default `BENCH_lp.json`).
+//! **Sequence cache** (`BENCH_cache.json`): the repeated-workload bench.
+//! One cold release pays the full sequence precompute and populates the
+//! [`rmdp_core::SequenceCache`]; every repeat is a cache hit that skips the
+//! precompute entirely. The bench records cold vs warm-hit wall time (the
+//! acceptance gate requires ≥ 10× on the fig-4 triangle workload),
+//! verifies bit-identity of the released values against a cache-less run
+//! under the same seeds, and measures the hit rate of a SQL session
+//! replaying a repeated query mix with permuted aliases.
+//!
+//! CI uploads both files as artifacts on every run, so the trajectory of
+//! the sequence hot path is tracked over time. Pivot counts, hit rates and
+//! bit-identity are deterministic; wall times are indicative (shared
+//! runners).
+//!
+//! Usage: `perf_smoke [lp.json] [cache.json]` (defaults `BENCH_lp.json`,
+//! `BENCH_cache.json`).
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rmdp_core::efficient::EfficientSequences;
 use rmdp_core::params::MechanismParams;
 use rmdp_core::subgraph::{PrivacyUnit, SubgraphCounter};
-use rmdp_core::{MechanismSequences, Parallelism, SensitiveKRelation};
+use rmdp_core::{
+    CachedSequences, FrozenSequences, MechanismSequences, Parallelism, RecursiveMechanism,
+    SensitiveKRelation, SequenceCache,
+};
 use rmdp_graph::{generators, Pattern};
+use rmdp_krelation::annotate::AnnotatedDatabase;
+use rmdp_krelation::fingerprint::Fingerprint;
+use rmdp_krelation::tuple::{Tuple, Value};
+use rmdp_krelation::{Expr, KRelation};
+use rmdp_sql::SqlSession;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct WorkloadResult {
@@ -75,10 +96,157 @@ fn run_workload(pattern: Pattern) -> WorkloadResult {
     }
 }
 
+/// The repeated-workload cache bench on one core-level workload.
+struct CacheBenchResult {
+    name: String,
+    participants: usize,
+    /// Wall time of the cold (miss) release: full sequence precompute,
+    /// cache population and release.
+    cold_wall_ms: f64,
+    /// Mean wall time of a warm-hit release over `warm_releases` repeats.
+    warm_hit_wall_ms: f64,
+    warm_releases: usize,
+    speedup: f64,
+    /// Whether the cached releases were bit-identical to a cache-less run
+    /// under the same per-query seeds.
+    bit_identical: bool,
+}
+
+/// One release the way `SqlSession` does it: a fresh per-query RNG seeded
+/// from the workload stream, releasing through the given sequences.
+fn release_once<S: MechanismSequences>(
+    sequences: S,
+    params: MechanismParams,
+    seed: u64,
+) -> rmdp_core::Release {
+    let mut mech =
+        RecursiveMechanism::new(sequences, params).expect("fig-4 sequences are feasible");
+    mech.release(&mut StdRng::seed_from_u64(seed))
+        .expect("fig-4 release succeeds")
+}
+
+fn run_cache_workload(pattern: Pattern, repeats: usize) -> CacheBenchResult {
+    let relation = fig4_relation(&pattern);
+    let participants = relation.num_participants();
+    let params = MechanismParams::paper_node_privacy(0.5);
+    let cache = SequenceCache::new(8);
+    let key = Fingerprint(0xF16_4BE ^ participants as u128);
+
+    // Per-query seeds, drawn once and replayed for cached and uncached runs.
+    let mut seed_stream = StdRng::seed_from_u64(4242);
+    let seeds: Vec<u64> = (0..=repeats).map(|_| seed_stream.next_u64()).collect();
+
+    // Cold: the miss pays the whole sequence precompute and populates the
+    // cache (exactly what a SqlSession miss does).
+    let cold_start = Instant::now();
+    let frozen = cache
+        .get_or_try_insert_with(key, || {
+            FrozenSequences::compute(
+                EfficientSequences::new(relation.clone()),
+                Parallelism::Serial,
+            )
+        })
+        .expect("fig-4 precompute succeeds");
+    let cold_release = release_once(CachedSequences(frozen), params, seeds[0]);
+    let cold_wall_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+    // Warm: every repeat is a hit — no plan execution, no LPs, just the
+    // Δ-ladder walk over the frozen table and two Laplace draws.
+    let warm_start = Instant::now();
+    let mut warm_releases = Vec::with_capacity(repeats);
+    for &seed in &seeds[1..] {
+        let frozen = cache.get(key).expect("populated above");
+        warm_releases.push(release_once(CachedSequences(frozen), params, seed));
+    }
+    let warm_hit_wall_ms = warm_start.elapsed().as_secs_f64() * 1e3 / repeats.max(1) as f64;
+
+    // Bit-identity against the cache-less path under the same seeds. Each
+    // comparison replays a full cold release, so only the populating release
+    // and the first few hits are verified — enough to catch any divergence
+    // (the remaining hits read the same frozen table) while keeping the
+    // smoke fast.
+    let verified = 3.min(warm_releases.len());
+    let mut bit_identical = true;
+    for (release, &seed) in std::iter::once(&cold_release)
+        .chain(warm_releases.iter().take(verified))
+        .zip(&seeds)
+    {
+        let cold = release_once(EfficientSequences::new(relation.clone()), params, seed);
+        bit_identical &= cold.noisy_answer.to_bits() == release.noisy_answer.to_bits()
+            && cold.delta_hat.to_bits() == release.delta_hat.to_bits()
+            && cold.x.to_bits() == release.x.to_bits();
+    }
+
+    CacheBenchResult {
+        name: pattern.name().to_string(),
+        participants,
+        cold_wall_ms,
+        warm_hit_wall_ms,
+        warm_releases: repeats,
+        speedup: cold_wall_ms / warm_hit_wall_ms.max(1e-9),
+        bit_identical,
+    }
+}
+
+/// The SQL-session view of the same story: a repeated query mix (three
+/// shapes, each rendered with varying aliases) replayed against one shared
+/// cache. Returns `(queries, hits, misses, warm_wall_ms_per_query)`.
+fn run_sql_repeated_workload() -> (usize, u64, u64, f64) {
+    let mut db = AnnotatedDatabase::new();
+    let mut visits = KRelation::new(["person", "place"]);
+    for (person, place) in [
+        ("ada", "museum"),
+        ("bo", "museum"),
+        ("bo", "cafe"),
+        ("cy", "cafe"),
+        ("dee", "museum"),
+        ("eve", "park"),
+    ] {
+        let p = db.universe_mut().intern(person);
+        visits.insert(
+            Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+            Expr::Var(p),
+        );
+    }
+    db.insert_table("visits", visits);
+
+    let cache = SequenceCache::shared(16);
+    let mut session = SqlSession::new(db, MechanismParams::paper_edge_privacy(1.0))
+        .with_sequence_cache(Arc::clone(&cache));
+    // Three shapes; alias spellings rotate so the hits come from canonical
+    // fingerprints, not string equality.
+    let rounds = 12;
+    let mut executed = 0usize;
+    let start = Instant::now();
+    for round in 0..rounds {
+        let (a, b) = if round % 2 == 0 {
+            ("v1", "v2")
+        } else {
+            ("x", "y")
+        };
+        let batch = [
+            format!("SELECT COUNT(*) FROM visits {a} WHERE {a}.place = 'museum'"),
+            format!("SELECT COUNT(*) FROM visits {a}"),
+            format!(
+                "SELECT COUNT(*) FROM visits {a} JOIN visits {b} ON {a}.place = {b}.place \
+                 WHERE {a}.person < {b}.person"
+            ),
+        ];
+        session.query_batch(&batch).expect("workload releases");
+        executed += batch.len();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3 / executed as f64;
+    let stats = cache.stats();
+    (executed, stats.hits, stats.misses, wall_ms)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_lp.json".to_string());
+    let cache_out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_cache.json".to_string());
 
     let results: Vec<WorkloadResult> = [Pattern::triangle(), Pattern::k_star(2)]
         .into_iter()
@@ -128,17 +296,92 @@ fn main() {
     }
     eprintln!("wrote {out_path}");
 
-    let regressed: Vec<&WorkloadResult> = results
-        .iter()
-        .filter(|r| r.warm_pivots >= r.cold_pivots)
+    // --- Repeated-workload sequence-cache bench → BENCH_cache.json ---
+    let cache_results: Vec<CacheBenchResult> = [Pattern::triangle(), Pattern::k_star(2)]
+        .into_iter()
+        .map(|p| run_cache_workload(p, 16))
         .collect();
-    if !regressed.is_empty() {
-        for r in &regressed {
+    let (sql_queries, sql_hits, sql_misses, sql_wall_ms) = run_sql_repeated_workload();
+    let sql_hit_rate = sql_hits as f64 / (sql_hits + sql_misses).max(1) as f64;
+
+    let mut cache_json =
+        String::from("{\n  \"benchmark\": \"sequence_cache\",\n  \"workloads\": [\n");
+    for (k, r) in cache_results.iter().enumerate() {
+        cache_json.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"participants\": {}, ",
+                "\"cold_wall_ms\": {:.3}, \"warm_hit_wall_ms\": {:.4}, ",
+                "\"warm_releases\": {}, \"speedup\": {:.1}, \"bit_identical\": {}}}{}\n"
+            ),
+            r.name,
+            r.participants,
+            r.cold_wall_ms,
+            r.warm_hit_wall_ms,
+            r.warm_releases,
+            r.speedup,
+            r.bit_identical,
+            if k + 1 < cache_results.len() { "," } else { "" },
+        ));
+        println!(
+            "{:>10}: cold {:.1} ms → warm hit {:.3} ms over {} repeats \
+             ({:.0}× speedup, bit-identical: {})",
+            r.name, r.cold_wall_ms, r.warm_hit_wall_ms, r.warm_releases, r.speedup, r.bit_identical,
+        );
+    }
+    cache_json.push_str(&format!(
+        concat!(
+            "  ],\n  \"sql_repeated_workload\": {{\"queries\": {}, \"hits\": {}, ",
+            "\"misses\": {}, \"hit_rate\": {:.4}, \"wall_ms_per_query\": {:.3}}}\n}}\n"
+        ),
+        sql_queries, sql_hits, sql_misses, sql_hit_rate, sql_wall_ms,
+    ));
+    println!(
+        "  sql mix: {sql_queries} queries, {sql_hits} hits / {sql_misses} misses \
+         (hit rate {sql_hit_rate:.2}), {sql_wall_ms:.2} ms/query"
+    );
+
+    if let Err(e) = std::fs::write(&cache_out_path, &cache_json) {
+        eprintln!("failed to write {cache_out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {cache_out_path}");
+
+    // --- Gates (JSON files are written first so CI can always upload) ---
+    let mut failed = false;
+    for r in results.iter().filter(|r| r.warm_pivots >= r.cold_pivots) {
+        eprintln!(
+            "PERF REGRESSION: {} warm chains spent {} pivots vs {} cold",
+            r.name, r.warm_pivots, r.cold_pivots
+        );
+        failed = true;
+    }
+    for r in &cache_results {
+        if !r.bit_identical {
             eprintln!(
-                "PERF REGRESSION: {} warm chains spent {} pivots vs {} cold",
-                r.name, r.warm_pivots, r.cold_pivots
+                "CORRECTNESS REGRESSION: {} cached releases diverged from the cache-less run",
+                r.name
             );
+            failed = true;
         }
+    }
+    // The acceptance gate: a warm hit must skip the sequence precompute
+    // entirely, which shows up as ≥ 10× over cold on the fig-4 triangle
+    // workload (in practice it is 100×+; 10× leaves headroom for noisy
+    // shared runners).
+    if let Some(triangle) = cache_results.iter().find(|r| r.name == "triangle") {
+        if triangle.speedup < 10.0 {
+            eprintln!(
+                "PERF REGRESSION: triangle warm hits only {:.1}× faster than cold",
+                triangle.speedup
+            );
+            failed = true;
+        }
+    }
+    if sql_hit_rate < 0.5 {
+        eprintln!("PERF REGRESSION: sql repeated workload hit rate {sql_hit_rate:.2} < 0.5");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

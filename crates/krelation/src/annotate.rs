@@ -24,6 +24,10 @@ use crate::hash::FxHashMap;
 use crate::participant::{ParticipantId, ParticipantUniverse};
 use crate::relation::KRelation;
 use crate::tuple::Tuple;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of unique [`AnnotatedDatabase::instance_id`] values.
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Annotates each tuple with a single participant variable chosen by `owner`.
 ///
@@ -65,10 +69,50 @@ where
 /// A named collection of annotated base tables sharing one participant
 /// universe — the "sensitive database turned into K-relations" that a
 /// relational-algebra query plan consumes.
-#[derive(Clone, Debug, Default)]
+///
+/// Every database carries a process-unique [`instance id`] and a monotone
+/// [`annotation epoch`] that together identify *this content of this
+/// database*: the epoch is bumped by every mutation (table insertion or
+/// mutable universe access), and cloning assigns a fresh instance id, so two
+/// databases that could ever diverge never share an `(instance, epoch)`
+/// pair. Cross-query caches (the sequence cache of `rmdp-core`) hash both
+/// into their keys, which makes "any mutation invalidates every cached
+/// sequence of this database" hold by construction.
+///
+/// [`instance id`]: AnnotatedDatabase::instance_id
+/// [`annotation epoch`]: AnnotatedDatabase::annotation_epoch
+#[derive(Debug)]
 pub struct AnnotatedDatabase {
     universe: ParticipantUniverse,
     tables: FxHashMap<String, KRelation>,
+    instance_id: u64,
+    epoch: u64,
+}
+
+impl Default for AnnotatedDatabase {
+    fn default() -> Self {
+        AnnotatedDatabase {
+            universe: ParticipantUniverse::new(),
+            tables: FxHashMap::default(),
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: 0,
+        }
+    }
+}
+
+impl Clone for AnnotatedDatabase {
+    /// Clones the content under a **fresh instance id**. Reusing the id
+    /// would let the original and the clone mutate independently to the same
+    /// `(instance, epoch)` pair with different content — exactly the false
+    /// cache collision the id exists to prevent.
+    fn clone(&self) -> Self {
+        AnnotatedDatabase {
+            universe: self.universe.clone(),
+            tables: self.tables.clone(),
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: self.epoch,
+        }
+    }
 }
 
 impl AnnotatedDatabase {
@@ -79,7 +123,22 @@ impl AnnotatedDatabase {
 
     /// Registers (or replaces) a table.
     pub fn insert_table(&mut self, name: &str, table: KRelation) {
+        self.epoch += 1;
         self.tables.insert(name.to_owned(), table);
+    }
+
+    /// The process-unique identity of this database value (fresh for every
+    /// `new()` and every `clone()`).
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// The mutation epoch: bumped by [`AnnotatedDatabase::insert_table`] and
+    /// every [`AnnotatedDatabase::universe_mut`] access. Cache keys that
+    /// include `(instance_id, annotation_epoch)` are invalidated by any
+    /// mutation of the data or the participant universe.
+    pub fn annotation_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Looks a table up by name.
@@ -93,8 +152,11 @@ impl AnnotatedDatabase {
     }
 
     /// Mutable access to the participant universe (for interning new
-    /// participants while loading data).
+    /// participants while loading data). Conservatively bumps the annotation
+    /// epoch — the universe defines `|P|`, so growing it changes every
+    /// sequence even when no table changes.
     pub fn universe_mut(&mut self) -> &mut ParticipantUniverse {
+        self.epoch += 1;
         &mut self.universe
     }
 
@@ -174,5 +236,30 @@ mod tests {
         assert_eq!(db.table("friends").unwrap().len(), 1);
         assert!(db.table("missing").is_none());
         assert_eq!(db.participants_in_use(), vec![alice, bob]);
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_epoch_and_clones_get_fresh_identities() {
+        let mut db = AnnotatedDatabase::new();
+        let e0 = db.annotation_epoch();
+        let _ = db.universe_mut().intern("alice");
+        assert!(db.annotation_epoch() > e0, "universe access must bump");
+        let e1 = db.annotation_epoch();
+        db.insert_table("t", KRelation::empty());
+        assert!(db.annotation_epoch() > e1, "table insertion must bump");
+        // Read-only access never bumps.
+        let e2 = db.annotation_epoch();
+        let _ = db.table("t");
+        let _ = db.universe();
+        let _ = db.table_names();
+        assert_eq!(db.annotation_epoch(), e2);
+
+        // Distinct databases — and clones — never share an instance id, so
+        // divergent mutations can never produce an equal (instance, epoch).
+        let other = AnnotatedDatabase::new();
+        let cloned = db.clone();
+        assert_ne!(db.instance_id(), other.instance_id());
+        assert_ne!(db.instance_id(), cloned.instance_id());
+        assert_eq!(cloned.annotation_epoch(), db.annotation_epoch());
     }
 }

@@ -1,0 +1,184 @@
+//! Stable structured fingerprints for cross-query caching.
+//!
+//! The sequence cache of `rmdp-core` keys completed `H`/`G` sequence tables
+//! by a fingerprint of everything that determines their values: the canonical
+//! query plan, the database identity and mutation epoch, and the
+//! sensitivity-relevant mechanism parameters. Two requirements shape this
+//! module:
+//!
+//! * **stability** — the fingerprint of the same canonical encoding must be
+//!   the same across processes, platforms and sessions (so persisted or
+//!   shared caches stay meaningful). [`std::collections::hash_map`]'s SipHash
+//!   is randomly keyed per process and the workspace's `FxHasher` is tuned
+//!   for speed, not for collision resistance over long inputs, so the
+//!   fingerprint uses a fixed-key 128-bit FNV-1a instead;
+//! * **width** — a cache collision between two *different* queries would
+//!   silently release one query's answer calibrated with another query's
+//!   sequences, a privacy-relevant bug. 128 bits makes an accidental
+//!   collision astronomically unlikely (birthday bound ≈ 2⁻⁶⁴ even after
+//!   billions of distinct plans).
+//!
+//! The canonical *encoding* hashed here is produced by the caller (see
+//! `rmdp_sql::fingerprint`); this module only guarantees that equal encodings
+//! yield equal fingerprints and that the framing is injective (length-prefixed
+//! byte strings, tagged scalars), so distinct encodings cannot alias by
+//! concatenation tricks.
+
+use std::fmt;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit stable fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// An incremental 128-bit FNV-1a hasher over framed, type-tagged inputs.
+///
+/// Every `write_*` method frames its input (a one-byte type tag, plus a
+/// length prefix for variable-length data) so that the map from *sequences of
+/// write calls* to the digested byte stream is injective: `"ab" + "c"` and
+/// `"a" + "bc"` hash differently, as do `write_u64(0)` and `write_f64(0.0)`.
+#[derive(Clone, Copy, Debug)]
+pub struct FingerprintHasher {
+    state: u128,
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        FingerprintHasher { state: FNV_OFFSET }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a one-byte domain/type tag.
+    pub fn write_tag(&mut self, tag: u8) {
+        self.absorb(&[0x01, tag]);
+    }
+
+    /// Absorbs a `u64` (tagged, little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.absorb(&[0x02]);
+        self.absorb(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` (tagged, little-endian two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.absorb(&[0x03]);
+        self.absorb(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by its IEEE-754 bit pattern (tagged). `0.0` and
+    /// `-0.0` therefore hash differently, which is the conservative choice
+    /// for a cache key.
+    pub fn write_f64(&mut self, v: f64) {
+        self.absorb(&[0x04]);
+        self.absorb(&v.to_bits().to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed byte string (tagged).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.absorb(&[0x05]);
+        self.absorb(&(bytes.len() as u64).to_le_bytes());
+        self.absorb(bytes);
+    }
+
+    /// Absorbs a length-prefixed UTF-8 string (tagged).
+    pub fn write_str(&mut self, s: &str) {
+        self.absorb(&[0x06]);
+        self.absorb(&(s.len() as u64).to_le_bytes());
+        self.absorb(s.as_bytes());
+    }
+
+    /// The fingerprint of everything absorbed so far.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(f: impl FnOnce(&mut FingerprintHasher)) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal_and_stable_across_instances() {
+        let a = fp(|h| {
+            h.write_str("triangle");
+            h.write_u64(7);
+        });
+        let b = fp(|h| {
+            h.write_str("triangle");
+            h.write_u64(7);
+        });
+        assert_eq!(a, b);
+        assert_ne!(a, FingerprintHasher::new().finish());
+    }
+
+    #[test]
+    fn framing_is_injective_across_concatenation() {
+        let ab_c = fp(|h| {
+            h.write_str("ab");
+            h.write_str("c");
+        });
+        let a_bc = fp(|h| {
+            h.write_str("a");
+            h.write_str("bc");
+        });
+        let abc = fp(|h| h.write_str("abc"));
+        assert_ne!(ab_c, a_bc);
+        assert_ne!(ab_c, abc);
+        assert_ne!(a_bc, abc);
+    }
+
+    #[test]
+    fn type_tags_separate_equal_bit_patterns() {
+        let as_u64 = fp(|h| h.write_u64(0));
+        let as_i64 = fp(|h| h.write_i64(0));
+        let as_f64 = fp(|h| h.write_f64(0.0));
+        assert_ne!(as_u64, as_i64);
+        assert_ne!(as_u64, as_f64);
+        assert_ne!(as_i64, as_f64);
+        // And the f64 hash is over bits, not value: -0.0 ≠ 0.0.
+        assert_ne!(as_f64, fp(|h| h.write_f64(-0.0)));
+    }
+
+    #[test]
+    fn display_renders_fixed_width_hex() {
+        let f = Fingerprint(0xabc);
+        assert_eq!(f.to_string().len(), 32);
+        assert!(f.to_string().ends_with("abc"));
+        assert!(format!("{f:?}").starts_with("Fingerprint("));
+    }
+}

@@ -26,6 +26,7 @@ pub mod annotate;
 pub mod dnf;
 pub mod equiv;
 pub mod expr;
+pub mod fingerprint;
 pub mod hash;
 pub mod participant;
 pub mod phi;

@@ -52,13 +52,16 @@ pub fn relative_error(answer: f64, truth: f64) -> f64 {
 }
 
 /// Median of a slice (0 for an empty slice). Used for the median relative
-/// error reported in the experiments.
+/// error reported in the experiments. NaN values are ordered by
+/// [`f64::total_cmp`] (positive NaN past `+∞`), so a poisoned answer skews
+/// the statistic deterministically instead of making the sort panic or —
+/// worse — silently shuffle under an inconsistent comparator.
 pub fn median(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]
@@ -115,5 +118,15 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_survives_nan_answers() {
+        // Regression: a single NaN answer used to be able to panic (or
+        // nondeterministically shuffle) the sort behind every reported
+        // median. total_cmp puts positive NaN last, so the median of the
+        // remaining finite values is still meaningful.
+        assert_eq!(median(&[3.0, f64::NAN, 1.0]), 3.0);
+        assert!(median(&[f64::NAN]).is_nan());
     }
 }

@@ -102,7 +102,7 @@ mod tests {
         let mut answers: Vec<f64> = (0..n)
             .map(|_| release_with_cauchy(50.0, 2.0, 1.0, &mut rng))
             .collect();
-        answers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        answers.sort_by(f64::total_cmp);
         let median = answers[n / 2];
         assert!((median - 50.0).abs() < 0.5, "median {median}");
 
@@ -117,5 +117,18 @@ mod tests {
     fn beta_helpers() {
         assert!((cauchy_beta(0.6) - 0.1).abs() < 1e-12);
         assert!(laplace_beta(0.5, 0.1) > 0.0);
+    }
+
+    #[test]
+    fn sorting_a_slice_containing_nan_does_not_panic() {
+        // Regression: `sort_by(|a, b| a.partial_cmp(b).unwrap())` panicked
+        // the moment a single answer was NaN, taking the whole release path
+        // down. `f64::total_cmp` orders NaN deterministically instead (the
+        // positive NaN after +∞), so aggregation survives a poisoned value.
+        let mut answers = [3.0, f64::NAN, -1.0, f64::INFINITY, 2.0, -f64::NAN];
+        answers.sort_by(f64::total_cmp);
+        assert_eq!(answers[0].to_bits(), (-f64::NAN).to_bits());
+        assert_eq!(answers[1..5], [-1.0, 2.0, 3.0, f64::INFINITY]);
+        assert!(answers[5].is_nan());
     }
 }

@@ -1,0 +1,528 @@
+//! Canonical plan fingerprints for the cross-query sequence cache.
+//!
+//! Two SQL strings that compile to *structurally identical* plans over the
+//! same annotated database must produce the same fingerprint, so the second
+//! one can serve its `H`/`G` sequences from the
+//! [`SequenceCache`](rmdp_core::SequenceCache) instead of re-running
+//! `2(|P|+1)` LP chains. "Structurally identical" deliberately ignores the
+//! three sources of textual noise production query logs are full of
+//! (Chorus and FLEX both normalise the same way before caching):
+//!
+//! * **alias names** — `FROM visits v1 JOIN visits v2` and
+//!   `FROM visits a JOIN visits b` are the same query;
+//! * **join order** — an inner-join chain is a selection over a cross
+//!   product, so `A JOIN B` and `B JOIN A` (with the same predicates) are
+//!   the same query — including the induced reclassification of `ON`
+//!   conjuncts between equi-keys and residual filters;
+//! * **conjunct order** — `WHERE x AND y` and `WHERE y AND x`, and
+//!   operand order of symmetric comparisons (`a = b` vs `b = a`,
+//!   `a > b` vs `b < a`).
+//!
+//! ## Canonicalisation
+//!
+//! The plan is dissolved into order-free parts: the multiset of scanned
+//! tables, one flat conjunct multiset (equi keys re-expressed as
+//! equalities, plus residual and `WHERE` predicates), and the aggregate.
+//! Aliases are renamed to canonical indices by grouping them per table
+//! name and choosing, among all within-group permutations, the assignment
+//! whose serialized encoding is lexicographically smallest — an exact
+//! canonical form for self-joins (up to [`MAX_CANON_PERMUTATIONS`]
+//! assignments are tried; beyond that the plan order is kept, which is
+//! still *sound*, merely blind to some permuted-self-join repeats).
+//!
+//! ## Soundness
+//!
+//! A false collision would release one query's answer calibrated with
+//! another query's sequences, so the mapping must be injective up to
+//! semantic equality: every component (tables, every predicate operand and
+//! operator, the aggregate) is length-prefix framed into the encoding, the
+//! encoding is hashed with the 128-bit [`FingerprintHasher`],
+//! and the database's `(instance_id, annotation_epoch)` pair plus the
+//! sensitivity-relevant [`MechanismParams`] fields (`beta`, `theta`) are
+//! hashed alongside. Strictly, *no* params field can change a frozen
+//! `H`/`G` value (the sequences are a function of the query relation
+//! alone; `β`/`θ` enter only at release time, where the Δ-ladder is
+//! rebuilt from the live params against the cached `G` entries), so
+//! including `β`/`θ` is deliberate conservative over-keying: a cached
+//! table is only ever reused under the identical sensitivity
+//! configuration, which keeps the key sound even if a future change
+//! freezes ladder-derived data (e.g. Δ itself) into the table. The cost
+//! is that a `β`/`θ` parameter sweep over one query re-pays the
+//! precompute per setting. Purely noise-scaling fields (`ε₁`, `ε₂`, `μ`)
+//! and performance knobs (`parallelism`) are excluded outright: splitting
+//! the cache on them would only lower the hit rate.
+
+use crate::ast::Comparison;
+use crate::plan::{CompiledOperand, CompiledPredicate, PlanAggregate, QueryPlan};
+use rmdp_core::MechanismParams;
+use rmdp_krelation::annotate::AnnotatedDatabase;
+use rmdp_krelation::fingerprint::{Fingerprint, FingerprintHasher};
+use rmdp_krelation::tuple::Value;
+
+/// Version tag of the canonical encoding; bump when the encoding changes so
+/// stale fingerprints from older builds can never alias new ones.
+const ENCODING_VERSION: u64 = 1;
+
+/// Cap on how many alias assignments the exact canonicalisation tries (the
+/// product of per-table factorials). `7! = 5040` keeps even a 7-way
+/// self-join exact while bounding the worst case to well under a
+/// millisecond.
+pub const MAX_CANON_PERMUTATIONS: usize = 5040;
+
+/// The fingerprint keying one `(database state, canonical plan, params)`
+/// triple in the sequence cache.
+pub fn plan_fingerprint(
+    db: &AnnotatedDatabase,
+    plan: &QueryPlan,
+    params: &MechanismParams,
+) -> Fingerprint {
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_u64(ENCODING_VERSION);
+    // Database identity and mutation epoch: any insert_table/universe_mut
+    // bump invalidates every previously issued fingerprint.
+    hasher.write_u64(db.instance_id());
+    hasher.write_u64(db.annotation_epoch());
+    // Sensitivity-relevant parameters (see module docs for the rationale).
+    hasher.write_f64(params.beta);
+    hasher.write_f64(params.theta);
+    hasher.write_bytes(&canonical_plan_encoding(plan));
+    hasher.finish()
+}
+
+/// The canonical byte encoding of a plan: equal for structurally identical
+/// plans (alias names, join order, conjunct order normalised away),
+/// distinct otherwise. Exposed for tests and diagnostics.
+pub fn canonical_plan_encoding(plan: &QueryPlan) -> Vec<u8> {
+    let scans: Vec<&crate::plan::ScanStep> = std::iter::once(&plan.from)
+        .chain(plan.joins.iter().map(|j| &j.scan))
+        .collect();
+    let aliases: Vec<&str> = scans.iter().map(|s| s.alias.as_str()).collect();
+
+    // Group plan-order alias indices by table name, groups sorted by name.
+    // Canonical ids are assigned group-major, so aliases of lexicographically
+    // smaller tables always get smaller ids.
+    let mut tables: Vec<&str> = scans.iter().map(|s| s.table.as_str()).collect();
+    let mut group_names: Vec<&str> = tables.clone();
+    group_names.sort_unstable();
+    group_names.dedup();
+    let groups: Vec<Vec<usize>> = group_names
+        .iter()
+        .map(|name| (0..tables.len()).filter(|&i| tables[i] == *name).collect())
+        .collect();
+    tables.sort_unstable();
+
+    let assignments = alias_assignments(&groups);
+    let mut best: Option<Vec<u8>> = None;
+    for assignment in assignments {
+        // assignment[k] = plan index of the alias given canonical id k;
+        // invert it to canonical_of[plan index] = canonical id.
+        let mut canonical_of = vec![0usize; aliases.len()];
+        for (canonical, &plan_idx) in assignment.iter().enumerate() {
+            canonical_of[plan_idx] = canonical;
+        }
+        let encoded = encode_with(plan, &tables, &aliases, &canonical_of);
+        if best.as_ref().is_none_or(|b| encoded < *b) {
+            best = Some(encoded);
+        }
+    }
+    best.expect("a plan always has at least the FROM scan")
+}
+
+/// All canonical-id assignments to try: the cartesian product of each
+/// group's permutations, truncated to the identity-only assignment when the
+/// product of factorials would exceed [`MAX_CANON_PERMUTATIONS`].
+fn alias_assignments(groups: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut total: usize = 1;
+    for g in groups {
+        for k in 1..=g.len() {
+            total = total.saturating_mul(k);
+            if total > MAX_CANON_PERMUTATIONS {
+                // Fall back to plan order within every group: sound (the
+                // assignment is still deterministic and injective), just
+                // blind to permutations of very wide self-joins.
+                return vec![groups.concat()];
+            }
+        }
+    }
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new()];
+    for g in groups {
+        let perms = permutations(g);
+        assignments = assignments
+            .iter()
+            .flat_map(|prefix| {
+                perms.iter().map(move |perm| {
+                    let mut next = prefix.clone();
+                    next.extend_from_slice(perm);
+                    next
+                })
+            })
+            .collect();
+    }
+    assignments
+}
+
+/// All permutations of `items` (small inputs only; callers cap the size).
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Serializes the plan under one alias→canonical-id assignment.
+fn encode_with(
+    plan: &QueryPlan,
+    sorted_tables: &[&str],
+    aliases: &[&str],
+    canonical_of: &[usize],
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+
+    // Scanned tables in canonical-id order (the group-major construction
+    // makes this exactly the sorted table list).
+    push_u64(&mut buf, sorted_tables.len() as u64);
+    for table in sorted_tables {
+        push_str(&mut buf, table);
+    }
+
+    // One flat conjunct multiset: equi keys as equalities + residuals +
+    // WHERE, each normalised, then sorted and deduplicated (conjunction is
+    // idempotent and commutative).
+    let mut predicates: Vec<Vec<u8>> = Vec::new();
+    for step in &plan.joins {
+        for (a, b) in &step.equi {
+            predicates.push(encode_predicate(
+                &CompiledPredicate {
+                    lhs: CompiledOperand::Column(a.clone()),
+                    op: Comparison::Eq,
+                    rhs: CompiledOperand::Column(b.clone()),
+                },
+                aliases,
+                canonical_of,
+            ));
+        }
+        for pred in &step.residual {
+            predicates.push(encode_predicate(pred, aliases, canonical_of));
+        }
+    }
+    for pred in &plan.filter {
+        predicates.push(encode_predicate(pred, aliases, canonical_of));
+    }
+    predicates.sort_unstable();
+    predicates.dedup();
+    push_u64(&mut buf, predicates.len() as u64);
+    for pred in predicates {
+        push_bytes(&mut buf, &pred);
+    }
+
+    // The aggregate.
+    match &plan.aggregate {
+        PlanAggregate::CountStar => buf.push(b'C'),
+        PlanAggregate::Sum(attr) => {
+            buf.push(b'S');
+            encode_column(&mut buf, attr.name(), aliases, canonical_of);
+        }
+    }
+    buf
+}
+
+/// Encodes one predicate with symmetric/reversible operators normalised:
+/// `a > b` becomes `b < a`, `a >= b` becomes `b <= a`, and the operands of
+/// `=` / `<>` are sorted by their encodings.
+fn encode_predicate(pred: &CompiledPredicate, aliases: &[&str], canonical_of: &[usize]) -> Vec<u8> {
+    let mut lhs = Vec::new();
+    encode_operand(&mut lhs, &pred.lhs, aliases, canonical_of);
+    let mut rhs = Vec::new();
+    encode_operand(&mut rhs, &pred.rhs, aliases, canonical_of);
+
+    let (op, mut lhs, mut rhs) = match pred.op {
+        Comparison::Gt => (Comparison::Lt, rhs, lhs),
+        Comparison::Ge => (Comparison::Le, rhs, lhs),
+        op => (op, lhs, rhs),
+    };
+    if matches!(op, Comparison::Eq | Comparison::Neq) && rhs < lhs {
+        std::mem::swap(&mut lhs, &mut rhs);
+    }
+
+    let mut buf = Vec::new();
+    buf.push(match op {
+        Comparison::Eq => b'=',
+        Comparison::Neq => b'!',
+        Comparison::Lt => b'<',
+        Comparison::Le => b'l',
+        Comparison::Gt | Comparison::Ge => unreachable!("normalised above"),
+    });
+    push_bytes(&mut buf, &lhs);
+    push_bytes(&mut buf, &rhs);
+    buf
+}
+
+fn encode_operand(
+    buf: &mut Vec<u8>,
+    operand: &CompiledOperand,
+    aliases: &[&str],
+    canonical_of: &[usize],
+) {
+    match operand {
+        CompiledOperand::Column(attr) => encode_column(buf, attr.name(), aliases, canonical_of),
+        CompiledOperand::Literal(value) => match value {
+            Value::Int(v) => {
+                buf.push(b'I');
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Str(s) => {
+                buf.push(b'T');
+                push_str(buf, s);
+            }
+            Value::Bool(b) => {
+                buf.push(b'B');
+                buf.push(u8::from(*b));
+            }
+        },
+    }
+}
+
+/// Encodes a qualified column `alias.column` as `(canonical id, column)`.
+/// Plans only ever carry qualified attributes (the planner qualifies every
+/// resolved column), and aliases cannot contain `.` (they are SQL
+/// identifiers), so splitting at the first dot recovers the alias exactly.
+fn encode_column(buf: &mut Vec<u8>, qualified: &str, aliases: &[&str], canonical_of: &[usize]) {
+    buf.push(b'c');
+    match qualified.split_once('.') {
+        Some((alias, column)) => match aliases.iter().position(|a| *a == alias) {
+            Some(plan_idx) => {
+                push_u64(buf, canonical_of[plan_idx] as u64);
+                push_str(buf, column);
+            }
+            // Unknown alias: keep the raw name (cannot happen for planner
+            // output, but stay total and injective).
+            None => push_str(buf, qualified),
+        },
+        None => push_str(buf, qualified),
+    }
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    push_u64(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    push_bytes(buf, s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan;
+    use rmdp_krelation::tuple::{Tuple, Value};
+    use rmdp_krelation::{Expr, KRelation};
+
+    fn db() -> AnnotatedDatabase {
+        let mut db = AnnotatedDatabase::new();
+        let mut residents = KRelation::new(["person", "city"]);
+        let mut visits = KRelation::new(["person", "place"]);
+        for (person, city, place) in [("ada", "rome", "museum"), ("bo", "oslo", "cafe")] {
+            let p = db.universe_mut().intern(person);
+            residents.insert(
+                Tuple::new([("person", Value::str(person)), ("city", Value::str(city))]),
+                Expr::Var(p),
+            );
+            visits.insert(
+                Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+                Expr::Var(p),
+            );
+        }
+        db.insert_table("residents", residents);
+        db.insert_table("visits", visits);
+        db
+    }
+
+    fn encoding(db: &AnnotatedDatabase, sql: &str) -> Vec<u8> {
+        canonical_plan_encoding(&plan(db, sql).unwrap())
+    }
+
+    fn fp(db: &AnnotatedDatabase, sql: &str) -> Fingerprint {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        plan_fingerprint(db, &plan(db, sql).unwrap(), &params)
+    }
+
+    #[test]
+    fn alias_names_are_normalised_away() {
+        let db = db();
+        assert_eq!(
+            fp(
+                &db,
+                "SELECT COUNT(*) FROM visits v1 WHERE v1.place = 'museum'"
+            ),
+            fp(
+                &db,
+                "SELECT COUNT(*) FROM visits zz WHERE zz.place = 'museum'"
+            ),
+        );
+    }
+
+    #[test]
+    fn join_order_is_normalised_away() {
+        let db = db();
+        let a = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits v JOIN residents r ON r.person = v.person",
+        );
+        let b = fp(
+            &db,
+            "SELECT COUNT(*) FROM residents r JOIN visits v ON v.person = r.person",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conjunct_order_and_operand_order_are_normalised_away() {
+        let db = db();
+        let a = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits v JOIN residents r ON r.person = v.person \
+             WHERE v.place = 'museum' AND r.city = 'rome'",
+        );
+        let b = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits v JOIN residents r ON v.person = r.person \
+             WHERE r.city = 'rome' AND v.place = 'museum'",
+        );
+        assert_eq!(a, b);
+        // a > b normalises onto b < a.
+        let lt = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits a JOIN visits b ON a.place = b.place \
+             WHERE a.person < b.person",
+        );
+        let gt = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits a JOIN visits b ON a.place = b.place \
+             WHERE b.person > a.person",
+        );
+        assert_eq!(lt, gt);
+    }
+
+    #[test]
+    fn self_join_alias_swaps_collide_only_when_symmetric() {
+        let db = db();
+        // Swapping the roles of the two visits aliases everywhere is an
+        // isomorphism — must collide.
+        let a = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits x JOIN visits y ON x.place = y.place \
+             WHERE x.person < y.person",
+        );
+        let b = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits y JOIN visits x ON y.place = x.place \
+             WHERE y.person < x.person",
+        );
+        assert_eq!(a, b);
+        // Moving the `<` to the *other* side is a different query (the
+        // output rows differ) — must NOT collide. (Here both sides count
+        // the same pairs, but e.g. with per-side filters they would not;
+        // the canonical form must distinguish the shapes.)
+        let c = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits x JOIN visits y ON x.place = y.place \
+             WHERE x.person < y.person AND x.place = 'museum'",
+        );
+        let d = fp(
+            &db,
+            "SELECT COUNT(*) FROM visits x JOIN visits y ON x.place = y.place \
+             WHERE y.person < x.person AND x.place = 'museum'",
+        );
+        assert_ne!(c, d, "asymmetric self-join shapes must stay distinct");
+    }
+
+    #[test]
+    fn different_schemas_tables_literals_and_aggregates_stay_distinct() {
+        let db = db();
+        let base = encoding(&db, "SELECT COUNT(*) FROM visits WHERE place = 'museum'");
+        for other in [
+            "SELECT COUNT(*) FROM visits WHERE place = 'cafe'",
+            "SELECT COUNT(*) FROM visits WHERE person = 'museum'",
+            "SELECT COUNT(*) FROM visits",
+            "SELECT COUNT(*) FROM residents WHERE city = 'rome'",
+            "SELECT SUM(person) FROM visits WHERE place = 'museum'",
+            "SELECT COUNT(*) FROM visits v JOIN visits w ON v.place = w.place \
+             WHERE v.place = 'museum'",
+        ] {
+            assert_ne!(base, encoding(&db, other), "{other}");
+        }
+    }
+
+    #[test]
+    fn equi_key_vs_residual_classification_does_not_split_the_key() {
+        // `ON r.person = v.person` is an equi key when residents joins in
+        // second, but the same equality may land elsewhere under another
+        // order; both dissolve into the same conjunct multiset.
+        let db = db();
+        let a = encoding(
+            &db,
+            "SELECT COUNT(*) FROM visits v JOIN residents r ON r.person = v.person \
+             WHERE v.place = 'museum'",
+        );
+        let b = encoding(
+            &db,
+            "SELECT COUNT(*) FROM residents r JOIN visits v ON r.person = v.person \
+             WHERE v.place = 'museum'",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn database_identity_epoch_and_params_split_the_fingerprint() {
+        let db1 = db();
+        let sql = "SELECT COUNT(*) FROM visits";
+        let q = plan(&db1, sql).unwrap();
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let base = plan_fingerprint(&db1, &q, &params);
+
+        // Same content, different database instance.
+        let db2 = db();
+        assert_ne!(base, plan_fingerprint(&db2, &q, &params));
+
+        // Same instance, mutated (epoch bump).
+        let mut db3 = db1.clone();
+        let before = plan_fingerprint(&db3, &q, &params);
+        db3.insert_table("extra", KRelation::empty());
+        assert_ne!(before, plan_fingerprint(&db3, &q, &params));
+
+        // Sensitivity-relevant params split; noise-only params do not.
+        let mut wide = params;
+        wide.beta = 0.33;
+        assert_ne!(base, plan_fingerprint(&db1, &q, &wide));
+        let mut noisy = params;
+        noisy.epsilon2 = 9.0;
+        noisy.mu = 3.0;
+        assert_eq!(base, plan_fingerprint(&db1, &q, &noisy));
+    }
+
+    #[test]
+    fn duplicate_conjuncts_are_idempotent() {
+        let db = db();
+        assert_eq!(
+            encoding(
+                &db,
+                "SELECT COUNT(*) FROM visits WHERE place = 'museum' AND place = 'museum'"
+            ),
+            encoding(&db, "SELECT COUNT(*) FROM visits WHERE place = 'museum'"),
+        );
+    }
+}

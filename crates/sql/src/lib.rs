@@ -55,6 +55,7 @@
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod parser;
 pub mod plan;
 pub mod session;

@@ -2,17 +2,20 @@
 
 use crate::error::SqlError;
 use crate::exec::{execute, weigh};
+use crate::fingerprint::plan_fingerprint;
 use crate::plan::{plan, QueryPlan};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rmdp_core::{
-    EfficientSequences, MechanismParams, Parallelism, RecursiveMechanism, Release,
-    SensitiveKRelation,
+    CacheStats, CachedSequences, EfficientSequences, FrozenSequences, MechanismParams, Parallelism,
+    RecursiveMechanism, Release, SensitiveKRelation, SequenceCache,
 };
 use rmdp_krelation::annotate::AnnotatedDatabase;
+use rmdp_krelation::fingerprint::Fingerprint;
 use rmdp_krelation::KRelation;
-use rmdp_noise::{BudgetAccountant, PrivacyBudget};
+use rmdp_noise::{BudgetAccountant, BudgetExhausted, PrivacyBudget};
 use rmdp_runtime::par_try_map_indexed;
+use std::sync::Arc;
 
 /// A SQL session: an annotated database plus mechanism parameters and a
 /// seeded noise source.
@@ -20,14 +23,30 @@ use rmdp_runtime::par_try_map_indexed;
 /// One call to [`SqlSession::query`] spends `ε₁ + ε₂` of privacy budget (the
 /// split lives in the [`MechanismParams`]). By default the session does not
 /// meter a total budget across queries; [`SqlSession::with_budget`] attaches
-/// a [`BudgetAccountant`] that debits every release under sequential
-/// composition and refuses — without consuming anything — queries and
-/// batches that would overdraw it.
+/// a [`BudgetAccountant`] that meters every release under sequential
+/// composition. Admission is checked **before** any work (an over-budget
+/// query or batch is refused consuming nothing) and the debit is recorded
+/// only **after** the release succeeds end to end — a query that fails
+/// between admission and the noise draw (an LP failure, a bad aggregate)
+/// released nothing and therefore consumes no ε.
 ///
 /// [`SqlSession::query_batch`] releases several independent queries in one
 /// call, running them concurrently on the worker pool when the params'
 /// [`Parallelism`] knob allows; results are bit-identical to running the
 /// batch serially.
+///
+/// ## Cross-query sequence caching
+///
+/// [`SqlSession::with_sequence_cache`] attaches a shared
+/// [`SequenceCache`]: every query is keyed by its canonical plan
+/// fingerprint ([`crate::fingerprint`] — alias names, join order and
+/// conjunct order normalised away, database mutation epoch and
+/// sensitivity-relevant params hashed in), and a repeat of a structurally
+/// identical query serves its `H`/`G` sequences from the cache, skipping
+/// plan execution and all `2(|P|+1)` sequence LPs. Per-query noise is
+/// still drawn fresh from the session RNG, so caching changes **only**
+/// wall-clock time: under a fixed seed the released values are
+/// bit-identical with and without the cache.
 ///
 /// ```
 /// use rmdp_core::MechanismParams;
@@ -59,6 +78,7 @@ pub struct SqlSession {
     params: MechanismParams,
     rng: StdRng,
     accountant: Option<BudgetAccountant>,
+    cache: Option<Arc<SequenceCache>>,
 }
 
 impl SqlSession {
@@ -76,14 +96,45 @@ impl SqlSession {
             params,
             rng: StdRng::seed_from_u64(seed),
             accountant: None,
+            cache: None,
         }
     }
 
-    /// Caps the session's total privacy spend. Every admitted query debits
-    /// `ε₁ + ε₂` from the accountant (sequential composition) before the
-    /// data is touched; a query or batch that would overdraw is refused with
-    /// [`SqlError::BudgetExhausted`] **before** any release happens, so a
-    /// refusal consumes nothing.
+    /// Attaches a (possibly shared) cross-query sequence cache. Queries that
+    /// compile to structurally identical plans over the same database state
+    /// reuse each other's completed `H`/`G` sequences instead of re-solving
+    /// the sequence LPs; releases stay bit-identical to the uncached session
+    /// under the same seed. The cache may be shared across sessions and
+    /// threads — keys embed each database's identity and mutation epoch, so
+    /// sessions over different (or since-mutated) databases can never read
+    /// each other's entries.
+    pub fn with_sequence_cache(mut self, cache: Arc<SequenceCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Convenience: attaches a fresh, private sequence cache bounded to
+    /// `capacity` frozen tables.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.with_sequence_cache(SequenceCache::shared(capacity))
+    }
+
+    /// The attached sequence cache, if any.
+    pub fn sequence_cache(&self) -> Option<&Arc<SequenceCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the attached sequence cache (`None` when uncached).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Caps the session's total privacy spend. Every successful release
+    /// debits `ε₁ + ε₂` from the accountant (sequential composition). A
+    /// query or batch that would overdraw is refused with
+    /// [`SqlError::BudgetExhausted`] **before** any work happens, and a
+    /// query that fails anywhere between admission and the noise draw
+    /// released nothing — so in both cases nothing is consumed.
     pub fn with_budget(mut self, total: PrivacyBudget) -> Self {
         self.accountant = Some(BudgetAccountant::new(total));
         self
@@ -113,6 +164,39 @@ impl SqlSession {
         }
     }
 
+    /// Admission check: refuses `cost` (consuming nothing) when the metered
+    /// budget cannot cover it.
+    fn ensure_affordable(&self, cost: PrivacyBudget) -> Result<(), SqlError> {
+        match &self.accountant {
+            Some(acc) if !acc.can_afford(cost) => Err(SqlError::BudgetExhausted(BudgetExhausted {
+                requested: cost,
+                remaining: acc.remaining(),
+            })),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records `cost` after a successful release. Admission was checked on
+    /// this same `&mut self` call path, so the debit cannot fail; the
+    /// `Result` guards the accounting invariant anyway.
+    fn debit(&mut self, cost: PrivacyBudget) -> Result<(), SqlError> {
+        if let Some(acc) = &mut self.accountant {
+            acc.try_spend(cost)?;
+        }
+        Ok(())
+    }
+
+    /// The cache handle and fingerprint for one admitted plan, when the
+    /// session carries a cache.
+    fn cache_key(&self, plan: &QueryPlan) -> Option<(Arc<SequenceCache>, Fingerprint)> {
+        self.cache.as_ref().map(|c| {
+            (
+                Arc::clone(c),
+                plan_fingerprint(&self.db, plan, &self.params),
+            )
+        })
+    }
+
     /// Parses, validates and lowers `sql` without touching the data — the
     /// `EXPLAIN` of this frontend. The plan's `Display` renders the algebra
     /// pipeline.
@@ -135,23 +219,33 @@ impl SqlSession {
     /// interned but absent from every table still count toward `|P|`, as in
     /// node privacy where isolated nodes are still protected.
     ///
-    /// Budget accounting is **debit-at-admission**: once the query has
-    /// planned and the parameters validated (both data-independent checks)
-    /// and the budget covers `ε₁ + ε₂`, the cost is spent — *before* the
-    /// data is touched. A failure during execution or release (e.g. a
-    /// negative `SUM` weight) can depend on the data, so it must not refund
-    /// the budget: refunding would let a caller probe the database for free
-    /// through the error channel.
+    /// Budget accounting is **admission-checked, debit-on-success**: the
+    /// query is refused up front (consuming nothing) when the budget cannot
+    /// cover `ε₁ + ε₂`, and the cost is recorded only once the release has
+    /// succeeded end to end. Every failure path between the admission check
+    /// and the noise draw — plan execution, weight validation, the sequence
+    /// LPs, parameter validation inside the mechanism — releases nothing,
+    /// so none of them consume ε. (Callers that treat *error messages* as
+    /// observable output should still account for them out of band; the
+    /// accountant meters released answers, and a failed query releases
+    /// none.)
     pub fn query(&mut self, sql: &str) -> Result<Release, SqlError> {
         let plan = self.plan(sql)?;
-        // Validate params before debiting: a misconfigured session must not
-        // drain its budget on queries that can never release.
+        // Validate params before the admission check so a misconfigured
+        // session fails loudly instead of looking over budget.
         self.params.validate()?;
         let cost = self.release_cost();
-        if let Some(acc) = &mut self.accountant {
-            acc.try_spend(cost)?;
-        }
-        release_plan(&self.db, &plan, self.params, &mut self.rng)
+        self.ensure_affordable(cost)?;
+        let cache = self.cache_key(&plan);
+        let release = release_plan(
+            &self.db,
+            &plan,
+            self.params,
+            &mut self.rng,
+            cache.as_ref().map(|(c, key)| (c.as_ref(), *key)),
+        )?;
+        self.debit(cost)?;
+        Ok(release)
     }
 
     /// Runs several independent queries and releases each through the
@@ -161,13 +255,11 @@ impl SqlSession {
     /// The whole batch is admitted atomically: every query must plan
     /// successfully and the parameters must validate (both data-independent
     /// checks), and when the session carries a budget the batch's total cost
-    /// `k·(ε₁+ε₂)` is debited in one all-or-nothing step — an over-budget
-    /// batch is refused with no release performed and **no privacy
-    /// consumed**. As with [`SqlSession::query`], post-admission failures do
-    /// not refund (they can be data-dependent); in that case the whole batch
-    /// errors and the debited budget stays spent, so pre-validate doubtful
-    /// aggregates (e.g. with [`SqlSession::evaluate`] in a trusted context)
-    /// before batching them.
+    /// `k·(ε₁+ε₂)` must fit in what remains — an over-budget batch is
+    /// refused with no release performed and **no privacy consumed**. The
+    /// debit is recorded only after *every* query in the batch has released
+    /// successfully; a failure anywhere fails the whole batch and, since
+    /// none of its releases are returned, consumes nothing.
     ///
     /// When `params.parallelism` resolves to more than one worker the
     /// queries run concurrently on the scoped pool (each on its own
@@ -177,6 +269,13 @@ impl SqlSession {
     /// RNG *before* fanning out, in query order, so the batch's releases are
     /// bit-identical whatever the parallelism — and the session RNG advances
     /// exactly `sqls.len()` draws either way.
+    ///
+    /// When the session carries a [`SequenceCache`] the workers share it:
+    /// repeated query shapes inside one batch (or across batches and
+    /// sessions) reuse each other's frozen sequences. Two workers racing on
+    /// the same cold shape at worst both compute the (deterministic,
+    /// bit-identical) table, so the released values never depend on the
+    /// schedule.
     pub fn query_batch<S: AsRef<str>>(&mut self, sqls: &[S]) -> Result<Vec<Release>, SqlError> {
         let plans: Vec<QueryPlan> = sqls
             .iter()
@@ -188,10 +287,16 @@ impl SqlSession {
             epsilon: self.release_cost().epsilon * plans.len() as f64,
             delta: 0.0,
         };
-        if let Some(acc) = &mut self.accountant {
-            acc.try_spend(total_cost)?;
-        }
+        self.ensure_affordable(total_cost)?;
 
+        // Fingerprints are computed before the fan-out (they are cheap and
+        // pure), one per plan, so workers only touch the shared cache.
+        let keys: Option<Vec<Fingerprint>> = self.cache.as_ref().map(|_| {
+            plans
+                .iter()
+                .map(|p| plan_fingerprint(&self.db, p, &self.params))
+                .collect()
+        });
         let seeds: Vec<u64> = plans.iter().map(|_| self.rng.next_u64()).collect();
 
         // The batch level owns the concurrency; the worker budget is split
@@ -199,6 +304,7 @@ impl SqlSession {
         // budget hands the spare workers to each query's own precompute
         // (e.g. a 1-query batch at Threads(8) behaves like `query`).
         let db = &self.db;
+        let cache = self.cache.as_deref();
         let workers = self.params.parallelism.workers();
         let per_query = workers / plans.len().max(1);
         let worker_params = self.params.with_parallelism(if per_query > 1 {
@@ -206,21 +312,61 @@ impl SqlSession {
         } else {
             Parallelism::Serial
         });
-        par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
+        let releases = par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
             let mut rng = StdRng::seed_from_u64(seeds[i]);
-            release_plan(db, &plans[i], worker_params, &mut rng)
-        })
+            let key = keys.as_ref().map(|k| k[i]);
+            release_plan(db, &plans[i], worker_params, &mut rng, cache.zip(key))
+        })?;
+        self.debit(total_cost)?;
+        Ok(releases)
     }
 }
 
 /// Executes a validated plan and releases its aggregate: the shared tail of
 /// [`SqlSession::query`] and each [`SqlSession::query_batch`] worker.
+///
+/// With a cache handle, a fingerprint hit serves the frozen `H`/`G` table
+/// directly — skipping plan execution *and* every sequence LP — and a miss
+/// computes the full table once (all `2(|P|+1)` entries, warm-started
+/// chains, up to `params.parallelism` workers), publishes it, and releases
+/// from the freshly frozen copy. Noise is drawn from `rng` identically on
+/// every path, so hit, miss and uncached releases are bit-identical under
+/// the same seed.
 fn release_plan(
     db: &AnnotatedDatabase,
     plan: &QueryPlan,
     params: MechanismParams,
     rng: &mut StdRng,
+    cache: Option<(&SequenceCache, Fingerprint)>,
 ) -> Result<Release, SqlError> {
+    if let Some((cache, key)) = cache {
+        let frozen = match cache.get(key) {
+            Some(hit) => hit,
+            None => {
+                let query = build_sensitive_query(db, plan)?;
+                let frozen = Arc::new(
+                    FrozenSequences::compute(EfficientSequences::new(query), params.parallelism)
+                        .map_err(SqlError::from)?,
+                );
+                cache.insert(key, Arc::clone(&frozen));
+                frozen
+            }
+        };
+        let mut mechanism = RecursiveMechanism::new(CachedSequences(frozen), params)?;
+        return Ok(mechanism.release(rng)?);
+    }
+
+    let query = build_sensitive_query(db, plan)?;
+    let mut mechanism = RecursiveMechanism::new(EfficientSequences::new(query), params)?;
+    Ok(mechanism.release(rng)?)
+}
+
+/// Executes the plan and wraps its annotated output as the linear query the
+/// mechanism aggregates.
+fn build_sensitive_query(
+    db: &AnnotatedDatabase,
+    plan: &QueryPlan,
+) -> Result<SensitiveKRelation, SqlError> {
     let output = execute(db, plan)?;
 
     // Validate all weights before handing them to the mechanism (whose
@@ -229,12 +375,9 @@ fn release_plan(
         weigh(plan, tuple)?;
     }
     let participants = db.universe().ids().collect();
-    let query = SensitiveKRelation::new(&output, participants, |t| {
+    Ok(SensitiveKRelation::new(&output, participants, |t| {
         weigh(plan, t).expect("weights validated above")
-    });
-
-    let mut mechanism = RecursiveMechanism::new(EfficientSequences::new(query), params)?;
-    Ok(mechanism.release(rng)?)
+    }))
 }
 
 #[cfg(test)]
@@ -415,6 +558,121 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SqlError::Mechanism(_)));
         assert_eq!(session.remaining_budget().unwrap().epsilon, 1.0);
+    }
+
+    #[test]
+    fn failing_query_leaves_the_budget_unchanged() {
+        // SUM over a column with a negative value fails *after* admission
+        // (the failure is data-dependent) but released nothing, so the
+        // budget must be untouched.
+        let params = MechanismParams::paper_edge_privacy(0.5);
+        let mut session =
+            SqlSession::new(db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(2.0));
+        let err = session
+            .query("SELECT SUM(amount) FROM payments")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::BadAggregate { .. }));
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 2.0);
+
+        // A batch failing on its last query consumes nothing either.
+        let err = session
+            .query_batch(&[
+                "SELECT COUNT(*) FROM payments",
+                "SELECT SUM(amount) FROM payments",
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::BadAggregate { .. }));
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 2.0);
+
+        // A succeeding query then debits exactly once.
+        session.query("SELECT COUNT(*) FROM payments").unwrap();
+        assert!((session.remaining_budget().unwrap().epsilon - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_sessions_release_bit_identically_to_uncached_ones() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let queries = [
+            "SELECT COUNT(*) FROM payments",
+            "SELECT COUNT(*) FROM payments WHERE amount > 0",
+            "SELECT COUNT(*) FROM payments", // repeat: served from cache
+            "SELECT COUNT(*) FROM payments",
+        ];
+        let mut plain = SqlSession::with_seed(db(), params, 11);
+        let mut cached = SqlSession::with_seed(db(), params, 11).with_cache_capacity(16);
+        for sql in queries {
+            let a = plain.query(sql).unwrap();
+            let b = cached.query(sql).unwrap();
+            assert_eq!(a.noisy_answer, b.noisy_answer, "{sql}");
+            assert_eq!(a.delta_hat, b.delta_hat, "{sql}");
+            assert_eq!(a.x, b.x, "{sql}");
+        }
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!(stats.misses, 2, "two distinct shapes");
+        assert_eq!(stats.hits, 2, "two repeats");
+        assert_eq!(stats.insertions, 2);
+    }
+
+    #[test]
+    fn alias_renames_hit_the_cache() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session = SqlSession::new(db(), params).with_cache_capacity(8);
+        session
+            .query("SELECT COUNT(*) FROM payments p WHERE p.amount > 0")
+            .unwrap();
+        session
+            .query("SELECT COUNT(*) FROM payments q WHERE q.amount > 0")
+            .unwrap();
+        let stats = session.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn batches_share_the_cache_across_parallelism_settings() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let sqls = [
+            "SELECT COUNT(*) FROM payments",
+            "SELECT COUNT(*) FROM payments",
+            "SELECT COUNT(*) FROM payments WHERE amount > 0",
+        ];
+        let baseline = SqlSession::with_seed(db(), params, 3)
+            .query_batch(&sqls)
+            .unwrap();
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(3)] {
+            let cache = rmdp_core::SequenceCache::shared(8);
+            let mut session = SqlSession::with_seed(db(), params.with_parallelism(parallelism), 3)
+                .with_sequence_cache(Arc::clone(&cache));
+            let releases = session.query_batch(&sqls).unwrap();
+            for (a, b) in baseline.iter().zip(&releases) {
+                assert_eq!(a.noisy_answer, b.noisy_answer, "{parallelism}");
+                assert_eq!(a.true_answer, b.true_answer);
+            }
+            assert_eq!(cache.len(), 2, "two distinct shapes cached");
+            // A follow-up batch is served entirely from the cache.
+            let before = cache.stats().misses;
+            session.query_batch(&sqls).unwrap();
+            assert_eq!(cache.stats().misses, before, "{parallelism}");
+        }
+    }
+
+    #[test]
+    fn mutating_the_database_between_sessions_invalidates_cache_reuse() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let cache = rmdp_core::SequenceCache::shared(8);
+        let base = db();
+        let mut changed = base.clone();
+        changed.insert_table("payments", KRelation::new(["person", "amount"]));
+
+        let mut s1 = SqlSession::new(base, params).with_sequence_cache(Arc::clone(&cache));
+        s1.query("SELECT COUNT(*) FROM payments").unwrap();
+        // Different database value (clone has a fresh identity, and it was
+        // mutated): the same SQL must miss, not reuse s1's sequences.
+        let mut s2 = SqlSession::new(changed, params).with_sequence_cache(Arc::clone(&cache));
+        let release = s2.query("SELECT COUNT(*) FROM payments").unwrap();
+        assert_eq!(release.true_answer, 0.0, "empty table after mutation");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

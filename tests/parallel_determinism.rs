@@ -1,11 +1,17 @@
-//! Serial/parallel equivalence and budget accounting, end to end.
+//! Serial/parallel equivalence, budget accounting and cross-query caching,
+//! end to end.
 //!
 //! The `Parallelism` knob must be a pure wall-clock knob: the parallel
 //! precompute has to produce bit-identical `H`/`G` vectors — and, given a
-//! fixed seed, bit-identical `Release`s — to the lazy serial path. And the
+//! fixed seed, bit-identical `Release`s — to the lazy serial path. The
 //! `SqlSession` budget accountant has to refuse over-budget batches
-//! atomically, consuming nothing.
+//! atomically, consuming nothing. And the sequence cache has to be equally
+//! invisible: structurally identical queries (any alias names, join order,
+//! conjunct order) must collide on one fingerprint, structurally different
+//! ones must not, and a cached session must release bit-identically to an
+//! uncached one under the same seed.
 
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recursive_mechanism_dp::core::efficient::EfficientSequences;
@@ -201,4 +207,260 @@ fn over_budget_batch_is_rejected_without_consuming_epsilon() {
         session.query("SELECT COUNT(*) FROM visits").unwrap_err(),
         SqlError::BudgetExhausted(_)
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-query sequence cache: fingerprint invariance and release bit-identity.
+// ---------------------------------------------------------------------------
+
+use recursive_mechanism_dp::sql::fingerprint::plan_fingerprint;
+use recursive_mechanism_dp::sql::plan as sql_plan;
+use std::sync::Arc;
+
+/// One abstract query shape over `visits`: a star self-join of `1 + joins`
+/// aliases on `person`, per-alias `place` filters, and an optional ordering
+/// conjunct between two roles. The *surface form* (alias names, join order,
+/// conjunct order, operand order) is chosen separately, so one shape can be
+/// rendered many ways.
+#[derive(Clone, Debug)]
+struct QueryShape {
+    /// Number of JOINed aliases (role 0 is the FROM table).
+    joins: usize,
+    /// `place = <literal>` filter per role (`None` = no filter for that role).
+    place_filter: Vec<Option<&'static str>>,
+    /// Optional `role_a.person < role_b.person` conjunct.
+    ordering: Option<(usize, usize)>,
+}
+
+/// How one rendering permutes and renames the shape.
+#[derive(Clone, Debug)]
+struct Rendering {
+    /// Order in which roles 1.. are JOINed (a permutation of 1..=joins).
+    join_order: Vec<usize>,
+    /// Order of the WHERE conjuncts (a permutation).
+    conjunct_order: Vec<usize>,
+    /// Alias naming scheme: role i is named `format!("{prefix}{suffix[i]}")`.
+    prefix: &'static str,
+    suffixes: Vec<usize>,
+    /// Whether to flip `x = y` equalities to `y = x` and `a < b` to `b > a`.
+    flip_operands: bool,
+}
+
+fn render(shape: &QueryShape, r: &Rendering) -> String {
+    let alias = |role: usize| format!("{}{}", r.prefix, r.suffixes[role]);
+    let mut sql = format!("SELECT COUNT(*) FROM visits {}", alias(0));
+    for &role in &r.join_order {
+        let (a, b) = (alias(role), alias(0));
+        let on = if r.flip_operands {
+            format!("{b}.person = {a}.person")
+        } else {
+            format!("{a}.person = {b}.person")
+        };
+        sql.push_str(&format!(" JOIN visits {} ON {on}", alias(role)));
+    }
+    let mut conjuncts: Vec<String> = Vec::new();
+    for (role, filter) in shape.place_filter.iter().enumerate() {
+        if let Some(place) = filter {
+            conjuncts.push(format!("{}.place = '{place}'", alias(role)));
+        }
+    }
+    if let Some((lo, hi)) = shape.ordering {
+        conjuncts.push(if r.flip_operands {
+            format!("{}.person > {}.person", alias(hi), alias(lo))
+        } else {
+            format!("{}.person < {}.person", alias(lo), alias(hi))
+        });
+    }
+    let ordered: Vec<String> = r
+        .conjunct_order
+        .iter()
+        .filter(|&&i| i < conjuncts.len())
+        .map(|&i| conjuncts[i].clone())
+        .collect();
+    if !ordered.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&ordered.join(" AND "));
+    }
+    sql
+}
+
+fn arb_shape() -> impl Strategy<Value = QueryShape> {
+    (1usize..=3)
+        .prop_flat_map(|joins| {
+            let filters = proptest::collection::vec(
+                prop_oneof![
+                    Just(None),
+                    Just(Some("museum")),
+                    Just(Some("cafe")),
+                    Just(Some("park")),
+                ],
+                joins + 1,
+            );
+            let ordering = prop_oneof![
+                Just(None),
+                (0..=joins, 0..=joins)
+                    .prop_filter("distinct roles", |(a, b)| a != b)
+                    .prop_map(Some),
+            ];
+            (Just(joins), filters, ordering)
+        })
+        .prop_map(|(joins, place_filter, ordering)| QueryShape {
+            joins,
+            place_filter,
+            ordering,
+        })
+}
+
+fn arb_rendering(joins: usize) -> impl Strategy<Value = Rendering> {
+    let max_conjuncts = joins + 2; // every role filtered + the ordering
+    (
+        Just((1..=joins).collect::<Vec<usize>>()).prop_shuffle(),
+        Just((0..max_conjuncts).collect::<Vec<usize>>()).prop_shuffle(),
+        prop_oneof![Just("t"), Just("q"), Just("alias")],
+        Just((0..=joins).collect::<Vec<usize>>()).prop_shuffle(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(join_order, conjunct_order, prefix, suffixes, flip_operands)| Rendering {
+                join_order,
+                conjunct_order,
+                prefix,
+                suffixes,
+                flip_operands,
+            },
+        )
+}
+
+fn fingerprint_of(db: &AnnotatedDatabase, sql: &str) -> rmdp_fp::Fingerprint {
+    let params = MechanismParams::paper_edge_privacy(1.0);
+    let plan = sql_plan(db, sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    plan_fingerprint(db, &plan, &params)
+}
+
+use recursive_mechanism_dp::krelation::fingerprint as rmdp_fp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any two renderings of the same shape — permuted join order, permuted
+    /// conjunct order, different alias names, flipped symmetric operands —
+    /// must collide on one fingerprint.
+    #[test]
+    fn fingerprints_are_invariant_under_query_rewrites(
+        shape in arb_shape(),
+        renderings in (1usize..=3).prop_flat_map(|j| (arb_rendering(j), arb_rendering(j))),
+    ) {
+        // Tie the independently drawn renderings to the shape's join count.
+        let shape = QueryShape { joins: renderings.0.join_order.len(), ..shape.clone() };
+        let mut filters = shape.place_filter.clone();
+        filters.resize(shape.joins + 1, None);
+        let ordering = shape.ordering.filter(|(a, b)| *a <= shape.joins && *b <= shape.joins);
+        let shape = QueryShape { place_filter: filters, ordering, ..shape };
+
+        let db = visits_db();
+        let a = render(&shape, &renderings.0);
+        let b = render(&shape, &renderings.1);
+        prop_assert_eq!(
+            fingerprint_of(&db, &a),
+            fingerprint_of(&db, &b),
+            "renderings of one shape diverged:\n  {}\n  {}",
+            a,
+            b
+        );
+    }
+
+    /// Structurally different shapes (different join arity, or a literal the
+    /// other shape never mentions) must never collide.
+    #[test]
+    fn structurally_different_queries_never_collide(
+        shape in arb_shape(),
+        rendering in (1usize..=3).prop_flat_map(arb_rendering),
+    ) {
+        let joins = rendering.join_order.len();
+        let mut filters = shape.place_filter.clone();
+        filters.resize(joins + 1, None);
+        let ordering = shape.ordering.filter(|(a, b)| *a <= joins && *b <= joins);
+        let shape = QueryShape { joins, place_filter: filters, ordering };
+
+        let db = visits_db();
+        let base = fingerprint_of(&db, &render(&shape, &rendering));
+
+        // A literal no shape in this universe uses: guaranteed non-isomorphic.
+        let mut fresh_literal = shape.clone();
+        fresh_literal.place_filter[0] = Some("zoo");
+        let identity = Rendering {
+            join_order: (1..=shape.joins).collect(),
+            conjunct_order: (0..shape.joins + 2).collect(),
+            prefix: "t",
+            suffixes: (0..=shape.joins).collect(),
+            flip_operands: false,
+        };
+        prop_assert_ne!(base, fingerprint_of(&db, &render(&fresh_literal, &identity)));
+
+        // One more join than the base shape: different scan multiset.
+        let mut wider = shape.clone();
+        wider.joins += 1;
+        wider.place_filter.push(None);
+        let wider_identity = Rendering {
+            join_order: (1..=wider.joins).collect(),
+            conjunct_order: (0..wider.joins + 2).collect(),
+            prefix: "t",
+            suffixes: (0..=wider.joins).collect(),
+            flip_operands: false,
+        };
+        prop_assert_ne!(base, fingerprint_of(&db, &render(&wider, &wider_identity)));
+    }
+
+    /// A cached session must release bit-identically to an uncached one
+    /// under the same seed — repeats served from the cache included.
+    #[test]
+    fn cached_and_cold_sessions_release_bit_identically(seed in any::<u64>()) {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let queries = [BATCH[0], BATCH[2], BATCH[0], BATCH[2], BATCH[1], BATCH[0]];
+        let mut cold = SqlSession::with_seed(visits_db(), params, seed);
+        let cache = recursive_mechanism_dp::core::SequenceCache::shared(16);
+        let mut cached = SqlSession::with_seed(visits_db(), params, seed)
+            .with_sequence_cache(Arc::clone(&cache));
+        for sql in queries {
+            let a = cold.query(sql).unwrap();
+            let b = cached.query(sql).unwrap();
+            prop_assert_eq!(a.noisy_answer.to_bits(), b.noisy_answer.to_bits(), "{}", sql);
+            prop_assert_eq!(a.delta_hat.to_bits(), b.delta_hat.to_bits(), "{}", sql);
+            prop_assert_eq!(a.x.to_bits(), b.x.to_bits(), "{}", sql);
+            prop_assert_eq!(a.argmin_index, b.argmin_index, "{}", sql);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 3, "three distinct shapes");
+        prop_assert_eq!(stats.hits, 3, "three repeats");
+    }
+}
+
+/// The permuted self-join renderings of the paper's running example must hit
+/// one cache entry end to end (not just fingerprint-equal): queries are
+/// answered from each other's sequences with bit-identical `X`.
+#[test]
+fn permuted_self_join_renderings_share_one_cache_entry() {
+    let params = MechanismParams::paper_edge_privacy(1.0);
+    let cache = recursive_mechanism_dp::core::SequenceCache::shared(8);
+    let mut session =
+        SqlSession::with_seed(visits_db(), params, 42).with_sequence_cache(Arc::clone(&cache));
+    let renderings = [
+        "SELECT COUNT(*) FROM visits v1 JOIN visits v2 ON v1.place = v2.place \
+         WHERE v1.person < v2.person",
+        "SELECT COUNT(*) FROM visits a JOIN visits b ON b.place = a.place \
+         WHERE a.person < b.person",
+        "SELECT COUNT(*) FROM visits y JOIN visits x ON x.place = y.place \
+         WHERE y.person < x.person",
+    ];
+    let releases: Vec<_> = renderings
+        .iter()
+        .map(|sql| session.query(sql).unwrap())
+        .collect();
+    assert_eq!(cache.len(), 1, "all renderings share one entry");
+    assert_eq!(cache.stats().misses, 1);
+    assert_eq!(cache.stats().hits, 2);
+    for r in &releases {
+        assert_eq!(r.true_answer, releases[0].true_answer);
+        assert_eq!(r.delta, releases[0].delta, "same cached sequences");
+    }
 }

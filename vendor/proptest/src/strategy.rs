@@ -34,6 +34,32 @@ pub trait Strategy: 'static {
         FlatMap { inner: self, f }
     }
 
+    /// Rejects generated values failing `pred`, resampling instead. Unlike
+    /// the real crate (which tracks global rejection quotas) this stub
+    /// bounds the resampling per draw and panics with `whence` when the
+    /// filter looks unsatisfiable.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Shuffles the elements of a generated collection (Fisher–Yates on the
+    /// deterministic test RNG). Only `Vec` values are supported by the stub.
+    fn prop_shuffle<T>(self) -> Shuffle<Self>
+    where
+        Self: Strategy<Value = Vec<T>> + Sized,
+        T: 'static,
+    {
+        Shuffle { inner: self }
+    }
+
     /// Builds a recursive strategy: `self` is the leaf case and `recurse`
     /// wraps an inner strategy into a deeper one. `depth` bounds the nesting;
     /// the size hints of the real API are accepted and ignored.
@@ -107,6 +133,54 @@ where
     type Value = U;
     fn sample(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.sample(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive samples: {}",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+    T: 'static,
+{
+    type Value = Vec<T>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut items = self.inner.sample(rng);
+        for i in (1..items.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+        items
     }
 }
 
