@@ -14,13 +14,19 @@
 //! under the same seeds, and measures the hit rate of a SQL session
 //! replaying a repeated query mix with permuted aliases.
 //!
-//! CI uploads both files as artifacts on every run, so the trajectory of
-//! the sequence hot path is tracked over time. Pivot counts, hit rates and
-//! bit-identity are deterministic; wall times are indicative (shared
+//! **Grouped fan-out** (`BENCH_groupby.json`): the `GROUP BY` report bench.
+//! One k-group report is released serially and on the worker pool (the
+//! per-group sequence computations are the unit of fan-out) and must be
+//! bit-identical; repeated reports through a shared [`SequenceCache`] must
+//! hit on every group after the first report.
+//!
+//! CI uploads all three files as artifacts on every run, so the trajectory
+//! of the sequence hot path is tracked over time. Pivot counts, hit rates
+//! and bit-identity are deterministic; wall times are indicative (shared
 //! runners).
 //!
-//! Usage: `perf_smoke [lp.json] [cache.json]` (defaults `BENCH_lp.json`,
-//! `BENCH_cache.json`).
+//! Usage: `perf_smoke [lp.json] [cache.json] [groupby.json]` (defaults
+//! `BENCH_lp.json`, `BENCH_cache.json`, `BENCH_groupby.json`).
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -240,6 +246,106 @@ fn run_sql_repeated_workload() -> (usize, u64, u64, f64) {
     (executed, stats.hits, stats.misses, wall_ms)
 }
 
+/// The grouped-report bench: k-group fan-out serial vs pooled, and the
+/// cache hit-rate of repeated reports.
+struct GroupByBenchResult {
+    /// Declared domain size (= groups per report).
+    k: usize,
+    /// Wall time of one cold report, all groups computed serially.
+    serial_wall_ms: f64,
+    /// Wall time of one cold report fanned across the worker pool.
+    pooled_wall_ms: f64,
+    /// Whether serial and pooled reports were bit-identical per key.
+    bit_identical: bool,
+    /// Reports replayed against one shared cache (first one cold).
+    reports: usize,
+    /// Cache hit rate across the replay: (reports−1)/reports of the
+    /// per-group computations are hits.
+    hit_rate: f64,
+    /// Mean wall time of a fully cached report.
+    warm_report_wall_ms: f64,
+}
+
+fn run_groupby_workload() -> GroupByBenchResult {
+    let places = [
+        "museum", "cafe", "park", "stadium", "library", "zoo", "arena", "pier",
+    ];
+    let mut db = AnnotatedDatabase::new();
+    let mut visits = KRelation::new(["person", "place"]);
+    let mut rng = StdRng::seed_from_u64(99);
+    for i in 0..24 {
+        let person = format!("p{i}");
+        let p = db.intern(&person);
+        // Each person visits a few pseudo-random venues.
+        for _ in 0..1 + (rng.next_u64() % 3) {
+            let place = places[(rng.next_u64() % places.len() as u64) as usize];
+            visits.insert(
+                Tuple::new([
+                    ("person", Value::str(&person)),
+                    ("place", Value::str(place)),
+                ]),
+                Expr::Var(p),
+            );
+        }
+    }
+    db.insert_table("visits", visits);
+    db.declare_public_domain("visits", "place", places.map(Value::str));
+    let params = MechanismParams::paper_edge_privacy(1.0);
+    let sql = "SELECT place, COUNT(*) FROM visits GROUP BY place";
+
+    // Serial vs pooled cold reports over the *same database value* (the
+    // session clones share the instance only within one session, so each
+    // gets its own db — determinism must come from the seed alone).
+    let start = Instant::now();
+    let serial = SqlSession::with_seed(db.clone(), params, 7)
+        .query_grouped(sql)
+        .expect("serial grouped release");
+    let serial_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let pooled = SqlSession::with_seed(
+        db.clone(),
+        params.with_parallelism(Parallelism::Threads(4)),
+        7,
+    )
+    .query_grouped(sql)
+    .expect("pooled grouped release");
+    let pooled_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let bit_identical = serial.len() == pooled.len()
+        && serial.groups.iter().zip(&pooled.groups).all(|(a, b)| {
+            a.key == b.key
+                && a.release.noisy_answer.to_bits() == b.release.noisy_answer.to_bits()
+                && a.release.delta_hat.to_bits() == b.release.delta_hat.to_bits()
+                && a.release.x.to_bits() == b.release.x.to_bits()
+        });
+
+    // Repeated reports through one shared cache: the first pays k misses,
+    // every later report is k hits.
+    let cache = SequenceCache::shared(16);
+    let mut session = SqlSession::with_seed(db, params, 7).with_sequence_cache(Arc::clone(&cache));
+    let reports = 8;
+    session.query_grouped(sql).expect("cold cached report");
+    let warm_start = Instant::now();
+    for _ in 1..reports {
+        session.query_grouped(sql).expect("warm cached report");
+    }
+    let warm_report_wall_ms =
+        warm_start.elapsed().as_secs_f64() * 1e3 / (reports - 1).max(1) as f64;
+    let stats = cache.stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+
+    GroupByBenchResult {
+        k: places.len(),
+        serial_wall_ms,
+        pooled_wall_ms,
+        bit_identical,
+        reports,
+        hit_rate,
+        warm_report_wall_ms,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -247,6 +353,9 @@ fn main() {
     let cache_out_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_cache.json".to_string());
+    let groupby_out_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_groupby.json".to_string());
 
     let results: Vec<WorkloadResult> = [Pattern::triangle(), Pattern::k_star(2)]
         .into_iter()
@@ -346,6 +455,44 @@ fn main() {
     }
     eprintln!("wrote {cache_out_path}");
 
+    // --- Grouped fan-out bench → BENCH_groupby.json ---
+    let gb = run_groupby_workload();
+    let groupby_json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"groupby_fanout\",\n",
+            "  \"k\": {},\n",
+            "  \"serial_wall_ms\": {:.3},\n",
+            "  \"pooled_wall_ms\": {:.3},\n",
+            "  \"bit_identical\": {},\n",
+            "  \"reports\": {},\n",
+            "  \"hit_rate\": {:.4},\n",
+            "  \"warm_report_wall_ms\": {:.4}\n}}\n"
+        ),
+        gb.k,
+        gb.serial_wall_ms,
+        gb.pooled_wall_ms,
+        gb.bit_identical,
+        gb.reports,
+        gb.hit_rate,
+        gb.warm_report_wall_ms,
+    );
+    println!(
+        "   groupby: k={} serial {:.1} ms vs pooled {:.1} ms (bit-identical: {}), \
+         {} repeated reports hit rate {:.2}, warm report {:.3} ms",
+        gb.k,
+        gb.serial_wall_ms,
+        gb.pooled_wall_ms,
+        gb.bit_identical,
+        gb.reports,
+        gb.hit_rate,
+        gb.warm_report_wall_ms,
+    );
+    if let Err(e) = std::fs::write(&groupby_out_path, &groupby_json) {
+        eprintln!("failed to write {groupby_out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {groupby_out_path}");
+
     // --- Gates (JSON files are written first so CI can always upload) ---
     let mut failed = false;
     for r in results.iter().filter(|r| r.warm_pivots >= r.cold_pivots) {
@@ -379,6 +526,22 @@ fn main() {
     }
     if sql_hit_rate < 0.5 {
         eprintln!("PERF REGRESSION: sql repeated workload hit rate {sql_hit_rate:.2} < 0.5");
+        failed = true;
+    }
+    // Grouped fan-out gates: releases must not depend on the schedule, and
+    // repeated reports must be served from the cache ((reports−1)/reports of
+    // the per-group computations; 0.5 leaves headroom). Wall times are not
+    // gated — the CI runner may be single-core, where the pool only adds
+    // overhead.
+    if !gb.bit_identical {
+        eprintln!("CORRECTNESS REGRESSION: pooled grouped report diverged from the serial one");
+        failed = true;
+    }
+    if gb.hit_rate < 0.5 {
+        eprintln!(
+            "PERF REGRESSION: repeated grouped reports hit rate {:.2} < 0.5",
+            gb.hit_rate
+        );
         failed = true;
     }
     if failed {

@@ -23,7 +23,7 @@ use crate::expr::Expr;
 use crate::hash::FxHashMap;
 use crate::participant::{ParticipantId, ParticipantUniverse};
 use crate::relation::KRelation;
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide source of unique [`AnnotatedDatabase::instance_id`] values.
@@ -85,6 +85,10 @@ where
 pub struct AnnotatedDatabase {
     universe: ParticipantUniverse,
     tables: FxHashMap<String, KRelation>,
+    /// Declared public key domains: `table → column → values`. Public
+    /// metadata (never derived from the sensitive rows), so mutating it does
+    /// not bump the annotation epoch.
+    domains: FxHashMap<String, FxHashMap<String, Vec<Value>>>,
     instance_id: u64,
     epoch: u64,
 }
@@ -94,6 +98,7 @@ impl Default for AnnotatedDatabase {
         AnnotatedDatabase {
             universe: ParticipantUniverse::new(),
             tables: FxHashMap::default(),
+            domains: FxHashMap::default(),
             instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
             epoch: 0,
         }
@@ -109,6 +114,7 @@ impl Clone for AnnotatedDatabase {
         AnnotatedDatabase {
             universe: self.universe.clone(),
             tables: self.tables.clone(),
+            domains: self.domains.clone(),
             instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
             epoch: self.epoch,
         }
@@ -125,6 +131,59 @@ impl AnnotatedDatabase {
     pub fn insert_table(&mut self, name: &str, table: KRelation) {
         self.epoch += 1;
         self.tables.insert(name.to_owned(), table);
+    }
+
+    /// Declares the **public** value domain of `table.column` — the key set a
+    /// `GROUP BY` over that column may range over.
+    ///
+    /// The domain must come from public knowledge (an enum of product
+    /// categories, the 50 US states, …), **never** from the sensitive rows: a
+    /// data-derived key set leaks which keys occur, before any noise is
+    /// added. Declaring (or re-declaring) a domain does not bump the
+    /// [`annotation epoch`](AnnotatedDatabase::annotation_epoch): the domain
+    /// changes which per-group queries exist, not what any query answers, and
+    /// per-group cache keys embed the key literal itself — so cached
+    /// sequences stay valid across domain edits by construction.
+    ///
+    /// Duplicate values are dropped (first occurrence wins); the surviving
+    /// order is the order grouped reports release their groups in. All
+    /// values must be of one type (`Int` / `Str` / `Bool`) — a mixed domain
+    /// is always a declaration bug, and a domain whose type differs from the
+    /// column's stored values would silently release a noised zero for every
+    /// key (equality across value types is `false`, SQL's "unknown is not
+    /// true"), while still spending the report's full budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` mixes value types.
+    pub fn declare_public_domain<I>(&mut self, table: &str, column: &str, values: I)
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut domain: Vec<Value> = Vec::new();
+        let mut seen: std::collections::HashSet<Value> = std::collections::HashSet::new();
+        for v in values {
+            assert!(
+                domain.first().is_none_or(|first| {
+                    std::mem::discriminant(first) == std::mem::discriminant(&v)
+                }),
+                "public domain for {table}.{column} mixes value types \
+                 ({:?} vs {v:?})",
+                domain[0],
+            );
+            if seen.insert(v.clone()) {
+                domain.push(v);
+            }
+        }
+        self.domains
+            .entry(table.to_owned())
+            .or_default()
+            .insert(column.to_owned(), domain);
+    }
+
+    /// The declared public domain of `table.column`, if any.
+    pub fn public_domain(&self, table: &str, column: &str) -> Option<&[Value]> {
+        self.domains.get(table)?.get(column).map(Vec::as_slice)
     }
 
     /// The process-unique identity of this database value (fresh for every
@@ -146,15 +205,34 @@ impl AnnotatedDatabase {
         self.tables.get(name)
     }
 
-    /// The shared participant universe.
+    /// The shared participant universe (read-only). Use this — not
+    /// [`AnnotatedDatabase::universe_mut`] — for lookups: reading through the
+    /// `mut` accessor bumps the annotation epoch and silently evicts every
+    /// cached sequence of this database.
     pub fn universe(&self) -> &ParticipantUniverse {
         &self.universe
     }
 
-    /// Mutable access to the participant universe (for interning new
-    /// participants while loading data). Conservatively bumps the annotation
-    /// epoch — the universe defines `|P|`, so growing it changes every
-    /// sequence even when no table changes.
+    /// Interns `label` into the participant universe, bumping the annotation
+    /// epoch **only when the universe actually grows**. Re-interning an
+    /// existing participant is a read: it changes neither `|P|` nor any
+    /// sequence, so it must not invalidate cached sequences the way a
+    /// [`AnnotatedDatabase::universe_mut`] access would.
+    pub fn intern(&mut self, label: &str) -> ParticipantId {
+        if let Some(id) = self.universe.get(label) {
+            return id;
+        }
+        self.epoch += 1;
+        self.universe.intern(label)
+    }
+
+    /// Mutable access to the participant universe. Conservatively bumps the
+    /// annotation epoch — the universe defines `|P|`, so growing it changes
+    /// every sequence even when no table changes. Prefer
+    /// [`AnnotatedDatabase::intern`] (which bumps only on actual growth) for
+    /// loading data and [`AnnotatedDatabase::universe`] for read-only access;
+    /// reach for this accessor only when you genuinely need `&mut` to the
+    /// universe and accept the cache eviction.
     pub fn universe_mut(&mut self) -> &mut ParticipantUniverse {
         self.epoch += 1;
         &mut self.universe
@@ -261,5 +339,76 @@ mod tests {
         assert_ne!(db.instance_id(), other.instance_id());
         assert_ne!(db.instance_id(), cloned.instance_id());
         assert_eq!(cloned.annotation_epoch(), db.annotation_epoch());
+    }
+
+    #[test]
+    fn intern_bumps_the_epoch_only_on_actual_growth() {
+        let mut db = AnnotatedDatabase::new();
+        let e0 = db.annotation_epoch();
+        let alice = db.intern("alice");
+        assert!(db.annotation_epoch() > e0, "a new participant must bump");
+
+        // Re-interning, reads through `universe()`, and lookups are all
+        // epoch-neutral: none of them may evict cached sequences.
+        let e1 = db.annotation_epoch();
+        assert_eq!(db.intern("alice"), alice);
+        assert_eq!(db.universe().get("alice"), Some(alice));
+        assert_eq!(db.universe().len(), 1);
+        assert_eq!(db.annotation_epoch(), e1);
+
+        // The conservative `universe_mut` accessor still bumps on every
+        // access — that is exactly why loaders should prefer `intern`.
+        let _ = db.universe_mut();
+        assert!(db.annotation_epoch() > e1);
+    }
+
+    #[test]
+    fn public_domains_are_declared_deduplicated_and_epoch_neutral() {
+        let mut db = AnnotatedDatabase::new();
+        db.insert_table("visits", KRelation::new(["person", "place"]));
+        let epoch = db.annotation_epoch();
+
+        assert_eq!(db.public_domain("visits", "place"), None);
+        db.declare_public_domain(
+            "visits",
+            "place",
+            [
+                Value::str("museum"),
+                Value::str("cafe"),
+                Value::str("museum"), // duplicate: dropped, first wins
+            ],
+        );
+        assert_eq!(
+            db.public_domain("visits", "place"),
+            Some(&[Value::str("museum"), Value::str("cafe")][..])
+        );
+        assert_eq!(db.public_domain("visits", "person"), None);
+        assert_eq!(db.public_domain("nowhere", "place"), None);
+
+        // Declaring public metadata never bumps the epoch; clones carry it.
+        assert_eq!(db.annotation_epoch(), epoch);
+        let cloned = db.clone();
+        assert_eq!(
+            cloned.public_domain("visits", "place").map(<[Value]>::len),
+            Some(2)
+        );
+
+        // Re-declaring replaces the domain wholesale.
+        db.declare_public_domain("visits", "place", [Value::str("park")]);
+        assert_eq!(
+            db.public_domain("visits", "place"),
+            Some(&[Value::str("park")][..])
+        );
+        assert_eq!(db.annotation_epoch(), epoch);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixes value types")]
+    fn mixed_type_public_domains_are_rejected_at_declaration() {
+        // A domain whose type differs from the column's values would release
+        // a noised zero for every key while spending the report's budget; a
+        // *mixed* domain is unambiguously that bug, caught eagerly.
+        let mut db = AnnotatedDatabase::new();
+        db.declare_public_domain("visits", "place", [Value::str("museum"), Value::Int(3)]);
     }
 }

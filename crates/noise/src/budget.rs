@@ -105,8 +105,75 @@ impl std::error::Error for BudgetExhausted {}
 /// **relative to that total** so that e.g. five debits of `ε/5` still exactly
 /// exhaust `ε` while tiny budgets (δ is routinely `1e-6..1e-12`) cannot be
 /// overdrawn by an absolute allowance that dwarfs them.
+///
+/// This is the accountant's documented **admission tolerance**: with the
+/// compensated ledger below, `N` debits of `total/N` accumulate to the
+/// correctly rounded sum of the real debits, so the drift against `total` is
+/// at most one rounding of `total/N` per debit — far inside this allowance —
+/// and the worst-case overdraft the tolerance can ever admit is
+/// `total · 1e-12`, privacy-insignificant at any ε.
 fn budget_tolerance(total: f64) -> f64 {
     total.abs() * 1e-12
+}
+
+/// One step of Kahan (compensated) summation: adds `x` to the running
+/// `(sum, compensation)` pair and returns the updated pair. The compensation
+/// carries the low-order bits `sum + x` loses to rounding, so a long stream
+/// of equal debits (the `N × ε/N` workload) cannot drift the ledger the way
+/// a bare `+=` does — neither into spurious refusals on the last debit nor
+/// into an overdraft of accumulated ulps.
+fn kahan_add(sum: f64, compensation: f64, x: f64) -> (f64, f64) {
+    let y = x - compensation;
+    let t = sum + y;
+    (t, (t - sum) - y)
+}
+
+/// How a grouped (`GROUP BY`) report splits privacy budget across its `k`
+/// per-group releases under sequential composition.
+///
+/// The recursive mechanism releases one monotone aggregate at a time; a
+/// grouped report is `k` such releases, one per key of the declared public
+/// domain. Sequential composition prices the report at the **sum** of the
+/// per-group costs, and this policy decides how that sum relates to the
+/// session's per-release budget `ε = ε₁ + ε₂`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GroupBudgetPolicy {
+    /// The whole report costs one release's `ε`; every group releases with
+    /// `ε/k` (both `ε₁` and `ε₂` scaled by `1/k`). The default: a grouped
+    /// report is priced like the single query it replaces, trading per-group
+    /// accuracy for composition safety.
+    #[default]
+    SplitEvenly,
+    /// Every group spends the full per-release `ε`; the report costs `k·ε`.
+    /// Maximal per-group accuracy — and `k` times the privacy bill, admitted
+    /// atomically up front.
+    PerGroup,
+}
+
+impl GroupBudgetPolicy {
+    /// The fraction of the per-release `ε` each of `k` groups spends.
+    pub fn per_group_fraction(self, k: usize) -> f64 {
+        assert!(k >= 1, "a grouped report needs at least one group");
+        match self {
+            GroupBudgetPolicy::SplitEvenly => 1.0 / k as f64,
+            GroupBudgetPolicy::PerGroup => 1.0,
+        }
+    }
+
+    /// The atomic admission cost of a `k`-group report whose per-release
+    /// cost is `per_release`. For [`GroupBudgetPolicy::SplitEvenly`] this is
+    /// `per_release` exactly (not `k · per_release/k`, which could differ by
+    /// an ulp); for [`GroupBudgetPolicy::PerGroup`] it is `k · per_release`.
+    pub fn report_cost(self, per_release: PrivacyBudget, k: usize) -> PrivacyBudget {
+        assert!(k >= 1, "a grouped report needs at least one group");
+        match self {
+            GroupBudgetPolicy::SplitEvenly => per_release,
+            GroupBudgetPolicy::PerGroup => PrivacyBudget {
+                epsilon: per_release.epsilon * k as f64,
+                delta: per_release.delta * k as f64,
+            },
+        }
+    }
 }
 
 /// A sequential-composition ledger over a fixed total [`PrivacyBudget`].
@@ -119,11 +186,19 @@ fn budget_tolerance(total: f64) -> f64 {
 /// compose under); callers that parallelise work must still funnel their
 /// debits through one accountant, which is what `SqlSession::query_batch`
 /// does.
+/// Spend is accumulated with **compensated (Kahan) summation**: a stream of
+/// `N` debits of `ε/N` sums to the correctly rounded total instead of
+/// drifting by an ulp per debit, so the last debit of an exact split is
+/// admitted (no spurious refusal) and the ledger cannot overspend by
+/// accumulated rounding. Comparisons against the total use the documented
+/// relative admission tolerance (`total · 1e-12`).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BudgetAccountant {
     total: PrivacyBudget,
     spent_epsilon: f64,
+    epsilon_compensation: f64,
     spent_delta: f64,
+    delta_compensation: f64,
 }
 
 impl BudgetAccountant {
@@ -132,7 +207,9 @@ impl BudgetAccountant {
         BudgetAccountant {
             total,
             spent_epsilon: 0.0,
+            epsilon_compensation: 0.0,
             spent_delta: 0.0,
+            delta_compensation: 0.0,
         }
     }
 
@@ -157,12 +234,15 @@ impl BudgetAccountant {
         }
     }
 
-    /// Whether a debit of `cost` would be accepted right now.
+    /// Whether a debit of `cost` would be accepted right now. The check
+    /// projects the **compensated** post-debit sums — the exact sums
+    /// [`BudgetAccountant::try_spend`] would record — so admission and
+    /// recording can never disagree.
     pub fn can_afford(&self, cost: PrivacyBudget) -> bool {
-        self.spent_epsilon + cost.epsilon
-            <= self.total.epsilon + budget_tolerance(self.total.epsilon)
-            && self.spent_delta + cost.delta
-                <= self.total.delta + budget_tolerance(self.total.delta)
+        let (epsilon, _) = kahan_add(self.spent_epsilon, self.epsilon_compensation, cost.epsilon);
+        let (delta, _) = kahan_add(self.spent_delta, self.delta_compensation, cost.delta);
+        epsilon <= self.total.epsilon + budget_tolerance(self.total.epsilon)
+            && delta <= self.total.delta + budget_tolerance(self.total.delta)
     }
 
     /// Debits `cost`, or refuses without consuming anything when `cost`
@@ -174,8 +254,10 @@ impl BudgetAccountant {
                 remaining: self.remaining(),
             });
         }
-        self.spent_epsilon += cost.epsilon;
-        self.spent_delta += cost.delta;
+        (self.spent_epsilon, self.epsilon_compensation) =
+            kahan_add(self.spent_epsilon, self.epsilon_compensation, cost.epsilon);
+        (self.spent_delta, self.delta_compensation) =
+            kahan_add(self.spent_delta, self.delta_compensation, cost.delta);
         Ok(())
     }
 }
@@ -249,6 +331,75 @@ mod tests {
         }
         assert!(!acc.can_afford(PrivacyBudget::pure(0.2)));
         assert!(acc.spent().epsilon <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ten_tenth_debits_exhaust_a_pure_budget_with_no_refusal_and_no_overdraft() {
+        // The Kahan regression: `0.1` is not exact in binary, and a bare
+        // `+=` accumulates an ulp of drift per debit — enough for the tenth
+        // debit to be spuriously refused (or for the ledger to overspend)
+        // depending on the rounding direction. Compensated summation makes
+        // the accumulated spend the correctly rounded sum, for any total.
+        for total in [1.0, 0.7, 0.3, 1e-9, 2.6543] {
+            let mut acc = BudgetAccountant::new(PrivacyBudget::pure(total));
+            let slice = PrivacyBudget::pure(total / 10.0);
+            for i in 0..10 {
+                acc.try_spend(slice)
+                    .unwrap_or_else(|e| panic!("debit {i} of {total}/10 refused: {e}"));
+            }
+            // Exhausted: nothing measurable is left, and the next slice is
+            // refused — no refusal before, no overdraft after.
+            let spent = acc.spent().epsilon;
+            assert!(
+                (spent - total).abs() <= budget_tolerance(total),
+                "{total}: spent {spent}"
+            );
+            assert!(acc.remaining().epsilon <= budget_tolerance(total));
+            assert!(!acc.can_afford(slice), "{total}: eleventh debit admitted");
+        }
+    }
+
+    #[test]
+    fn long_equal_debit_streams_do_not_drift() {
+        // 1000 debits of ε/1000: naive accumulation drifts by hundreds of
+        // ulps; the compensated ledger stays within the admission tolerance
+        // the whole way and admits every slice of the exact split.
+        let total = 0.1;
+        let n = 1000;
+        let mut acc = BudgetAccountant::new(PrivacyBudget::pure(total));
+        let slice = PrivacyBudget::pure(total / n as f64);
+        for _ in 0..n {
+            acc.try_spend(slice).unwrap();
+        }
+        assert!((acc.spent().epsilon - total).abs() <= budget_tolerance(total));
+        assert!(!acc.can_afford(slice));
+    }
+
+    #[test]
+    fn group_policy_prices_reports_and_groups_consistently() {
+        let per_release = PrivacyBudget::pure(0.5);
+
+        let split = GroupBudgetPolicy::default();
+        assert_eq!(split, GroupBudgetPolicy::SplitEvenly);
+        assert_eq!(split.report_cost(per_release, 8).epsilon, 0.5);
+        assert!((split.per_group_fraction(8) - 0.125).abs() < 1e-15);
+        // SplitEvenly's report cost is the per-release budget *exactly*,
+        // not k·(ε/k) — so admission never depends on a rounding round-trip.
+        assert_eq!(split.report_cost(per_release, 7).epsilon, 0.5);
+
+        let full = GroupBudgetPolicy::PerGroup;
+        assert_eq!(full.per_group_fraction(8), 1.0);
+        assert!((full.report_cost(per_release, 8).epsilon - 4.0).abs() < 1e-12);
+
+        let approx = PrivacyBudget::approximate(0.5, 1e-8);
+        assert!((full.report_cost(approx, 4).delta - 4e-8).abs() < 1e-20);
+        assert_eq!(split.report_cost(approx, 4).delta, 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn group_policy_rejects_zero_groups() {
+        let _ = GroupBudgetPolicy::SplitEvenly.per_group_fraction(0);
     }
 
     #[test]

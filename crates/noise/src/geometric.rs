@@ -8,6 +8,17 @@ use rand::Rng;
 /// Samples the two-sided geometric distribution with parameter
 /// `alpha = exp(−ε / sensitivity)`:
 /// `Pr[Z = z] ∝ alpha^{|z|}`.
+///
+/// The inversion works in log space throughout: the geometric draws divide
+/// by `ln α = −ε/sensitivity` **directly**, never round-tripping through
+/// `alpha = exp(·)` and back. The round trip is the classical failure mode
+/// at small `ε/sensitivity`: `exp(−1e-17)` rounds to exactly `1.0`, the
+/// recovered `ln α` underflows to `0`, and the draw becomes `±∞` — which a
+/// saturating `as i64` cast turns into `i64::MAX`, a catastrophically
+/// corrupted release. Draws whose *true* magnitude exceeds `i64::MAX`
+/// (noise scale beyond `~9.2e18`, i.e. parameters with no usable signal
+/// left) are clamped to `i64::MAX` explicitly rather than passed through
+/// undefined float-to-int territory.
 pub fn sample_two_sided_geometric<R: Rng + ?Sized>(
     epsilon: f64,
     sensitivity: f64,
@@ -20,20 +31,32 @@ pub fn sample_two_sided_geometric<R: Rng + ?Sized>(
     if sensitivity == 0.0 {
         return 0;
     }
-    let alpha = (-epsilon / sensitivity).exp();
+    let ln_alpha = -epsilon / sensitivity;
     // Difference of two geometric variables with success probability 1 − α.
-    let g1 = sample_geometric(1.0 - alpha, rng);
-    let g2 = sample_geometric(1.0 - alpha, rng);
+    let g1 = sample_geometric_ln(ln_alpha, rng);
+    let g2 = sample_geometric_ln(ln_alpha, rng);
+    // Both draws are in [0, i64::MAX], so the difference cannot overflow.
     g1 - g2
 }
 
-fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> i64 {
-    // Number of failures before the first success.
-    let u: f64 = rng.gen::<f64>();
-    if p >= 1.0 {
-        return 0;
+/// Number of failures before the first success of a Bernoulli(1 − α) trial,
+/// parameterised by `ln α` (exact for `α = exp(−ε/s)`: `ln α = −ε/s`).
+fn sample_geometric_ln<R: Rng + ?Sized>(ln_alpha: f64, rng: &mut R) -> i64 {
+    debug_assert!(ln_alpha < 0.0, "ln α must be negative, got {ln_alpha}");
+    // `gen::<f64>()` is uniform on [0, 1); reject the single point u = 0
+    // whose logarithm is −∞ (it would saturate the draw all by itself).
+    let u: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let draw = (u.ln() / ln_alpha).floor();
+    if draw >= i64::MAX as f64 {
+        i64::MAX
+    } else {
+        draw as i64
     }
-    (u.ln() / (1.0 - p).ln()).floor() as i64
 }
 
 #[cfg(test)]
@@ -60,6 +83,59 @@ mod tests {
         let pos = samples.iter().filter(|&&z| z > 0).count() as f64;
         let neg = samples.iter().filter(|&&z| z < 0).count() as f64;
         assert!((pos - neg).abs() / n as f64 <= 0.02);
+    }
+
+    #[test]
+    fn extreme_epsilon_draws_are_finite_and_correctly_scaled() {
+        // Regression: the old inversion computed `(1 − p).ln()` with
+        // `p = 1 − exp(−ε/s)`; for ε/s ≲ 1e-16 the exponential rounds to 1,
+        // p underflows to 0, the denominator becomes ln(1) = 0 and every
+        // draw saturates to ±i64::MAX. In log space the denominator is
+        // −ε/s exactly and the draws stay finite and correctly distributed.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (eps, sens) = (1e-9, 1.0);
+        let scale = sens / eps; // E|Z| ≈ 2α/(1−α²) ≈ s/ε as α → 1
+        let n = 4000;
+        let samples: Vec<i64> = (0..n)
+            .map(|_| sample_two_sided_geometric(eps, sens, &mut rng))
+            .collect();
+        for &z in &samples {
+            assert!(z != i64::MAX && z != i64::MIN, "saturated draw {z}");
+        }
+        let mean_abs = samples.iter().map(|z| z.unsigned_abs() as f64).sum::<f64>() / n as f64;
+        assert!(
+            mean_abs > 0.2 * scale && mean_abs < 5.0 * scale,
+            "mean |Z| = {mean_abs:e}, expected ≈ {scale:e}"
+        );
+        // Symmetric around zero even at this scale.
+        let pos = samples.iter().filter(|&&z| z > 0).count() as f64;
+        let neg = samples.iter().filter(|&&z| z < 0).count() as f64;
+        assert!((pos - neg).abs() / n as f64 <= 0.05, "pos {pos}, neg {neg}");
+
+        // Even past the old catastrophic threshold (ε/s well below an ulp
+        // of 1.0) the draws remain finite and huge-but-representable.
+        for _ in 0..200 {
+            let z = sample_two_sided_geometric(1e-15, 1.0, &mut rng);
+            assert!(z != i64::MAX && z != i64::MIN, "saturated draw {z}");
+            assert!(z.unsigned_abs() < 1u64 << 62);
+        }
+    }
+
+    #[test]
+    fn large_sensitivity_behaves_like_small_epsilon() {
+        // ε/sensitivity is the only parameter that matters; a huge
+        // sensitivity must not corrupt the draw any more than a tiny ε.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2000;
+        let scale = 1e6 / 0.001; // s/ε = 1e9
+        let mean_abs = (0..n)
+            .map(|_| sample_two_sided_geometric(0.001, 1e6, &mut rng).unsigned_abs() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            mean_abs > 0.2 * scale && mean_abs < 5.0 * scale,
+            "mean |Z| = {mean_abs:e}, expected ≈ {scale:e}"
+        );
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod laplace;
 pub mod mechanism;
 pub mod smooth;
 
-pub use budget::{BudgetAccountant, BudgetExhausted, PrivacyBudget};
+pub use budget::{BudgetAccountant, BudgetExhausted, GroupBudgetPolicy, PrivacyBudget};
 pub use laplace::sample_laplace;
 pub use mechanism::LaplaceMechanism;

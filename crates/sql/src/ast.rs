@@ -125,9 +125,25 @@ pub struct JoinClause {
     pub on: Vec<Predicate>,
 }
 
+/// A `GROUP BY` clause: a single grouping key. The planner requires the key
+/// to range over a **declared public domain**
+/// (`AnnotatedDatabase::declare_public_domain`) — a data-derived key set
+/// would leak which keys occur before any noise is added.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupBy {
+    /// The grouping key column.
+    pub key: ColumnRef,
+    /// Span of the whole `GROUP BY <key>` clause.
+    pub span: Span,
+}
+
 /// A full parsed query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Query {
+    /// The key column of the SELECT list (`SELECT key, COUNT(*) …`), present
+    /// only on grouped queries; the planner checks it names the same column
+    /// as the `GROUP BY` key.
+    pub select_key: Option<ColumnRef>,
     /// The aggregate of the `SELECT` clause.
     pub aggregate: Aggregate,
     /// Span of the aggregate (for error reporting).
@@ -138,4 +154,6 @@ pub struct Query {
     pub joins: Vec<JoinClause>,
     /// The conjuncts of the `WHERE` clause (empty when absent).
     pub filter: Vec<Predicate>,
+    /// The `GROUP BY` clause, when the query is grouped.
+    pub group_by: Option<GroupBy>,
 }

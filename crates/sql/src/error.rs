@@ -70,6 +70,34 @@ pub enum SqlError {
         /// The aggregate's span.
         span: Span,
     },
+    /// `GROUP BY` over a column whose table declares no public key domain.
+    /// Grouping must range over schema-declared public values — a key set
+    /// derived from the data would leak which keys occur.
+    UndeclaredGroupDomain {
+        /// The grouping key as written.
+        column: String,
+        /// The base table the key resolves into.
+        table: String,
+        /// Span of the grouping key.
+        span: Span,
+    },
+    /// `SELECT key` and `GROUP BY key` name different columns.
+    GroupKeyMismatch {
+        /// The SELECT-list key as written.
+        select: String,
+        /// The `GROUP BY` key as written.
+        group: String,
+        /// Span of the SELECT-list key.
+        span: Span,
+    },
+    /// A grouped query reached a scalar-only entry point (or vice versa);
+    /// the message names the entry point to use instead.
+    QueryShape {
+        /// What went wrong and where to go.
+        message: String,
+        /// The span of the construct that fixed the query's shape.
+        span: Span,
+    },
     /// The underlying mechanism failed (LP solve, parameter validation, …).
     Mechanism(MechanismError),
     /// The release (or batch of releases) would exceed the session's total
@@ -88,7 +116,10 @@ impl SqlError {
             | SqlError::UnknownColumn { span, .. }
             | SqlError::AmbiguousColumn { span, .. }
             | SqlError::DuplicateAlias { span, .. }
-            | SqlError::BadAggregate { span, .. } => Some(*span),
+            | SqlError::BadAggregate { span, .. }
+            | SqlError::UndeclaredGroupDomain { span, .. }
+            | SqlError::GroupKeyMismatch { span, .. }
+            | SqlError::QueryShape { span, .. } => Some(*span),
             SqlError::Mechanism(_) | SqlError::BudgetExhausted(_) => None,
         }
     }
@@ -153,6 +184,17 @@ impl fmt::Display for SqlError {
                 write!(f, "duplicate table alias `{alias}`")
             }
             SqlError::BadAggregate { message, .. } => write!(f, "{message}"),
+            SqlError::UndeclaredGroupDomain { column, table, .. } => write!(
+                f,
+                "cannot GROUP BY `{column}`: table `{table}` declares no public key domain \
+                 for it, and a data-derived key set would leak which keys occur; declare \
+                 the domain with `AnnotatedDatabase::declare_public_domain`"
+            ),
+            SqlError::GroupKeyMismatch { select, group, .. } => write!(
+                f,
+                "SELECT key `{select}` does not match the GROUP BY key `{group}`"
+            ),
+            SqlError::QueryShape { message, .. } => write!(f, "{message}"),
             SqlError::Mechanism(e) => write!(f, "mechanism error: {e}"),
             SqlError::BudgetExhausted(e) => write!(f, "{e}"),
         }

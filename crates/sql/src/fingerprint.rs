@@ -352,12 +352,12 @@ mod tests {
     }
 
     fn encoding(db: &AnnotatedDatabase, sql: &str) -> Vec<u8> {
-        canonical_plan_encoding(&plan(db, sql).unwrap())
+        canonical_plan_encoding(&plan(db, sql).unwrap().expect_scalar())
     }
 
     fn fp(db: &AnnotatedDatabase, sql: &str) -> Fingerprint {
         let params = MechanismParams::paper_edge_privacy(1.0);
-        plan_fingerprint(db, &plan(db, sql).unwrap(), &params)
+        plan_fingerprint(db, &plan(db, sql).unwrap().expect_scalar(), &params)
     }
 
     #[test]
@@ -490,7 +490,7 @@ mod tests {
     fn database_identity_epoch_and_params_split_the_fingerprint() {
         let db1 = db();
         let sql = "SELECT COUNT(*) FROM visits";
-        let q = plan(&db1, sql).unwrap();
+        let q = plan(&db1, sql).unwrap().expect_scalar();
         let params = MechanismParams::paper_edge_privacy(1.0);
         let base = plan_fingerprint(&db1, &q, &params);
 
@@ -512,6 +512,40 @@ mod tests {
         noisy.epsilon2 = 9.0;
         noisy.mu = 3.0;
         assert_eq!(base, plan_fingerprint(&db1, &q, &noisy));
+    }
+
+    #[test]
+    fn group_plans_fingerprint_like_their_hand_written_equality_queries() {
+        // The group key dissolves into an equality conjunct, so the
+        // per-group plan of `GROUP BY place` at key 'museum' must share a
+        // cache entry with the hand-written `WHERE place = 'museum'` query —
+        // grouped reports and scalar traffic warm each other's cache.
+        let mut db = db();
+        db.declare_public_domain(
+            "visits",
+            "place",
+            [Value::str("museum"), Value::str("cafe")],
+        );
+        let grouped = plan(&db, "SELECT place, COUNT(*) FROM visits GROUP BY place")
+            .unwrap()
+            .as_grouped()
+            .cloned()
+            .unwrap();
+        assert_eq!(grouped.num_groups(), 2);
+
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut per_group = Vec::new();
+        for (value, literal) in grouped.domain.iter().zip(["'museum'", "'cafe'"]) {
+            let group_fp = plan_fingerprint(&db, &grouped.group_plan(value), &params);
+            let scalar_fp = fp(
+                &db,
+                &format!("SELECT COUNT(*) FROM visits WHERE place = {literal}"),
+            );
+            assert_eq!(group_fp, scalar_fp, "group {literal}");
+            per_group.push(group_fp);
+        }
+        // Distinct keys must never collide (the literal is framed in).
+        assert_ne!(per_group[0], per_group[1]);
     }
 
     #[test]

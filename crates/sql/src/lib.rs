@@ -19,8 +19,9 @@
 //!   `rmdp_krelation`: scans + `ρ` renames, hash theta-joins, selections.
 //! * [`exec`] — plan evaluation producing the annotated output relation.
 //! * [`session`] — [`SqlSession::query`], the one-call path from a SQL
-//!   string to a [`Release`](rmdp_core::Release) through
-//!   [`EfficientSequences`](rmdp_core::EfficientSequences).
+//!   string to a [`Release`](rmdp_core::Release) (or a per-group
+//!   [`GroupedRelease`] for `GROUP BY` reports over declared public key
+//!   domains) through [`EfficientSequences`](rmdp_core::EfficientSequences).
 //!
 //! ```
 //! use rmdp_core::MechanismParams;
@@ -32,7 +33,7 @@
 //! let mut db = AnnotatedDatabase::new();
 //! let mut visits = KRelation::new(["person", "place"]);
 //! for (person, place) in [("ada", "museum"), ("bo", "museum")] {
-//!     let p = db.universe_mut().intern(person);
+//!     let p = db.intern(person);
 //!     visits.insert(
 //!         Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
 //!         Expr::Var(p),
@@ -42,7 +43,7 @@
 //!
 //! let mut session = SqlSession::new(db, MechanismParams::paper_edge_privacy(1.0));
 //! let release = session
-//!     .query(
+//!     .query_scalar(
 //!         "SELECT COUNT(*) FROM visits v1 JOIN visits v2 ON v1.place = v2.place \
 //!          WHERE v1.person < v2.person",
 //!     )
@@ -63,9 +64,13 @@ pub mod token;
 
 pub use error::SqlError;
 pub use parser::parse;
-pub use plan::{plan, QueryPlan};
-pub use session::SqlSession;
+pub use plan::{plan, AnyPlan, GroupedQueryPlan, QueryPlan};
+pub use session::{GroupRelease, GroupedRelease, QueryOutput, SqlSession};
 pub use token::{Span, Token, TokenKind};
+
+// Re-exported so downstream users can configure grouped-report pricing
+// without importing `rmdp_noise` separately.
+pub use rmdp_noise::GroupBudgetPolicy;
 
 // Re-exported so downstream users of the facade crate can name the argument
 // type of `SqlSession::new` without importing `rmdp_krelation` separately.

@@ -3,24 +3,31 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! query     := SELECT aggregate FROM table_ref join* where? ';'? EOF
+//! query     := SELECT select_list FROM table_ref join* where? group_by? ';'? EOF
+//! select_list := (column ',')? aggregate
 //! aggregate := COUNT '(' '*' ')' | SUM '(' column ')'
 //! table_ref := ident (AS? ident)?
 //! join      := INNER? JOIN table_ref ON conjunction
 //! where     := WHERE conjunction
+//! group_by  := GROUP BY column
 //! conjunction := predicate (AND predicate)*
 //! predicate := operand op operand        op ∈ { =, <>, !=, <, >, <=, >= }
 //! operand   := ident '.' ident | ident | int | string
 //! ```
 //!
+//! A leading `column ,` in the SELECT list is only legal together with a
+//! `GROUP BY` naming the same column (the planner checks the match); a
+//! single-key `GROUP BY` is the grouped-report form the planner compiles
+//! against a declared public key domain.
+//!
 //! Constructs outside the positive fragment — `NOT`, `NOT IN`, `OR`,
 //! `CROSS JOIN`, `LEFT|RIGHT|FULL [OUTER] JOIN`, `UNION`, `EXCEPT`, `INTERSECT`,
-//! `GROUP BY`, `ORDER BY`, `HAVING`, `DISTINCT` — are recognised and
-//! rejected with an [`SqlError::Unsupported`] explaining why, pointing at
+//! multi-column `GROUP BY`, `ORDER BY`, `HAVING`, `DISTINCT` — are recognised
+//! and rejected with an [`SqlError::Unsupported`] explaining why, pointing at
 //! the offending keyword.
 
 use crate::ast::{
-    Aggregate, ColumnRef, Comparison, JoinClause, Operand, Predicate, Query, TableRef,
+    Aggregate, ColumnRef, Comparison, GroupBy, JoinClause, Operand, Predicate, Query, TableRef,
 };
 use crate::error::SqlError;
 use crate::token::{tokenize, Span, Token, TokenKind};
@@ -131,10 +138,16 @@ impl Parser {
                 "set operations between subqueries are not part of this frontend; \
                  express the intersection as a join",
             ),
-            TokenKind::Group | TokenKind::Order | TokenKind::Having => (
-                "grouping/ordering clauses",
-                "the frontend releases a single differentially private aggregate; \
-                 per-group releases would each need their own privacy budget",
+            TokenKind::Order => (
+                "`ORDER BY`",
+                "the released values are noisy aggregates; ordering them is a \
+                 client-side presentation concern, not part of the private release",
+            ),
+            TokenKind::Having => (
+                "`HAVING`",
+                "filtering groups on their true aggregates would leak exactly the \
+                 values differential privacy hides; release the grouped report and \
+                 filter the noisy values client-side",
             ),
             TokenKind::Distinct => (
                 "`DISTINCT`",
@@ -153,6 +166,18 @@ impl Parser {
     fn query(&mut self) -> Result<Query, SqlError> {
         self.expect(&TokenKind::Select, "`SELECT`")?;
         self.reject_unsupported()?;
+        // Optional leading group key: `SELECT key, COUNT(*) … GROUP BY key`.
+        let select_key = if matches!(self.peek().kind, TokenKind::Ident(_)) {
+            let key = self.column_ref()?;
+            self.expect(
+                &TokenKind::Comma,
+                "`,` between the group key and the aggregate",
+            )?;
+            self.reject_unsupported()?;
+            Some(key)
+        } else {
+            None
+        };
         let (aggregate, aggregate_span) = self.aggregate()?;
         self.expect(&TokenKind::From, "`FROM`")?;
         let from = self.table_ref()?;
@@ -179,6 +204,19 @@ impl Parser {
             Vec::new()
         };
 
+        let group_by = self.group_by()?;
+        if group_by.is_none() {
+            if let Some(key) = &select_key {
+                return Err(SqlError::Parse {
+                    message: format!(
+                        "bare column `{}` in the SELECT list requires a matching `GROUP BY`",
+                        key.display_name()
+                    ),
+                    span: key.span,
+                });
+            }
+        }
+
         self.reject_unsupported()?;
         self.eat(&TokenKind::Semi);
         self.reject_unsupported()?;
@@ -186,12 +224,38 @@ impl Parser {
             return Err(self.unexpected("end of query"));
         }
         Ok(Query {
+            select_key,
             aggregate,
             aggregate_span,
             from,
             joins,
             filter,
+            group_by,
         })
+    }
+
+    /// Parses an optional `GROUP BY <column>` clause. A second key is
+    /// rejected explicitly: grouped releases support exactly one key over a
+    /// declared public domain.
+    fn group_by(&mut self) -> Result<Option<GroupBy>, SqlError> {
+        if self.peek().kind != TokenKind::Group {
+            return Ok(None);
+        }
+        let start = self.advance().span;
+        self.expect(&TokenKind::By, "`BY` after `GROUP`")?;
+        let key = self.column_ref()?;
+        if self.peek().kind == TokenKind::Comma {
+            return Err(SqlError::Unsupported {
+                construct: "multi-column `GROUP BY`".to_owned(),
+                reason: "grouped releases range over one declared public key domain; \
+                         run one report per key, or concatenate the keys into one \
+                         column with its own declared domain"
+                    .to_owned(),
+                span: self.peek().span,
+            });
+        }
+        let span = start.to(key.span);
+        Ok(Some(GroupBy { key, span }))
     }
 
     fn aggregate(&mut self) -> Result<(Aggregate, Span), SqlError> {
@@ -407,7 +471,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_or_union_except_group_by_distinct() {
+    fn rejects_or_union_except_order_having_distinct() {
         assert_eq!(
             unsupported("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2").0,
             "disjunction (`OR`)"
@@ -420,14 +484,62 @@ mod tests {
             unsupported("SELECT COUNT(*) FROM t EXCEPT SELECT COUNT(*) FROM u").0,
             "`EXCEPT`"
         );
-        assert_eq!(
-            unsupported("SELECT COUNT(*) FROM t GROUP BY a").0,
-            "grouping/ordering clauses"
-        );
+        let sql = "SELECT COUNT(*) FROM t ORDER BY a";
+        let (construct, span) = unsupported(sql);
+        assert_eq!(construct, "`ORDER BY`");
+        assert_eq!(span.slice(sql), "ORDER");
+        let sql = "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 3";
+        let (construct, span) = unsupported(sql);
+        assert_eq!(construct, "`HAVING`");
+        assert_eq!(span.slice(sql), "HAVING");
         assert_eq!(
             unsupported("SELECT DISTINCT COUNT(*) FROM t").0,
             "`DISTINCT`"
         );
+    }
+
+    #[test]
+    fn parses_group_by_with_and_without_a_select_key() {
+        let q = parse("SELECT place, COUNT(*) FROM visits GROUP BY place").unwrap();
+        assert_eq!(q.aggregate, Aggregate::CountStar);
+        let key = q.select_key.as_ref().unwrap();
+        assert_eq!(key.column, "place");
+        assert_eq!(q.group_by.as_ref().unwrap().key.column, "place");
+
+        let sql = "SELECT v.place, SUM(amount) FROM visits v GROUP BY v.place;";
+        let q = parse(sql).unwrap();
+        assert_eq!(
+            q.select_key.as_ref().unwrap().qualifier.as_deref(),
+            Some("v")
+        );
+        let gb = q.group_by.as_ref().unwrap();
+        assert_eq!(gb.key.qualifier.as_deref(), Some("v"));
+        assert_eq!(gb.span.slice(sql), "GROUP BY v.place");
+
+        // The SELECT key is optional: the keys come from the declared domain.
+        let q = parse("SELECT COUNT(*) FROM visits WHERE place <> 'zoo' GROUP BY place").unwrap();
+        assert!(q.select_key.is_none());
+        assert!(q.group_by.is_some());
+        assert_eq!(q.filter.len(), 1);
+    }
+
+    #[test]
+    fn multi_column_group_by_is_rejected_and_bare_select_keys_need_group_by() {
+        let sql = "SELECT COUNT(*) FROM t GROUP BY a, b";
+        let (construct, span) = unsupported(sql);
+        assert_eq!(construct, "multi-column `GROUP BY`");
+        assert_eq!(span.slice(sql), ",");
+
+        let sql = "SELECT place, COUNT(*) FROM visits";
+        match parse(sql).unwrap_err() {
+            SqlError::Parse { message, span } => {
+                assert!(message.contains("GROUP BY"), "{message}");
+                assert_eq!(span.slice(sql), "place");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        assert!(parse("SELECT COUNT(*) FROM t GROUP BY").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t GROUP place").is_err());
     }
 
     #[test]

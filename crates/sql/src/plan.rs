@@ -17,9 +17,10 @@
 //! negation-free by construction, which is exactly the monotonicity the
 //! recursive mechanism requires (Theorem 5).
 
-use crate::ast::{Aggregate, ColumnRef, Comparison, Operand, Predicate, Query, TableRef};
+use crate::ast::{Aggregate, ColumnRef, Comparison, GroupBy, Operand, Predicate, Query, TableRef};
 use crate::error::SqlError;
 use crate::parser::parse;
+use crate::token::Span;
 use rmdp_krelation::annotate::AnnotatedDatabase;
 use rmdp_krelation::tuple::{Attr, Tuple, Value};
 use std::collections::BTreeSet;
@@ -142,6 +143,114 @@ pub struct QueryPlan {
     pub filter: Vec<CompiledPredicate>,
 }
 
+/// A grouped report plan: one scalar template plus the declared public key
+/// domain it fans out over.
+///
+/// The group key is **dissolved into an equality conjunct**: the per-group
+/// plan for key value `v` is the template with `key = v` appended to its
+/// `WHERE` conjuncts — a plain monotone scalar plan, indistinguishable from
+/// the hand-written `… WHERE key = v` query. That is what makes grouped
+/// releases compose with every scalar facility for free: each group runs
+/// through the same executor, the same sequence LPs, and the same
+/// [`SequenceCache`](rmdp_core::SequenceCache) keys (a grouped report and
+/// the equivalent hand-written per-key queries share cache entries).
+#[derive(Clone, Debug)]
+pub struct GroupedQueryPlan {
+    /// The qualified grouping-key attribute (`alias.column`).
+    pub key: Attr,
+    /// The key as written in the query (for reports and errors).
+    pub key_display: String,
+    /// Span of the `GROUP BY` clause.
+    pub key_span: Span,
+    /// The declared public domain, in declaration order (non-empty,
+    /// deduplicated by [`AnnotatedDatabase::declare_public_domain`]).
+    pub domain: Vec<Value>,
+    /// The group-free scalar template every per-group plan extends.
+    pub template: QueryPlan,
+}
+
+impl GroupedQueryPlan {
+    /// Number of groups (`k`), i.e. the size of the declared domain.
+    pub fn num_groups(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// The monotone scalar plan of one group: the template plus the
+    /// dissolved key conjunct `key = value`.
+    pub fn group_plan(&self, value: &Value) -> QueryPlan {
+        let mut plan = self.template.clone();
+        plan.filter.push(CompiledPredicate {
+            lhs: CompiledOperand::Column(self.key.clone()),
+            op: Comparison::Eq,
+            rhs: CompiledOperand::Literal(value.clone()),
+        });
+        plan
+    }
+}
+
+impl fmt::Display for GroupedQueryPlan {
+    /// Renders the grouped pipeline: a `γ` header naming the key and domain,
+    /// then the shared template.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let values: Vec<String> = self.domain.iter().map(|v| format!("{v:?}")).collect();
+        writeln!(
+            f,
+            "γ {} ∈ {{{}}} ({} groups, key dissolved into σ {} = ⟨v⟩)",
+            self.key,
+            values.join(", "),
+            self.num_groups(),
+            self.key,
+        )?;
+        self.template.fmt(f)
+    }
+}
+
+/// A validated plan of either shape: one scalar aggregate, or a grouped
+/// report over a public key domain.
+#[derive(Clone, Debug)]
+pub enum AnyPlan {
+    /// A single scalar aggregate release.
+    Scalar(QueryPlan),
+    /// A grouped report: one release per declared key.
+    Grouped(GroupedQueryPlan),
+}
+
+impl AnyPlan {
+    /// The scalar plan, if this is one.
+    pub fn as_scalar(&self) -> Option<&QueryPlan> {
+        match self {
+            AnyPlan::Scalar(p) => Some(p),
+            AnyPlan::Grouped(_) => None,
+        }
+    }
+
+    /// The grouped plan, if this is one.
+    pub fn as_grouped(&self) -> Option<&GroupedQueryPlan> {
+        match self {
+            AnyPlan::Scalar(_) => None,
+            AnyPlan::Grouped(g) => Some(g),
+        }
+    }
+
+    /// Unwraps the scalar plan; panics on a grouped one. For tests and
+    /// callers that just planned a known-scalar query.
+    pub fn expect_scalar(self) -> QueryPlan {
+        match self {
+            AnyPlan::Scalar(p) => p,
+            AnyPlan::Grouped(g) => panic!("expected a scalar plan, got GROUP BY {}", g.key),
+        }
+    }
+}
+
+impl fmt::Display for AnyPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyPlan::Scalar(p) => p.fmt(f),
+            AnyPlan::Grouped(g) => g.fmt(f),
+        }
+    }
+}
+
 impl fmt::Display for QueryPlan {
     /// Renders the plan as an algebra pipeline, one operator per line.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -173,8 +282,9 @@ impl fmt::Display for QueryPlan {
     }
 }
 
-/// Parses and plans `sql` against the schema of `db`.
-pub fn plan(db: &AnnotatedDatabase, sql: &str) -> Result<QueryPlan, SqlError> {
+/// Parses and plans `sql` against the schema of `db`, returning a scalar or
+/// grouped plan depending on the query's shape.
+pub fn plan(db: &AnnotatedDatabase, sql: &str) -> Result<AnyPlan, SqlError> {
     let query = parse(sql)?;
     Planner { db }.lower(&query)
 }
@@ -191,7 +301,7 @@ struct ResolvedRef {
 }
 
 impl Planner<'_> {
-    fn lower(&self, query: &Query) -> Result<QueryPlan, SqlError> {
+    fn lower(&self, query: &Query) -> Result<AnyPlan, SqlError> {
         // Resolve all table references, checking aliases are unique.
         let mut resolved: Vec<ResolvedRef> = vec![self.resolve_table(&query.from)?];
         for join in &query.joins {
@@ -237,13 +347,70 @@ impl Planner<'_> {
             Aggregate::Sum(col) => PlanAggregate::Sum(self.resolve_column(col, &resolved)?),
         };
 
-        Ok(QueryPlan {
+        // Grouping resolves against the full alias set before the FROM scan
+        // is moved out of `resolved`.
+        let grouping = match &query.group_by {
+            Some(gb) => Some(self.resolve_grouping(gb, query.select_key.as_ref(), &resolved)?),
+            None => None,
+        };
+
+        let template = QueryPlan {
             aggregate,
             aggregate_span: query.aggregate_span,
             from: resolved.swap_remove(0).scan,
             joins,
             filter,
+        };
+        Ok(match grouping {
+            None => AnyPlan::Scalar(template),
+            Some((key, domain, gb)) => AnyPlan::Grouped(GroupedQueryPlan {
+                key,
+                key_display: gb.key.display_name(),
+                key_span: gb.span,
+                domain,
+                template,
+            }),
         })
+    }
+
+    /// Resolves the `GROUP BY` key: it must name a column of a visible
+    /// alias, match the SELECT-list key (when one is written), and range
+    /// over a non-empty **declared public domain** of its base table — a
+    /// data-derived key set would leak which keys occur.
+    fn resolve_grouping<'q>(
+        &self,
+        gb: &'q GroupBy,
+        select_key: Option<&ColumnRef>,
+        visible: &[ResolvedRef],
+    ) -> Result<(Attr, Vec<Value>, &'q GroupBy), SqlError> {
+        let key = self.resolve_column(&gb.key, visible)?;
+        if let Some(sel) = select_key {
+            let sel_attr = self.resolve_column(sel, visible)?;
+            if sel_attr != key {
+                return Err(SqlError::GroupKeyMismatch {
+                    select: sel.display_name(),
+                    group: gb.key.display_name(),
+                    span: sel.span,
+                });
+            }
+        }
+        // The base table whose schema must declare the domain: the holder of
+        // the key column. `resolve_column` just succeeded, so the holder
+        // exists and (for unqualified keys) is unique.
+        let table = match &gb.key.qualifier {
+            Some(qualifier) => visible.iter().find(|r| &r.scan.alias == qualifier),
+            None => visible.iter().find(|r| r.columns.contains(&gb.key.column)),
+        }
+        .map(|r| r.scan.table.clone())
+        .expect("resolve_column validated the key against the visible aliases");
+        match self.db.public_domain(&table, &gb.key.column) {
+            Some(domain) if !domain.is_empty() => Ok((key, domain.to_vec(), gb)),
+            _ => Err(SqlError::UndeclaredGroupDomain {
+                column: gb.key.display_name(),
+                table,
+                span: gb.key.span,
+            }),
+        }
     }
 
     fn resolve_table(&self, table_ref: &TableRef) -> Result<ResolvedRef, SqlError> {
@@ -402,7 +569,8 @@ mod tests {
             &db,
             "SELECT COUNT(*) FROM visits v1 JOIN residents r1 ON r1.person = v1.person",
         )
-        .unwrap();
+        .unwrap()
+        .expect_scalar();
         assert_eq!(plan.joins.len(), 1);
         assert_eq!(plan.joins[0].equi.len(), 1);
         let (acc, new) = &plan.joins[0].equi[0];
@@ -419,7 +587,8 @@ mod tests {
             "SELECT COUNT(*) FROM visits v1 JOIN visits v2 \
              ON v1.place = v2.place AND v1.person < v2.person",
         )
-        .unwrap();
+        .unwrap()
+        .expect_scalar();
         assert_eq!(plan.joins[0].equi.len(), 1);
         assert_eq!(plan.joins[0].residual.len(), 1);
     }
@@ -427,7 +596,9 @@ mod tests {
     #[test]
     fn unqualified_columns_resolve_when_unambiguous() {
         let db = db();
-        let plan = plan(&db, "SELECT COUNT(*) FROM residents WHERE city = 'rome'").unwrap();
+        let plan = plan(&db, "SELECT COUNT(*) FROM residents WHERE city = 'rome'")
+            .unwrap()
+            .expect_scalar();
         match &plan.filter[0].lhs {
             CompiledOperand::Column(attr) => assert_eq!(attr.name(), "residents.city"),
             other => panic!("expected column, got {other:?}"),
@@ -484,7 +655,9 @@ mod tests {
     #[test]
     fn sum_column_resolves_to_a_qualified_attribute() {
         let db = db();
-        let plan = plan(&db, "SELECT SUM(city) FROM residents").unwrap();
+        let plan = plan(&db, "SELECT SUM(city) FROM residents")
+            .unwrap()
+            .expect_scalar();
         match plan.aggregate {
             PlanAggregate::Sum(ref attr) => assert_eq!(attr.name(), "residents.city"),
             ref other => panic!("expected SUM, got {other:?}"),
@@ -499,7 +672,8 @@ mod tests {
             "SELECT COUNT(*) FROM visits v1 JOIN residents r1 ON r1.person = v1.person \
              WHERE r1.city <> 'rome'",
         )
-        .unwrap();
+        .unwrap()
+        .expect_scalar();
         let shown = plan.to_string();
         assert!(shown.contains("ρ_v1 (scan visits)"));
         assert!(shown.contains("⋈ ρ_r1 (scan residents) on [v1.person = r1.person]"));

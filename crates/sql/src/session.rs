@@ -1,9 +1,9 @@
 //! The public entry point: a SQL session over one annotated database.
 
 use crate::error::SqlError;
-use crate::exec::{execute, weigh};
+use crate::exec::{execute, execute_grouped, weigh};
 use crate::fingerprint::plan_fingerprint;
-use crate::plan::{plan, QueryPlan};
+use crate::plan::{plan, AnyPlan, GroupedQueryPlan, QueryPlan};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rmdp_core::{
@@ -11,17 +11,103 @@ use rmdp_core::{
     RecursiveMechanism, Release, SensitiveKRelation, SequenceCache,
 };
 use rmdp_krelation::annotate::AnnotatedDatabase;
-use rmdp_krelation::fingerprint::Fingerprint;
+use rmdp_krelation::fingerprint::{Fingerprint, FingerprintHasher};
+use rmdp_krelation::tuple::Value;
 use rmdp_krelation::KRelation;
-use rmdp_noise::{BudgetAccountant, BudgetExhausted, PrivacyBudget};
+use rmdp_noise::{BudgetAccountant, BudgetExhausted, GroupBudgetPolicy, PrivacyBudget};
 use rmdp_runtime::par_try_map_indexed;
 use std::sync::Arc;
+
+/// One group of a [`GroupedRelease`]: the (public) key and its release.
+#[derive(Clone, Debug)]
+pub struct GroupRelease {
+    /// The group's key value, from the declared public domain.
+    pub key: Value,
+    /// The differentially private release of this group's aggregate.
+    pub release: Release,
+}
+
+/// A grouped (`GROUP BY`) report: one independent release per key of the
+/// declared public domain, plus the composition accounting of the whole
+/// report.
+///
+/// Groups appear in **domain declaration order** and always cover the whole
+/// declared domain — keys absent from the data release a noised zero, so the
+/// set of released keys reveals nothing. The per-group noise seed derives
+/// from the key value (not its position), which makes per-key releases
+/// invariant under re-declaring the domain in a different order.
+#[derive(Clone, Debug)]
+pub struct GroupedRelease {
+    /// The grouping key column, as written in the query.
+    pub key_column: String,
+    /// One release per declared key, in domain order.
+    pub groups: Vec<GroupRelease>,
+    /// The ε each individual group's release spent (`ε/k` under the default
+    /// [`GroupBudgetPolicy::SplitEvenly`], the full per-release `ε` under
+    /// [`GroupBudgetPolicy::PerGroup`]).
+    pub per_group_epsilon: f64,
+    /// The total ε the report debited from the session budget under
+    /// sequential composition across groups.
+    pub epsilon_spent: f64,
+    /// The policy that priced this report.
+    pub policy: GroupBudgetPolicy,
+}
+
+impl GroupedRelease {
+    /// Number of groups (= declared domain size).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the report has no groups (never true for a released report;
+    /// plans over empty domains are refused at planning time).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The release for `key`, if it is part of the declared domain.
+    pub fn get(&self, key: &Value) -> Option<&Release> {
+        self.groups
+            .iter()
+            .find(|g| &g.key == key)
+            .map(|g| &g.release)
+    }
+}
+
+/// What [`SqlSession::query`] returns: a scalar release for ordinary
+/// aggregates, a grouped report for `GROUP BY` queries.
+#[derive(Clone, Debug)]
+pub enum QueryOutput {
+    /// A single aggregate release.
+    Scalar(Release),
+    /// A per-group report over a declared public key domain.
+    Grouped(GroupedRelease),
+}
+
+impl QueryOutput {
+    /// The scalar release, if this is one.
+    pub fn scalar(self) -> Option<Release> {
+        match self {
+            QueryOutput::Scalar(r) => Some(r),
+            QueryOutput::Grouped(_) => None,
+        }
+    }
+
+    /// The grouped report, if this is one.
+    pub fn grouped(self) -> Option<GroupedRelease> {
+        match self {
+            QueryOutput::Scalar(_) => None,
+            QueryOutput::Grouped(g) => Some(g),
+        }
+    }
+}
 
 /// A SQL session: an annotated database plus mechanism parameters and a
 /// seeded noise source.
 ///
-/// One call to [`SqlSession::query`] spends `ε₁ + ε₂` of privacy budget (the
-/// split lives in the [`MechanismParams`]). By default the session does not
+/// One scalar [`SqlSession::query`] spends `ε₁ + ε₂` of privacy budget (the
+/// split lives in the [`MechanismParams`]); a grouped report spends what its
+/// [`GroupBudgetPolicy`] prices it at. By default the session does not
 /// meter a total budget across queries; [`SqlSession::with_budget`] attaches
 /// a [`BudgetAccountant`] that meters every release under sequential
 /// composition. Admission is checked **before** any work (an over-budget
@@ -48,6 +134,17 @@ use std::sync::Arc;
 /// wall-clock time: under a fixed seed the released values are
 /// bit-identical with and without the cache.
 ///
+/// ## Grouped reports
+///
+/// `SELECT key, COUNT(*) … GROUP BY key` releases one noised value per key
+/// of the key column's **declared public domain**
+/// ([`AnnotatedDatabase::declare_public_domain`]); grouping on an
+/// undeclared column is a planner error, since a data-derived key set would
+/// leak which keys occur. The whole report is admitted atomically against
+/// the budget (priced by the [`GroupBudgetPolicy`]), and the `k` per-group
+/// sequence computations fan out across the worker pool and the sequence
+/// cache under the same determinism discipline as batches.
+///
 /// ```
 /// use rmdp_core::MechanismParams;
 /// use rmdp_krelation::annotate::AnnotatedDatabase;
@@ -58,20 +155,32 @@ use std::sync::Arc;
 /// let mut db = AnnotatedDatabase::new();
 /// let mut visits = KRelation::new(["person", "place"]);
 /// for (person, place) in [("ada", "museum"), ("bo", "museum"), ("bo", "cafe")] {
-///     let p = db.universe_mut().intern(person);
+///     let p = db.intern(person);
 ///     visits.insert(
 ///         Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
 ///         Expr::Var(p),
 ///     );
 /// }
 /// db.insert_table("visits", visits);
+/// db.declare_public_domain(
+///     "visits",
+///     "place",
+///     [Value::str("museum"), Value::str("cafe"), Value::str("park")],
+/// );
 ///
 /// let mut session = SqlSession::new(db, MechanismParams::paper_edge_privacy(1.0));
 /// let release = session
-///     .query("SELECT COUNT(*) FROM visits WHERE place = 'museum'")
+///     .query_scalar("SELECT COUNT(*) FROM visits WHERE place = 'museum'")
 ///     .unwrap();
 /// assert_eq!(release.true_answer, 2.0);
 /// assert!(release.noisy_answer.is_finite());
+///
+/// let report = session
+///     .query_grouped("SELECT place, COUNT(*) FROM visits GROUP BY place")
+///     .unwrap();
+/// assert_eq!(report.len(), 3); // every declared key, present in the data or not
+/// assert_eq!(report.get(&Value::str("museum")).unwrap().true_answer, 2.0);
+/// assert_eq!(report.get(&Value::str("park")).unwrap().true_answer, 0.0);
 /// ```
 pub struct SqlSession {
     db: AnnotatedDatabase,
@@ -79,6 +188,7 @@ pub struct SqlSession {
     rng: StdRng,
     accountant: Option<BudgetAccountant>,
     cache: Option<Arc<SequenceCache>>,
+    group_policy: GroupBudgetPolicy,
 }
 
 impl SqlSession {
@@ -97,7 +207,23 @@ impl SqlSession {
             rng: StdRng::seed_from_u64(seed),
             accountant: None,
             cache: None,
+            group_policy: GroupBudgetPolicy::default(),
         }
+    }
+
+    /// Sets how grouped (`GROUP BY`) reports split privacy budget across
+    /// their `k` groups. The default [`GroupBudgetPolicy::SplitEvenly`]
+    /// prices a whole report like one scalar release (each group gets
+    /// `ε/k`); [`GroupBudgetPolicy::PerGroup`] gives every group the full
+    /// per-release `ε` and prices the report at `k·ε`.
+    pub fn with_group_policy(mut self, policy: GroupBudgetPolicy) -> Self {
+        self.group_policy = policy;
+        self
+    }
+
+    /// The active grouped-report budget policy.
+    pub fn group_policy(&self) -> GroupBudgetPolicy {
+        self.group_policy
     }
 
     /// Attaches a (possibly shared) cross-query sequence cache. Queries that
@@ -199,53 +325,205 @@ impl SqlSession {
 
     /// Parses, validates and lowers `sql` without touching the data — the
     /// `EXPLAIN` of this frontend. The plan's `Display` renders the algebra
-    /// pipeline.
-    pub fn plan(&self, sql: &str) -> Result<QueryPlan, SqlError> {
+    /// pipeline (with a `γ` header for grouped reports).
+    pub fn plan(&self, sql: &str) -> Result<AnyPlan, SqlError> {
         plan(&self.db, sql)
     }
 
-    /// Evaluates `sql` **without differential privacy**, returning the
-    /// annotated output relation. Intended for tests and debugging: the
-    /// result reveals raw data.
+    /// Evaluates a scalar `sql` **without differential privacy**, returning
+    /// the annotated output relation. Intended for tests and debugging: the
+    /// result reveals raw data. Grouped queries go through
+    /// [`SqlSession::evaluate_grouped`].
     pub fn evaluate(&self, sql: &str) -> Result<KRelation, SqlError> {
-        let plan = self.plan(sql)?;
-        execute(&self.db, &plan)
+        match self.plan(sql)? {
+            AnyPlan::Scalar(plan) => execute(&self.db, &plan),
+            AnyPlan::Grouped(g) => Err(SqlError::QueryShape {
+                message: "evaluate returns one relation; evaluate grouped queries through \
+                          `evaluate_grouped`"
+                    .to_owned(),
+                span: g.key_span,
+            }),
+        }
     }
 
-    /// Runs `sql` end-to-end and releases the aggregate through the
-    /// recursive mechanism (efficient LP instantiation, paper Sec. 5).
+    /// Evaluates a grouped `sql` **without differential privacy**, returning
+    /// one annotated relation per declared key, in domain order. Like
+    /// [`SqlSession::evaluate`], this reveals raw data — tests and debugging
+    /// only.
+    pub fn evaluate_grouped(&self, sql: &str) -> Result<Vec<(Value, KRelation)>, SqlError> {
+        match self.plan(sql)? {
+            AnyPlan::Grouped(g) => execute_grouped(&self.db, &g),
+            AnyPlan::Scalar(p) => Err(SqlError::QueryShape {
+                message: "evaluate_grouped needs a `GROUP BY` query; use `evaluate` for \
+                          scalar aggregates"
+                    .to_owned(),
+                span: p.aggregate_span,
+            }),
+        }
+    }
+
+    /// Runs `sql` end-to-end and releases it through the recursive mechanism
+    /// (efficient LP instantiation, paper Sec. 5): a scalar aggregate yields
+    /// [`QueryOutput::Scalar`], a `GROUP BY` over a declared public domain
+    /// yields [`QueryOutput::Grouped`] — one independent release per key.
     ///
     /// The participant universe is the database's full universe — people
     /// interned but absent from every table still count toward `|P|`, as in
     /// node privacy where isolated nodes are still protected.
     ///
     /// Budget accounting is **admission-checked, debit-on-success**: the
-    /// query is refused up front (consuming nothing) when the budget cannot
-    /// cover `ε₁ + ε₂`, and the cost is recorded only once the release has
-    /// succeeded end to end. Every failure path between the admission check
-    /// and the noise draw — plan execution, weight validation, the sequence
-    /// LPs, parameter validation inside the mechanism — releases nothing,
-    /// so none of them consume ε. (Callers that treat *error messages* as
-    /// observable output should still account for them out of band; the
-    /// accountant meters released answers, and a failed query releases
-    /// none.)
-    pub fn query(&mut self, sql: &str) -> Result<Release, SqlError> {
-        let plan = self.plan(sql)?;
+    /// query (or the whole grouped report, priced by the
+    /// [`GroupBudgetPolicy`]) is refused up front, consuming nothing, when
+    /// the budget cannot cover it, and the cost is recorded only once the
+    /// release has succeeded end to end. Every failure path between the
+    /// admission check and the noise draw — plan execution, weight
+    /// validation, the sequence LPs, parameter validation inside the
+    /// mechanism — releases nothing, so none of them consume ε. (Callers
+    /// that treat *error messages* as observable output should still account
+    /// for them out of band; the accountant meters released answers, and a
+    /// failed query releases none.)
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutput, SqlError> {
+        match self.plan(sql)? {
+            AnyPlan::Scalar(plan) => self.release_scalar(&plan).map(QueryOutput::Scalar),
+            AnyPlan::Grouped(plan) => self.release_grouped(&plan).map(QueryOutput::Grouped),
+        }
+    }
+
+    /// [`SqlSession::query`] for callers that know the query is scalar;
+    /// a grouped query is refused with a span-carrying
+    /// [`SqlError::QueryShape`] pointing at its `GROUP BY`.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Release, SqlError> {
+        match self.plan(sql)? {
+            AnyPlan::Scalar(plan) => self.release_scalar(&plan),
+            AnyPlan::Grouped(g) => Err(SqlError::QueryShape {
+                message: "this query is grouped; release it through `query` or \
+                          `query_grouped`"
+                    .to_owned(),
+                span: g.key_span,
+            }),
+        }
+    }
+
+    /// [`SqlSession::query`] for callers that know the query is grouped;
+    /// a scalar query is refused with a span-carrying
+    /// [`SqlError::QueryShape`].
+    pub fn query_grouped(&mut self, sql: &str) -> Result<GroupedRelease, SqlError> {
+        match self.plan(sql)? {
+            AnyPlan::Grouped(plan) => self.release_grouped(&plan),
+            AnyPlan::Scalar(p) => Err(SqlError::QueryShape {
+                message: "query_grouped needs a `GROUP BY` query; use `query` or \
+                          `query_scalar` for scalar aggregates"
+                    .to_owned(),
+                span: p.aggregate_span,
+            }),
+        }
+    }
+
+    /// The shared scalar release path of [`SqlSession::query`] and
+    /// [`SqlSession::query_scalar`].
+    fn release_scalar(&mut self, plan: &QueryPlan) -> Result<Release, SqlError> {
         // Validate params before the admission check so a misconfigured
         // session fails loudly instead of looking over budget.
         self.params.validate()?;
         let cost = self.release_cost();
         self.ensure_affordable(cost)?;
-        let cache = self.cache_key(&plan);
+        let cache = self.cache_key(plan);
         let release = release_plan(
             &self.db,
-            &plan,
+            plan,
             self.params,
             &mut self.rng,
             cache.as_ref().map(|(c, key)| (c.as_ref(), *key)),
         )?;
         self.debit(cost)?;
         Ok(release)
+    }
+
+    /// The grouped release path: the whole `k`-group report is admitted
+    /// atomically (refusal consumes no ε), every group releases with the
+    /// policy's per-group `ε`, and the report cost is debited only after
+    /// every group has released.
+    ///
+    /// The `k` per-group sequence computations fan out across the worker
+    /// pool and through the shared [`SequenceCache`] exactly like a
+    /// [`SqlSession::query_batch`] — each group's plan is the template with
+    /// its key dissolved into an equality conjunct, so a group's cache entry
+    /// is *the same entry* the hand-written `WHERE key = v` query uses.
+    ///
+    /// Determinism discipline: one seed is drawn from the session RNG per
+    /// report (so the RNG advances once regardless of `k`), and each group's
+    /// noise stream derives from that seed **and the key value** — not the
+    /// key's position. Releases are therefore bit-identical across
+    /// [`Parallelism`] settings, cached/uncached sessions, *and* re-declared
+    /// domain orders.
+    fn release_grouped(&mut self, grouped: &GroupedQueryPlan) -> Result<GroupedRelease, SqlError> {
+        self.params.validate()?;
+        let k = grouped.num_groups();
+        let cost = self.group_policy.report_cost(self.release_cost(), k);
+        self.ensure_affordable(cost)?;
+
+        // Per-group parameters: only the ε split scales; β and θ — the
+        // sensitivity-relevant fields the cache keys on — stay put, so
+        // grouped and scalar traffic share sequence-cache entries.
+        let fraction = self.group_policy.per_group_fraction(k);
+        let group_params = MechanismParams {
+            epsilon1: self.params.epsilon1 * fraction,
+            epsilon2: self.params.epsilon2 * fraction,
+            ..self.params
+        };
+
+        let plans: Vec<QueryPlan> = grouped
+            .domain
+            .iter()
+            .map(|v| grouped.group_plan(v))
+            .collect();
+        // Fingerprints are computed before the fan-out (cheap and pure), so
+        // workers only touch the shared cache.
+        let keys: Option<Vec<Fingerprint>> = self.cache.as_ref().map(|_| {
+            plans
+                .iter()
+                .map(|p| plan_fingerprint(&self.db, p, &group_params))
+                .collect()
+        });
+        let report_seed = self.rng.next_u64();
+        let seeds: Vec<u64> = grouped
+            .domain
+            .iter()
+            .map(|v| group_seed(report_seed, v))
+            .collect();
+
+        // The report level owns the concurrency; the worker budget is split
+        // so total thread counts do not multiply (same discipline as
+        // `query_batch`).
+        let db = &self.db;
+        let cache = self.cache.as_deref();
+        let workers = self.params.parallelism.workers();
+        let per_group = workers / k.max(1);
+        let worker_params = group_params.with_parallelism(if per_group > 1 {
+            Parallelism::Threads(per_group)
+        } else {
+            Parallelism::Serial
+        });
+        let releases = par_try_map_indexed(self.params.parallelism, k, |i| {
+            let mut rng = StdRng::seed_from_u64(seeds[i]);
+            let key = keys.as_ref().map(|ks| ks[i]);
+            release_plan(db, &plans[i], worker_params, &mut rng, cache.zip(key))
+        })?;
+        self.debit(cost)?;
+
+        Ok(GroupedRelease {
+            key_column: grouped.key_display.clone(),
+            groups: grouped
+                .domain
+                .iter()
+                .cloned()
+                .zip(releases)
+                .map(|(key, release)| GroupRelease { key, release })
+                .collect(),
+            per_group_epsilon: group_params.total_epsilon(),
+            epsilon_spent: cost.epsilon,
+            policy: self.group_policy,
+        })
     }
 
     /// Runs several independent queries and releases each through the
@@ -279,7 +557,15 @@ impl SqlSession {
     pub fn query_batch<S: AsRef<str>>(&mut self, sqls: &[S]) -> Result<Vec<Release>, SqlError> {
         let plans: Vec<QueryPlan> = sqls
             .iter()
-            .map(|sql| self.plan(sql.as_ref()))
+            .map(|sql| match self.plan(sql.as_ref())? {
+                AnyPlan::Scalar(p) => Ok(p),
+                AnyPlan::Grouped(g) => Err(SqlError::QueryShape {
+                    message: "query_batch releases scalar aggregates; run grouped reports \
+                              one at a time through `query` or `query_grouped`"
+                        .to_owned(),
+                    span: g.key_span,
+                }),
+            })
             .collect::<Result<_, _>>()?;
         self.params.validate()?;
 
@@ -320,6 +606,32 @@ impl SqlSession {
         self.debit(total_cost)?;
         Ok(releases)
     }
+}
+
+/// The noise seed of one group: a stable hash of the report-level seed and
+/// the **key value** (type-tagged, so `Int(1)` and `Str("1")` differ).
+/// Binding the seed to the value rather than the domain position makes
+/// per-key releases invariant under re-declaring the domain in a different
+/// order — and keeps the fan-out bit-identical for every `Parallelism`,
+/// since every group's stream is fixed before any worker starts.
+fn group_seed(report_seed: u64, key: &Value) -> u64 {
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_u64(report_seed);
+    match key {
+        Value::Int(v) => {
+            hasher.write_u64(1);
+            hasher.write_u64(*v as u64);
+        }
+        Value::Str(s) => {
+            hasher.write_u64(2);
+            hasher.write_bytes(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            hasher.write_u64(3);
+            hasher.write_u64(u64::from(*b));
+        }
+    }
+    hasher.finish().0 as u64
 }
 
 /// Executes a validated plan and releases its aggregate: the shared tail of
@@ -390,7 +702,7 @@ mod tests {
         let mut db = AnnotatedDatabase::new();
         let mut payments = KRelation::new(["person", "amount"]);
         for (person, amount) in [("ada", 3i64), ("bo", 5), ("cy", -2)] {
-            let p = db.universe_mut().intern(person);
+            let p = db.intern(person);
             payments.insert(
                 Tuple::new([
                     ("person", Value::str(person)),
@@ -406,7 +718,9 @@ mod tests {
     #[test]
     fn count_release_has_the_right_true_answer() {
         let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
-        let release = session.query("SELECT COUNT(*) FROM payments").unwrap();
+        let release = session
+            .query_scalar("SELECT COUNT(*) FROM payments")
+            .unwrap();
         assert_eq!(release.true_answer, 3.0);
         assert!(release.noisy_answer.is_finite());
         assert!((release.epsilon_spent - 1.0).abs() < 1e-12);
@@ -416,7 +730,7 @@ mod tests {
     fn sum_aggregates_weights() {
         let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
         let release = session
-            .query("SELECT SUM(amount) FROM payments WHERE amount > 0")
+            .query_scalar("SELECT SUM(amount) FROM payments WHERE amount > 0")
             .unwrap();
         assert_eq!(release.true_answer, 8.0);
     }
@@ -425,7 +739,7 @@ mod tests {
     fn negative_sum_weights_are_a_sql_error_not_a_panic() {
         let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
         let err = session
-            .query("SELECT SUM(amount) FROM payments")
+            .query_scalar("SELECT SUM(amount) FROM payments")
             .unwrap_err();
         match err {
             SqlError::BadAggregate { message, .. } => {
@@ -439,7 +753,7 @@ mod tests {
     fn sum_over_strings_is_a_sql_error() {
         let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
         let err = session
-            .query("SELECT SUM(person) FROM payments")
+            .query_scalar("SELECT SUM(person) FROM payments")
             .unwrap_err();
         assert!(matches!(err, SqlError::BadAggregate { .. }));
     }
@@ -448,13 +762,13 @@ mod tests {
     fn releases_are_deterministic_per_seed() {
         let params = MechanismParams::paper_edge_privacy(1.0);
         let a = SqlSession::with_seed(db(), params, 1)
-            .query("SELECT COUNT(*) FROM payments")
+            .query_scalar("SELECT COUNT(*) FROM payments")
             .unwrap();
         let b = SqlSession::with_seed(db(), params, 1)
-            .query("SELECT COUNT(*) FROM payments")
+            .query_scalar("SELECT COUNT(*) FROM payments")
             .unwrap();
         let c = SqlSession::with_seed(db(), params, 2)
-            .query("SELECT COUNT(*) FROM payments")
+            .query_scalar("SELECT COUNT(*) FROM payments")
             .unwrap();
         assert_eq!(a.noisy_answer, b.noisy_answer);
         assert_ne!(a.noisy_answer, c.noisy_answer);
@@ -537,7 +851,9 @@ mod tests {
         assert!((session.remaining_budget().unwrap().epsilon - 0.4).abs() < 1e-12);
 
         // And now the single-query path is over budget too.
-        let err = session.query("SELECT COUNT(*) FROM payments").unwrap_err();
+        let err = session
+            .query_scalar("SELECT COUNT(*) FROM payments")
+            .unwrap_err();
         assert!(matches!(err, SqlError::BudgetExhausted(_)));
         assert!((session.remaining_budget().unwrap().epsilon - 0.4).abs() < 1e-12);
     }
@@ -550,7 +866,9 @@ mod tests {
         let mut session =
             SqlSession::new(db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(1.0));
         for _ in 0..3 {
-            let err = session.query("SELECT COUNT(*) FROM payments").unwrap_err();
+            let err = session
+                .query_scalar("SELECT COUNT(*) FROM payments")
+                .unwrap_err();
             assert!(matches!(err, SqlError::Mechanism(_)));
         }
         let err = session
@@ -569,7 +887,7 @@ mod tests {
         let mut session =
             SqlSession::new(db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(2.0));
         let err = session
-            .query("SELECT SUM(amount) FROM payments")
+            .query_scalar("SELECT SUM(amount) FROM payments")
             .unwrap_err();
         assert!(matches!(err, SqlError::BadAggregate { .. }));
         assert_eq!(session.remaining_budget().unwrap().epsilon, 2.0);
@@ -585,7 +903,9 @@ mod tests {
         assert_eq!(session.remaining_budget().unwrap().epsilon, 2.0);
 
         // A succeeding query then debits exactly once.
-        session.query("SELECT COUNT(*) FROM payments").unwrap();
+        session
+            .query_scalar("SELECT COUNT(*) FROM payments")
+            .unwrap();
         assert!((session.remaining_budget().unwrap().epsilon - 1.5).abs() < 1e-12);
     }
 
@@ -601,8 +921,8 @@ mod tests {
         let mut plain = SqlSession::with_seed(db(), params, 11);
         let mut cached = SqlSession::with_seed(db(), params, 11).with_cache_capacity(16);
         for sql in queries {
-            let a = plain.query(sql).unwrap();
-            let b = cached.query(sql).unwrap();
+            let a = plain.query_scalar(sql).unwrap();
+            let b = cached.query_scalar(sql).unwrap();
             assert_eq!(a.noisy_answer, b.noisy_answer, "{sql}");
             assert_eq!(a.delta_hat, b.delta_hat, "{sql}");
             assert_eq!(a.x, b.x, "{sql}");
@@ -618,10 +938,10 @@ mod tests {
         let params = MechanismParams::paper_edge_privacy(1.0);
         let mut session = SqlSession::new(db(), params).with_cache_capacity(8);
         session
-            .query("SELECT COUNT(*) FROM payments p WHERE p.amount > 0")
+            .query_scalar("SELECT COUNT(*) FROM payments p WHERE p.amount > 0")
             .unwrap();
         session
-            .query("SELECT COUNT(*) FROM payments q WHERE q.amount > 0")
+            .query_scalar("SELECT COUNT(*) FROM payments q WHERE q.amount > 0")
             .unwrap();
         let stats = session.cache_stats().unwrap();
         assert_eq!(stats.hits, 1);
@@ -665,14 +985,319 @@ mod tests {
         changed.insert_table("payments", KRelation::new(["person", "amount"]));
 
         let mut s1 = SqlSession::new(base, params).with_sequence_cache(Arc::clone(&cache));
-        s1.query("SELECT COUNT(*) FROM payments").unwrap();
+        s1.query_scalar("SELECT COUNT(*) FROM payments").unwrap();
         // Different database value (clone has a fresh identity, and it was
         // mutated): the same SQL must miss, not reuse s1's sequences.
         let mut s2 = SqlSession::new(changed, params).with_sequence_cache(Arc::clone(&cache));
-        let release = s2.query("SELECT COUNT(*) FROM payments").unwrap();
+        let release = s2.query_scalar("SELECT COUNT(*) FROM payments").unwrap();
         assert_eq!(release.true_answer, 0.0, "empty table after mutation");
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// Visits with a declared public domain over `place`, including a key
+    /// (`park`) the data never mentions.
+    fn grouped_db() -> AnnotatedDatabase {
+        let mut db = AnnotatedDatabase::new();
+        let mut visits = KRelation::new(["person", "place"]);
+        for (person, place) in [
+            ("ada", "museum"),
+            ("bo", "museum"),
+            ("bo", "cafe"),
+            ("cy", "cafe"),
+            ("dee", "museum"),
+        ] {
+            let p = db.intern(person);
+            visits.insert(
+                Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+                Expr::Var(p),
+            );
+        }
+        db.insert_table("visits", visits);
+        db.declare_public_domain(
+            "visits",
+            "place",
+            [Value::str("museum"), Value::str("cafe"), Value::str("park")],
+        );
+        db
+    }
+
+    const GROUPED_SQL: &str = "SELECT place, COUNT(*) FROM visits GROUP BY place";
+
+    #[test]
+    fn grouped_release_covers_the_declared_domain_with_split_budget() {
+        let params = MechanismParams::paper_edge_privacy(1.2);
+        let mut session =
+            SqlSession::new(grouped_db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(2.0));
+        let report = session.query_grouped(GROUPED_SQL).unwrap();
+
+        assert_eq!(report.key_column, "place");
+        assert_eq!(report.len(), 3, "every declared key releases");
+        assert_eq!(report.policy, GroupBudgetPolicy::SplitEvenly);
+        // Declared-domain order, true answers per key — absent keys release 0.
+        let keys: Vec<&Value> = report.groups.iter().map(|g| &g.key).collect();
+        assert_eq!(
+            keys,
+            [
+                &Value::str("museum"),
+                &Value::str("cafe"),
+                &Value::str("park")
+            ]
+        );
+        assert_eq!(report.get(&Value::str("museum")).unwrap().true_answer, 3.0);
+        assert_eq!(report.get(&Value::str("cafe")).unwrap().true_answer, 2.0);
+        assert_eq!(report.get(&Value::str("park")).unwrap().true_answer, 0.0);
+        assert!(report.get(&Value::str("zoo")).is_none());
+        for g in &report.groups {
+            assert!(g.release.noisy_answer.is_finite());
+            assert!(
+                (g.release.epsilon_spent - 0.4).abs() < 1e-12,
+                "ε/k per group"
+            );
+        }
+        // The whole report is priced like one release under SplitEvenly.
+        assert!((report.per_group_epsilon - 0.4).abs() < 1e-12);
+        assert!((report.epsilon_spent - 1.2).abs() < 1e-12);
+        assert!((session.remaining_budget().unwrap().epsilon - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_group_policy_prices_the_report_at_k_times_epsilon() {
+        let params = MechanismParams::paper_edge_privacy(0.5);
+        let mut session = SqlSession::new(grouped_db(), params)
+            .with_group_policy(GroupBudgetPolicy::PerGroup)
+            .with_budget(rmdp_noise::PrivacyBudget::pure(2.0));
+        let report = session.query_grouped(GROUPED_SQL).unwrap();
+        assert!((report.per_group_epsilon - 0.5).abs() < 1e-12);
+        assert!((report.epsilon_spent - 1.5).abs() < 1e-12);
+        for g in &report.groups {
+            assert!((g.release.epsilon_spent - 0.5).abs() < 1e-12);
+        }
+        assert!((session.remaining_budget().unwrap().epsilon - 0.5).abs() < 1e-12);
+
+        // A second report needs another 1.5ε but only 0.5ε remains: refused
+        // atomically, consuming nothing.
+        let err = session.query_grouped(GROUPED_SQL).unwrap_err();
+        match err {
+            SqlError::BudgetExhausted(e) => {
+                assert!((e.requested.epsilon - 1.5).abs() < 1e-12);
+                assert!((e.remaining.epsilon - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert!((session.remaining_budget().unwrap().epsilon - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_releases_are_bit_identical_across_parallelism_and_caching() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let baseline = SqlSession::with_seed(grouped_db(), params, 31)
+            .query_grouped(GROUPED_SQL)
+            .unwrap();
+        for parallelism in [Parallelism::Threads(3), Parallelism::Auto] {
+            let report =
+                SqlSession::with_seed(grouped_db(), params.with_parallelism(parallelism), 31)
+                    .query_grouped(GROUPED_SQL)
+                    .unwrap();
+            for (a, b) in baseline.groups.iter().zip(&report.groups) {
+                assert_eq!(a.key, b.key, "{parallelism}");
+                assert_eq!(
+                    a.release.noisy_answer.to_bits(),
+                    b.release.noisy_answer.to_bits(),
+                    "{parallelism}"
+                );
+                assert_eq!(a.release.delta_hat.to_bits(), b.release.delta_hat.to_bits());
+            }
+        }
+        let cached = SqlSession::with_seed(grouped_db(), params, 31)
+            .with_cache_capacity(8)
+            .query_grouped(GROUPED_SQL)
+            .unwrap();
+        for (a, b) in baseline.groups.iter().zip(&cached.groups) {
+            assert_eq!(
+                a.release.noisy_answer.to_bits(),
+                b.release.noisy_answer.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn per_key_releases_are_invariant_under_domain_order() {
+        // The per-group seed binds to the key value, not the domain slot:
+        // re-declaring the domain in another order permutes the report rows
+        // but must not change any key's released value.
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let forward = SqlSession::with_seed(grouped_db(), params, 7)
+            .query_grouped(GROUPED_SQL)
+            .unwrap();
+        let mut db = grouped_db();
+        db.declare_public_domain(
+            "visits",
+            "place",
+            [Value::str("park"), Value::str("cafe"), Value::str("museum")],
+        );
+        let reversed = SqlSession::with_seed(db, params, 7)
+            .query_grouped(GROUPED_SQL)
+            .unwrap();
+        assert_eq!(
+            reversed.groups[0].key,
+            Value::str("park"),
+            "report rows follow the declared order"
+        );
+        for g in &forward.groups {
+            let other = reversed.get(&g.key).unwrap();
+            assert_eq!(
+                g.release.noisy_answer.to_bits(),
+                other.noisy_answer.to_bits()
+            );
+            assert_eq!(g.release.delta_hat.to_bits(), other.delta_hat.to_bits());
+        }
+    }
+
+    #[test]
+    fn grouped_reports_share_cache_entries_with_scalar_traffic() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let cache = rmdp_core::SequenceCache::shared(16);
+        let mut session =
+            SqlSession::new(grouped_db(), params).with_sequence_cache(Arc::clone(&cache));
+
+        // Scalar queries warm two of the three group entries…
+        session
+            .query_scalar("SELECT COUNT(*) FROM visits WHERE place = 'museum'")
+            .unwrap();
+        session
+            .query_scalar("SELECT COUNT(*) FROM visits WHERE place = 'cafe'")
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+
+        // …so the grouped report misses only on 'park', and a repeat of the
+        // report is served entirely from the cache.
+        session.query_grouped(GROUPED_SQL).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 2);
+        session.query_grouped(GROUPED_SQL).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 5);
+    }
+
+    #[test]
+    fn grouped_refusals_and_shape_errors_carry_spans_and_consume_nothing() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+
+        // Undeclared key column: planner error pointing at the key.
+        let sql = "SELECT person, COUNT(*) FROM visits GROUP BY person";
+        let mut session =
+            SqlSession::new(grouped_db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(1.0));
+        match session.query(sql).unwrap_err() {
+            SqlError::UndeclaredGroupDomain {
+                column,
+                table,
+                span,
+            } => {
+                assert_eq!(column, "person");
+                assert_eq!(table, "visits");
+                assert_eq!(span.slice(sql), "person");
+            }
+            other => panic!("expected UndeclaredGroupDomain, got {other:?}"),
+        }
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 1.0);
+
+        // Mismatched SELECT/GROUP BY keys.
+        let sql = "SELECT person, COUNT(*) FROM visits GROUP BY place";
+        assert!(matches!(
+            session.query(sql).unwrap_err(),
+            SqlError::GroupKeyMismatch { .. }
+        ));
+
+        // An empty declared domain is as good as none.
+        let mut empty = grouped_db();
+        empty.declare_public_domain("visits", "place", []);
+        let mut empty_session = SqlSession::new(empty, params);
+        assert!(matches!(
+            empty_session.query_grouped(GROUPED_SQL).unwrap_err(),
+            SqlError::UndeclaredGroupDomain { .. }
+        ));
+
+        // Shape errors: grouped SQL in scalar entry points and vice versa.
+        let err = session.query_scalar(GROUPED_SQL).unwrap_err();
+        assert!(matches!(err, SqlError::QueryShape { .. }));
+        assert!(err.span().is_some());
+        assert!(matches!(
+            session.query_batch(&[GROUPED_SQL]).unwrap_err(),
+            SqlError::QueryShape { .. }
+        ));
+        assert!(matches!(
+            session
+                .query_grouped("SELECT COUNT(*) FROM visits")
+                .unwrap_err(),
+            SqlError::QueryShape { .. }
+        ));
+        assert!(matches!(
+            session.evaluate(GROUPED_SQL).unwrap_err(),
+            SqlError::QueryShape { .. }
+        ));
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 1.0);
+    }
+
+    #[test]
+    fn query_dispatches_on_the_plan_shape() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session = SqlSession::new(grouped_db(), params);
+        match session.query("SELECT COUNT(*) FROM visits").unwrap() {
+            QueryOutput::Scalar(release) => assert_eq!(release.true_answer, 5.0),
+            QueryOutput::Grouped(_) => panic!("scalar SQL released a grouped report"),
+        }
+        match session.query(GROUPED_SQL).unwrap() {
+            QueryOutput::Grouped(report) => assert_eq!(report.len(), 3),
+            QueryOutput::Scalar(_) => panic!("grouped SQL released a scalar"),
+        }
+        // And the convenience accessors agree.
+        assert!(session.query(GROUPED_SQL).unwrap().scalar().is_none());
+        assert!(session.query(GROUPED_SQL).unwrap().grouped().is_some());
+    }
+
+    #[test]
+    fn evaluate_grouped_returns_per_key_relations() {
+        let session = SqlSession::new(grouped_db(), MechanismParams::paper_edge_privacy(1.0));
+        let groups = session.evaluate_grouped(GROUPED_SQL).unwrap();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, Value::str("museum"));
+        assert_eq!(groups[0].1.len(), 3);
+        assert_eq!(groups[2].0, Value::str("park"));
+        assert!(groups[2].1.is_empty());
+        assert!(matches!(
+            session.evaluate_grouped("SELECT COUNT(*) FROM visits"),
+            Err(SqlError::QueryShape { .. })
+        ));
+    }
+
+    #[test]
+    fn reading_the_universe_does_not_evict_cached_sequences() {
+        // The epoch-bump bugfix, observed end to end: lookups through
+        // `universe()` and re-interning existing participants leave the
+        // fingerprint epoch — and therefore the cache hit-rate — unchanged.
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let cache = rmdp_core::SequenceCache::shared(8);
+        let mut db = grouped_db();
+        let mut session =
+            SqlSession::new(db.clone(), params).with_sequence_cache(Arc::clone(&cache));
+        session.query_scalar("SELECT COUNT(*) FROM visits").unwrap();
+        assert_eq!(cache.stats().misses, 1);
+
+        // Reads against the session's own database handle.
+        assert!(session.database().universe().get("ada").is_some());
+        let _ = session.database().universe().len();
+        session.query_scalar("SELECT COUNT(*) FROM visits").unwrap();
+        assert_eq!(cache.stats().misses, 1, "reads must not invalidate");
+        assert_eq!(cache.stats().hits, 1);
+
+        // Re-interning an existing participant is also a read; a genuinely
+        // new participant is a mutation and must invalidate.
+        let epoch = db.annotation_epoch();
+        db.intern("ada");
+        assert_eq!(db.annotation_epoch(), epoch);
+        db.intern("newcomer");
+        assert!(db.annotation_epoch() > epoch);
     }
 
     #[test]
@@ -685,7 +1310,9 @@ mod tests {
     fn invalid_params_surface_as_mechanism_errors() {
         let params = MechanismParams::new(0.0, 0.5, 0.1, 1.0, 0.5);
         let mut session = SqlSession::new(db(), params);
-        let err = session.query("SELECT COUNT(*) FROM payments").unwrap_err();
+        let err = session
+            .query_scalar("SELECT COUNT(*) FROM payments")
+            .unwrap_err();
         assert!(matches!(err, SqlError::Mechanism(_)));
     }
 }

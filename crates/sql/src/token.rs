@@ -89,13 +89,14 @@ pub enum TokenKind {
     Except,
     /// `INTERSECT` (rejected set operation).
     Intersect,
-    /// `GROUP` (rejected: grouping is not yet supported).
+    /// `GROUP` (single-key `GROUP BY` over a declared public domain is the
+    /// grouped-report form; multi-column grouping is rejected).
     Group,
-    /// `ORDER` (rejected: ordering a single aggregate is meaningless).
+    /// `ORDER` (rejected: ordering noisy releases is a client-side concern).
     Order,
-    /// `BY` (part of the rejected `GROUP BY`/`ORDER BY`).
+    /// `BY` (part of `GROUP BY` and the rejected `ORDER BY`).
     By,
-    /// `HAVING` (rejected alongside `GROUP BY`).
+    /// `HAVING` (rejected: filtering on true per-group aggregates leaks them).
     Having,
     /// `DISTINCT` (rejected: duplicate elimination changes the aggregate).
     Distinct,

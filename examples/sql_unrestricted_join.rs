@@ -74,7 +74,7 @@ fn main() {
 
     let mut residents = KRelation::new(["person", "city"]);
     for (person, city) in residents_data {
-        let p = db.universe_mut().intern(person);
+        let p = db.intern(person);
         residents.insert(
             Tuple::new([("person", Value::str(person)), ("city", Value::str(city))]),
             Expr::Var(p),
@@ -82,7 +82,7 @@ fn main() {
     }
     let mut visits = KRelation::new(["person", "place"]);
     for (person, place) in visits_data {
-        let p = db.universe_mut().intern(person);
+        let p = db.intern(person);
         visits.insert(
             Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
             Expr::Var(p),
@@ -90,6 +90,14 @@ fn main() {
     }
     db.insert_table("residents", residents.clone());
     db.insert_table("visits", visits.clone());
+    // The venues are public knowledge (a city guide, not the visit log), so
+    // `place` can carry a declared domain for GROUP BY reports — including a
+    // venue nobody visited.
+    db.declare_public_domain(
+        "visits",
+        "place",
+        ["museum", "cafe", "park", "stadium"].map(Value::str),
+    );
 
     // The hand-built relational-algebra plan the frontend's compilation is
     // checked against. Renaming gives the two sides of the self-join distinct
@@ -140,7 +148,7 @@ fn main() {
     println!("query output ({} rows):", sql_output.len());
     println!("{sql_output:?}");
 
-    let release = session.query(SQL).expect("release");
+    let release = session.query_scalar(SQL).expect("release");
     assert_eq!(release.true_answer, hand_built.len() as f64);
     println!("true count                 : {}", release.true_answer);
     println!("released (1-DP)            : {:.2}", release.noisy_answer);
@@ -148,4 +156,22 @@ fn main() {
         "noise scale used (Δ̂/ε₂)    : {:.2}",
         release.delta_hat / session.params().epsilon2
     );
+
+    // A grouped report over the declared public venue domain: one release
+    // per venue (ε/k each under the default SplitEvenly policy), covering
+    // every declared key — the unvisited stadium releases a noised zero.
+    let grouped_sql = "SELECT place, COUNT(*) FROM visits GROUP BY place";
+    let report = session.query_grouped(grouped_sql).expect("grouped release");
+    println!(
+        "\n{grouped_sql}\n  → {} groups at ε = {} each ({} total):",
+        report.len(),
+        report.per_group_epsilon,
+        report.epsilon_spent
+    );
+    for group in &report.groups {
+        println!(
+            "  {:>10?}: true {} → released {:.2}",
+            group.key, group.release.true_answer, group.release.noisy_answer
+        );
+    }
 }

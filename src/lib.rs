@@ -49,19 +49,27 @@
 //! let mut db = AnnotatedDatabase::new();
 //! let mut visits = KRelation::new(["person", "place"]);
 //! for (person, place) in [("ada", "museum"), ("bo", "museum")] {
-//!     let p = db.universe_mut().intern(person);
+//!     let p = db.intern(person);
 //!     visits.insert(
 //!         Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
 //!         Expr::Var(p),
 //!     );
 //! }
 //! db.insert_table("visits", visits);
+//! db.declare_public_domain("visits", "place", [Value::str("museum"), Value::str("cafe")]);
 //! let mut session = SqlSession::new(db, MechanismParams::paper_edge_privacy(1.0));
 //! let release = session
-//!     .query("SELECT COUNT(*) FROM visits v1 JOIN visits v2 ON v1.place = v2.place \
+//!     .query_scalar("SELECT COUNT(*) FROM visits v1 JOIN visits v2 ON v1.place = v2.place \
 //!             WHERE v1.person < v2.person")
 //!     .unwrap();
 //! assert_eq!(release.true_answer, 1.0);
+//!
+//! // A GROUP BY report over the declared public domain: one release per key.
+//! let report = session
+//!     .query_grouped("SELECT place, COUNT(*) FROM visits GROUP BY place")
+//!     .unwrap();
+//! assert_eq!(report.len(), 2);
+//! assert_eq!(report.get(&Value::str("museum")).unwrap().true_answer, 2.0);
 //! ```
 
 #![deny(missing_docs)]

@@ -132,7 +132,7 @@ fn visits_db() -> AnnotatedDatabase {
         ("cy", "cafe"),
         ("dee", "museum"),
     ] {
-        let p = db.universe_mut().intern(person);
+        let p = db.intern(person);
         visits.insert(
             Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
             Expr::Var(p),
@@ -204,7 +204,9 @@ fn over_budget_batch_is_rejected_without_consuming_epsilon() {
         SqlError::BudgetExhausted(_)
     ));
     assert!(matches!(
-        session.query("SELECT COUNT(*) FROM visits").unwrap_err(),
+        session
+            .query_scalar("SELECT COUNT(*) FROM visits")
+            .unwrap_err(),
         SqlError::BudgetExhausted(_)
     ));
 }
@@ -333,7 +335,9 @@ fn arb_rendering(joins: usize) -> impl Strategy<Value = Rendering> {
 
 fn fingerprint_of(db: &AnnotatedDatabase, sql: &str) -> rmdp_fp::Fingerprint {
     let params = MechanismParams::paper_edge_privacy(1.0);
-    let plan = sql_plan(db, sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    let plan = sql_plan(db, sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        .expect_scalar();
     plan_fingerprint(db, &plan, &params)
 }
 
@@ -422,8 +426,8 @@ proptest! {
         let mut cached = SqlSession::with_seed(visits_db(), params, seed)
             .with_sequence_cache(Arc::clone(&cache));
         for sql in queries {
-            let a = cold.query(sql).unwrap();
-            let b = cached.query(sql).unwrap();
+            let a = cold.query_scalar(sql).unwrap();
+            let b = cached.query_scalar(sql).unwrap();
             prop_assert_eq!(a.noisy_answer.to_bits(), b.noisy_answer.to_bits(), "{}", sql);
             prop_assert_eq!(a.delta_hat.to_bits(), b.delta_hat.to_bits(), "{}", sql);
             prop_assert_eq!(a.x.to_bits(), b.x.to_bits(), "{}", sql);
@@ -454,7 +458,7 @@ fn permuted_self_join_renderings_share_one_cache_entry() {
     ];
     let releases: Vec<_> = renderings
         .iter()
-        .map(|sql| session.query(sql).unwrap())
+        .map(|sql| session.query_scalar(sql).unwrap())
         .collect();
     assert_eq!(cache.len(), 1, "all renderings share one entry");
     assert_eq!(cache.stats().misses, 1);
