@@ -76,6 +76,25 @@ impl FrozenSequences {
         parallelism: Parallelism,
     ) -> Result<Self, MechanismError> {
         sequences.precompute(parallelism)?;
+        Self::snapshot(&mut sequences)
+    }
+
+    /// [`compute`](Self::compute) over an
+    /// [`EfficientSequences`](crate::efficient::EfficientSequences), returning
+    /// the LP work the precomputation performed alongside the snapshot
+    /// (`compute`, being generic, has nowhere to surface it; telemetry wants
+    /// it attributed to the query that filled the cache).
+    pub fn compute_with_stats(
+        mut sequences: crate::efficient::EfficientSequences,
+        parallelism: Parallelism,
+    ) -> Result<(Self, crate::efficient::LpWorkStats), MechanismError> {
+        sequences.precompute(parallelism)?;
+        let stats = sequences.stats();
+        Ok((Self::snapshot(&mut sequences)?, stats))
+    }
+
+    /// Copies every completed entry out of `sequences`.
+    fn snapshot<S: MechanismSequences>(sequences: &mut S) -> Result<Self, MechanismError> {
         let n = sequences.num_participants();
         let mut h = Vec::with_capacity(n + 1);
         let mut g = Vec::with_capacity(n + 1);

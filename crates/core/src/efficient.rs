@@ -80,6 +80,32 @@ pub struct LpWorkStats {
 }
 
 impl LpWorkStats {
+    /// Folds another counter set into this one. Deterministic regardless of
+    /// fold order (plain integer sums), but callers fold by input index so
+    /// intermediate states are reproducible too.
+    pub fn absorb(&mut self, other: &LpWorkStats) {
+        self.h_solves += other.h_solves;
+        self.g_solves += other.g_solves;
+        self.total_pivots += other.total_pivots;
+        self.phase1_pivots += other.phase1_pivots;
+        self.phase2_pivots += other.phase2_pivots;
+        self.warm_start_hits += other.warm_start_hits;
+        self.refactorizations += other.refactorizations;
+    }
+
+    /// The counters as the primitive `u64` mirror used by release traces.
+    pub fn to_summary(&self) -> rmdp_observe::LpSummary {
+        rmdp_observe::LpSummary {
+            h_solves: self.h_solves as u64,
+            g_solves: self.g_solves as u64,
+            total_pivots: self.total_pivots as u64,
+            phase1_pivots: self.phase1_pivots as u64,
+            phase2_pivots: self.phase2_pivots as u64,
+            warm_start_hits: self.warm_start_hits as u64,
+            refactorizations: self.refactorizations as u64,
+        }
+    }
+
     fn absorb_solve(&mut self, family: SequenceFamily, stats: &SolveStats) {
         match family {
             SequenceFamily::H => self.h_solves += 1,

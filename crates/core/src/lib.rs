@@ -58,5 +58,8 @@ pub use general::GeneralSequences;
 pub use krelation_query::SensitiveKRelation;
 pub use mechanism::{RecursiveMechanism, Release};
 pub use params::MechanismParams;
+// Re-exported so callers of `release_recorded` can name the recorder types
+// without depending on `rmdp-observe` directly.
+pub use rmdp_observe::{NoopRecorder, Recorder, SpanRecorder, Stage};
 pub use rmdp_runtime::Parallelism;
 pub use sequences::MechanismSequences;

@@ -25,6 +25,7 @@ use crate::params::MechanismParams;
 use crate::sequences::MechanismSequences;
 use rand::Rng;
 use rmdp_noise::laplace::sample_laplace;
+use rmdp_observe::{NoopRecorder, Recorder, Stage};
 
 /// One differentially private release together with its diagnostics.
 #[derive(Clone, Copy, Debug)]
@@ -148,18 +149,44 @@ impl<S: MechanismSequences> RecursiveMechanism<S> {
 
     /// Steps 2–3: one differentially private release, spending `ε₁ + ε₂`.
     pub fn release<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<Release, MechanismError> {
+        self.release_recorded(rng, &mut NoopRecorder)
+    }
+
+    /// [`release`](Self::release) with stage telemetry: LP-solving segments
+    /// (the `Δ` ladder and the `H` entries the ternary search touches) are
+    /// bracketed with [`Stage::SequenceSolve`] and the two Laplace draws
+    /// with [`Stage::NoiseSample`]. The stages interleave — solving and
+    /// sampling alternate — so each stage is entered twice and recorders
+    /// accumulate.
+    ///
+    /// The recorder only observes wall-time; it never touches the RNG or
+    /// any value, so the release is bit-identical for every recorder
+    /// (`release` itself delegates here with the no-op recorder).
+    pub fn release_recorded<R: Rng + ?Sized, T: Recorder>(
+        &mut self,
+        rng: &mut R,
+        recorder: &mut T,
+    ) -> Result<Release, MechanismError> {
         let n = self.sequences.num_participants();
+        recorder.enter(Stage::SequenceSolve);
         let delta = self.delta()?;
+        recorder.exit(Stage::SequenceSolve);
 
         // Step 2: multiplicative noise on Δ.
+        recorder.enter(Stage::NoiseSample);
         let y = sample_laplace(self.params.beta / self.params.epsilon1, rng);
+        recorder.exit(Stage::NoiseSample);
         let delta_hat = (self.params.mu + y).exp() * delta;
 
         // Step 3: X = min_i H_i + (n − i)·Δ̂ over integers, located by ternary
         // search thanks to the convexity of H (Lemma 10).
+        recorder.enter(Stage::SequenceSolve);
         let (argmin_index, x) = self.argmin_x(delta_hat)?;
+        recorder.exit(Stage::SequenceSolve);
 
+        recorder.enter(Stage::NoiseSample);
         let noise = sample_laplace(delta_hat / self.params.epsilon2, rng);
+        recorder.exit(Stage::NoiseSample);
         let noisy_answer = x + noise;
         let true_answer = self.sequences.h(n)?;
 

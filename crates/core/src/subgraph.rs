@@ -28,7 +28,8 @@ use rmdp_graph::subgraph::{enumerate_pattern, k_stars, k_triangles, triangles, O
 use rmdp_graph::{Graph, Pattern};
 use rmdp_krelation::participant::ParticipantId;
 use rmdp_krelation::{Expr, KRelation, Tuple};
-use std::time::{Duration, Instant};
+use rmdp_observe::Stopwatch;
+use std::time::Duration;
 
 /// The unit of privacy protection: who counts as one participant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -211,9 +212,9 @@ impl SubgraphCounter {
     /// Matches the pattern and sets the mechanism up; the result can release
     /// any number of times.
     pub fn prepare(&self, graph: &Graph) -> Result<PreparedSubgraphQuery, MechanismError> {
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let query = self.build_sensitive_relation(graph);
-        let build_time = start.elapsed();
+        let build_time = watch.elapsed();
         let true_count = query.true_answer();
         let support_size = query.support_size();
         let num_participants = query.num_participants();
@@ -246,14 +247,14 @@ impl PreparedSubgraphQuery {
         &mut self,
         rng: &mut R,
     ) -> Result<SubgraphAnswer, MechanismError> {
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let release = self.mechanism.release(rng)?;
         Ok(SubgraphAnswer {
             noisy_count: release.noisy_answer,
             true_count: self.true_count,
             release,
             num_participants: self.num_participants,
-            release_time: start.elapsed(),
+            release_time: watch.elapsed(),
         })
     }
 

@@ -20,13 +20,27 @@
 //! bit-identical; repeated reports through a shared [`SequenceCache`] must
 //! hit on every group after the first report.
 //!
-//! CI uploads all three files as artifacts on every run, so the trajectory
+//! **Telemetry overhead** (`BENCH_observe.json`): the instrumentation
+//! bench. The same uncached prepare-and-release workload runs twice under
+//! identical seeds — once with a [`rmdp_observe::NoopRecorder`] (whose
+//! empty inline hooks compile away) and once with a live
+//! [`rmdp_observe::SpanRecorder`] — and the releases must be bit-identical
+//! (telemetry may never perturb a release) with the instrumented pass
+//! within 5% (plus a small absolute slack) of the no-op pass.
+//!
+//! All bench sections share **one warmed-up setup**: the fig-4 sensitive
+//! relations are built once up front and the setup wall time is reported
+//! separately (in `BENCH_observe.json`), so section timings measure the
+//! mechanism, not repeated graph construction.
+//!
+//! CI uploads all four files as artifacts on every run, so the trajectory
 //! of the sequence hot path is tracked over time. Pivot counts, hit rates
 //! and bit-identity are deterministic; wall times are indicative (shared
 //! runners).
 //!
-//! Usage: `perf_smoke [lp.json] [cache.json] [groupby.json]` (defaults
-//! `BENCH_lp.json`, `BENCH_cache.json`, `BENCH_groupby.json`).
+//! Usage: `perf_smoke [lp.json] [cache.json] [groupby.json] [observe.json]`
+//! (defaults `BENCH_lp.json`, `BENCH_cache.json`, `BENCH_groupby.json`,
+//! `BENCH_observe.json`).
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -42,9 +56,9 @@ use rmdp_krelation::annotate::AnnotatedDatabase;
 use rmdp_krelation::fingerprint::Fingerprint;
 use rmdp_krelation::tuple::{Tuple, Value};
 use rmdp_krelation::{Expr, KRelation};
+use rmdp_observe::{MonotonicClock, NoopRecorder, SpanRecorder, Stage, Stopwatch};
 use rmdp_sql::SqlSession;
 use std::sync::Arc;
-use std::time::Instant;
 
 struct WorkloadResult {
     name: String,
@@ -71,27 +85,48 @@ fn fig4_relation(pattern: &Pattern) -> SensitiveKRelation {
     .build_sensitive_relation(&graph)
 }
 
-fn precompute_timed(seq: &mut EfficientSequences) -> f64 {
-    let start = Instant::now();
-    seq.precompute(Parallelism::Serial)
-        .expect("fig-4 entry LPs are feasible and bounded");
-    start.elapsed().as_secs_f64() * 1e3
+/// The shared, warmed-up setup every bench section reuses: the fig-4
+/// sensitive relations are materialised once (graph generation + subgraph
+/// counting + weight construction) and the cost is reported separately, so
+/// no section's wall time silently includes setup.
+struct BenchEnv {
+    /// `(workload name, sensitive relation)`, one per fig-4 pattern.
+    workloads: Vec<(String, SensitiveKRelation)>,
+    setup_wall_ms: f64,
 }
 
-fn run_workload(pattern: Pattern) -> WorkloadResult {
-    let relation = fig4_relation(&pattern);
+fn build_env() -> BenchEnv {
+    let watch = Stopwatch::start();
+    let workloads = [Pattern::triangle(), Pattern::k_star(2)]
+        .into_iter()
+        .map(|p| (p.name().to_string(), fig4_relation(&p)))
+        .collect();
+    BenchEnv {
+        workloads,
+        setup_wall_ms: watch.elapsed_seconds() * 1e3,
+    }
+}
+
+fn precompute_timed(seq: &mut EfficientSequences) -> f64 {
+    let watch = Stopwatch::start();
+    seq.precompute(Parallelism::Serial)
+        .expect("fig-4 entry LPs are feasible and bounded");
+    watch.elapsed_seconds() * 1e3
+}
+
+fn run_workload(name: &str, relation: &SensitiveKRelation) -> WorkloadResult {
     let participants = relation.num_participants();
 
     let mut cold = EfficientSequences::new(relation.clone()).with_chain_run_len(1);
     let cold_wall_ms = precompute_timed(&mut cold);
 
-    let mut warm = EfficientSequences::new(relation);
+    let mut warm = EfficientSequences::new(relation.clone());
     let warm_wall_ms = precompute_timed(&mut warm);
 
     let (c, w) = (cold.stats(), warm.stats());
     assert_eq!(c.h_solves + c.g_solves, w.h_solves + w.g_solves);
     WorkloadResult {
-        name: pattern.name().to_string(),
+        name: name.to_string(),
         participants,
         lp_solves: w.h_solves + w.g_solves,
         cold_wall_ms,
@@ -131,8 +166,11 @@ fn release_once<S: MechanismSequences>(
         .expect("fig-4 release succeeds")
 }
 
-fn run_cache_workload(pattern: Pattern, repeats: usize) -> CacheBenchResult {
-    let relation = fig4_relation(&pattern);
+fn run_cache_workload(
+    name: &str,
+    relation: &SensitiveKRelation,
+    repeats: usize,
+) -> CacheBenchResult {
     let participants = relation.num_participants();
     let params = MechanismParams::paper_node_privacy(0.5);
     let cache = SequenceCache::new(8);
@@ -144,7 +182,7 @@ fn run_cache_workload(pattern: Pattern, repeats: usize) -> CacheBenchResult {
 
     // Cold: the miss pays the whole sequence precompute and populates the
     // cache (exactly what a SqlSession miss does).
-    let cold_start = Instant::now();
+    let cold_watch = Stopwatch::start();
     let frozen = cache
         .get_or_try_insert_with(key, || {
             FrozenSequences::compute(
@@ -154,17 +192,17 @@ fn run_cache_workload(pattern: Pattern, repeats: usize) -> CacheBenchResult {
         })
         .expect("fig-4 precompute succeeds");
     let cold_release = release_once(CachedSequences(frozen), params, seeds[0]);
-    let cold_wall_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let cold_wall_ms = cold_watch.elapsed_seconds() * 1e3;
 
     // Warm: every repeat is a hit — no plan execution, no LPs, just the
     // Δ-ladder walk over the frozen table and two Laplace draws.
-    let warm_start = Instant::now();
+    let warm_watch = Stopwatch::start();
     let mut warm_releases = Vec::with_capacity(repeats);
     for &seed in &seeds[1..] {
         let frozen = cache.get(key).expect("populated above");
         warm_releases.push(release_once(CachedSequences(frozen), params, seed));
     }
-    let warm_hit_wall_ms = warm_start.elapsed().as_secs_f64() * 1e3 / repeats.max(1) as f64;
+    let warm_hit_wall_ms = warm_watch.elapsed_seconds() * 1e3 / repeats.max(1) as f64;
 
     // Bit-identity against the cache-less path under the same seeds. Each
     // comparison replays a full cold release, so only the populating release
@@ -184,7 +222,7 @@ fn run_cache_workload(pattern: Pattern, repeats: usize) -> CacheBenchResult {
     }
 
     CacheBenchResult {
-        name: pattern.name().to_string(),
+        name: name.to_string(),
         participants,
         cold_wall_ms,
         warm_hit_wall_ms,
@@ -223,7 +261,7 @@ fn run_sql_repeated_workload() -> (usize, u64, u64, f64) {
     // fingerprints, not string equality.
     let rounds = 12;
     let mut executed = 0usize;
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     for round in 0..rounds {
         let (a, b) = if round % 2 == 0 {
             ("v1", "v2")
@@ -241,7 +279,7 @@ fn run_sql_repeated_workload() -> (usize, u64, u64, f64) {
         session.query_batch(&batch).expect("workload releases");
         executed += batch.len();
     }
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3 / executed as f64;
+    let wall_ms = watch.elapsed_seconds() * 1e3 / executed as f64;
     let stats = cache.stats();
     (executed, stats.hits, stats.misses, wall_ms)
 }
@@ -296,13 +334,13 @@ fn run_groupby_workload() -> GroupByBenchResult {
     // Serial vs pooled cold reports over the *same database value* (the
     // session clones share the instance only within one session, so each
     // gets its own db — determinism must come from the seed alone).
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let serial = SqlSession::with_seed(db.clone(), params, 7)
         .query_grouped(sql)
         .expect("serial grouped release");
-    let serial_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let serial_wall_ms = watch.elapsed_seconds() * 1e3;
 
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let pooled = SqlSession::with_seed(
         db.clone(),
         params.with_parallelism(Parallelism::Threads(4)),
@@ -310,7 +348,7 @@ fn run_groupby_workload() -> GroupByBenchResult {
     )
     .query_grouped(sql)
     .expect("pooled grouped release");
-    let pooled_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let pooled_wall_ms = watch.elapsed_seconds() * 1e3;
 
     let bit_identical = serial.len() == pooled.len()
         && serial.groups.iter().zip(&pooled.groups).all(|(a, b)| {
@@ -326,12 +364,11 @@ fn run_groupby_workload() -> GroupByBenchResult {
     let mut session = SqlSession::with_seed(db, params, 7).with_sequence_cache(Arc::clone(&cache));
     let reports = 8;
     session.query_grouped(sql).expect("cold cached report");
-    let warm_start = Instant::now();
+    let warm_watch = Stopwatch::start();
     for _ in 1..reports {
         session.query_grouped(sql).expect("warm cached report");
     }
-    let warm_report_wall_ms =
-        warm_start.elapsed().as_secs_f64() * 1e3 / (reports - 1).max(1) as f64;
+    let warm_report_wall_ms = warm_watch.elapsed_seconds() * 1e3 / (reports - 1).max(1) as f64;
     let stats = cache.stats();
     let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
 
@@ -346,6 +383,100 @@ fn run_groupby_workload() -> GroupByBenchResult {
     }
 }
 
+/// The instrumentation-overhead bench: the uncached prepare-and-release
+/// workload under a no-op recorder vs a live span recorder, same seeds.
+struct ObserveBenchResult {
+    iterations: usize,
+    noop_wall_ms: f64,
+    instrumented_wall_ms: f64,
+    /// `(instrumented − noop) / noop`; may be slightly negative on noisy
+    /// runners.
+    overhead_fraction: f64,
+    /// Whether the instrumented releases were bit-identical to the no-op
+    /// ones — the telemetry hard invariant.
+    bit_identical: bool,
+    /// Whether every instrumented run produced a monotone recorder that
+    /// actually entered the solve and noise stages.
+    traces_populated: bool,
+}
+
+fn run_observe_workload(relation: &SensitiveKRelation) -> ObserveBenchResult {
+    let params = MechanismParams::paper_node_privacy(0.5);
+    let iterations = 4;
+    let mut seed_stream = StdRng::seed_from_u64(2025);
+    let seeds: Vec<u64> = (0..iterations).map(|_| seed_stream.next_u64()).collect();
+
+    // Each iteration pays the full uncached pipeline (sequence LPs + ladder
+    // walk + noise), which is exactly the region the recorder straddles —
+    // so the measured overhead fraction reflects a real query, not a
+    // microbenchmark of the hooks. Two alternating rounds, min per mode,
+    // to shave scheduler noise on shared runners.
+    let run_noop = || -> (Vec<rmdp_core::Release>, f64) {
+        let watch = Stopwatch::start();
+        let releases = seeds
+            .iter()
+            .map(|&seed| {
+                let mut mech =
+                    RecursiveMechanism::new(EfficientSequences::new(relation.clone()), params)
+                        .expect("fig-4 sequences are feasible");
+                mech.release_recorded(&mut StdRng::seed_from_u64(seed), &mut NoopRecorder)
+                    .expect("fig-4 release succeeds")
+            })
+            .collect();
+        (releases, watch.elapsed_seconds() * 1e3)
+    };
+    let run_instrumented = || -> (Vec<rmdp_core::Release>, f64, bool) {
+        let mut populated = true;
+        let watch = Stopwatch::start();
+        let releases = seeds
+            .iter()
+            .map(|&seed| {
+                let mut mech =
+                    RecursiveMechanism::new(EfficientSequences::new(relation.clone()), params)
+                        .expect("fig-4 sequences are feasible");
+                let mut recorder = SpanRecorder::new(MonotonicClock::new());
+                let release = mech
+                    .release_recorded(&mut StdRng::seed_from_u64(seed), &mut recorder)
+                    .expect("fig-4 release succeeds");
+                populated &= recorder.stage_entries(Stage::SequenceSolve) > 0
+                    && recorder.stage_entries(Stage::NoiseSample) > 0;
+                release
+            })
+            .collect();
+        (releases, watch.elapsed_seconds() * 1e3, populated)
+    };
+
+    let mut noop_wall_ms = f64::INFINITY;
+    let mut instrumented_wall_ms = f64::INFINITY;
+    let mut bit_identical = true;
+    let mut traces_populated = true;
+    for _ in 0..2 {
+        let (noop_releases, noop_ms) = run_noop();
+        let (instrumented_releases, instrumented_ms, populated) = run_instrumented();
+        noop_wall_ms = noop_wall_ms.min(noop_ms);
+        instrumented_wall_ms = instrumented_wall_ms.min(instrumented_ms);
+        traces_populated &= populated;
+        bit_identical &= noop_releases.len() == instrumented_releases.len()
+            && noop_releases
+                .iter()
+                .zip(&instrumented_releases)
+                .all(|(a, b)| {
+                    a.noisy_answer.to_bits() == b.noisy_answer.to_bits()
+                        && a.delta_hat.to_bits() == b.delta_hat.to_bits()
+                        && a.x.to_bits() == b.x.to_bits()
+                });
+    }
+
+    ObserveBenchResult {
+        iterations,
+        noop_wall_ms,
+        instrumented_wall_ms,
+        overhead_fraction: (instrumented_wall_ms - noop_wall_ms) / noop_wall_ms.max(1e-9),
+        bit_identical,
+        traces_populated,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -356,10 +487,20 @@ fn main() {
     let groupby_out_path = std::env::args()
         .nth(3)
         .unwrap_or_else(|| "BENCH_groupby.json".to_string());
+    let observe_out_path = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "BENCH_observe.json".to_string());
 
-    let results: Vec<WorkloadResult> = [Pattern::triangle(), Pattern::k_star(2)]
-        .into_iter()
-        .map(run_workload)
+    let env = build_env();
+    eprintln!(
+        "setup: fig-4 relations built once in {:.1} ms",
+        env.setup_wall_ms
+    );
+
+    let results: Vec<WorkloadResult> = env
+        .workloads
+        .iter()
+        .map(|(name, relation)| run_workload(name, relation))
         .collect();
 
     let mut json = String::from("{\n  \"benchmark\": \"lp_warm_chains\",\n  \"workloads\": [\n");
@@ -406,9 +547,10 @@ fn main() {
     eprintln!("wrote {out_path}");
 
     // --- Repeated-workload sequence-cache bench → BENCH_cache.json ---
-    let cache_results: Vec<CacheBenchResult> = [Pattern::triangle(), Pattern::k_star(2)]
-        .into_iter()
-        .map(|p| run_cache_workload(p, 16))
+    let cache_results: Vec<CacheBenchResult> = env
+        .workloads
+        .iter()
+        .map(|(name, relation)| run_cache_workload(name, relation, 16))
         .collect();
     let (sql_queries, sql_hits, sql_misses, sql_wall_ms) = run_sql_repeated_workload();
     let sql_hit_rate = sql_hits as f64 / (sql_hits + sql_misses).max(1) as f64;
@@ -493,6 +635,44 @@ fn main() {
     }
     eprintln!("wrote {groupby_out_path}");
 
+    // --- Telemetry overhead bench → BENCH_observe.json ---
+    let triangle_relation = &env.workloads[0].1;
+    let ob = run_observe_workload(triangle_relation);
+    let observe_json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"observe_overhead\",\n",
+            "  \"setup_wall_ms\": {:.3},\n",
+            "  \"iterations\": {},\n",
+            "  \"noop_wall_ms\": {:.3},\n",
+            "  \"instrumented_wall_ms\": {:.3},\n",
+            "  \"overhead_fraction\": {:.4},\n",
+            "  \"bit_identical\": {},\n",
+            "  \"traces_populated\": {}\n}}\n"
+        ),
+        env.setup_wall_ms,
+        ob.iterations,
+        ob.noop_wall_ms,
+        ob.instrumented_wall_ms,
+        ob.overhead_fraction,
+        ob.bit_identical,
+        ob.traces_populated,
+    );
+    println!(
+        "   observe: {} releases — noop {:.1} ms vs instrumented {:.1} ms \
+         ({:+.1}% overhead, bit-identical: {}, traces populated: {})",
+        ob.iterations,
+        ob.noop_wall_ms,
+        ob.instrumented_wall_ms,
+        ob.overhead_fraction * 100.0,
+        ob.bit_identical,
+        ob.traces_populated,
+    );
+    if let Err(e) = std::fs::write(&observe_out_path, &observe_json) {
+        eprintln!("failed to write {observe_out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {observe_out_path}");
+
     // --- Gates (JSON files are written first so CI can always upload) ---
     let mut failed = false;
     for r in results.iter().filter(|r| r.warm_pivots >= r.cold_pivots) {
@@ -541,6 +721,28 @@ fn main() {
         eprintln!(
             "PERF REGRESSION: repeated grouped reports hit rate {:.2} < 0.5",
             gb.hit_rate
+        );
+        failed = true;
+    }
+    // Telemetry gates: instrumentation may never change a release, and the
+    // live recorder must stay within 5% of the no-op pass (plus a 5 ms
+    // absolute slack so microsecond-level jitter on shared runners cannot
+    // fail a run whose real overhead is nanoseconds per span).
+    if !ob.bit_identical {
+        eprintln!("CORRECTNESS REGRESSION: instrumented releases diverged from no-op releases");
+        failed = true;
+    }
+    if !ob.traces_populated {
+        eprintln!("CORRECTNESS REGRESSION: instrumented runs produced empty or non-monotone spans");
+        failed = true;
+    }
+    if ob.instrumented_wall_ms > ob.noop_wall_ms * 1.05 + 5.0 {
+        eprintln!(
+            "PERF REGRESSION: instrumentation overhead {:.1}% (instrumented {:.1} ms vs \
+             noop {:.1} ms) exceeds the 5% gate",
+            ob.overhead_fraction * 100.0,
+            ob.instrumented_wall_ms,
+            ob.noop_wall_ms,
         );
         failed = true;
     }

@@ -44,9 +44,9 @@ pub fn run(options: &CliOptions) -> Vec<Fig5Point> {
             let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(nodes as u64));
             let graph = generators::gnp_average_degree(nodes, avgdeg, &mut rng);
             for (privacy, label) in [(PrivacyUnit::Node, "node"), (PrivacyUnit::Edge, "edge")] {
-                let start = std::time::Instant::now();
+                let watch = rmdp_observe::Stopwatch::start();
                 let outcome = run_recursive(&graph, query, privacy, 0.5, 1, &mut rng);
-                let seconds = start.elapsed().as_secs_f64();
+                let seconds = watch.elapsed_seconds();
                 if let Ok(outcome) = outcome {
                     points.push(Fig5Point {
                         query: query.name(),

@@ -53,7 +53,7 @@ pub fn run(options: &CliOptions) -> Vec<RealGraphResult> {
         let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(spec.nodes as u64));
         let graph = real_world_standin(spec, divisor, &mut rng);
 
-        let start = std::time::Instant::now();
+        let watch = rmdp_observe::Stopwatch::start();
         let node = run_recursive(
             &graph,
             QueryKind::Triangle,
@@ -62,9 +62,9 @@ pub fn run(options: &CliOptions) -> Vec<RealGraphResult> {
             trials,
             &mut rng,
         );
-        let node_seconds = start.elapsed().as_secs_f64();
+        let node_seconds = watch.elapsed_seconds();
 
-        let start = std::time::Instant::now();
+        let watch = rmdp_observe::Stopwatch::start();
         let edge = run_recursive(
             &graph,
             QueryKind::Triangle,
@@ -73,7 +73,7 @@ pub fn run(options: &CliOptions) -> Vec<RealGraphResult> {
             trials,
             &mut rng,
         );
-        let edge_seconds = start.elapsed().as_secs_f64();
+        let edge_seconds = watch.elapsed_seconds();
 
         let local = QueryKind::Triangle.local_sensitivity_baseline(epsilon, 0.1);
         let local_outcome = run_baseline(local.as_ref(), &graph, trials, &mut rng);

@@ -87,7 +87,7 @@ pub fn run(sweep: Sweep, options: &CliOptions) -> Vec<KRelationPoint> {
                 0.0
             };
 
-            let start = std::time::Instant::now();
+            let watch = rmdp_observe::Stopwatch::start();
             let sequences = EfficientSequences::new(query);
             let mut mechanism = match RecursiveMechanism::new(sequences, params) {
                 Ok(m) => m,
@@ -106,7 +106,7 @@ pub fn run(sweep: Sweep, options: &CliOptions) -> Vec<KRelationPoint> {
                     continue;
                 }
             };
-            let seconds = start.elapsed().as_secs_f64();
+            let seconds = watch.elapsed_seconds();
 
             out.push(KRelationPoint {
                 shape: shape.label(spec.literals_per_clause),

@@ -111,11 +111,11 @@ pub fn run_recursive<R: Rng + ?Sized>(
         PrivacyUnit::Edge => MechanismParams::paper_edge_privacy(epsilon),
     };
     let counter = SubgraphCounter::new(query.pattern(), privacy, params);
-    let start = std::time::Instant::now();
+    let watch = rmdp_observe::Stopwatch::start();
     let mut prepared = counter.prepare(graph)?;
     // Force Δ so the preparation time includes the binary search over G.
     let _ = prepared.mechanism_mut().delta()?;
-    let prepare_time = start.elapsed();
+    let prepare_time = watch.elapsed();
 
     let answers = prepared.release_many(trials, rng)?;
     let errors: Vec<f64> = answers
@@ -139,11 +139,11 @@ pub fn run_baseline<R: Rng>(
     rng: &mut R,
 ) -> MechanismOutcome {
     let truth = baseline.true_count(graph);
-    let start = std::time::Instant::now();
+    let watch = rmdp_observe::Stopwatch::start();
     let errors: Vec<f64> = (0..trials)
         .map(|_| relative_error(baseline.release(graph, rng), truth))
         .collect();
-    let elapsed = start.elapsed();
+    let elapsed = watch.elapsed();
     MechanismOutcome {
         median_relative_error: median(&errors),
         prepare_time: Duration::ZERO,

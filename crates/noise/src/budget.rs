@@ -150,6 +150,16 @@ pub enum GroupBudgetPolicy {
     PerGroup,
 }
 
+impl std::fmt::Display for GroupBudgetPolicy {
+    /// The stable policy name recorded in release traces.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GroupBudgetPolicy::SplitEvenly => "split-evenly",
+            GroupBudgetPolicy::PerGroup => "per-group",
+        })
+    }
+}
+
 impl GroupBudgetPolicy {
     /// The fraction of the per-release `ε` each of `k` groups spends.
     pub fn per_group_fraction(self, k: usize) -> f64 {

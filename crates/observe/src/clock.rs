@@ -1,0 +1,180 @@
+//! Time sources behind a trait so tests can inject deterministic time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotone time source reporting nanoseconds since an arbitrary origin.
+///
+/// Everything in the workspace that needs to time work takes a `Clock`
+/// (directly or through a [`SpanRecorder`](crate::SpanRecorder) /
+/// [`Stopwatch`]) instead of calling `std::time::Instant::now()`, so tests
+/// can substitute a [`ManualClock`] and assert on exact durations.
+pub trait Clock {
+    /// Nanoseconds since the clock's origin. Must be monotone non-decreasing.
+    fn now_nanos(&self) -> u64;
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now_nanos(&self) -> u64 {
+        (**self).now_nanos()
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now_nanos(&self) -> u64 {
+        (**self).now_nanos()
+    }
+}
+
+/// The process monotonic clock, anchored at construction.
+///
+/// This type is the *only* sanctioned home of `std::time::Instant` in the
+/// workspace (CI rejects raw `Instant`/`SystemTime` elsewhere).
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    origin: std::time::Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        // Saturating: an `Instant` elapsed of > 500 years is not reachable.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+///
+/// Interior mutability (an atomic) lets a shared `&ManualClock` be advanced
+/// while a recorder holds it, and makes the clock `Sync` for worker pools.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock reading zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// A clock reading `nanos`.
+    pub fn at(nanos: u64) -> Self {
+        ManualClock {
+            nanos: AtomicU64::new(nanos),
+        }
+    }
+
+    /// Moves the clock forward by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Sets the absolute reading (monotonicity is the caller's duty).
+    pub fn set(&self, nanos: u64) {
+        self.nanos.store(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// A started timer over any [`Clock`]: the drop-in replacement for the
+/// `let start = Instant::now(); … start.elapsed()` idiom.
+#[derive(Clone, Debug)]
+pub struct Stopwatch<C: Clock = MonotonicClock> {
+    clock: C,
+    start: u64,
+}
+
+impl Stopwatch<MonotonicClock> {
+    /// Starts a stopwatch on a fresh monotonic clock.
+    pub fn start() -> Self {
+        Stopwatch::with_clock(MonotonicClock::new())
+    }
+}
+
+impl<C: Clock> Stopwatch<C> {
+    /// Starts a stopwatch reading time from `clock`.
+    pub fn with_clock(clock: C) -> Self {
+        let start = clock.now_nanos();
+        Stopwatch { clock, start }
+    }
+
+    /// Nanoseconds since the stopwatch started.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.clock.now_nanos().saturating_sub(self.start)
+    }
+
+    /// Elapsed time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_nanos())
+    }
+
+    /// Elapsed time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_nanos() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_and_sets() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(5);
+        clock.advance(7);
+        assert_eq!(clock.now_nanos(), 12);
+        clock.set(100);
+        assert_eq!(clock.now_nanos(), 100);
+        assert_eq!(ManualClock::at(42).now_nanos(), 42);
+    }
+
+    #[test]
+    fn stopwatch_measures_on_a_manual_clock() {
+        let clock = ManualClock::at(10);
+        let watch = Stopwatch::with_clock(&clock);
+        clock.advance(2_500_000_000);
+        assert_eq!(watch.elapsed_nanos(), 2_500_000_000);
+        assert_eq!(watch.elapsed(), Duration::from_millis(2500));
+        assert!((watch.elapsed_seconds() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_impls_pass_through_references_and_arcs() {
+        let clock = Arc::new(ManualClock::at(9));
+        let dynamic: Arc<dyn Clock + Send + Sync> = clock.clone();
+        assert_eq!(dynamic.now_nanos(), 9);
+        let by_ref: &ManualClock = &clock;
+        assert_eq!(<&ManualClock as Clock>::now_nanos(&by_ref), 9);
+    }
+}

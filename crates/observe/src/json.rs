@@ -1,0 +1,369 @@
+//! A minimal JSON writer/parser pair, just enough to round-trip metric
+//! snapshots and traces without external dependencies.
+//!
+//! The writer emits deterministic output (callers feed it `BTreeMap`s); the
+//! parser accepts the standard grammar (objects, arrays, strings with
+//! escapes, numbers, booleans, null) and keeps numbers as their source text
+//! so integer counters survive the trip exactly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source text (see [`JsonValue::as_f64`] /
+    /// [`JsonValue::as_u64`]).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order preserved is not needed, so a sorted map.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The number as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Convenience: member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// A parse failure: what was wrong and the byte offset it was noticed at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in shortest round-trip form (`NaN`/`±inf` become `null`,
+/// which JSON cannot represent; metric producers guard against them anyway).
+pub fn write_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parses a complete JSON document (trailing garbage is an error).
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err("trailing characters after document", pos));
+    }
+    Ok(value)
+}
+
+fn err(message: &str, offset: usize) -> JsonError {
+    JsonError {
+        message: message.to_owned(),
+        offset,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, wanted: u8) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&wanted) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(&format!("expected `{}`", wanted as char), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(err("expected a JSON value", *pos)),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    text: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(text.as_bytes()) {
+        *pos += text.len();
+        Ok(value)
+    } else {
+        Err(err(&format!("expected `{text}`"), *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(err("expected digits", *pos));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    // Validate now so `as_f64` on a parsed document cannot fail.
+    text.parse::<f64>()
+        .map_err(|_| err("malformed number", start))?;
+    Ok(JsonValue::Number(text.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err("non-ASCII \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err("malformed \\u escape", *pos))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err("unknown escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err("invalid UTF-8 in string", *pos))?;
+                let c = rest.chars().next().expect("non-empty checked above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err("expected `,` or `]`", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut members = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(err("expected `,` or `}`", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "d": true}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\ny")
+        );
+        assert_eq!(doc.get("d"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "1 2",
+            "\"unterminated",
+            "{\"a\": nul}",
+        ] {
+            assert!(parse_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\te\u{0001}");
+        let back = parse_json(&out).unwrap();
+        assert_eq!(back.as_str(), Some("a\"b\\c\nd\te\u{0001}"));
+    }
+
+    #[test]
+    fn f64_shortest_repr_round_trips() {
+        for v in [0.0, 1.5, 0.1, 1e-300, -2.5e17, f64::MAX] {
+            let mut out = String::new();
+            write_json_f64(&mut out, v);
+            assert_eq!(parse_json(&out).unwrap().as_f64(), Some(v));
+        }
+        let mut out = String::new();
+        write_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn large_u64_counters_survive_exactly() {
+        let text = format!("{}", u64::MAX);
+        let doc = parse_json(&text).unwrap();
+        assert_eq!(doc.as_u64(), Some(u64::MAX));
+    }
+}

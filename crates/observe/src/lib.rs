@@ -1,0 +1,43 @@
+//! Observability for the recursive-mechanism pipeline: deterministic clocks,
+//! span-style stage recorders, a process/session metrics registry and the
+//! per-query [`ReleaseTrace`] audit record.
+//!
+//! DP-SQL deployments (Chorus-style middleware, the Uber elastic-sensitivity
+//! rollout) live or die on visibility: operators must be able to audit what
+//! each query cost in wall-time, LP pivots, cache traffic and ε. This crate
+//! is the single home for that telemetry:
+//!
+//! * [`Clock`] / [`MonotonicClock`] / [`ManualClock`] — all timing in the
+//!   workspace goes through the [`Clock`] trait so tests can inject
+//!   deterministic time. `MonotonicClock` is the *only* sanctioned user of
+//!   `std::time::Instant` (CI greps for strays).
+//! * [`Recorder`] / [`NoopRecorder`] / [`SpanRecorder`] — span-style stage
+//!   timing across the parse → plan → fingerprint → cache lookup → LP solve
+//!   → noise sample → budget debit pipeline. The no-op recorder has empty
+//!   inline bodies, so untraced release paths compile to exactly the code
+//!   they had before instrumentation.
+//! * [`MetricsRegistry`] — monotone counters, gauges and fixed-bucket
+//!   histograms shared across a session or process, snapshottable to JSON
+//!   (and parseable back, so external collectors can round-trip it).
+//! * [`ReleaseTrace`] — the per-query audit record returned by
+//!   `SqlSession::query_traced` / SQL `EXPLAIN ANALYZE`: canonical
+//!   fingerprint, cache outcome, LP work, noise scales, per-group ε split.
+//!
+//! Hard invariant, enforced by gated tests downstream: recorders and metrics
+//! never touch the mechanism's randomness or values — instrumented and
+//! uninstrumented releases are bit-identical.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+mod json;
+mod metrics;
+mod recorder;
+mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock, Stopwatch};
+pub use json::{parse_json, JsonError, JsonValue};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{NoopRecorder, Recorder, SpanRecorder, Stage};
+pub use trace::{CacheOutcome, GroupSplit, LpSummary, NoiseScales, ReleaseTrace, StageSpan};

@@ -1,5 +1,6 @@
-//! A dependency-free scoped worker pool for the embarrassingly parallel
-//! parts of the recursive mechanism.
+//! A scoped worker pool for the embarrassingly parallel parts of the
+//! recursive mechanism (no dependencies beyond the workspace's own
+//! `rmdp-observe` telemetry crate).
 //!
 //! The mechanism's cost is dominated by the `2(|P|+1)` independent LP solves
 //! behind the sequences `H_0…H_{|P|}` and `G_0…G_{|P|}` (paper Sec. 5.3):
@@ -20,6 +21,11 @@
 //!   warm-start chains (consecutive sequence-entry LPs): a run is one chain
 //!   executed on one worker, so warm starts survive parallelism without
 //!   making the results depend on the schedule.
+//! * [`install_pool_metrics`] — optional observability: once a
+//!   [`MetricsRegistry`](rmdp_observe::MetricsRegistry) is installed, every
+//!   fan-out reports queue depth and per-worker busy time into it. Until
+//!   then the pool pays one relaxed atomic load per call and records
+//!   nothing; recording never affects scheduling or results.
 //!
 //! The pool is deliberately tiny: an atomic next-index counter hands indices
 //! to workers (good load balancing when items have very different costs, as
@@ -41,9 +47,11 @@
 #![deny(missing_docs)]
 
 pub mod chunk;
+pub mod metrics;
 pub mod parallelism;
 pub mod pool;
 
 pub use chunk::{contiguous_runs, run_containing};
+pub use metrics::install_pool_metrics;
 pub use parallelism::Parallelism;
 pub use pool::{par_map_indexed, par_try_map_indexed};

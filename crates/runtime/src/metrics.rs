@@ -1,0 +1,103 @@
+//! Optional pool instrumentation: an installable process-wide
+//! [`MetricsRegistry`] the worker pool reports into.
+//!
+//! Nothing is recorded until [`install_pool_metrics`] runs — the fast path
+//! costs one relaxed atomic load per `par_map_indexed` call — and recording
+//! never influences scheduling or results (the pool's outputs are stitched
+//! by index regardless).
+
+use rmdp_observe::{MetricsRegistry, MonotonicClock};
+use std::sync::{Arc, OnceLock};
+
+static POOL_METRICS: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+
+/// Fan-out size buckets for the `pool.queue_depth` histogram.
+const QUEUE_DEPTH_BOUNDS: [f64; 6] = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
+
+/// Per-worker busy-time buckets (seconds) for `pool.worker_busy_seconds`.
+const BUSY_SECONDS_BOUNDS: [f64; 6] = [0.0001, 0.001, 0.01, 0.1, 1.0, 10.0];
+
+/// Installs `registry` as the process-wide sink for pool metrics.
+///
+/// Returns `false` (and leaves the existing sink) if one was already
+/// installed; the `OnceLock` cannot be replaced, which keeps the read path
+/// lock-free.
+pub fn install_pool_metrics(registry: Arc<MetricsRegistry>) -> bool {
+    POOL_METRICS.set(registry).is_ok()
+}
+
+/// The installed registry, if any.
+pub(crate) fn pool_metrics() -> Option<&'static Arc<MetricsRegistry>> {
+    POOL_METRICS.get()
+}
+
+/// Records one parallel fan-out: `len` items queued across `workers`.
+pub(crate) fn record_fanout(registry: &MetricsRegistry, len: usize, workers: usize) {
+    registry.counter_add("pool.parallel_calls", 1);
+    registry.counter_add("pool.tasks_queued", len as u64);
+    registry.counter_add("pool.workers_spawned", workers as u64);
+    registry.histogram_observe("pool.queue_depth", &QUEUE_DEPTH_BOUNDS, len as f64);
+}
+
+/// A per-worker busy-time measurement, started when the worker begins
+/// claiming items and flushed when its loop ends.
+pub(crate) struct WorkerTimer<'a> {
+    registry: Option<&'a MetricsRegistry>,
+    clock: Option<MonotonicClock>,
+    tasks: usize,
+}
+
+impl<'a> WorkerTimer<'a> {
+    /// Starts a timer (inert when no registry is installed).
+    pub(crate) fn start(registry: Option<&'a MetricsRegistry>) -> Self {
+        WorkerTimer {
+            registry,
+            clock: registry.map(|_| MonotonicClock::new()),
+            tasks: 0,
+        }
+    }
+
+    /// Counts one executed task.
+    pub(crate) fn task_done(&mut self) {
+        self.tasks += 1;
+    }
+
+    /// Flushes the busy time and task count to the registry.
+    pub(crate) fn finish(self) {
+        if let (Some(registry), Some(clock)) = (self.registry, self.clock) {
+            use rmdp_observe::Clock;
+            let busy = clock.now_nanos() as f64 / 1e9;
+            registry.histogram_observe("pool.worker_busy_seconds", &BUSY_SECONDS_BOUNDS, busy);
+            registry.counter_add("pool.tasks_executed", self.tasks as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_timer_is_inert_without_a_registry() {
+        let mut timer = WorkerTimer::start(None);
+        timer.task_done();
+        timer.finish(); // must not panic
+    }
+
+    #[test]
+    fn worker_timer_records_into_a_registry() {
+        let registry = MetricsRegistry::new();
+        record_fanout(&registry, 10, 3);
+        let mut timer = WorkerTimer::start(Some(&registry));
+        timer.task_done();
+        timer.task_done();
+        timer.finish();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.parallel_calls"), Some(1));
+        assert_eq!(snap.counter("pool.tasks_queued"), Some(10));
+        assert_eq!(snap.counter("pool.workers_spawned"), Some(3));
+        assert_eq!(snap.counter("pool.tasks_executed"), Some(2));
+        assert_eq!(snap.histogram("pool.queue_depth").unwrap().count, 1);
+        assert_eq!(snap.histogram("pool.worker_busy_seconds").unwrap().count, 1);
+    }
+}

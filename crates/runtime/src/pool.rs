@@ -1,5 +1,6 @@
 //! The scoped worker pool and its `par_map_indexed` primitive.
 
+use crate::metrics::{pool_metrics, record_fanout, WorkerTimer};
 use crate::parallelism::Parallelism;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -24,6 +25,10 @@ where
         return (0..len).map(f).collect();
     }
 
+    let metrics = pool_metrics().map(|r| r.as_ref());
+    if let Some(registry) = metrics {
+        record_fanout(registry, len, workers);
+    }
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
@@ -31,6 +36,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut timer = WorkerTimer::start(metrics);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -38,7 +44,9 @@ where
                             break;
                         }
                         local.push((i, f(i)));
+                        timer.task_done();
                     }
+                    timer.finish();
                     local
                 })
             })
@@ -89,6 +97,10 @@ where
         return Ok(out);
     }
 
+    let metrics = pool_metrics().map(|r| r.as_ref());
+    if let Some(registry) = metrics {
+        record_fanout(registry, len, workers);
+    }
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let f = &f;
@@ -98,6 +110,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut timer = WorkerTimer::start(metrics);
                     let mut local = Vec::new();
                     while !failed.load(Ordering::Relaxed) {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -109,7 +122,9 @@ where
                             failed.store(true, Ordering::Relaxed);
                         }
                         local.push((i, result));
+                        timer.task_done();
                     }
+                    timer.finish();
                     local
                 })
             })

@@ -156,4 +156,8 @@ pub struct Query {
     pub filter: Vec<Predicate>,
     /// The `GROUP BY` clause, when the query is grouped.
     pub group_by: Option<GroupBy>,
+    /// `true` when the query was prefixed with `EXPLAIN ANALYZE`: the
+    /// release still runs (and still debits the budget), but the caller
+    /// wants the [`ReleaseTrace`](rmdp_observe::ReleaseTrace) alongside it.
+    pub explain: bool,
 }

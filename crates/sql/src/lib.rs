@@ -64,13 +64,20 @@ pub mod token;
 
 pub use error::SqlError;
 pub use parser::parse;
-pub use plan::{plan, AnyPlan, GroupedQueryPlan, QueryPlan};
-pub use session::{GroupRelease, GroupedRelease, QueryOutput, SqlSession};
+pub use plan::{plan, plan_query, AnyPlan, GroupedQueryPlan, QueryPlan};
+pub use session::{GroupRelease, GroupedRelease, QueryOutput, SqlSession, TracedOutput};
 pub use token::{Span, Token, TokenKind};
 
 // Re-exported so downstream users can configure grouped-report pricing
 // without importing `rmdp_noise` separately.
 pub use rmdp_noise::GroupBudgetPolicy;
+
+// Re-exported so downstream users can read traces and wire up telemetry
+// (`SqlSession::with_metrics` / `with_clock`) without importing
+// `rmdp_observe` separately.
+pub use rmdp_observe::{
+    CacheOutcome, MetricsRegistry, MetricsSnapshot, ReleaseTrace, Stage, StageSpan,
+};
 
 // Re-exported so downstream users of the facade crate can name the argument
 // type of `SqlSession::new` without importing `rmdp_krelation` separately.

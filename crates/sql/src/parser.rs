@@ -164,6 +164,27 @@ impl Parser {
     }
 
     fn query(&mut self) -> Result<Query, SqlError> {
+        // Optional `EXPLAIN ANALYZE` prefix. Plain `EXPLAIN` is rejected on
+        // purpose: a trace of a release that did not run would have to
+        // invent LP statistics and noise scales, so the only supported form
+        // is the one that executes the query and reports what happened.
+        let explain = if self.peek().kind == TokenKind::Explain {
+            let explain_span = self.advance().span;
+            if !self.eat(&TokenKind::Analyze) {
+                return Err(SqlError::Unsupported {
+                    construct: "`EXPLAIN` without `ANALYZE`".to_owned(),
+                    reason: "a release trace describes a query that actually ran; \
+                             use `EXPLAIN ANALYZE` to execute the query and get its \
+                             trace, or `SqlSession::plan` to inspect the plan without \
+                             spending budget"
+                        .to_owned(),
+                    span: explain_span,
+                });
+            }
+            true
+        } else {
+            false
+        };
         self.expect(&TokenKind::Select, "`SELECT`")?;
         self.reject_unsupported()?;
         // Optional leading group key: `SELECT key, COUNT(*) … GROUP BY key`.
@@ -231,6 +252,7 @@ impl Parser {
             joins,
             filter,
             group_by,
+            explain,
         })
     }
 

@@ -286,7 +286,16 @@ impl fmt::Display for QueryPlan {
 /// grouped plan depending on the query's shape.
 pub fn plan(db: &AnnotatedDatabase, sql: &str) -> Result<AnyPlan, SqlError> {
     let query = parse(sql)?;
-    Planner { db }.lower(&query)
+    plan_query(db, &query)
+}
+
+/// Plans an already-parsed [`Query`] against the schema of `db`.
+///
+/// [`SqlSession::query_traced`](crate::SqlSession::query_traced) uses this
+/// to time parsing and lowering as separate trace stages; [`plan`] is the
+/// one-shot convenience wrapper.
+pub fn plan_query(db: &AnnotatedDatabase, query: &Query) -> Result<AnyPlan, SqlError> {
+    Planner { db }.lower(query)
 }
 
 struct Planner<'a> {

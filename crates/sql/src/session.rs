@@ -3,18 +3,23 @@
 use crate::error::SqlError;
 use crate::exec::{execute, execute_grouped, weigh};
 use crate::fingerprint::plan_fingerprint;
-use crate::plan::{plan, AnyPlan, GroupedQueryPlan, QueryPlan};
+use crate::parser::parse;
+use crate::plan::{plan, plan_query, AnyPlan, GroupedQueryPlan, QueryPlan};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rmdp_core::{
-    CacheStats, CachedSequences, EfficientSequences, FrozenSequences, MechanismParams, Parallelism,
-    RecursiveMechanism, Release, SensitiveKRelation, SequenceCache,
+    CacheStats, CachedSequences, EfficientSequences, FrozenSequences, LpWorkStats, MechanismParams,
+    Parallelism, RecursiveMechanism, Release, SensitiveKRelation, SequenceCache,
 };
 use rmdp_krelation::annotate::AnnotatedDatabase;
 use rmdp_krelation::fingerprint::{Fingerprint, FingerprintHasher};
 use rmdp_krelation::tuple::Value;
 use rmdp_krelation::KRelation;
 use rmdp_noise::{BudgetAccountant, BudgetExhausted, GroupBudgetPolicy, PrivacyBudget};
+use rmdp_observe::{
+    CacheOutcome, Clock, GroupSplit, MetricsRegistry, MonotonicClock, NoiseScales, NoopRecorder,
+    Recorder, ReleaseTrace, SpanRecorder, Stage,
+};
 use rmdp_runtime::par_try_map_indexed;
 use std::sync::Arc;
 
@@ -82,24 +87,54 @@ pub enum QueryOutput {
     Scalar(Release),
     /// A per-group report over a declared public key domain.
     Grouped(GroupedRelease),
+    /// An `EXPLAIN ANALYZE` query: the release it performed (budget was
+    /// spent normally) plus the [`ReleaseTrace`] of how it was produced.
+    Explained(Box<TracedOutput>),
 }
 
 impl QueryOutput {
-    /// The scalar release, if this is one.
+    /// The scalar release, if this is one (an `EXPLAIN ANALYZE` of a scalar
+    /// query unwraps transparently).
     pub fn scalar(self) -> Option<Release> {
         match self {
             QueryOutput::Scalar(r) => Some(r),
+            QueryOutput::Explained(t) => t.output.scalar(),
             QueryOutput::Grouped(_) => None,
         }
     }
 
-    /// The grouped report, if this is one.
+    /// The grouped report, if this is one (an `EXPLAIN ANALYZE` of a grouped
+    /// query unwraps transparently).
     pub fn grouped(self) -> Option<GroupedRelease> {
         match self {
             QueryOutput::Scalar(_) => None,
+            QueryOutput::Explained(t) => t.output.grouped(),
             QueryOutput::Grouped(g) => Some(g),
         }
     }
+
+    /// The traced output, if this query carried an `EXPLAIN ANALYZE` prefix.
+    pub fn explained(self) -> Option<TracedOutput> {
+        match self {
+            QueryOutput::Explained(t) => Some(*t),
+            QueryOutput::Scalar(_) | QueryOutput::Grouped(_) => None,
+        }
+    }
+}
+
+/// A query output together with the [`ReleaseTrace`] describing how it was
+/// produced: what [`SqlSession::query_traced`] returns, and what an
+/// `EXPLAIN ANALYZE` query wraps in [`QueryOutput::Explained`].
+///
+/// The output inside is a real release — it ran end to end and debited the
+/// budget like any other query; the trace is a read-only account of that
+/// run (stage timings, cache outcome, LP work, noise scales, ε spent).
+#[derive(Clone, Debug)]
+pub struct TracedOutput {
+    /// The released output (never [`QueryOutput::Explained`] itself).
+    pub output: QueryOutput,
+    /// The trace of the release that produced `output`.
+    pub trace: ReleaseTrace,
 }
 
 /// A SQL session: an annotated database plus mechanism parameters and a
@@ -189,6 +224,9 @@ pub struct SqlSession {
     accountant: Option<BudgetAccountant>,
     cache: Option<Arc<SequenceCache>>,
     group_policy: GroupBudgetPolicy,
+    metrics: Option<Arc<MetricsRegistry>>,
+    clock: Arc<dyn Clock + Send + Sync>,
+    lp_totals: LpWorkStats,
 }
 
 impl SqlSession {
@@ -208,7 +246,43 @@ impl SqlSession {
             accountant: None,
             cache: None,
             group_policy: GroupBudgetPolicy::default(),
+            metrics: None,
+            clock: Arc::new(MonotonicClock::new()),
+            lp_totals: LpWorkStats::default(),
         }
+    }
+
+    /// Attaches a [`MetricsRegistry`] the session reports into: release and
+    /// LP-work counters, sequence-cache counters and hit rate, and the
+    /// budget series (`budget.admitted/debited/refused` with their ε sums).
+    /// The registry may be shared across sessions (and with
+    /// [`rmdp_runtime::install_pool_metrics`]); recording never touches the
+    /// noise RNG, so metered releases stay bit-identical to unmetered ones.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Replaces the clock behind [`SqlSession::query_traced`] stage timings.
+    /// The default is the process monotonic clock; tests inject a
+    /// [`ManualClock`](rmdp_observe::ManualClock) to make traces
+    /// deterministic. The clock is read only on traced paths and only
+    /// between releases' RNG draws — never by the mechanism itself.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock + Send + Sync>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Cumulative LP work across every release this session performed
+    /// (scalar queries, grouped reports and batches alike), folded in input
+    /// order so the totals are identical for every [`Parallelism`].
+    pub fn lp_totals(&self) -> LpWorkStats {
+        self.lp_totals
     }
 
     /// Sets how grouped (`GROUP BY`) reports split privacy budget across
@@ -294,11 +368,23 @@ impl SqlSession {
     /// budget cannot cover it.
     fn ensure_affordable(&self, cost: PrivacyBudget) -> Result<(), SqlError> {
         match &self.accountant {
-            Some(acc) if !acc.can_afford(cost) => Err(SqlError::BudgetExhausted(BudgetExhausted {
-                requested: cost,
-                remaining: acc.remaining(),
-            })),
-            _ => Ok(()),
+            Some(acc) if !acc.can_afford(cost) => {
+                if let Some(m) = &self.metrics {
+                    m.counter_add("budget.refused", 1);
+                    m.sum_add("budget.refused_epsilon", cost.epsilon);
+                }
+                Err(SqlError::BudgetExhausted(BudgetExhausted {
+                    requested: cost,
+                    remaining: acc.remaining(),
+                }))
+            }
+            _ => {
+                if let Some(m) = &self.metrics {
+                    m.counter_add("budget.admitted", 1);
+                    m.sum_add("budget.admitted_epsilon", cost.epsilon);
+                }
+                Ok(())
+            }
         }
     }
 
@@ -308,6 +394,10 @@ impl SqlSession {
     fn debit(&mut self, cost: PrivacyBudget) -> Result<(), SqlError> {
         if let Some(acc) = &mut self.accountant {
             acc.try_spend(cost)?;
+        }
+        if let Some(m) = &self.metrics {
+            m.counter_add("budget.debited", 1);
+            m.sum_add("budget.debited_epsilon", cost.epsilon);
         }
         Ok(())
     }
@@ -383,10 +473,122 @@ impl SqlSession {
     /// for them out of band; the accountant meters released answers, and a
     /// failed query releases none.)
     pub fn query(&mut self, sql: &str) -> Result<QueryOutput, SqlError> {
-        match self.plan(sql)? {
+        // Parse first so an `EXPLAIN ANALYZE` prefix can dispatch to the
+        // traced path. `query_traced` re-parses the text, which keeps its
+        // Parse span honest and costs microseconds next to the LP solves.
+        let ast = parse(sql)?;
+        if ast.explain {
+            return Ok(QueryOutput::Explained(Box::new(self.query_traced(sql)?)));
+        }
+        match plan_query(&self.db, &ast)? {
             AnyPlan::Scalar(plan) => self.release_scalar(&plan).map(QueryOutput::Scalar),
             AnyPlan::Grouped(plan) => self.release_grouped(&plan).map(QueryOutput::Grouped),
         }
+    }
+
+    /// Runs `sql` like [`SqlSession::query`] and returns the output together
+    /// with its [`ReleaseTrace`] — the programmatic form of
+    /// `EXPLAIN ANALYZE` (which is sugar for this method).
+    ///
+    /// The release is **bit-identical** to what [`SqlSession::query`] would
+    /// have produced at this point of the session: the trace recorder reads
+    /// only the session clock, never the noise RNG, and the budget is
+    /// admitted and debited exactly as usual. Scalar traces time all seven
+    /// pipeline stages individually (parse → plan → fingerprint → cache
+    /// lookup → sequence solves → noise draws → budget accounting); a
+    /// grouped report's parallel fan-out is booked as one
+    /// [`Stage::SequenceSolve`] span — splitting stages across concurrent
+    /// workers would double-count wall time — with per-group cache hits,
+    /// LP work (folded in domain order), noise scales and the ε split
+    /// reported in the trace body instead.
+    pub fn query_traced(&mut self, sql: &str) -> Result<TracedOutput, SqlError> {
+        let started = self.clock.now_nanos();
+        let mut recorder = SpanRecorder::new(Arc::clone(&self.clock));
+        recorder.enter(Stage::Parse);
+        let ast = parse(sql)?;
+        recorder.exit(Stage::Parse);
+        recorder.enter(Stage::Plan);
+        let planned = plan_query(&self.db, &ast)?;
+        recorder.exit(Stage::Plan);
+
+        let (output, fingerprint, cache, cache_hits, cache_misses, lp, noise, epsilon, split) =
+            match planned {
+                AnyPlan::Scalar(plan) => {
+                    let out = self.release_scalar_recorded(&plan, &mut recorder, true)?;
+                    let noise = vec![NoiseScales {
+                        log_scale: self.params.beta / self.params.epsilon1,
+                        answer_scale: out.release.delta_hat / self.params.epsilon2,
+                    }];
+                    let (hits, misses) = match out.cache {
+                        CacheOutcome::Hit => (1, 0),
+                        CacheOutcome::Miss => (0, 1),
+                        CacheOutcome::Uncached => (0, 0),
+                    };
+                    (
+                        QueryOutput::Scalar(out.release),
+                        out.fingerprint,
+                        out.cache,
+                        hits,
+                        misses,
+                        out.lp,
+                        noise,
+                        self.params.total_epsilon(),
+                        None,
+                    )
+                }
+                AnyPlan::Grouped(plan) => {
+                    let (report, info) = self.release_grouped_recorded(&plan, &mut recorder)?;
+                    let noise = report
+                        .groups
+                        .iter()
+                        .map(|g| NoiseScales {
+                            log_scale: self.params.beta / info.group_epsilon1,
+                            answer_scale: g.release.delta_hat / info.group_epsilon2,
+                        })
+                        .collect();
+                    let split = GroupSplit {
+                        policy: report.policy.to_string(),
+                        groups: report.len() as u64,
+                        per_group_fraction: info.fraction,
+                        per_group_epsilon: report.per_group_epsilon,
+                    };
+                    let epsilon = report.epsilon_spent;
+                    (
+                        QueryOutput::Grouped(report),
+                        None,
+                        info.cache,
+                        info.cache_hits,
+                        info.cache_misses,
+                        info.lp,
+                        noise,
+                        epsilon,
+                        Some(split),
+                    )
+                }
+            };
+
+        let trace = ReleaseTrace {
+            fingerprint: fingerprint.map(|f| f.0),
+            cache,
+            cache_hits,
+            cache_misses,
+            stages: recorder.spans(),
+            total_nanos: self.clock.now_nanos().saturating_sub(started),
+            lp: lp.to_summary(),
+            noise,
+            epsilon_spent: epsilon,
+            group_split: split,
+        };
+        if let Some(m) = &self.metrics {
+            m.counter_add("sql.traced_queries", 1);
+            for span in &trace.stages {
+                m.sum_add(
+                    &format!("stage.{}.seconds", span.stage.name()),
+                    span.nanos as f64 / 1e9,
+                );
+            }
+        }
+        Ok(TracedOutput { output, trace })
     }
 
     /// [`SqlSession::query`] for callers that know the query is scalar;
@@ -422,21 +624,80 @@ impl SqlSession {
     /// The shared scalar release path of [`SqlSession::query`] and
     /// [`SqlSession::query_scalar`].
     fn release_scalar(&mut self, plan: &QueryPlan) -> Result<Release, SqlError> {
+        Ok(self
+            .release_scalar_recorded(plan, &mut NoopRecorder, false)?
+            .release)
+    }
+
+    /// Recorder-generic scalar release: the shared implementation of
+    /// [`SqlSession::release_scalar`] (with a [`NoopRecorder`], whose empty
+    /// inline hooks compile away) and [`SqlSession::query_traced`] (with a
+    /// [`SpanRecorder`]). `force_fingerprint` computes the canonical plan
+    /// fingerprint even on uncached sessions so the trace can report it.
+    fn release_scalar_recorded<T: Recorder>(
+        &mut self,
+        plan: &QueryPlan,
+        recorder: &mut T,
+        force_fingerprint: bool,
+    ) -> Result<ScalarOutcome, SqlError> {
         // Validate params before the admission check so a misconfigured
         // session fails loudly instead of looking over budget.
         self.params.validate()?;
         let cost = self.release_cost();
-        self.ensure_affordable(cost)?;
+        recorder.enter(Stage::BudgetDebit);
+        let admitted = self.ensure_affordable(cost);
+        recorder.exit(Stage::BudgetDebit);
+        admitted?;
+        recorder.enter(Stage::Fingerprint);
         let cache = self.cache_key(plan);
-        let release = release_plan(
+        let fingerprint = match (&cache, force_fingerprint) {
+            (Some((_, key)), _) => Some(*key),
+            (None, true) => Some(plan_fingerprint(&self.db, plan, &self.params)),
+            (None, false) => None,
+        };
+        recorder.exit(Stage::Fingerprint);
+        let outcome = release_plan(
             &self.db,
             plan,
             self.params,
             &mut self.rng,
             cache.as_ref().map(|(c, key)| (c.as_ref(), *key)),
+            recorder,
         )?;
-        self.debit(cost)?;
-        Ok(release)
+        recorder.enter(Stage::BudgetDebit);
+        let debited = self.debit(cost);
+        recorder.exit(Stage::BudgetDebit);
+        debited?;
+        self.absorb_release_stats(&outcome.lp, 1);
+        Ok(ScalarOutcome {
+            release: outcome.release,
+            cache: outcome.cache,
+            lp: outcome.lp,
+            fingerprint,
+        })
+    }
+
+    /// Folds one call's LP work into the session totals and, when a
+    /// registry is attached, into the process metrics. `releases` is how
+    /// many mechanism releases the call performed (1 for a scalar, `k` for
+    /// a grouped report, the batch length for a batch).
+    fn absorb_release_stats(&mut self, lp: &LpWorkStats, releases: u64) {
+        self.lp_totals.absorb(lp);
+        if let Some(m) = &self.metrics {
+            m.counter_add("sql.releases", releases);
+            m.counter_add("lp.h_solves", lp.h_solves as u64);
+            m.counter_add("lp.g_solves", lp.g_solves as u64);
+            m.counter_add("lp.total_pivots", lp.total_pivots as u64);
+            m.counter_add("lp.warm_start_hits", lp.warm_start_hits as u64);
+            m.counter_add("lp.refactorizations", lp.refactorizations as u64);
+            if let Some(stats) = self.cache_stats() {
+                m.counter_record_total("cache.hits", stats.hits);
+                m.counter_record_total("cache.misses", stats.misses);
+                m.counter_record_total("cache.insertions", stats.insertions);
+                m.counter_record_total("cache.evictions", stats.evictions);
+                m.gauge_set("cache.hit_rate", stats.hit_rate());
+            }
+        }
     }
 
     /// The grouped release path: the whole `k`-group report is admitted
@@ -457,10 +718,27 @@ impl SqlSession {
     /// [`Parallelism`] settings, cached/uncached sessions, *and* re-declared
     /// domain orders.
     fn release_grouped(&mut self, grouped: &GroupedQueryPlan) -> Result<GroupedRelease, SqlError> {
+        Ok(self.release_grouped_recorded(grouped, &mut NoopRecorder)?.0)
+    }
+
+    /// Recorder-generic grouped release. Worker threads run with a
+    /// [`NoopRecorder`] — attributing stage spans across a concurrent
+    /// fan-out would double-count wall time — so the report's recorder
+    /// books admission/debit, fingerprinting, and the whole fan-out (as one
+    /// [`Stage::SequenceSolve`] span); the per-group facts the trace wants
+    /// come back in the [`GroupedOutcome`].
+    fn release_grouped_recorded<T: Recorder>(
+        &mut self,
+        grouped: &GroupedQueryPlan,
+        recorder: &mut T,
+    ) -> Result<(GroupedRelease, GroupedOutcome), SqlError> {
         self.params.validate()?;
         let k = grouped.num_groups();
         let cost = self.group_policy.report_cost(self.release_cost(), k);
-        self.ensure_affordable(cost)?;
+        recorder.enter(Stage::BudgetDebit);
+        let admitted = self.ensure_affordable(cost);
+        recorder.exit(Stage::BudgetDebit);
+        admitted?;
 
         // Per-group parameters: only the ε split scales; β and θ — the
         // sensitivity-relevant fields the cache keys on — stay put, so
@@ -479,12 +757,14 @@ impl SqlSession {
             .collect();
         // Fingerprints are computed before the fan-out (cheap and pure), so
         // workers only touch the shared cache.
+        recorder.enter(Stage::Fingerprint);
         let keys: Option<Vec<Fingerprint>> = self.cache.as_ref().map(|_| {
             plans
                 .iter()
                 .map(|p| plan_fingerprint(&self.db, p, &group_params))
                 .collect()
         });
+        recorder.exit(Stage::Fingerprint);
         let report_seed = self.rng.next_u64();
         let seeds: Vec<u64> = grouped
             .domain
@@ -504,26 +784,75 @@ impl SqlSession {
         } else {
             Parallelism::Serial
         });
-        let releases = par_try_map_indexed(self.params.parallelism, k, |i| {
+        recorder.enter(Stage::SequenceSolve);
+        let outcomes = par_try_map_indexed(self.params.parallelism, k, |i| {
             let mut rng = StdRng::seed_from_u64(seeds[i]);
             let key = keys.as_ref().map(|ks| ks[i]);
-            release_plan(db, &plans[i], worker_params, &mut rng, cache.zip(key))
-        })?;
-        self.debit(cost)?;
+            release_plan(
+                db,
+                &plans[i],
+                worker_params,
+                &mut rng,
+                cache.zip(key),
+                &mut NoopRecorder,
+            )
+        });
+        recorder.exit(Stage::SequenceSolve);
+        let outcomes = outcomes?;
+        recorder.enter(Stage::BudgetDebit);
+        let debited = self.debit(cost);
+        recorder.exit(Stage::BudgetDebit);
+        debited?;
 
-        Ok(GroupedRelease {
+        // Fold the per-group LP work and cache outcomes in domain (= input)
+        // order; `par_try_map_indexed` already returns index order, so the
+        // totals are identical for every `Parallelism`.
+        let mut lp = LpWorkStats::default();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        for outcome in &outcomes {
+            lp.absorb(&outcome.lp);
+            match outcome.cache {
+                CacheOutcome::Hit => cache_hits += 1,
+                CacheOutcome::Miss => cache_misses += 1,
+                CacheOutcome::Uncached => {}
+            }
+        }
+        self.absorb_release_stats(&lp, k as u64);
+        let cache_outcome = if self.cache.is_none() {
+            CacheOutcome::Uncached
+        } else if cache_misses == 0 {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+
+        let report = GroupedRelease {
             key_column: grouped.key_display.clone(),
             groups: grouped
                 .domain
                 .iter()
                 .cloned()
-                .zip(releases)
-                .map(|(key, release)| GroupRelease { key, release })
+                .zip(outcomes)
+                .map(|(key, outcome)| GroupRelease {
+                    key,
+                    release: outcome.release,
+                })
                 .collect(),
             per_group_epsilon: group_params.total_epsilon(),
             epsilon_spent: cost.epsilon,
             policy: self.group_policy,
-        })
+        };
+        let info = GroupedOutcome {
+            cache: cache_outcome,
+            cache_hits,
+            cache_misses,
+            lp,
+            fraction,
+            group_epsilon1: group_params.epsilon1,
+            group_epsilon2: group_params.epsilon2,
+        };
+        Ok((report, info))
     }
 
     /// Runs several independent queries and releases each through the
@@ -598,13 +927,28 @@ impl SqlSession {
         } else {
             Parallelism::Serial
         });
-        let releases = par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
+        let outcomes = par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
             let mut rng = StdRng::seed_from_u64(seeds[i]);
             let key = keys.as_ref().map(|k| k[i]);
-            release_plan(db, &plans[i], worker_params, &mut rng, cache.zip(key))
+            release_plan(
+                db,
+                &plans[i],
+                worker_params,
+                &mut rng,
+                cache.zip(key),
+                &mut NoopRecorder,
+            )
         })?;
         self.debit(total_cost)?;
-        Ok(releases)
+        // Fold the batch's LP work into the session totals in query (=
+        // input) order — `par_try_map_indexed` already returns index order,
+        // so the fold is deterministic for every `Parallelism`.
+        let mut lp = LpWorkStats::default();
+        for outcome in &outcomes {
+            lp.absorb(&outcome.lp);
+        }
+        self.absorb_release_stats(&lp, outcomes.len() as u64);
+        Ok(outcomes.into_iter().map(|o| o.release).collect())
     }
 }
 
@@ -644,33 +988,96 @@ fn group_seed(report_seed: u64, key: &Value) -> u64 {
 /// from the freshly frozen copy. Noise is drawn from `rng` identically on
 /// every path, so hit, miss and uncached releases are bit-identical under
 /// the same seed.
-fn release_plan(
+fn release_plan<T: Recorder>(
     db: &AnnotatedDatabase,
     plan: &QueryPlan,
     params: MechanismParams,
     rng: &mut StdRng,
     cache: Option<(&SequenceCache, Fingerprint)>,
-) -> Result<Release, SqlError> {
+    recorder: &mut T,
+) -> Result<ReleaseOutcome, SqlError> {
     if let Some((cache, key)) = cache {
-        let frozen = match cache.get(key) {
-            Some(hit) => hit,
+        recorder.enter(Stage::CacheLookup);
+        let cached = cache.get(key);
+        recorder.exit(Stage::CacheLookup);
+        let (frozen, outcome, lp) = match cached {
+            Some(hit) => (hit, CacheOutcome::Hit, LpWorkStats::default()),
             None => {
-                let query = build_sensitive_query(db, plan)?;
-                let frozen = Arc::new(
-                    FrozenSequences::compute(EfficientSequences::new(query), params.parallelism)
-                        .map_err(SqlError::from)?,
-                );
+                recorder.enter(Stage::Plan);
+                let query = build_sensitive_query(db, plan);
+                recorder.exit(Stage::Plan);
+                recorder.enter(Stage::SequenceSolve);
+                let computed = query.and_then(|query| {
+                    FrozenSequences::compute_with_stats(
+                        EfficientSequences::new(query),
+                        params.parallelism,
+                    )
+                    .map_err(SqlError::from)
+                });
+                recorder.exit(Stage::SequenceSolve);
+                let (frozen, stats) = computed?;
+                let frozen = Arc::new(frozen);
                 cache.insert(key, Arc::clone(&frozen));
-                frozen
+                (frozen, CacheOutcome::Miss, stats)
             }
         };
         let mut mechanism = RecursiveMechanism::new(CachedSequences(frozen), params)?;
-        return Ok(mechanism.release(rng)?);
+        let release = mechanism.release_recorded(rng, recorder)?;
+        return Ok(ReleaseOutcome {
+            release,
+            cache: outcome,
+            lp,
+        });
     }
 
-    let query = build_sensitive_query(db, plan)?;
-    let mut mechanism = RecursiveMechanism::new(EfficientSequences::new(query), params)?;
-    Ok(mechanism.release(rng)?)
+    recorder.enter(Stage::Plan);
+    let query = build_sensitive_query(db, plan);
+    recorder.exit(Stage::Plan);
+    // The constructor precomputes the sequence tables when the params are
+    // parallel, so its runtime belongs to the solve span too.
+    recorder.enter(Stage::SequenceSolve);
+    let mechanism = query.and_then(|query| {
+        RecursiveMechanism::new(EfficientSequences::new(query), params).map_err(SqlError::from)
+    });
+    recorder.exit(Stage::SequenceSolve);
+    let mut mechanism = mechanism?;
+    let release = mechanism.release_recorded(rng, recorder)?;
+    let lp = mechanism.sequences_mut().stats();
+    Ok(ReleaseOutcome {
+        release,
+        cache: CacheOutcome::Uncached,
+        lp,
+    })
+}
+
+/// What one [`release_plan`] call produced beyond the release itself: how
+/// the cache behaved and how much LP work ran on this call (zero on a hit).
+struct ReleaseOutcome {
+    release: Release,
+    cache: CacheOutcome,
+    lp: LpWorkStats,
+}
+
+/// [`ReleaseOutcome`] for the scalar session path, with the canonical plan
+/// fingerprint when one was computed (always, when tracing).
+struct ScalarOutcome {
+    release: Release,
+    cache: CacheOutcome,
+    lp: LpWorkStats,
+    fingerprint: Option<Fingerprint>,
+}
+
+/// The trace-facing facts of one grouped report: aggregate cache behaviour,
+/// the domain-order fold of per-group LP work, and the ε split the policy
+/// chose.
+struct GroupedOutcome {
+    cache: CacheOutcome,
+    cache_hits: u64,
+    cache_misses: u64,
+    lp: LpWorkStats,
+    fraction: f64,
+    group_epsilon1: f64,
+    group_epsilon2: f64,
 }
 
 /// Executes the plan and wraps its annotated output as the linear query the
@@ -1245,15 +1652,141 @@ mod tests {
         let mut session = SqlSession::new(grouped_db(), params);
         match session.query("SELECT COUNT(*) FROM visits").unwrap() {
             QueryOutput::Scalar(release) => assert_eq!(release.true_answer, 5.0),
-            QueryOutput::Grouped(_) => panic!("scalar SQL released a grouped report"),
+            other => panic!("scalar SQL released {other:?}"),
         }
         match session.query(GROUPED_SQL).unwrap() {
             QueryOutput::Grouped(report) => assert_eq!(report.len(), 3),
-            QueryOutput::Scalar(_) => panic!("grouped SQL released a scalar"),
+            other => panic!("grouped SQL released {other:?}"),
+        }
+        match session
+            .query("EXPLAIN ANALYZE SELECT COUNT(*) FROM visits")
+            .unwrap()
+        {
+            QueryOutput::Explained(traced) => {
+                assert!(matches!(traced.output, QueryOutput::Scalar(_)));
+                assert!(traced.trace.is_consistent());
+            }
+            other => panic!("EXPLAIN ANALYZE released {other:?}"),
         }
         // And the convenience accessors agree.
         assert!(session.query(GROUPED_SQL).unwrap().scalar().is_none());
         assert!(session.query(GROUPED_SQL).unwrap().grouped().is_some());
+    }
+
+    #[test]
+    fn explain_without_analyze_is_rejected() {
+        let mut session = SqlSession::new(db(), MechanismParams::paper_edge_privacy(1.0));
+        let err = session
+            .query("EXPLAIN SELECT COUNT(*) FROM payments")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { .. }), "{err}");
+        assert!(err.to_string().contains("EXPLAIN ANALYZE"), "{err}");
+    }
+
+    #[test]
+    fn traced_releases_are_bit_identical_to_untraced() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let sql = "SELECT COUNT(*) FROM payments";
+        let mut plain_session = SqlSession::with_seed(db(), params, 7);
+        let plain = plain_session.query_scalar(sql).unwrap();
+        let mut traced_session = SqlSession::with_seed(db(), params, 7);
+        let traced = traced_session.query_traced(sql).unwrap();
+        let release = traced.output.scalar().unwrap();
+        assert_eq!(release.noisy_answer.to_bits(), plain.noisy_answer.to_bits());
+        assert_eq!(release.delta_hat.to_bits(), plain.delta_hat.to_bits());
+        assert!(traced.trace.is_consistent());
+        assert_eq!(traced.trace.epsilon_spent, params.total_epsilon());
+    }
+
+    #[test]
+    fn traced_hit_and_miss_paths_populate_the_trace() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session = SqlSession::with_seed(db(), params, 11).with_cache_capacity(8);
+        let sql = "SELECT COUNT(*) FROM payments";
+
+        let miss = session.query_traced(sql).unwrap().trace;
+        assert_eq!(miss.cache, CacheOutcome::Miss);
+        assert_eq!((miss.cache_hits, miss.cache_misses), (0, 1));
+        assert!(miss.fingerprint.is_some());
+        assert!(miss.lp.h_solves > 0 && miss.lp.g_solves > 0);
+        assert!(miss.is_consistent());
+
+        let hit = session.query_traced(sql).unwrap().trace;
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert_eq!((hit.cache_hits, hit.cache_misses), (1, 0));
+        assert_eq!(hit.fingerprint, miss.fingerprint);
+        assert_eq!(hit.lp.h_solves, 0, "a hit re-solves nothing");
+        assert!(hit.is_consistent());
+
+        // Both paths run (and time) all seven pipeline stages: the hit
+        // still parses, plans, fingerprints, probes the cache, walks the
+        // frozen ladders, draws noise and debits the budget.
+        for trace in [&miss, &hit] {
+            for stage in Stage::ALL {
+                assert!(
+                    trace.stages.iter().any(|span| span.stage == stage),
+                    "{} missing from {:?} trace",
+                    stage.name(),
+                    trace.cache
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_traces_report_the_budget_split() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session = SqlSession::with_seed(grouped_db(), params, 5);
+        let traced = session.query_traced(GROUPED_SQL).unwrap();
+        assert!(traced.trace.is_consistent());
+        let split = traced.trace.group_split.as_ref().unwrap();
+        assert_eq!(split.groups, 3);
+        assert_eq!(split.policy, "split-evenly");
+        assert!((split.per_group_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(traced.trace.noise.len(), 3);
+        assert!(traced
+            .trace
+            .noise
+            .iter()
+            .all(|n| n.log_scale.is_finite() && n.answer_scale > 0.0));
+        assert_eq!(traced.output.grouped().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn session_metrics_cover_budget_lp_and_cache() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut session = SqlSession::with_seed(db(), params, 3)
+            .with_cache_capacity(4)
+            .with_budget(PrivacyBudget {
+                epsilon: 2.5,
+                delta: 0.0,
+            })
+            .with_metrics(Arc::clone(&metrics));
+        let sql = "SELECT COUNT(*) FROM payments";
+        session.query_scalar(sql).unwrap();
+        session.query_scalar(sql).unwrap();
+        // The third release would overdraw the 2.5ε budget.
+        assert!(session.query_scalar(sql).is_err());
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("budget.admitted"), Some(2));
+        assert_eq!(snap.counter("budget.debited"), Some(2));
+        assert_eq!(snap.counter("budget.refused"), Some(1));
+        assert_eq!(snap.sum("budget.debited_epsilon"), Some(2.0));
+        assert_eq!(snap.sum("budget.refused_epsilon"), Some(1.0));
+        assert_eq!(snap.counter("sql.releases"), Some(2));
+        assert_eq!(snap.counter("cache.hits"), Some(1));
+        assert_eq!(snap.counter("cache.misses"), Some(1));
+        assert!(snap.counter("lp.h_solves").unwrap() > 0);
+        assert!(session.lp_totals().h_solves > 0);
+
+        // The snapshot JSON round-trips.
+        let json = snap.to_json();
+        assert_eq!(
+            rmdp_observe::MetricsSnapshot::parse_json(&json).unwrap(),
+            snap
+        );
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub enum TokenKind {
     And,
     /// `AS`.
     As,
+    /// `EXPLAIN` (only the `EXPLAIN ANALYZE` form is supported: the trace
+    /// describes a release that actually ran, noise and all).
+    Explain,
+    /// `ANALYZE` (second word of `EXPLAIN ANALYZE`).
+    Analyze,
     // Keywords recognised only to be rejected with a targeted message.
     /// `NOT` (rejected: negation is non-monotone).
     Not,
@@ -160,6 +165,8 @@ impl TokenKind {
             TokenKind::Where => "WHERE",
             TokenKind::And => "AND",
             TokenKind::As => "AS",
+            TokenKind::Explain => "EXPLAIN",
+            TokenKind::Analyze => "ANALYZE",
             TokenKind::Not => "NOT",
             TokenKind::In => "IN",
             TokenKind::Or => "OR",
@@ -222,6 +229,8 @@ fn keyword(word: &str) -> Option<TokenKind> {
         "WHERE" => TokenKind::Where,
         "AND" => TokenKind::And,
         "AS" => TokenKind::As,
+        "EXPLAIN" => TokenKind::Explain,
+        "ANALYZE" => TokenKind::Analyze,
         "NOT" => TokenKind::Not,
         "IN" => TokenKind::In,
         "OR" => TokenKind::Or,

@@ -18,6 +18,9 @@
 //! * [`sql`] — a SQL frontend: a positive SQL subset (joins, including
 //!   self-joins, with conjunctive predicates) compiled to the K-relation
 //!   algebra and released through the recursive mechanism.
+//! * [`observe`] — observability: deterministic clocks, stage recorders, the
+//!   session metrics registry and the per-query `ReleaseTrace` returned by
+//!   `SqlSession::query_traced` / SQL `EXPLAIN ANALYZE`.
 //!
 //! ## Quickstart
 //!
@@ -80,4 +83,5 @@ pub use rmdp_graph as graph;
 pub use rmdp_krelation as krelation;
 pub use rmdp_lp as lp;
 pub use rmdp_noise as noise;
+pub use rmdp_observe as observe;
 pub use rmdp_sql as sql;
