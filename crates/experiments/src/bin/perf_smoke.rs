@@ -28,19 +28,30 @@
 //! (telemetry may never perturb a release) with the instrumented pass
 //! within 5% (plus a small absolute slack) of the no-op pass.
 //!
+//! **Multi-tenant server** (`BENCH_server.json`): the end-to-end service
+//! bench. A [`rmdp_server::DpServer`] over one shared snapshot and
+//! cross-tenant sequence cache serves ≥ 8 concurrent TCP clients — one
+//! tenant each — replaying a mixed workload (repeated scalars, a grouped
+//! report, an `EXPLAIN ANALYZE`) through the line protocol. Reports
+//! client-side p50/p99 latency and queries/sec plus the server's own
+//! latency histogram quantiles, and gates on the privacy invariants: every
+//! tenant's debited ε equals its admitted releases exactly, and a
+//! serialized cache-free replay reproduces the releases each client parsed
+//! off the wire bit-identically.
+//!
 //! All bench sections share **one warmed-up setup**: the fig-4 sensitive
 //! relations are built once up front and the setup wall time is reported
 //! separately (in `BENCH_observe.json`), so section timings measure the
 //! mechanism, not repeated graph construction.
 //!
-//! CI uploads all four files as artifacts on every run, so the trajectory
+//! CI uploads all five files as artifacts on every run, so the trajectory
 //! of the sequence hot path is tracked over time. Pivot counts, hit rates
 //! and bit-identity are deterministic; wall times are indicative (shared
 //! runners).
 //!
-//! Usage: `perf_smoke [lp.json] [cache.json] [groupby.json] [observe.json]`
-//! (defaults `BENCH_lp.json`, `BENCH_cache.json`, `BENCH_groupby.json`,
-//! `BENCH_observe.json`).
+//! Usage: `perf_smoke [lp.json] [cache.json] [groupby.json] [observe.json]
+//! [server.json]` (defaults `BENCH_lp.json`, `BENCH_cache.json`,
+//! `BENCH_groupby.json`, `BENCH_observe.json`, `BENCH_server.json`).
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -56,8 +67,10 @@ use rmdp_krelation::annotate::AnnotatedDatabase;
 use rmdp_krelation::fingerprint::Fingerprint;
 use rmdp_krelation::tuple::{Tuple, Value};
 use rmdp_krelation::{Expr, KRelation};
+use rmdp_noise::PrivacyBudget;
 use rmdp_observe::{MonotonicClock, NoopRecorder, SpanRecorder, Stage, Stopwatch};
-use rmdp_sql::SqlSession;
+use rmdp_server::{serve, DpClient, DpServer, ServerConfig, WireResponse};
+use rmdp_sql::{CatalogSnapshot, QueryOutput, SqlSession};
 use std::sync::Arc;
 
 struct WorkloadResult {
@@ -477,6 +490,196 @@ fn run_observe_workload(relation: &SensitiveKRelation) -> ObserveBenchResult {
     }
 }
 
+/// The multi-tenant server bench: concurrent TCP clients over one shared
+/// snapshot + cache, with the privacy invariants checked afterwards.
+struct ServerBenchResult {
+    clients: usize,
+    /// Successful releases across all clients.
+    queries: usize,
+    /// Refused/shed requests (expected 0 under this sizing; gated).
+    refused: usize,
+    /// Client-observed request latencies, p50/p99 (protocol round trip).
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Server-side latency histogram quantiles (`server.latency_ms`).
+    server_p50_ms: f64,
+    server_p99_ms: f64,
+    /// Successful queries per second of bench wall time.
+    qps: f64,
+    /// Shared-cache totals across the run.
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Whether every tenant's spent ε equals its admitted count exactly
+    /// (1 ε per workload query) and `spent + remaining` covers the grant.
+    budget_conserved: bool,
+    /// Whether a serialized cache-free replay reproduced every noisy
+    /// answer each client parsed off the wire, bit for bit.
+    bit_identical: bool,
+}
+
+fn run_server_workload() -> ServerBenchResult {
+    let mut db = AnnotatedDatabase::new();
+    let mut visits = KRelation::new(["person", "place"]);
+    for (person, place) in [
+        ("ada", "museum"),
+        ("bo", "museum"),
+        ("bo", "cafe"),
+        ("cy", "cafe"),
+        ("dee", "museum"),
+        ("eve", "park"),
+    ] {
+        let p = db.intern(person);
+        visits.insert(
+            Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+            Expr::Var(p),
+        );
+    }
+    db.insert_table("visits", visits);
+    db.declare_public_domain(
+        "visits",
+        "place",
+        [Value::str("museum"), Value::str("cafe"), Value::str("park")],
+    );
+    let snapshot = CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0));
+
+    let clients = 8;
+    let rounds = 4;
+    // The mixed workload every client replays each round: a repeated
+    // scalar (cache hits after round one), a filtered scalar, a grouped
+    // report and a traced release. Each costs exactly 1 ε.
+    let workload = [
+        "SELECT COUNT(*) FROM visits",
+        "SELECT COUNT(*) FROM visits WHERE place = 'museum'",
+        "SELECT place, COUNT(*) FROM visits GROUP BY place",
+        "EXPLAIN ANALYZE SELECT COUNT(*) FROM visits",
+    ];
+    let grant = (rounds * workload.len()) as f64 + 2.0;
+
+    let server = Arc::new(DpServer::new(snapshot, ServerConfig::default()));
+    let names: Vec<String> = (0..clients).map(|i| format!("tenant{i}")).collect();
+    for name in &names {
+        server.register_tenant(
+            name,
+            PrivacyBudget {
+                epsilon: grant,
+                delta: 0.0,
+            },
+        );
+    }
+    let mut handle = serve(Arc::clone(&server), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // One thread per client/tenant; collect per-request latency and every
+    // noisy answer in issue order (= the tenant's admission order).
+    let bench_watch = Stopwatch::start();
+    let per_client: Vec<(Vec<f64>, Vec<Vec<f64>>, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = names
+            .iter()
+            .map(|name| {
+                s.spawn(move || {
+                    let mut client = DpClient::connect(addr).expect("connect");
+                    let mut latencies = Vec::new();
+                    let mut answers: Vec<Vec<f64>> = Vec::new();
+                    let mut refused = 0usize;
+                    for _ in 0..rounds {
+                        for sql in workload {
+                            let watch = Stopwatch::start();
+                            let response = client.query(name, sql).expect("transport");
+                            latencies.push(watch.elapsed_seconds() * 1e3);
+                            match flatten_noisy(&response) {
+                                Some(noisy) => answers.push(noisy),
+                                None => refused += 1,
+                            }
+                        }
+                    }
+                    (latencies, answers, refused)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let bench_wall_s = bench_watch.elapsed_seconds();
+
+    let queries: usize = per_client.iter().map(|(_, a, _)| a.len()).sum();
+    let refused: usize = per_client.iter().map(|(_, _, r)| r).sum();
+    let mut latencies: Vec<f64> = per_client
+        .iter()
+        .flat_map(|(l, _, _)| l.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let quantile = |q: f64| -> f64 {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+
+    // Privacy invariants, checked after the fact on the server's state.
+    let mut budget_conserved = true;
+    let mut bit_identical = true;
+    for (name, (_, answers, _)) in names.iter().zip(&per_client) {
+        let spent = server.spent_budget(name).expect("registered").epsilon;
+        let remaining = server.remaining_budget(name).expect("registered").epsilon;
+        budget_conserved &= spent == answers.len() as f64 && spent + remaining == grant;
+
+        let replayed = server.replay(name).expect("registered");
+        bit_identical &= replayed.len() == answers.len();
+        for (wire, replay) in answers.iter().zip(&replayed) {
+            let cold = flatten_output(replay.as_ref().expect("replay succeeds"));
+            bit_identical &= wire.len() == cold.len()
+                && wire
+                    .iter()
+                    .zip(&cold)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+    }
+
+    let metrics = server.metrics().snapshot();
+    let server_quantile = |q: f64| -> f64 {
+        metrics
+            .histogram("server.latency_ms")
+            .and_then(|h| h.quantile(q))
+            .unwrap_or(f64::NAN)
+    };
+    let cache = server.cache_stats();
+    let result = ServerBenchResult {
+        clients,
+        queries,
+        refused,
+        p50_ms: quantile(0.5),
+        p99_ms: quantile(0.99),
+        server_p50_ms: server_quantile(0.5),
+        server_p99_ms: server_quantile(0.99),
+        qps: queries as f64 / bench_wall_s.max(1e-9),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        budget_conserved,
+        bit_identical,
+    };
+    handle.stop();
+    result
+}
+
+/// The noisy answers a wire response carries, in release order (one for a
+/// scalar, one per group for a grouped report; `EXPLAIN` unwraps).
+fn flatten_noisy(response: &WireResponse) -> Option<Vec<f64>> {
+    match response {
+        WireResponse::Scalar(r) => Some(vec![r.noisy_answer]),
+        WireResponse::Grouped { groups, .. } => {
+            Some(groups.iter().map(|(_, r)| r.noisy_answer).collect())
+        }
+        WireResponse::Explained { inner, .. } => flatten_noisy(inner),
+        WireResponse::Budget { .. } | WireResponse::Error { .. } => None,
+    }
+}
+
+/// The same flattening for a locally replayed [`QueryOutput`].
+fn flatten_output(output: &QueryOutput) -> Vec<f64> {
+    match output {
+        QueryOutput::Scalar(r) => vec![r.noisy_answer],
+        QueryOutput::Grouped(g) => g.groups.iter().map(|g| g.release.noisy_answer).collect(),
+        QueryOutput::Explained(t) => flatten_output(&t.output),
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -490,6 +693,9 @@ fn main() {
     let observe_out_path = std::env::args()
         .nth(4)
         .unwrap_or_else(|| "BENCH_observe.json".to_string());
+    let server_out_path = std::env::args()
+        .nth(5)
+        .unwrap_or_else(|| "BENCH_server.json".to_string());
 
     let env = build_env();
     eprintln!(
@@ -673,6 +879,56 @@ fn main() {
     }
     eprintln!("wrote {observe_out_path}");
 
+    // --- Multi-tenant server bench → BENCH_server.json ---
+    let sv = run_server_workload();
+    let server_json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"server_multi_tenant\",\n",
+            "  \"clients\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"refused\": {},\n",
+            "  \"qps\": {:.1},\n",
+            "  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n",
+            "  \"server_latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n",
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+            "  \"budget_conserved\": {},\n",
+            "  \"bit_identical\": {}\n}}\n"
+        ),
+        sv.clients,
+        sv.queries,
+        sv.refused,
+        sv.qps,
+        sv.p50_ms,
+        sv.p99_ms,
+        sv.server_p50_ms,
+        sv.server_p99_ms,
+        sv.cache_hits,
+        sv.cache_misses,
+        sv.budget_conserved,
+        sv.bit_identical,
+    );
+    println!(
+        "    server: {} clients, {} queries at {:.0} q/s — p50 {:.2} ms, p99 {:.2} ms \
+         (server-side p50 {:.2} / p99 {:.2}), cache {}h/{}m, \
+         budget conserved: {}, bit-identical replay: {}",
+        sv.clients,
+        sv.queries,
+        sv.qps,
+        sv.p50_ms,
+        sv.p99_ms,
+        sv.server_p50_ms,
+        sv.server_p99_ms,
+        sv.cache_hits,
+        sv.cache_misses,
+        sv.budget_conserved,
+        sv.bit_identical,
+    );
+    if let Err(e) = std::fs::write(&server_out_path, &server_json) {
+        eprintln!("failed to write {server_out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {server_out_path}");
+
     // --- Gates (JSON files are written first so CI can always upload) ---
     let mut failed = false;
     for r in results.iter().filter(|r| r.warm_pivots >= r.cold_pivots) {
@@ -744,6 +1000,32 @@ fn main() {
             ob.instrumented_wall_ms,
             ob.noop_wall_ms,
         );
+        failed = true;
+    }
+    // Server gates: the sizing (8 slots for 8 one-request-at-a-time
+    // clients) admits everything, so a refusal means admission accounting
+    // broke; the two boolean invariants are the privacy guarantees the
+    // server exists to provide.
+    if sv.refused != 0 {
+        eprintln!(
+            "CORRECTNESS REGRESSION: {} server requests refused under non-saturating load",
+            sv.refused
+        );
+        failed = true;
+    }
+    if !sv.budget_conserved {
+        eprintln!("CORRECTNESS REGRESSION: tenant ledgers do not sum exactly to admissions");
+        failed = true;
+    }
+    if !sv.bit_identical {
+        eprintln!(
+            "CORRECTNESS REGRESSION: serialized replay diverged from wire releases \
+             (cache sharing or seed schedule is schedule-dependent)"
+        );
+        failed = true;
+    }
+    if !(sv.server_p50_ms.is_finite() && sv.server_p99_ms.is_finite()) {
+        eprintln!("CORRECTNESS REGRESSION: server latency histogram recorded no samples");
         failed = true;
     }
     if failed {

@@ -270,6 +270,38 @@ impl BudgetAccountant {
             kahan_add(self.spent_delta, self.delta_compensation, cost.delta);
         Ok(())
     }
+
+    /// Returns a previously debited `cost` to the ledger.
+    ///
+    /// This exists for **reserve-then-commit** admission (the `rmdp-server`
+    /// discipline): a concurrent server debits a query's cost *at admission*
+    /// — so two racing queries can never both pass a `can_afford` check the
+    /// budget only covers once — and refunds it if the query later fails
+    /// having released nothing. A refund is only privacy-sound when the
+    /// reserved release never happened; callers must never refund a cost
+    /// whose noisy output was observed.
+    ///
+    /// The refund runs through the same compensated ledger as
+    /// [`BudgetAccountant::try_spend`] (adding `-cost`): the compensation
+    /// term carries the round trip's rounding, so reserve-and-refund cycles
+    /// cannot drift the *effective* spend — the compensated sum every
+    /// admission decision projects — beyond the documented admission
+    /// tolerance. Spent totals are clamped at zero: refunding more than was
+    /// ever debited leaves a fresh ledger, not a negative one.
+    pub fn refund(&mut self, cost: PrivacyBudget) {
+        (self.spent_epsilon, self.epsilon_compensation) =
+            kahan_add(self.spent_epsilon, self.epsilon_compensation, -cost.epsilon);
+        (self.spent_delta, self.delta_compensation) =
+            kahan_add(self.spent_delta, self.delta_compensation, -cost.delta);
+        if self.spent_epsilon < 0.0 {
+            self.spent_epsilon = 0.0;
+            self.epsilon_compensation = 0.0;
+        }
+        if self.spent_delta < 0.0 {
+            self.spent_delta = 0.0;
+            self.delta_compensation = 0.0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -410,6 +442,39 @@ mod tests {
     #[should_panic(expected = "at least one group")]
     fn group_policy_rejects_zero_groups() {
         let _ = GroupBudgetPolicy::SplitEvenly.per_group_fraction(0);
+    }
+
+    #[test]
+    fn refund_restores_a_reserved_debit_exactly() {
+        // The server's reserve-then-commit round trip: reserve at admission,
+        // refund when the query fails having released nothing. The ledger
+        // must land back on its exact pre-reserve state — including through
+        // an inexact running sum (0.1 is not exact in binary).
+        let mut acc = BudgetAccountant::new(PrivacyBudget::pure(1.0));
+        acc.try_spend(PrivacyBudget::pure(0.1)).unwrap();
+        let before = acc.remaining().epsilon;
+        acc.try_spend(PrivacyBudget::pure(0.3)).unwrap();
+        acc.refund(PrivacyBudget::pure(0.3));
+        // The effective spend is back within the admission tolerance (the
+        // compensation term carries the round trip's rounding) …
+        assert!((acc.remaining().epsilon - before).abs() <= budget_tolerance(1.0));
+        // … and the freed budget is genuinely spendable again: nine more
+        // 0.1ε debits admit (the compensated stream cannot spuriously
+        // refuse) and exactly exhaust the total.
+        for i in 0..9 {
+            acc.try_spend(PrivacyBudget::pure(0.1))
+                .unwrap_or_else(|e| panic!("debit {i} refused after refund: {e}"));
+        }
+        assert!(!acc.can_afford(PrivacyBudget::pure(0.1)));
+    }
+
+    #[test]
+    fn refund_clamps_at_a_fresh_ledger() {
+        let mut acc = BudgetAccountant::new(PrivacyBudget::pure(1.0));
+        acc.try_spend(PrivacyBudget::pure(0.2)).unwrap();
+        acc.refund(PrivacyBudget::pure(0.5));
+        assert_eq!(acc.spent().epsilon, 0.0);
+        assert_eq!(acc.remaining().epsilon, 1.0);
     }
 
     #[test]

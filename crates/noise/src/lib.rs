@@ -21,8 +21,10 @@ pub mod cauchy;
 pub mod geometric;
 pub mod laplace;
 pub mod mechanism;
+pub mod registry;
 pub mod smooth;
 
 pub use budget::{BudgetAccountant, BudgetExhausted, GroupBudgetPolicy, PrivacyBudget};
 pub use laplace::sample_laplace;
 pub use mechanism::LaplaceMechanism;
+pub use registry::{BudgetRegistry, SharedAccountant};

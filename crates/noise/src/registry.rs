@@ -1,0 +1,191 @@
+//! A thread-safe registry of named privacy-budget ledgers.
+//!
+//! Multi-tenant deployments (the Chorus shape: DP middleware in front of
+//! many concurrent analysts) need one [`BudgetAccountant`] **per tenant**,
+//! shared by every thread serving that tenant — budget isolation is the
+//! per-analyst privacy guarantee, so a tenant's debits must never touch
+//! another tenant's ledger. [`BudgetRegistry`] provides exactly that: a
+//! concurrent map from tenant name to an independently locked accountant.
+//!
+//! Locking is two-level. The map itself is behind an [`RwLock`] that is only
+//! write-locked to register a tenant; queries take the read lock, clone the
+//! tenant's `Arc`, and drop the map lock before touching the ledger. Each
+//! ledger sits behind its **own** [`Mutex`], so two tenants' debits never
+//! contend and one tenant's admission decision (check + debit under one
+//! lock) is atomic against its own concurrent queries.
+
+use crate::budget::{BudgetAccountant, BudgetExhausted, PrivacyBudget};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One tenant's independently locked ledger, cheap to clone into worker
+/// threads.
+pub type SharedAccountant = Arc<Mutex<BudgetAccountant>>;
+
+/// A concurrent map from tenant name to an independently locked
+/// [`BudgetAccountant`].
+///
+/// ```
+/// use rmdp_noise::{BudgetRegistry, PrivacyBudget};
+///
+/// let registry = BudgetRegistry::new();
+/// registry.register("alice", PrivacyBudget::pure(1.0));
+/// registry.register("bob", PrivacyBudget::pure(2.0));
+///
+/// // Alice's spend leaves Bob's ledger untouched.
+/// registry.try_spend("alice", PrivacyBudget::pure(0.5)).unwrap();
+/// assert_eq!(registry.remaining("alice").unwrap().epsilon, 0.5);
+/// assert_eq!(registry.remaining("bob").unwrap().epsilon, 2.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct BudgetRegistry {
+    // BTreeMap so enumeration (`names`) is deterministic — reports and
+    // tests never depend on hash order.
+    tenants: RwLock<BTreeMap<String, SharedAccountant>>,
+}
+
+impl BudgetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `tenant` with a fresh ledger over `total`. Returns `false`
+    /// (and leaves the existing ledger untouched) when the tenant already
+    /// exists — re-registering must never reset a partially spent budget.
+    pub fn register(&self, tenant: &str, total: PrivacyBudget) -> bool {
+        let mut map = self.tenants.write().expect("budget registry poisoned");
+        if map.contains_key(tenant) {
+            return false;
+        }
+        map.insert(
+            tenant.to_owned(),
+            Arc::new(Mutex::new(BudgetAccountant::new(total))),
+        );
+        true
+    }
+
+    /// The tenant's ledger handle, for callers that need multi-step
+    /// atomicity (e.g. reserve-then-commit admission holds this lock while
+    /// assigning the query's replay index).
+    pub fn handle(&self, tenant: &str) -> Option<SharedAccountant> {
+        self.tenants
+            .read()
+            .expect("budget registry poisoned")
+            .get(tenant)
+            .cloned()
+    }
+
+    /// Debits `cost` from the tenant's ledger, refusing atomically (nothing
+    /// consumed) when it exceeds what remains. `None` for unknown tenants.
+    pub fn try_spend(
+        &self,
+        tenant: &str,
+        cost: PrivacyBudget,
+    ) -> Option<Result<(), BudgetExhausted>> {
+        let handle = self.handle(tenant)?;
+        let mut acc = handle.lock().expect("tenant ledger poisoned");
+        Some(acc.try_spend(cost))
+    }
+
+    /// Returns a previously reserved `cost` to the tenant's ledger (see
+    /// [`BudgetAccountant::refund`] for when that is privacy-sound).
+    /// `None` for unknown tenants.
+    pub fn refund(&self, tenant: &str, cost: PrivacyBudget) -> Option<()> {
+        let handle = self.handle(tenant)?;
+        handle.lock().expect("tenant ledger poisoned").refund(cost);
+        Some(())
+    }
+
+    /// What the tenant has left, or `None` for unknown tenants.
+    pub fn remaining(&self, tenant: &str) -> Option<PrivacyBudget> {
+        let handle = self.handle(tenant)?;
+        let acc = handle.lock().expect("tenant ledger poisoned");
+        Some(acc.remaining())
+    }
+
+    /// What the tenant has spent, or `None` for unknown tenants.
+    pub fn spent(&self, tenant: &str) -> Option<PrivacyBudget> {
+        let handle = self.handle(tenant)?;
+        let acc = handle.lock().expect("tenant ledger poisoned");
+        Some(acc.spent())
+    }
+
+    /// All registered tenant names, in lexicographic (deterministic) order.
+    pub fn names(&self) -> Vec<String> {
+        self.tenants
+            .read()
+            .expect("budget registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn tenants_are_isolated() {
+        let registry = BudgetRegistry::new();
+        assert!(registry.register("a", PrivacyBudget::pure(1.0)));
+        assert!(registry.register("b", PrivacyBudget::pure(1.0)));
+        registry
+            .try_spend("a", PrivacyBudget::pure(0.75))
+            .unwrap()
+            .unwrap();
+        assert_eq!(registry.remaining("a").unwrap().epsilon, 0.25);
+        assert_eq!(registry.remaining("b").unwrap().epsilon, 1.0);
+        assert!(registry
+            .try_spend("nobody", PrivacyBudget::pure(0.1))
+            .is_none());
+    }
+
+    #[test]
+    fn re_registering_does_not_reset_a_spent_ledger() {
+        let registry = BudgetRegistry::new();
+        assert!(registry.register("a", PrivacyBudget::pure(1.0)));
+        registry
+            .try_spend("a", PrivacyBudget::pure(0.5))
+            .unwrap()
+            .unwrap();
+        assert!(!registry.register("a", PrivacyBudget::pure(100.0)));
+        assert_eq!(registry.remaining("a").unwrap().epsilon, 0.5);
+    }
+
+    #[test]
+    fn concurrent_debits_conserve_the_ledger_exactly() {
+        // 4 threads × 16 debits of ε/64 (a power of two, so the sums are
+        // exact in binary and order-independent): every admitted debit lands,
+        // refusals consume nothing, and the ledger ends exactly exhausted.
+        let registry = Arc::new(BudgetRegistry::new());
+        registry.register("t", PrivacyBudget::pure(1.0));
+        let slice = PrivacyBudget::pure(1.0 / 64.0);
+        let admitted: usize = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let registry = Arc::clone(&registry);
+                    s.spawn(move || {
+                        (0..16)
+                            .filter(|_| registry.try_spend("t", slice).unwrap().is_ok())
+                            .count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(admitted, 64, "exactly the budget's worth admitted");
+        assert_eq!(registry.spent("t").unwrap().epsilon, 1.0);
+        assert!(registry.try_spend("t", slice).unwrap().is_err());
+    }
+
+    #[test]
+    fn names_enumerate_deterministically() {
+        let registry = BudgetRegistry::new();
+        registry.register("zeta", PrivacyBudget::pure(1.0));
+        registry.register("alpha", PrivacyBudget::pure(1.0));
+        assert_eq!(registry.names(), ["alpha", "zeta"]);
+    }
+}

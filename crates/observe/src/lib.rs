@@ -38,6 +38,6 @@ mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, Stopwatch};
 pub use json::{parse_json, JsonError, JsonValue};
-pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS_MS};
 pub use recorder::{NoopRecorder, Recorder, SpanRecorder, Stage};
 pub use trace::{CacheOutcome, GroupSplit, LpSummary, NoiseScales, ReleaseTrace, StageSpan};

@@ -166,6 +166,15 @@ impl MetricsRegistry {
     }
 }
 
+/// Exponential-ish latency bucket bounds in **milliseconds**, shared by
+/// everything that histograms request latency (the server's per-query and
+/// per-tenant latency distributions, `perf_smoke`'s replay) so their p50/p99
+/// read on the same scale.
+pub const LATENCY_BUCKETS_MS: [f64; 16] = [
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+    10000.0,
+];
+
 /// A frozen copy of a histogram.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct HistogramSnapshot {
@@ -177,6 +186,38 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// Number of observations.
     pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`) of the observed
+    /// distribution, interpolated linearly inside the bucket holding the
+    /// rank-`⌈q·count⌉` observation (the standard fixed-bucket estimator,
+    /// e.g. Prometheus's `histogram_quantile`). Observations in the
+    /// unbounded overflow bucket report the last finite bound — a floor, not
+    /// an estimate. `None` when the histogram is empty or `q` is out of
+    /// range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            if seen + c >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    return Some(lo);
+                };
+                let into = (rank - seen) as f64 / c as f64;
+                return Some(lo + (hi - lo) * into);
+            }
+            seen += c;
+        }
+        None
+    }
 }
 
 /// A frozen, JSON-serialisable copy of a [`MetricsRegistry`].
@@ -412,5 +453,38 @@ mod tests {
         assert!(MetricsSnapshot::parse_json("[]").is_err());
         assert!(MetricsSnapshot::parse_json("{\"counters\": {\"a\": -1}}").is_err());
         assert!(MetricsSnapshot::parse_json("not json").is_err());
+    }
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let registry = MetricsRegistry::new();
+        // 100 observations spread 1..=100 over bounds [10, 50, 100]: p50
+        // lands mid-way through the (10, 50] bucket, p99 near the top of
+        // the (50, 100] one.
+        for v in 1..=100 {
+            registry.histogram_observe("lat", &[10.0, 50.0, 100.0], v as f64);
+        }
+        let snapshot = registry.snapshot();
+        let h = snapshot.histogram("lat").unwrap();
+        assert_eq!(h.count, 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() < 1.0, "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 99.0).abs() < 1.0, "p99 = {p99}");
+        // Extremes and degenerate inputs.
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0 + (10.0 - 0.0) * (1.0 / 10.0));
+        assert!(h.quantile(1.5).is_none());
+        assert!(HistogramSnapshot::default().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_report_the_last_finite_bound() {
+        let registry = MetricsRegistry::new();
+        registry.histogram_observe("lat", &[1.0, 2.0], 50.0);
+        registry.histogram_observe("lat", &[1.0, 2.0], 60.0);
+        let snapshot = registry.snapshot();
+        let h = snapshot.histogram("lat").unwrap();
+        // Both observations overflowed: the estimator can only floor them.
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.99), Some(2.0));
     }
 }

@@ -46,11 +46,13 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod chunk;
 pub mod metrics;
 pub mod parallelism;
 pub mod pool;
 
+pub use admission::{AdmissionConfig, AdmissionError, AdmissionGate, Permit};
 pub use chunk::{contiguous_runs, run_containing};
 pub use metrics::install_pool_metrics;
 pub use parallelism::Parallelism;

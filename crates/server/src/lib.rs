@@ -1,0 +1,266 @@
+//! A multi-tenant differentially private query server over the recursive
+//! mechanism (Chen & Zhou, SIGMOD 2013).
+//!
+//! This crate is the service topology around the `rmdp-sql` frontend:
+//!
+//! ```text
+//!  clients ──TCP──▶ [protocol]  line requests, one thread per connection
+//!                        │
+//!                        ▼
+//!                   [DpServer]  admission gate → price → reserve
+//!                    │   │  │
+//!        ┌───────────┘   │  └────────────┐
+//!        ▼               ▼               ▼
+//!  CatalogSnapshot  TenantRegistry  SequenceCache
+//!  (immutable,      (per-tenant ε   (shared across
+//!   Arc-shared)      + admission)    ALL tenants)
+//!                        │
+//!                        ▼
+//!              per-request SqlSession
+//!              (seed = f(server, tenant, index))
+//! ```
+//!
+//! The design splits server state along one line: **what is sound to share**
+//! (the immutable catalog snapshot; the sequence cache, whose fingerprint
+//! keys bake in database identity) is shared by every tenant, and **what
+//! meters privacy** (ε ledgers, admission indices, replay logs) is strictly
+//! per-tenant. Refused and shed requests consume no ε; see
+//! [`ServerError`]. Releases are a deterministic function of the admitted
+//! per-tenant workload — [`DpServer::replay`] reproduces them
+//! bit-identically from the query log, whatever thread schedule produced it.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod seed;
+pub mod server;
+pub mod tenant;
+
+pub use client::{DpClient, WireRelease, WireResponse};
+pub use error::ServerError;
+pub use protocol::{serve, ServerHandle};
+pub use seed::{derive_query_seed, derive_tenant_seed};
+pub use server::{DpServer, ServerConfig};
+pub use tenant::{AdmittedQuery, TenantRegistry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdp_core::MechanismParams;
+    use rmdp_krelation::annotate::AnnotatedDatabase;
+    use rmdp_krelation::tuple::{Tuple, Value};
+    use rmdp_krelation::{Expr, KRelation};
+    use rmdp_noise::PrivacyBudget;
+    use rmdp_runtime::AdmissionConfig;
+    use rmdp_sql::{CatalogSnapshot, QueryOutput};
+    use std::sync::Arc;
+
+    fn snapshot() -> Arc<CatalogSnapshot> {
+        let mut db = AnnotatedDatabase::new();
+        let mut visits = KRelation::new(["person", "place"]);
+        for (person, place) in [
+            ("ada", "museum"),
+            ("bo", "museum"),
+            ("bo", "cafe"),
+            ("cy", "cafe"),
+            ("dee", "museum"),
+        ] {
+            let p = db.intern(person);
+            visits.insert(
+                Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+                Expr::Var(p),
+            );
+        }
+        db.insert_table("visits", visits);
+        db.declare_public_domain(
+            "visits",
+            "place",
+            [Value::str("museum"), Value::str("cafe"), Value::str("park")],
+        );
+        CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0))
+    }
+
+    fn eps(e: f64) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: e,
+            delta: 0.0,
+        }
+    }
+
+    #[test]
+    fn queries_release_and_debit_per_tenant() {
+        let server = DpServer::new(snapshot(), ServerConfig::default());
+        assert!(server.register_tenant("alice", eps(4.0)));
+        assert!(!server.register_tenant("alice", eps(99.0)), "no resets");
+        server.register_tenant("bob", eps(4.0));
+
+        let out = server
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap();
+        let release = out.scalar().expect("scalar release");
+        assert_eq!(release.true_answer, 5.0);
+        assert_eq!(release.epsilon_spent, 1.0);
+
+        assert_eq!(server.spent_budget("alice").unwrap().epsilon, 1.0);
+        assert_eq!(
+            server.spent_budget("bob").unwrap().epsilon,
+            0.0,
+            "bob pays nothing for alice's query"
+        );
+        assert_eq!(server.query_log("alice").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn refusals_leave_the_ledger_bit_unchanged() {
+        let server = DpServer::new(snapshot(), ServerConfig::default());
+        server.register_tenant("alice", eps(0.5));
+        let before = server.remaining_budget("alice").unwrap();
+
+        let err = server
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap_err();
+        assert!(matches!(err, ServerError::BudgetExhausted(_)), "{err}");
+        assert!(!err.consumed_epsilon());
+        let after = server.remaining_budget("alice").unwrap();
+        assert_eq!(before.epsilon.to_bits(), after.epsilon.to_bits());
+        assert!(
+            server.query_log("alice").unwrap().is_empty(),
+            "refusals never enter the replay log"
+        );
+
+        let err = server.query("nobody", "SELECT COUNT(*) FROM visits");
+        assert!(matches!(err, Err(ServerError::UnknownTenant(_))));
+    }
+
+    #[test]
+    fn failed_queries_refund_their_reservation() {
+        let server = DpServer::new(snapshot(), ServerConfig::default());
+        server.register_tenant("alice", eps(4.0));
+        // Planning succeeds (the table and column exist) but execution is
+        // never reached: a malformed query fails at the price step with no
+        // reservation at all.
+        let err = server.query("alice", "SELECT COUNT(*) FROM nowhere");
+        assert!(matches!(err, Err(ServerError::Sql(_))));
+        assert_eq!(server.spent_budget("alice").unwrap().epsilon, 0.0);
+    }
+
+    #[test]
+    fn replay_reproduces_releases_bit_identically() {
+        let server = DpServer::new(snapshot(), ServerConfig::default());
+        server.register_tenant("alice", eps(16.0));
+        let sqls = [
+            "SELECT COUNT(*) FROM visits",
+            "SELECT COUNT(*) FROM visits WHERE place = 'museum'",
+            "SELECT COUNT(*) FROM visits",
+            "SELECT place, COUNT(*) FROM visits GROUP BY place",
+        ];
+        let mut live = Vec::new();
+        for sql in sqls {
+            live.push(server.query("alice", sql).unwrap());
+        }
+        // The third query hits the shared cache (same fingerprint as the
+        // first); replay re-solves everything cold.
+        assert!(server.cache_stats().hits >= 1, "expected a cache hit");
+
+        let replayed = server.replay("alice").unwrap();
+        assert_eq!(replayed.len(), live.len());
+        for (orig, re) in live.iter().zip(&replayed) {
+            let re = re.as_ref().unwrap();
+            match (orig, re) {
+                (QueryOutput::Scalar(a), QueryOutput::Scalar(b)) => {
+                    assert_eq!(a.noisy_answer.to_bits(), b.noisy_answer.to_bits());
+                }
+                (QueryOutput::Grouped(a), QueryOutput::Grouped(b)) => {
+                    assert_eq!(a.groups.len(), b.groups.len());
+                    for (ga, gb) in a.groups.iter().zip(&b.groups) {
+                        assert_eq!(ga.key, gb.key);
+                        assert_eq!(
+                            ga.release.noisy_answer.to_bits(),
+                            gb.release.noisy_answer.to_bits()
+                        );
+                    }
+                }
+                other => panic!("shape changed under replay: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_in_flight_cap_sheds_without_spending() {
+        let config = ServerConfig {
+            per_tenant_in_flight: 0,
+            ..ServerConfig::default()
+        };
+        let server = DpServer::new(snapshot(), config);
+        server.register_tenant("alice", eps(4.0));
+        let err = server
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap_err();
+        assert!(matches!(err, ServerError::TenantBusy { .. }), "{err}");
+        assert_eq!(server.spent_budget("alice").unwrap().epsilon, 0.0);
+    }
+
+    #[test]
+    fn the_wire_round_trips_releases_bit_identically() {
+        let config = ServerConfig {
+            admission: AdmissionConfig::with_in_flight(4),
+            ..ServerConfig::default()
+        };
+        let server = Arc::new(DpServer::new(snapshot(), config));
+        server.register_tenant("alice", eps(16.0));
+        let mut handle = serve(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+        let mut client = DpClient::connect(handle.addr()).unwrap();
+        let scalar = client
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap();
+        let wire = scalar.scalar().expect("scalar release").clone();
+        let log = server.query_log("alice").unwrap();
+        assert_eq!(log.len(), 1);
+        let replayed = server.replay("alice").unwrap().remove(0).unwrap();
+        let re = replayed.scalar().unwrap();
+        assert_eq!(
+            wire.noisy_answer.to_bits(),
+            re.noisy_answer.to_bits(),
+            "shortest-round-trip float formatting preserves bits over the wire"
+        );
+
+        let grouped = client
+            .query("alice", "SELECT place, COUNT(*) FROM visits GROUP BY place")
+            .unwrap();
+        match grouped {
+            WireResponse::Grouped { groups, .. } => assert_eq!(groups.len(), 3),
+            other => panic!("expected grouped response, got {other:?}"),
+        }
+
+        let explained = client
+            .query("alice", "EXPLAIN ANALYZE SELECT COUNT(*) FROM visits")
+            .unwrap();
+        assert!(
+            matches!(explained, WireResponse::Explained { .. }),
+            "{explained:?}"
+        );
+
+        match client.budget("alice").unwrap() {
+            WireResponse::Budget { remaining, spent } => {
+                let ledger = server.remaining_budget("alice").unwrap();
+                assert_eq!(remaining.to_bits(), ledger.epsilon.to_bits());
+                assert!(spent > 0.0);
+            }
+            other => panic!("expected budget response, got {other:?}"),
+        }
+
+        match client
+            .query("nobody", "SELECT COUNT(*) FROM visits")
+            .unwrap()
+        {
+            WireResponse::Error { code, .. } => assert_eq!(code, "UNKNOWN_TENANT"),
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        handle.stop();
+    }
+}

@@ -1,0 +1,242 @@
+//! The server's line-oriented text protocol over `std::net` TCP.
+//!
+//! Dependency-free by design: requests and responses are UTF-8 lines, so
+//! the benchmark harness and tests can drive a server with nothing but the
+//! standard library. One request line in, one response (of one or more
+//! lines, with an explicit count) out:
+//!
+//! ```text
+//! → QUERY alice SELECT COUNT(*) FROM visits
+//! ← OK SCALAR true=4 noisy=4.1282089816519635 epsilon=1 delta_hat=2
+//!
+//! → QUERY alice SELECT COUNT(*) FROM visits GROUP BY visits.site
+//! ← OK GROUPED key=visits.site epsilon=1 groups=2
+//! ← GROUP true=3 noisy=3.8151817442574024 epsilon=0.5 key="a"
+//! ← GROUP true=1 noisy=0.4961026413242692 epsilon=0.5 key="b"
+//!
+//! → QUERY alice EXPLAIN ANALYZE SELECT COUNT(*) FROM visits
+//! ← OK EXPLAIN hits=1 misses=0 lp_solves=0 epsilon=1
+//! ← OK SCALAR true=4 noisy=3.8941646195731284 epsilon=1 delta_hat=2
+//!
+//! → BUDGET alice
+//! ← OK BUDGET remaining=2.5 spent=1.5
+//!
+//! ← ERR OVERLOADED server overloaded: 8 in flight, 8 waiting
+//! ```
+//!
+//! Floats are rendered with Rust's `Display`, which prints the **shortest
+//! string that round-trips**: a client parsing `noisy=…` back with
+//! `str::parse::<f64>()` recovers the bit-identical release, so the
+//! concurrency battery can assert bit-identity *through the wire*. Group
+//! keys are rendered with `Debug` (quoted, escaped) as the line's final
+//! field, so string keys with spaces survive.
+
+use crate::error::ServerError;
+use crate::server::DpServer;
+use rmdp_sql::QueryOutput;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Encodes one request's outcome as protocol lines (each entry one line,
+/// no trailing newline).
+pub fn encode_response(result: &Result<QueryOutput, ServerError>) -> Vec<String> {
+    match result {
+        Ok(output) => encode_output(output),
+        Err(e) => {
+            // Error text must stay one line; SQL errors can carry spans
+            // with embedded newlines.
+            let msg = e.to_string().replace('\n', " ");
+            vec![format!("ERR {} {}", e.code(), msg)]
+        }
+    }
+}
+
+fn encode_output(output: &QueryOutput) -> Vec<String> {
+    match output {
+        QueryOutput::Scalar(r) => vec![format!(
+            "OK SCALAR true={} noisy={} epsilon={} delta_hat={}",
+            r.true_answer, r.noisy_answer, r.epsilon_spent, r.delta_hat
+        )],
+        QueryOutput::Grouped(g) => {
+            let mut lines = vec![format!(
+                "OK GROUPED key={} epsilon={} groups={}",
+                g.key_column,
+                g.epsilon_spent,
+                g.groups.len()
+            )];
+            for group in &g.groups {
+                lines.push(format!(
+                    "GROUP true={} noisy={} epsilon={} key={:?}",
+                    group.release.true_answer,
+                    group.release.noisy_answer,
+                    group.release.epsilon_spent,
+                    group.key,
+                ));
+            }
+            lines
+        }
+        QueryOutput::Explained(traced) => {
+            let t = &traced.trace;
+            let mut lines = vec![format!(
+                "OK EXPLAIN hits={} misses={} lp_solves={} epsilon={}",
+                t.cache_hits,
+                t.cache_misses,
+                t.lp.h_solves + t.lp.g_solves,
+                t.epsilon_spent,
+            )];
+            lines.extend(encode_output(&traced.output));
+            lines
+        }
+    }
+}
+
+/// Serves one accepted connection: read request lines until EOF, answer
+/// each in order. Any I/O error just drops the connection — the server
+/// state is untouched because budgets and admission live in [`DpServer`].
+fn handle_connection(server: &DpServer, stream: TcpStream) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let lines = match request.split_once(' ') {
+            Some(("QUERY", rest)) => match rest.split_once(' ') {
+                Some((tenant, sql)) => encode_response(&server.query(tenant, sql)),
+                None => vec!["ERR PROTOCOL QUERY needs <tenant> <sql>".to_owned()],
+            },
+            Some(("BUDGET", tenant)) => {
+                let tenant = tenant.trim();
+                match (server.remaining_budget(tenant), server.spent_budget(tenant)) {
+                    (Some(remaining), Some(spent)) => vec![format!(
+                        "OK BUDGET remaining={} spent={}",
+                        remaining.epsilon, spent.epsilon
+                    )],
+                    _ => vec![format!("ERR UNKNOWN_TENANT unknown tenant '{tenant}'")],
+                }
+            }
+            _ => vec![format!(
+                "ERR PROTOCOL unrecognised request '{}'",
+                request.split(' ').next().unwrap_or_default()
+            )],
+        };
+        for l in &lines {
+            writer.write_all(l.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// A running TCP front-end: the accept loop and its connection handlers.
+///
+/// The **only** place in the workspace that constructs a [`TcpListener`]
+/// (CI greps for strays): all listening sockets answer to this module's
+/// shutdown discipline, so `perf_smoke` and the tests always drain cleanly.
+pub struct ServerHandle {
+    server: Arc<DpServer>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// Live connection streams, shared with the accept loop so `stop` can
+    /// shut them down — a connection handler otherwise blocks on its
+    /// client forever, and joining it would deadlock shutdown against any
+    /// still-open client.
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and serves `server`
+/// until [`ServerHandle::stop`]. Each connection gets its own thread; the
+/// admission gate, not the thread count, bounds concurrent query work.
+pub fn serve(server: Arc<DpServer>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_server = Arc::clone(&server);
+    let accept_stop = Arc::clone(&stop);
+    let accept_streams = Arc::clone(&streams);
+    let accept_thread = thread::spawn(move || {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Responses are a handful of short lines flushed at once; NODELAY
+            // keeps Nagle from trading their latency against delayed ACKs.
+            let _ = stream.set_nodelay(true);
+            if let Ok(clone) = stream.try_clone() {
+                accept_streams
+                    .lock()
+                    .expect("stream list poisoned")
+                    .push(clone);
+            }
+            let conn_server = Arc::clone(&accept_server);
+            connections.push(thread::spawn(move || {
+                // A dropped connection is the client's problem, not ours.
+                let _ = handle_connection(&conn_server, stream);
+            }));
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+    });
+
+    Ok(ServerHandle {
+        server,
+        addr,
+        stop,
+        streams,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served [`DpServer`].
+    pub fn server(&self) -> &Arc<DpServer> {
+        &self.server
+    }
+
+    /// Stops accepting, refuses queued work, drains in-flight queries and
+    /// joins every thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.server.shutdown();
+        // Unblock the connection handlers: each blocks reading its client,
+        // so close both directions under it. The handler sees EOF and
+        // returns; clients see a closed connection, which is the protocol's
+        // shutdown signal.
+        for stream in self.streams.lock().expect("stream list poisoned").drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop: `incoming()` has no timeout, so poke it
+        // with a throwaway connection. Failure means the listener is
+        // already gone, which is the outcome we wanted.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.server.drain();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

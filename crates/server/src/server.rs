@@ -1,0 +1,297 @@
+//! The long-lived multi-tenant server around the per-request [`SqlSession`].
+//!
+//! # Shared vs per-request state
+//!
+//! One [`DpServer`] owns exactly the state that is sound to share across
+//! tenants, and nothing more:
+//!
+//! - an immutable [`CatalogSnapshot`] (`Arc`'d database + mechanism
+//!   parameters + planner) every session reads;
+//! - one [`SequenceCache`] shared by **all** tenants. Cache keys are
+//!   canonical plan fingerprints that bake in the database's instance
+//!   identity and annotation epoch, so a hit can only ever return a table
+//!   the same data would have produced — cross-tenant sharing leaks nothing
+//!   a tenant could not compute from its own admitted queries;
+//! - per-tenant ε ledgers and admission state in a [`TenantRegistry`];
+//! - a server-wide [`AdmissionGate`] that sheds load *before* any budget
+//!   is touched.
+//!
+//! Each admitted query then gets a throwaway [`SqlSession`] seeded from
+//! `(server seed, tenant name, per-tenant admission index)` — see
+//! [`crate::seed`] — so releases are a pure function of the admitted
+//! per-tenant workload, never of the thread schedule.
+//!
+//! # What refusals cost
+//!
+//! Nothing. Every refusal path — gate shed, per-tenant in-flight cap,
+//! budget refusal, unknown tenant — returns before any ε is reserved, and
+//! a query that fails *after* admission has its reservation refunded in
+//! full (a failed query releases nothing). Tests assert both directions:
+//! debits sum exactly to admissions, and refusals leave `remaining_budget`
+//! bit-unchanged.
+
+use crate::error::ServerError;
+use crate::seed::derive_query_seed;
+use crate::tenant::{AdmittedQuery, Reservation, TenantRegistry};
+use rmdp_core::SequenceCache;
+use rmdp_noise::{GroupBudgetPolicy, PrivacyBudget};
+use rmdp_observe::{Clock, MetricsRegistry, MonotonicClock, LATENCY_BUCKETS_MS};
+use rmdp_runtime::{AdmissionConfig, AdmissionGate};
+use rmdp_sql::{AnyPlan, CatalogSnapshot, QueryOutput, SqlError, SqlSession};
+use std::sync::Arc;
+
+/// Knobs for one [`DpServer`]. See `docs/TUNING.md` for how each one trades
+/// throughput against refusal rate.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// The server-wide admission gate: concurrent execution slots and the
+    /// bounded wait queue in front of them.
+    pub admission: AdmissionConfig,
+    /// Per-tenant in-flight cap: one tenant can hold at most this many
+    /// execution slots at once, so a chatty tenant cannot starve the rest.
+    pub per_tenant_in_flight: usize,
+    /// Capacity of the shared cross-tenant sequence cache (frozen LP
+    /// tables keyed by canonical plan fingerprint).
+    pub cache_capacity: usize,
+    /// Root of the server's deterministic seed schedule.
+    pub seed: u64,
+    /// How grouped (`GROUP BY`) reports split budget across their groups.
+    pub group_policy: GroupBudgetPolicy,
+}
+
+impl Default for ServerConfig {
+    /// Eight execution slots with an equal-depth wait queue, four in-flight
+    /// requests per tenant, a 256-entry shared cache.
+    fn default() -> Self {
+        ServerConfig {
+            admission: AdmissionConfig::with_in_flight(8),
+            per_tenant_in_flight: 4,
+            cache_capacity: 256,
+            seed: 0x5EED,
+            group_policy: GroupBudgetPolicy::default(),
+        }
+    }
+}
+
+/// A long-lived, thread-safe multi-tenant DP query server.
+///
+/// All methods take `&self`; one `Arc<DpServer>` is shared by every
+/// connection handler and test thread. See the [module docs](self) for the
+/// shared-vs-per-request split and the refusal semantics.
+pub struct DpServer {
+    snapshot: Arc<CatalogSnapshot>,
+    cache: Arc<SequenceCache>,
+    gate: AdmissionGate,
+    tenants: TenantRegistry,
+    metrics: Arc<MetricsRegistry>,
+    clock: MonotonicClock,
+    config: ServerConfig,
+}
+
+impl DpServer {
+    /// A server over `snapshot` with the given `config`. Tenants start
+    /// empty; register them with [`DpServer::register_tenant`].
+    pub fn new(snapshot: Arc<CatalogSnapshot>, config: ServerConfig) -> Self {
+        DpServer {
+            snapshot,
+            cache: Arc::new(SequenceCache::new(config.cache_capacity)),
+            gate: AdmissionGate::new(config.admission),
+            tenants: TenantRegistry::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
+            clock: MonotonicClock::new(),
+            config,
+        }
+    }
+
+    /// Registers `tenant` with a lifetime ε budget. Returns `false` (and
+    /// changes nothing) if the tenant already exists — budgets can never be
+    /// reset by re-registering.
+    pub fn register_tenant(&self, tenant: &str, total: PrivacyBudget) -> bool {
+        self.tenants.register(tenant, total, self.config.seed)
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// The shared catalog snapshot.
+    pub fn snapshot(&self) -> &Arc<CatalogSnapshot> {
+        &self.snapshot
+    }
+
+    /// The server's metrics registry (admissions, sheds, latencies).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Statistics of the shared cross-tenant sequence cache.
+    pub fn cache_stats(&self) -> rmdp_core::CacheStats {
+        self.cache.stats()
+    }
+
+    /// All registered tenant names, in deterministic order.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants.names()
+    }
+
+    /// The tenant's remaining budget, or `None` for unknown tenants.
+    pub fn remaining_budget(&self, tenant: &str) -> Option<PrivacyBudget> {
+        self.tenants.remaining(tenant)
+    }
+
+    /// The tenant's spent budget, or `None` for unknown tenants.
+    pub fn spent_budget(&self, tenant: &str) -> Option<PrivacyBudget> {
+        self.tenants.spent(tenant)
+    }
+
+    /// The tenant's admitted queries in admission order, or `None` for
+    /// unknown tenants. This is the replay log: re-executing it serially
+    /// through [`DpServer::replay`] reproduces the tenant's releases
+    /// bit-identically.
+    pub fn query_log(&self, tenant: &str) -> Option<Vec<AdmittedQuery>> {
+        self.tenants.query_log(tenant)
+    }
+
+    /// What one query would cost this server, without running it. Scalar
+    /// releases cost `ε₁ + ε₂`; grouped reports are priced by the
+    /// configured [`GroupBudgetPolicy`]. An `EXPLAIN ANALYZE` prefix does
+    /// not change the price — tracing performs the release it traces.
+    pub fn price(&self, sql: &str) -> Result<PrivacyBudget, SqlError> {
+        let per_release = PrivacyBudget {
+            epsilon: self.snapshot.params().total_epsilon(),
+            delta: 0.0,
+        };
+        Ok(match self.snapshot.plan(sql)? {
+            AnyPlan::Scalar(_) => per_release,
+            AnyPlan::Grouped(g) => self
+                .config
+                .group_policy
+                .report_cost(per_release, g.num_groups()),
+        })
+    }
+
+    /// Runs one query for `tenant` through the full server path: gate →
+    /// price → atomic per-tenant reservation → throwaway seeded session →
+    /// release (or refund). See the [module docs](self) for what each
+    /// refusal costs (nothing).
+    pub fn query(&self, tenant: &str, sql: &str) -> Result<QueryOutput, ServerError> {
+        let started = self.clock.now_nanos();
+        let permit = match self.gate.enter() {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.counter_add("server.shed.overloaded", 1);
+                return Err(e.into());
+            }
+        };
+        // Price before reserving so a malformed query is refused without
+        // touching the ledger. The permit is held while planning: pricing
+        // is microseconds next to an LP solve, and counting it against the
+        // gate keeps `in_flight` an honest measure of server load.
+        let cost = self.price(sql).map_err(|e| {
+            self.metrics.counter_add("server.errors.sql", 1);
+            ServerError::Sql(e)
+        })?;
+        let reservation = self
+            .tenants
+            .reserve(tenant, sql, cost, self.config.per_tenant_in_flight)
+            .ok_or_else(|| {
+                self.metrics.counter_add("server.refused.unknown_tenant", 1);
+                ServerError::UnknownTenant(tenant.to_owned())
+            })?;
+        let (index, tenant_seed) = match reservation {
+            Reservation::Admitted { index, tenant_seed } => (index, tenant_seed),
+            Reservation::Busy { in_flight } => {
+                self.metrics.counter_add("server.shed.tenant_busy", 1);
+                return Err(ServerError::TenantBusy {
+                    tenant: tenant.to_owned(),
+                    in_flight,
+                });
+            }
+            Reservation::OverBudget(e) => {
+                self.metrics.counter_add("server.refused.budget", 1);
+                return Err(ServerError::BudgetExhausted(e));
+            }
+        };
+
+        let mut session = self.session_for(derive_query_seed(tenant_seed, index));
+        let result = session.query(sql);
+        self.tenants.finish(tenant, cost, result.is_err());
+        self.absorb_session(&session);
+        drop(permit);
+
+        let elapsed_ms = (self.clock.now_nanos() - started) as f64 / 1e6;
+        self.metrics
+            .histogram_observe("server.latency_ms", &LATENCY_BUCKETS_MS, elapsed_ms);
+        match result {
+            Ok(output) => {
+                self.metrics.counter_add("server.queries", 1);
+                self.metrics
+                    .counter_add(&format!("tenant.{tenant}.queries"), 1);
+                Ok(output)
+            }
+            Err(e) => {
+                self.metrics.counter_add("server.errors.sql", 1);
+                Err(ServerError::Sql(e))
+            }
+        }
+    }
+
+    /// Serially re-executes the tenant's admitted query log against fresh
+    /// **cache-free** sessions, reproducing every release bit-identically —
+    /// including the failures. Cold solves prove the shared cache never
+    /// changed an answer; the seed schedule proves the thread schedule
+    /// never did. `None` for unknown tenants.
+    ///
+    /// Replay draws no budget and records no metrics: it recomputes what
+    /// was already paid for.
+    pub fn replay(&self, tenant: &str) -> Option<Vec<Result<QueryOutput, SqlError>>> {
+        let log = self.tenants.query_log(tenant)?;
+        let tenant_seed = self.tenants.tenant_seed(tenant)?;
+        Some(
+            log.iter()
+                .map(|q| {
+                    let seed = derive_query_seed(tenant_seed, q.index);
+                    let mut session = SqlSession::over(Arc::clone(&self.snapshot), seed)
+                        .with_group_policy(self.config.group_policy);
+                    session.query(&q.sql)
+                })
+                .collect(),
+        )
+    }
+
+    /// Stops admitting new work. Queued requests are woken and refused
+    /// with [`ServerError::ShuttingDown`]; in-flight queries finish.
+    pub fn shutdown(&self) {
+        self.gate.shutdown();
+    }
+
+    /// Blocks until every admitted and queued request has left the gate.
+    /// Call after [`DpServer::shutdown`] for a clean drain.
+    pub fn drain(&self) {
+        self.gate.drain();
+    }
+
+    /// A throwaway per-request session over the shared snapshot and cache.
+    fn session_for(&self, seed: u64) -> SqlSession {
+        SqlSession::over(Arc::clone(&self.snapshot), seed)
+            .with_group_policy(self.config.group_policy)
+            .with_sequence_cache(Arc::clone(&self.cache))
+    }
+
+    /// Folds one finished session's work counters into the server metrics.
+    /// Cache totals come from the shared cache itself (monotone, so
+    /// `counter_record_total` keeps the latest snapshot).
+    fn absorb_session(&self, session: &SqlSession) {
+        let lp = session.lp_totals();
+        self.metrics
+            .counter_add("server.lp.solves", (lp.h_solves + lp.g_solves) as u64);
+        self.metrics
+            .counter_add("server.lp.pivots", lp.total_pivots as u64);
+        let cache = self.cache.stats();
+        self.metrics
+            .counter_record_total("server.cache.hits", cache.hits);
+        self.metrics
+            .counter_record_total("server.cache.misses", cache.misses);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-tenant mutable state: budgets, admission indices and the replay log.
+//!
+//! Everything schedule-dependent about one tenant funnels through one
+//! mutex: the reservation of a query's cost, the assignment of its
+//! per-tenant admission index (the seed binding — see [`crate::seed`]), the
+//! in-flight cap, and the append to the replay log all happen under the
+//! tenant's lock in one critical section, so they are mutually atomic.
+//! Two of the tenant's own queries racing can never double-spend a budget
+//! only one fits in, never share an admission index, and never interleave
+//! log entries out of admission order. Different tenants use different
+//! locks and never contend.
+//!
+//! The ε ledgers themselves live in a
+//! [`BudgetRegistry`] — the noise crate's
+//! thread-safe map of per-tenant [`BudgetAccountant`]s — and the registry
+//! here layers the server's admission state on top.
+
+use crate::seed::derive_tenant_seed;
+use rmdp_noise::{BudgetAccountant, BudgetExhausted, BudgetRegistry, PrivacyBudget};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One admitted query in a tenant's replay log: the admission index its
+/// noise seed derives from, and the SQL text to re-execute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdmittedQuery {
+    /// The per-tenant admission index (0-based, gapless).
+    pub index: u64,
+    /// The query text as admitted.
+    pub sql: String,
+}
+
+/// The mutable half of one tenant, guarded by one mutex.
+#[derive(Debug)]
+pub(crate) struct TenantMut {
+    /// Root of this tenant's seed stream.
+    pub(crate) seed: u64,
+    /// Next admission index to hand out.
+    pub(crate) admitted: u64,
+    /// Queries currently executing for this tenant.
+    pub(crate) in_flight: usize,
+    /// Every admitted query in admission order (including ones that later
+    /// failed and were refunded — replay reproduces their failures too).
+    pub(crate) log: Vec<AdmittedQuery>,
+}
+
+/// The server's tenant table: per-tenant ε ledgers (behind the noise
+/// crate's [`BudgetRegistry`]) plus per-tenant admission state.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    budgets: BudgetRegistry,
+    tenants: RwLock<BTreeMap<String, Arc<Mutex<TenantMut>>>>,
+}
+
+/// What one admission reservation decided, under the tenant lock.
+#[derive(Debug)]
+pub(crate) enum Reservation {
+    /// Cost reserved; execute with this admission index.
+    Admitted {
+        /// The query's per-tenant admission index.
+        index: u64,
+        /// The tenant's seed-stream root (for deriving the query seed).
+        tenant_seed: u64,
+    },
+    /// The tenant's in-flight cap is full. Nothing reserved.
+    Busy {
+        /// In-flight count at refusal time.
+        in_flight: usize,
+    },
+    /// The ledger refused the cost. Nothing reserved.
+    OverBudget(BudgetExhausted),
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `tenant` with budget `total`; its seed stream derives from
+    /// `server_seed` and its name. Returns `false` (leaving existing state
+    /// untouched) if the tenant already exists.
+    pub fn register(&self, tenant: &str, total: PrivacyBudget, server_seed: u64) -> bool {
+        if !self.budgets.register(tenant, total) {
+            return false;
+        }
+        self.tenants
+            .write()
+            .expect("tenant registry poisoned")
+            .insert(
+                tenant.to_owned(),
+                Arc::new(Mutex::new(TenantMut {
+                    seed: derive_tenant_seed(server_seed, tenant),
+                    admitted: 0,
+                    in_flight: 0,
+                    log: Vec::new(),
+                })),
+            );
+        true
+    }
+
+    /// All registered tenant names, in deterministic order.
+    pub fn names(&self) -> Vec<String> {
+        self.budgets.names()
+    }
+
+    /// The tenant's remaining budget, or `None` for unknown tenants.
+    pub fn remaining(&self, tenant: &str) -> Option<PrivacyBudget> {
+        self.budgets.remaining(tenant)
+    }
+
+    /// The tenant's spent budget, or `None` for unknown tenants.
+    pub fn spent(&self, tenant: &str) -> Option<PrivacyBudget> {
+        self.budgets.spent(tenant)
+    }
+
+    /// The tenant's replay log (admission order), or `None` for unknown
+    /// tenants.
+    pub fn query_log(&self, tenant: &str) -> Option<Vec<AdmittedQuery>> {
+        let state = self.state(tenant)?;
+        let t = state.lock().expect("tenant state poisoned");
+        Some(t.log.clone())
+    }
+
+    /// The tenant's seed-stream root, or `None` for unknown tenants.
+    pub fn tenant_seed(&self, tenant: &str) -> Option<u64> {
+        let state = self.state(tenant)?;
+        let t = state.lock().expect("tenant state poisoned");
+        Some(t.seed)
+    }
+
+    pub(crate) fn state(&self, tenant: &str) -> Option<Arc<Mutex<TenantMut>>> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(tenant)
+            .cloned()
+    }
+
+    /// The admission critical section: under the tenant's lock, check the
+    /// in-flight cap, reserve `cost` on the ledger, assign the admission
+    /// index, bump in-flight, and append to the replay log — atomically.
+    /// Returns `None` for unknown tenants.
+    pub(crate) fn reserve(
+        &self,
+        tenant: &str,
+        sql: &str,
+        cost: PrivacyBudget,
+        max_in_flight: usize,
+    ) -> Option<Reservation> {
+        let state = self.state(tenant)?;
+        let ledger = self.budgets.handle(tenant)?;
+        let mut t = state.lock().expect("tenant state poisoned");
+        if t.in_flight >= max_in_flight {
+            return Some(Reservation::Busy {
+                in_flight: t.in_flight,
+            });
+        }
+        // Lock order is always tenant → ledger (the only place both are
+        // held), so the pair cannot deadlock.
+        let mut acc = ledger.lock().expect("tenant ledger poisoned");
+        if let Err(e) = acc.try_spend(cost) {
+            return Some(Reservation::OverBudget(e));
+        }
+        drop(acc);
+        let index = t.admitted;
+        t.admitted += 1;
+        t.in_flight += 1;
+        t.log.push(AdmittedQuery {
+            index,
+            sql: sql.to_owned(),
+        });
+        Some(Reservation::Admitted {
+            index,
+            tenant_seed: t.seed,
+        })
+    }
+
+    /// Ends an admitted query's flight. When it failed (released nothing),
+    /// `refund` returns the reserved cost to the ledger.
+    pub(crate) fn finish(&self, tenant: &str, cost: PrivacyBudget, refund: bool) {
+        if let Some(state) = self.state(tenant) {
+            let mut t = state.lock().expect("tenant state poisoned");
+            t.in_flight = t.in_flight.saturating_sub(1);
+        }
+        if refund {
+            if let Some(ledger) = self.budgets.handle(tenant) {
+                ledger.lock().expect("tenant ledger poisoned").refund(cost);
+            }
+        }
+    }
+
+    /// Read access to a tenant's full accountant state (for reports).
+    pub fn accountant(&self, tenant: &str) -> Option<BudgetAccountant> {
+        let ledger = self.budgets.handle(tenant)?;
+        let acc = ledger.lock().expect("tenant ledger poisoned");
+        Some(*acc)
+    }
+}

@@ -59,13 +59,18 @@ pub mod exec;
 pub mod fingerprint;
 pub mod parser;
 pub mod plan;
+mod release;
 pub mod session;
+pub mod snapshot;
 pub mod token;
 
 pub use error::SqlError;
 pub use parser::parse;
 pub use plan::{plan, plan_query, AnyPlan, GroupedQueryPlan, QueryPlan};
-pub use session::{GroupRelease, GroupedRelease, QueryOutput, SqlSession, TracedOutput};
+pub use session::{
+    BatchRelease, GroupRelease, GroupedRelease, QueryOutput, SqlSession, TracedOutput,
+};
+pub use snapshot::CatalogSnapshot;
 pub use token::{Span, Token, TokenKind};
 
 // Re-exported so downstream users can configure grouped-report pricing

@@ -1,0 +1,308 @@
+//! The stateless release core shared by sessions, batches and servers.
+//!
+//! These functions are the execution tail of every release path: they take
+//! *explicit* shared state (database, params, cache handle) and *explicit*
+//! per-release state (the noise RNG), own no session, and debit no budget —
+//! admission and accounting stay with the caller. That split is what lets
+//! [`SqlSession`](crate::SqlSession) methods, [`SqlSession::query_batch`]
+//! workers, grouped fan-out workers and `rmdp-server` request threads all
+//! run the *same* code under their own concurrency regimes.
+
+use crate::error::SqlError;
+use crate::exec::{execute, weigh};
+use crate::fingerprint::plan_fingerprint;
+use crate::plan::{GroupedQueryPlan, QueryPlan};
+use crate::session::{GroupRelease, GroupedRelease};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rmdp_core::{
+    CachedSequences, EfficientSequences, FrozenSequences, LpWorkStats, MechanismParams,
+    Parallelism, RecursiveMechanism, Release, SensitiveKRelation, SequenceCache,
+};
+use rmdp_krelation::annotate::AnnotatedDatabase;
+use rmdp_krelation::fingerprint::{Fingerprint, FingerprintHasher};
+use rmdp_krelation::tuple::Value;
+use rmdp_noise::{GroupBudgetPolicy, PrivacyBudget};
+use rmdp_observe::{CacheOutcome, NoopRecorder, Recorder, Stage};
+use rmdp_runtime::par_try_map_indexed;
+use std::sync::Arc;
+
+/// What one [`release_plan`] call produced beyond the release itself: how
+/// the cache behaved and how much LP work ran on this call (zero on a hit).
+pub(crate) struct ReleaseOutcome {
+    pub(crate) release: Release,
+    pub(crate) cache: CacheOutcome,
+    pub(crate) lp: LpWorkStats,
+}
+
+/// The trace-facing facts of one grouped report: aggregate cache behaviour,
+/// the domain-order fold of per-group LP work, and the ε split the policy
+/// chose.
+pub(crate) struct GroupedOutcome {
+    pub(crate) cache: CacheOutcome,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) lp: LpWorkStats,
+    pub(crate) fraction: f64,
+    pub(crate) group_epsilon1: f64,
+    pub(crate) group_epsilon2: f64,
+}
+
+/// The noise seed of one group: a stable hash of the report-level seed and
+/// the **key value** (type-tagged, so `Int(1)` and `Str("1")` differ).
+/// Binding the seed to the value rather than the domain position makes
+/// per-key releases invariant under re-declaring the domain in a different
+/// order — and keeps the fan-out bit-identical for every `Parallelism`,
+/// since every group's stream is fixed before any worker starts.
+pub(crate) fn group_seed(report_seed: u64, key: &Value) -> u64 {
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_u64(report_seed);
+    match key {
+        Value::Int(v) => {
+            hasher.write_u64(1);
+            hasher.write_u64(*v as u64);
+        }
+        Value::Str(s) => {
+            hasher.write_u64(2);
+            hasher.write_bytes(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            hasher.write_u64(3);
+            hasher.write_u64(u64::from(*b));
+        }
+    }
+    hasher.finish().0 as u64
+}
+
+/// Executes a validated plan and releases its aggregate: the shared tail of
+/// `SqlSession::query` and each `SqlSession::query_batch` worker.
+///
+/// With a cache handle, a fingerprint hit serves the frozen `H`/`G` table
+/// directly — skipping plan execution *and* every sequence LP — and a miss
+/// computes the full table once (all `2(|P|+1)` entries, warm-started
+/// chains, up to `params.parallelism` workers), publishes it, and releases
+/// from the freshly frozen copy. Noise is drawn from `rng` identically on
+/// every path, so hit, miss and uncached releases are bit-identical under
+/// the same seed.
+pub(crate) fn release_plan<T: Recorder>(
+    db: &AnnotatedDatabase,
+    plan: &QueryPlan,
+    params: MechanismParams,
+    rng: &mut StdRng,
+    cache: Option<(&SequenceCache, Fingerprint)>,
+    recorder: &mut T,
+) -> Result<ReleaseOutcome, SqlError> {
+    if let Some((cache, key)) = cache {
+        recorder.enter(Stage::CacheLookup);
+        let cached = cache.get(key);
+        recorder.exit(Stage::CacheLookup);
+        let (frozen, outcome, lp) = match cached {
+            Some(hit) => (hit, CacheOutcome::Hit, LpWorkStats::default()),
+            None => {
+                recorder.enter(Stage::Plan);
+                let query = build_sensitive_query(db, plan);
+                recorder.exit(Stage::Plan);
+                recorder.enter(Stage::SequenceSolve);
+                let computed = query.and_then(|query| {
+                    FrozenSequences::compute_with_stats(
+                        EfficientSequences::new(query),
+                        params.parallelism,
+                    )
+                    .map_err(SqlError::from)
+                });
+                recorder.exit(Stage::SequenceSolve);
+                let (frozen, stats) = computed?;
+                let frozen = Arc::new(frozen);
+                cache.insert(key, Arc::clone(&frozen));
+                (frozen, CacheOutcome::Miss, stats)
+            }
+        };
+        let mut mechanism = RecursiveMechanism::new(CachedSequences(frozen), params)?;
+        let release = mechanism.release_recorded(rng, recorder)?;
+        return Ok(ReleaseOutcome {
+            release,
+            cache: outcome,
+            lp,
+        });
+    }
+
+    recorder.enter(Stage::Plan);
+    let query = build_sensitive_query(db, plan);
+    recorder.exit(Stage::Plan);
+    // The constructor precomputes the sequence tables when the params are
+    // parallel, so its runtime belongs to the solve span too.
+    recorder.enter(Stage::SequenceSolve);
+    let mechanism = query.and_then(|query| {
+        RecursiveMechanism::new(EfficientSequences::new(query), params).map_err(SqlError::from)
+    });
+    recorder.exit(Stage::SequenceSolve);
+    let mut mechanism = mechanism?;
+    let release = mechanism.release_recorded(rng, recorder)?;
+    let lp = mechanism.sequences_mut().stats();
+    Ok(ReleaseOutcome {
+        release,
+        cache: CacheOutcome::Uncached,
+        lp,
+    })
+}
+
+/// Releases a whole grouped (`GROUP BY`) report: the budget-free core of
+/// `SqlSession::query_grouped`, also run per-item by the mixed batch path
+/// and per-request by `rmdp-server` workers.
+///
+/// `params` is the caller's **full per-release** parameter set; the
+/// policy's per-group ε split is derived here (β and θ — the
+/// sensitivity-relevant fields the cache keys on — stay put, so grouped and
+/// scalar traffic share sequence-cache entries). The `k` per-group sequence
+/// computations fan out across the worker pool and through the shared
+/// [`SequenceCache`] under the session determinism discipline: one seed is
+/// drawn from `rng` per report, and each group's noise stream derives from
+/// that seed **and the key value**, so releases are bit-identical across
+/// `Parallelism` settings, cached/uncached runs, and re-declared domain
+/// orders.
+///
+/// Admission and the debit of the report's cost stay with the caller; the
+/// returned report's `epsilon_spent` is the policy's report price, computed
+/// here so callers debit exactly what the report says it spent.
+pub(crate) fn release_grouped_plan<T: Recorder>(
+    db: &AnnotatedDatabase,
+    grouped: &GroupedQueryPlan,
+    params: MechanismParams,
+    policy: GroupBudgetPolicy,
+    rng: &mut StdRng,
+    cache: Option<&SequenceCache>,
+    recorder: &mut T,
+) -> Result<(GroupedRelease, GroupedOutcome), SqlError> {
+    let k = grouped.num_groups();
+    let per_release = PrivacyBudget {
+        epsilon: params.total_epsilon(),
+        delta: 0.0,
+    };
+    let cost = policy.report_cost(per_release, k);
+
+    // Per-group parameters: only the ε split scales; β and θ — the
+    // sensitivity-relevant fields the cache keys on — stay put, so grouped
+    // and scalar traffic share sequence-cache entries.
+    let fraction = policy.per_group_fraction(k);
+    let group_params = MechanismParams {
+        epsilon1: params.epsilon1 * fraction,
+        epsilon2: params.epsilon2 * fraction,
+        ..params
+    };
+
+    let plans: Vec<QueryPlan> = grouped
+        .domain
+        .iter()
+        .map(|v| grouped.group_plan(v))
+        .collect();
+    // Fingerprints are computed before the fan-out (cheap and pure), so
+    // workers only touch the shared cache.
+    recorder.enter(Stage::Fingerprint);
+    let keys: Option<Vec<Fingerprint>> = cache.map(|_| {
+        plans
+            .iter()
+            .map(|p| plan_fingerprint(db, p, &group_params))
+            .collect()
+    });
+    recorder.exit(Stage::Fingerprint);
+    let report_seed = rng.next_u64();
+    let seeds: Vec<u64> = grouped
+        .domain
+        .iter()
+        .map(|v| group_seed(report_seed, v))
+        .collect();
+
+    // The report level owns the concurrency; the worker budget is split
+    // so total thread counts do not multiply (same discipline as
+    // `query_batch`).
+    let workers = params.parallelism.workers();
+    let per_group = workers / k.max(1);
+    let worker_params = group_params.with_parallelism(if per_group > 1 {
+        Parallelism::Threads(per_group)
+    } else {
+        Parallelism::Serial
+    });
+    recorder.enter(Stage::SequenceSolve);
+    let outcomes = par_try_map_indexed(params.parallelism, k, |i| {
+        let mut rng = StdRng::seed_from_u64(seeds[i]);
+        let key = keys.as_ref().map(|ks| ks[i]);
+        release_plan(
+            db,
+            &plans[i],
+            worker_params,
+            &mut rng,
+            cache.zip(key),
+            &mut NoopRecorder,
+        )
+    });
+    recorder.exit(Stage::SequenceSolve);
+    let outcomes = outcomes?;
+
+    // Fold the per-group LP work and cache outcomes in domain (= input)
+    // order; `par_try_map_indexed` already returns index order, so the
+    // totals are identical for every `Parallelism`.
+    let mut lp = LpWorkStats::default();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for outcome in &outcomes {
+        lp.absorb(&outcome.lp);
+        match outcome.cache {
+            CacheOutcome::Hit => cache_hits += 1,
+            CacheOutcome::Miss => cache_misses += 1,
+            CacheOutcome::Uncached => {}
+        }
+    }
+    let cache_outcome = if cache.is_none() {
+        CacheOutcome::Uncached
+    } else if cache_misses == 0 {
+        CacheOutcome::Hit
+    } else {
+        CacheOutcome::Miss
+    };
+
+    let report = GroupedRelease {
+        key_column: grouped.key_display.clone(),
+        groups: grouped
+            .domain
+            .iter()
+            .cloned()
+            .zip(outcomes)
+            .map(|(key, outcome)| GroupRelease {
+                key,
+                release: outcome.release,
+            })
+            .collect(),
+        per_group_epsilon: group_params.total_epsilon(),
+        epsilon_spent: cost.epsilon,
+        policy,
+    };
+    let info = GroupedOutcome {
+        cache: cache_outcome,
+        cache_hits,
+        cache_misses,
+        lp,
+        fraction,
+        group_epsilon1: group_params.epsilon1,
+        group_epsilon2: group_params.epsilon2,
+    };
+    Ok((report, info))
+}
+
+/// Executes the plan and wraps its annotated output as the linear query the
+/// mechanism aggregates.
+pub(crate) fn build_sensitive_query(
+    db: &AnnotatedDatabase,
+    plan: &QueryPlan,
+) -> Result<SensitiveKRelation, SqlError> {
+    let output = execute(db, plan)?;
+
+    // Validate all weights before handing them to the mechanism (whose
+    // constructor asserts) so bad aggregates surface as SqlError.
+    for (tuple, _) in output.iter() {
+        weigh(plan, tuple)?;
+    }
+    let participants = db.universe().ids().collect();
+    Ok(SensitiveKRelation::new(&output, participants, |t| {
+        weigh(plan, t).expect("weights validated above")
+    }))
+}

@@ -1,18 +1,17 @@
 //! The public entry point: a SQL session over one annotated database.
 
 use crate::error::SqlError;
-use crate::exec::{execute, execute_grouped, weigh};
+use crate::exec::{execute, execute_grouped};
 use crate::fingerprint::plan_fingerprint;
 use crate::parser::parse;
-use crate::plan::{plan, plan_query, AnyPlan, GroupedQueryPlan, QueryPlan};
+use crate::plan::{plan_query, AnyPlan, GroupedQueryPlan, QueryPlan};
+use crate::release::{release_grouped_plan, release_plan, GroupedOutcome};
+use crate::snapshot::CatalogSnapshot;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use rmdp_core::{
-    CacheStats, CachedSequences, EfficientSequences, FrozenSequences, LpWorkStats, MechanismParams,
-    Parallelism, RecursiveMechanism, Release, SensitiveKRelation, SequenceCache,
-};
+use rmdp_core::{CacheStats, LpWorkStats, MechanismParams, Parallelism, Release, SequenceCache};
 use rmdp_krelation::annotate::AnnotatedDatabase;
-use rmdp_krelation::fingerprint::{Fingerprint, FingerprintHasher};
+use rmdp_krelation::fingerprint::Fingerprint;
 use rmdp_krelation::tuple::Value;
 use rmdp_krelation::KRelation;
 use rmdp_noise::{BudgetAccountant, BudgetExhausted, GroupBudgetPolicy, PrivacyBudget};
@@ -218,7 +217,7 @@ pub struct TracedOutput {
 /// assert_eq!(report.get(&Value::str("park")).unwrap().true_answer, 0.0);
 /// ```
 pub struct SqlSession {
-    db: AnnotatedDatabase,
+    snapshot: Arc<CatalogSnapshot>,
     params: MechanismParams,
     rng: StdRng,
     accountant: Option<BudgetAccountant>,
@@ -239,8 +238,21 @@ impl SqlSession {
 
     /// Opens a session whose noise stream derives from `seed`.
     pub fn with_seed(db: AnnotatedDatabase, params: MechanismParams, seed: u64) -> Self {
+        Self::over(CatalogSnapshot::shared(db, params), seed)
+    }
+
+    /// Opens a session **over a shared [`CatalogSnapshot`]**: the
+    /// multi-session form of [`SqlSession::with_seed`]. The snapshot (the
+    /// immutable half — database, planner, default params) is shared by
+    /// reference; everything mutable (the noise RNG seeded from `seed`, the
+    /// optional budget accountant and cache handle, LP-work totals) is
+    /// private to this session. Minting a session per request this way is
+    /// cheap — two `Arc` clones and an RNG seed — which is how `rmdp-server`
+    /// serves many concurrent tenants over one snapshot.
+    pub fn over(snapshot: Arc<CatalogSnapshot>, seed: u64) -> Self {
+        let params = snapshot.params();
         SqlSession {
-            db,
+            snapshot,
             params,
             rng: StdRng::seed_from_u64(seed),
             accountant: None,
@@ -250,6 +262,11 @@ impl SqlSession {
             clock: Arc::new(MonotonicClock::new()),
             lp_totals: LpWorkStats::default(),
         }
+    }
+
+    /// The shared immutable half of this session.
+    pub fn snapshot(&self) -> &Arc<CatalogSnapshot> {
+        &self.snapshot
     }
 
     /// Attaches a [`MetricsRegistry`] the session reports into: release and
@@ -342,7 +359,7 @@ impl SqlSession {
 
     /// The underlying database.
     pub fn database(&self) -> &AnnotatedDatabase {
-        &self.db
+        self.snapshot.database()
     }
 
     /// The mechanism parameters used by [`SqlSession::query`].
@@ -408,7 +425,7 @@ impl SqlSession {
         self.cache.as_ref().map(|c| {
             (
                 Arc::clone(c),
-                plan_fingerprint(&self.db, plan, &self.params),
+                plan_fingerprint(self.snapshot.database(), plan, &self.params),
             )
         })
     }
@@ -417,7 +434,7 @@ impl SqlSession {
     /// `EXPLAIN` of this frontend. The plan's `Display` renders the algebra
     /// pipeline (with a `γ` header for grouped reports).
     pub fn plan(&self, sql: &str) -> Result<AnyPlan, SqlError> {
-        plan(&self.db, sql)
+        self.snapshot.plan(sql)
     }
 
     /// Evaluates a scalar `sql` **without differential privacy**, returning
@@ -426,7 +443,7 @@ impl SqlSession {
     /// [`SqlSession::evaluate_grouped`].
     pub fn evaluate(&self, sql: &str) -> Result<KRelation, SqlError> {
         match self.plan(sql)? {
-            AnyPlan::Scalar(plan) => execute(&self.db, &plan),
+            AnyPlan::Scalar(plan) => execute(self.snapshot.database(), &plan),
             AnyPlan::Grouped(g) => Err(SqlError::QueryShape {
                 message: "evaluate returns one relation; evaluate grouped queries through \
                           `evaluate_grouped`"
@@ -442,7 +459,7 @@ impl SqlSession {
     /// only.
     pub fn evaluate_grouped(&self, sql: &str) -> Result<Vec<(Value, KRelation)>, SqlError> {
         match self.plan(sql)? {
-            AnyPlan::Grouped(g) => execute_grouped(&self.db, &g),
+            AnyPlan::Grouped(g) => execute_grouped(self.snapshot.database(), &g),
             AnyPlan::Scalar(p) => Err(SqlError::QueryShape {
                 message: "evaluate_grouped needs a `GROUP BY` query; use `evaluate` for \
                           scalar aggregates"
@@ -480,7 +497,7 @@ impl SqlSession {
         if ast.explain {
             return Ok(QueryOutput::Explained(Box::new(self.query_traced(sql)?)));
         }
-        match plan_query(&self.db, &ast)? {
+        match plan_query(self.snapshot.database(), &ast)? {
             AnyPlan::Scalar(plan) => self.release_scalar(&plan).map(QueryOutput::Scalar),
             AnyPlan::Grouped(plan) => self.release_grouped(&plan).map(QueryOutput::Grouped),
         }
@@ -508,7 +525,7 @@ impl SqlSession {
         let ast = parse(sql)?;
         recorder.exit(Stage::Parse);
         recorder.enter(Stage::Plan);
-        let planned = plan_query(&self.db, &ast)?;
+        let planned = plan_query(self.snapshot.database(), &ast)?;
         recorder.exit(Stage::Plan);
 
         let (output, fingerprint, cache, cache_hits, cache_misses, lp, noise, epsilon, split) =
@@ -652,12 +669,16 @@ impl SqlSession {
         let cache = self.cache_key(plan);
         let fingerprint = match (&cache, force_fingerprint) {
             (Some((_, key)), _) => Some(*key),
-            (None, true) => Some(plan_fingerprint(&self.db, plan, &self.params)),
+            (None, true) => Some(plan_fingerprint(
+                self.snapshot.database(),
+                plan,
+                &self.params,
+            )),
             (None, false) => None,
         };
         recorder.exit(Stage::Fingerprint);
         let outcome = release_plan(
-            &self.db,
+            self.snapshot.database(),
             plan,
             self.params,
             &mut self.rng,
@@ -740,118 +761,20 @@ impl SqlSession {
         recorder.exit(Stage::BudgetDebit);
         admitted?;
 
-        // Per-group parameters: only the ε split scales; β and θ — the
-        // sensitivity-relevant fields the cache keys on — stay put, so
-        // grouped and scalar traffic share sequence-cache entries.
-        let fraction = self.group_policy.per_group_fraction(k);
-        let group_params = MechanismParams {
-            epsilon1: self.params.epsilon1 * fraction,
-            epsilon2: self.params.epsilon2 * fraction,
-            ..self.params
-        };
-
-        let plans: Vec<QueryPlan> = grouped
-            .domain
-            .iter()
-            .map(|v| grouped.group_plan(v))
-            .collect();
-        // Fingerprints are computed before the fan-out (cheap and pure), so
-        // workers only touch the shared cache.
-        recorder.enter(Stage::Fingerprint);
-        let keys: Option<Vec<Fingerprint>> = self.cache.as_ref().map(|_| {
-            plans
-                .iter()
-                .map(|p| plan_fingerprint(&self.db, p, &group_params))
-                .collect()
-        });
-        recorder.exit(Stage::Fingerprint);
-        let report_seed = self.rng.next_u64();
-        let seeds: Vec<u64> = grouped
-            .domain
-            .iter()
-            .map(|v| group_seed(report_seed, v))
-            .collect();
-
-        // The report level owns the concurrency; the worker budget is split
-        // so total thread counts do not multiply (same discipline as
-        // `query_batch`).
-        let db = &self.db;
-        let cache = self.cache.as_deref();
-        let workers = self.params.parallelism.workers();
-        let per_group = workers / k.max(1);
-        let worker_params = group_params.with_parallelism(if per_group > 1 {
-            Parallelism::Threads(per_group)
-        } else {
-            Parallelism::Serial
-        });
-        recorder.enter(Stage::SequenceSolve);
-        let outcomes = par_try_map_indexed(self.params.parallelism, k, |i| {
-            let mut rng = StdRng::seed_from_u64(seeds[i]);
-            let key = keys.as_ref().map(|ks| ks[i]);
-            release_plan(
-                db,
-                &plans[i],
-                worker_params,
-                &mut rng,
-                cache.zip(key),
-                &mut NoopRecorder,
-            )
-        });
-        recorder.exit(Stage::SequenceSolve);
-        let outcomes = outcomes?;
+        let (report, info) = release_grouped_plan(
+            self.snapshot.database(),
+            grouped,
+            self.params,
+            self.group_policy,
+            &mut self.rng,
+            self.cache.as_deref(),
+            recorder,
+        )?;
         recorder.enter(Stage::BudgetDebit);
         let debited = self.debit(cost);
         recorder.exit(Stage::BudgetDebit);
         debited?;
-
-        // Fold the per-group LP work and cache outcomes in domain (= input)
-        // order; `par_try_map_indexed` already returns index order, so the
-        // totals are identical for every `Parallelism`.
-        let mut lp = LpWorkStats::default();
-        let mut cache_hits = 0u64;
-        let mut cache_misses = 0u64;
-        for outcome in &outcomes {
-            lp.absorb(&outcome.lp);
-            match outcome.cache {
-                CacheOutcome::Hit => cache_hits += 1,
-                CacheOutcome::Miss => cache_misses += 1,
-                CacheOutcome::Uncached => {}
-            }
-        }
-        self.absorb_release_stats(&lp, k as u64);
-        let cache_outcome = if self.cache.is_none() {
-            CacheOutcome::Uncached
-        } else if cache_misses == 0 {
-            CacheOutcome::Hit
-        } else {
-            CacheOutcome::Miss
-        };
-
-        let report = GroupedRelease {
-            key_column: grouped.key_display.clone(),
-            groups: grouped
-                .domain
-                .iter()
-                .cloned()
-                .zip(outcomes)
-                .map(|(key, outcome)| GroupRelease {
-                    key,
-                    release: outcome.release,
-                })
-                .collect(),
-            per_group_epsilon: group_params.total_epsilon(),
-            epsilon_spent: cost.epsilon,
-            policy: self.group_policy,
-        };
-        let info = GroupedOutcome {
-            cache: cache_outcome,
-            cache_hits,
-            cache_misses,
-            lp,
-            fraction,
-            group_epsilon1: group_params.epsilon1,
-            group_epsilon2: group_params.epsilon2,
-        };
+        self.absorb_release_stats(&info.lp, k as u64);
         Ok((report, info))
     }
 
@@ -909,7 +832,7 @@ impl SqlSession {
         let keys: Option<Vec<Fingerprint>> = self.cache.as_ref().map(|_| {
             plans
                 .iter()
-                .map(|p| plan_fingerprint(&self.db, p, &self.params))
+                .map(|p| plan_fingerprint(self.snapshot.database(), p, &self.params))
                 .collect()
         });
         let seeds: Vec<u64> = plans.iter().map(|_| self.rng.next_u64()).collect();
@@ -918,7 +841,7 @@ impl SqlSession {
         // so total thread counts do not multiply. A batch smaller than the
         // budget hands the spare workers to each query's own precompute
         // (e.g. a 1-query batch at Threads(8) behaves like `query`).
-        let db = &self.db;
+        let db = self.snapshot.database();
         let cache = self.cache.as_deref();
         let workers = self.params.parallelism.workers();
         let per_query = workers / plans.len().max(1);
@@ -950,153 +873,147 @@ impl SqlSession {
         self.absorb_release_stats(&lp, outcomes.len() as u64);
         Ok(outcomes.into_iter().map(|o| o.release).collect())
     }
-}
 
-/// The noise seed of one group: a stable hash of the report-level seed and
-/// the **key value** (type-tagged, so `Int(1)` and `Str("1")` differ).
-/// Binding the seed to the value rather than the domain position makes
-/// per-key releases invariant under re-declaring the domain in a different
-/// order — and keeps the fan-out bit-identical for every `Parallelism`,
-/// since every group's stream is fixed before any worker starts.
-fn group_seed(report_seed: u64, key: &Value) -> u64 {
-    let mut hasher = FingerprintHasher::new();
-    hasher.write_u64(report_seed);
-    match key {
-        Value::Int(v) => {
-            hasher.write_u64(1);
-            hasher.write_u64(*v as u64);
-        }
-        Value::Str(s) => {
-            hasher.write_u64(2);
-            hasher.write_bytes(s.as_bytes());
-        }
-        Value::Bool(b) => {
-            hasher.write_u64(3);
-            hasher.write_u64(u64::from(*b));
-        }
-    }
-    hasher.finish().0 as u64
-}
+    /// Runs several independent queries — scalar **or** `GROUP BY` — and
+    /// releases each through the recursive mechanism, admitting the whole
+    /// mixed batch atomically.
+    ///
+    /// [`SqlSession::query_batch`] stays deliberately scalar-only (a grouped
+    /// query there is a shape error, not a silent scalar release); this is
+    /// the path that admits grouped reports through the batch machinery.
+    /// Pricing composes sequentially over the batch: a scalar item costs
+    /// `ε₁ + ε₂`, a grouped item costs its [`GroupBudgetPolicy`] report
+    /// price for its domain size — and the *sum* is admitted atomically, so
+    /// an over-budget batch is refused with nothing released and **no
+    /// privacy consumed**. As in [`SqlSession::query_batch`], the debit
+    /// lands only after every item has released; a failure anywhere fails
+    /// the whole batch and consumes nothing.
+    ///
+    /// Determinism matches the scalar batch: one noise seed is drawn from
+    /// the session RNG per item, in input order, before the fan-out. A
+    /// grouped item's per-group streams derive from that seed and each key
+    /// *value* (the [`SqlSession::query_grouped`] discipline), so the
+    /// batch's releases are bit-identical across [`Parallelism`] settings
+    /// and cached/uncached sessions.
+    pub fn query_batch_mixed<S: AsRef<str>>(
+        &mut self,
+        sqls: &[S],
+    ) -> Result<Vec<BatchRelease>, SqlError> {
+        let plans: Vec<AnyPlan> = sqls
+            .iter()
+            .map(|sql| self.plan(sql.as_ref()))
+            .collect::<Result<_, _>>()?;
+        self.params.validate()?;
 
-/// Executes a validated plan and releases its aggregate: the shared tail of
-/// [`SqlSession::query`] and each [`SqlSession::query_batch`] worker.
-///
-/// With a cache handle, a fingerprint hit serves the frozen `H`/`G` table
-/// directly — skipping plan execution *and* every sequence LP — and a miss
-/// computes the full table once (all `2(|P|+1)` entries, warm-started
-/// chains, up to `params.parallelism` workers), publishes it, and releases
-/// from the freshly frozen copy. Noise is drawn from `rng` identically on
-/// every path, so hit, miss and uncached releases are bit-identical under
-/// the same seed.
-fn release_plan<T: Recorder>(
-    db: &AnnotatedDatabase,
-    plan: &QueryPlan,
-    params: MechanismParams,
-    rng: &mut StdRng,
-    cache: Option<(&SequenceCache, Fingerprint)>,
-    recorder: &mut T,
-) -> Result<ReleaseOutcome, SqlError> {
-    if let Some((cache, key)) = cache {
-        recorder.enter(Stage::CacheLookup);
-        let cached = cache.get(key);
-        recorder.exit(Stage::CacheLookup);
-        let (frozen, outcome, lp) = match cached {
-            Some(hit) => (hit, CacheOutcome::Hit, LpWorkStats::default()),
-            None => {
-                recorder.enter(Stage::Plan);
-                let query = build_sensitive_query(db, plan);
-                recorder.exit(Stage::Plan);
-                recorder.enter(Stage::SequenceSolve);
-                let computed = query.and_then(|query| {
-                    FrozenSequences::compute_with_stats(
-                        EfficientSequences::new(query),
-                        params.parallelism,
-                    )
-                    .map_err(SqlError::from)
-                });
-                recorder.exit(Stage::SequenceSolve);
-                let (frozen, stats) = computed?;
-                let frozen = Arc::new(frozen);
-                cache.insert(key, Arc::clone(&frozen));
-                (frozen, CacheOutcome::Miss, stats)
-            }
+        let per_release = self.release_cost();
+        let mut epsilon = 0.0;
+        for item in &plans {
+            epsilon += match item {
+                AnyPlan::Scalar(_) => per_release.epsilon,
+                AnyPlan::Grouped(g) => {
+                    self.group_policy
+                        .report_cost(per_release, g.num_groups())
+                        .epsilon
+                }
+            };
+        }
+        let total_cost = PrivacyBudget {
+            epsilon,
+            delta: 0.0,
         };
-        let mut mechanism = RecursiveMechanism::new(CachedSequences(frozen), params)?;
-        let release = mechanism.release_recorded(rng, recorder)?;
-        return Ok(ReleaseOutcome {
-            release,
-            cache: outcome,
-            lp,
+        self.ensure_affordable(total_cost)?;
+
+        // Scalar fingerprints are precomputed as in `query_batch`; grouped
+        // items fingerprint per group inside `release_grouped_plan` (their
+        // keys depend on the scaled per-group ε split).
+        let keys: Option<Vec<Option<Fingerprint>>> = self.cache.as_ref().map(|_| {
+            plans
+                .iter()
+                .map(|item| match item {
+                    AnyPlan::Scalar(p) => {
+                        Some(plan_fingerprint(self.snapshot.database(), p, &self.params))
+                    }
+                    AnyPlan::Grouped(_) => None,
+                })
+                .collect()
         });
+        let seeds: Vec<u64> = plans.iter().map(|_| self.rng.next_u64()).collect();
+
+        let db = self.snapshot.database();
+        let cache = self.cache.as_deref();
+        let policy = self.group_policy;
+        let workers = self.params.parallelism.workers();
+        let per_item = workers / plans.len().max(1);
+        let worker_params = self.params.with_parallelism(if per_item > 1 {
+            Parallelism::Threads(per_item)
+        } else {
+            Parallelism::Serial
+        });
+        let outcomes = par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
+            let mut rng = StdRng::seed_from_u64(seeds[i]);
+            match &plans[i] {
+                AnyPlan::Scalar(plan) => {
+                    let key = keys.as_ref().and_then(|ks| ks[i]);
+                    release_plan(
+                        db,
+                        plan,
+                        worker_params,
+                        &mut rng,
+                        cache.zip(key),
+                        &mut NoopRecorder,
+                    )
+                    .map(|o| (BatchRelease::Scalar(o.release), o.lp))
+                }
+                AnyPlan::Grouped(g) => release_grouped_plan(
+                    db,
+                    g,
+                    worker_params,
+                    policy,
+                    &mut rng,
+                    cache,
+                    &mut NoopRecorder,
+                )
+                .map(|(report, info)| (BatchRelease::Grouped(report), info.lp)),
+            }
+        })?;
+        self.debit(total_cost)?;
+
+        // Fold LP work in input order (index order is already guaranteed),
+        // counting one mechanism release per scalar and `k` per grouped item.
+        let mut lp = LpWorkStats::default();
+        let mut releases = 0u64;
+        let mut out = Vec::with_capacity(outcomes.len());
+        for (item, (release, item_lp)) in plans.iter().zip(outcomes) {
+            lp.absorb(&item_lp);
+            releases += match item {
+                AnyPlan::Scalar(_) => 1,
+                AnyPlan::Grouped(g) => g.num_groups() as u64,
+            };
+            out.push(release);
+        }
+        self.absorb_release_stats(&lp, releases);
+        Ok(out)
     }
-
-    recorder.enter(Stage::Plan);
-    let query = build_sensitive_query(db, plan);
-    recorder.exit(Stage::Plan);
-    // The constructor precomputes the sequence tables when the params are
-    // parallel, so its runtime belongs to the solve span too.
-    recorder.enter(Stage::SequenceSolve);
-    let mechanism = query.and_then(|query| {
-        RecursiveMechanism::new(EfficientSequences::new(query), params).map_err(SqlError::from)
-    });
-    recorder.exit(Stage::SequenceSolve);
-    let mut mechanism = mechanism?;
-    let release = mechanism.release_recorded(rng, recorder)?;
-    let lp = mechanism.sequences_mut().stats();
-    Ok(ReleaseOutcome {
-        release,
-        cache: CacheOutcome::Uncached,
-        lp,
-    })
 }
 
-/// What one [`release_plan`] call produced beyond the release itself: how
-/// the cache behaved and how much LP work ran on this call (zero on a hit).
-struct ReleaseOutcome {
-    release: Release,
-    cache: CacheOutcome,
-    lp: LpWorkStats,
+/// One release of a [`SqlSession::query_batch_mixed`] batch: scalar items
+/// release a single [`Release`], `GROUP BY` items a whole
+/// [`GroupedRelease`].
+#[derive(Clone, Debug)]
+pub enum BatchRelease {
+    /// A scalar aggregate's release.
+    Scalar(Release),
+    /// A grouped (`GROUP BY`) report's releases.
+    Grouped(GroupedRelease),
 }
 
-/// [`ReleaseOutcome`] for the scalar session path, with the canonical plan
-/// fingerprint when one was computed (always, when tracing).
+/// A [`release_plan`] outcome for the scalar session path, with the
+/// canonical plan fingerprint when one was computed (always, when tracing).
 struct ScalarOutcome {
     release: Release,
     cache: CacheOutcome,
     lp: LpWorkStats,
     fingerprint: Option<Fingerprint>,
-}
-
-/// The trace-facing facts of one grouped report: aggregate cache behaviour,
-/// the domain-order fold of per-group LP work, and the ε split the policy
-/// chose.
-struct GroupedOutcome {
-    cache: CacheOutcome,
-    cache_hits: u64,
-    cache_misses: u64,
-    lp: LpWorkStats,
-    fraction: f64,
-    group_epsilon1: f64,
-    group_epsilon2: f64,
-}
-
-/// Executes the plan and wraps its annotated output as the linear query the
-/// mechanism aggregates.
-fn build_sensitive_query(
-    db: &AnnotatedDatabase,
-    plan: &QueryPlan,
-) -> Result<SensitiveKRelation, SqlError> {
-    let output = execute(db, plan)?;
-
-    // Validate all weights before handing them to the mechanism (whose
-    // constructor asserts) so bad aggregates surface as SqlError.
-    for (tuple, _) in output.iter() {
-        weigh(plan, tuple)?;
-    }
-    let participants = db.universe().ids().collect();
-    Ok(SensitiveKRelation::new(&output, participants, |t| {
-        weigh(plan, t).expect("weights validated above")
-    }))
 }
 
 #[cfg(test)]
@@ -1847,5 +1764,115 @@ mod tests {
             .query_scalar("SELECT COUNT(*) FROM payments")
             .unwrap_err();
         assert!(matches!(err, SqlError::Mechanism(_)));
+    }
+
+    #[test]
+    fn query_batch_rejects_grouped_plans_with_a_spanned_shape_error() {
+        // The scalar-only batch stays scalar-only: a GROUP BY item is a
+        // shape error pointing at the grouping key, never a silent scalar.
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session =
+            SqlSession::new(grouped_db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(5.0));
+        let err = session
+            .query_batch(&["SELECT COUNT(*) FROM visits", GROUPED_SQL])
+            .unwrap_err();
+        match err {
+            SqlError::QueryShape { message, span } => {
+                assert!(message.contains("query_batch"), "{message}");
+                assert!(span.start < span.end, "span must point at the key");
+            }
+            other => panic!("expected QueryShape, got {other:?}"),
+        }
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 5.0);
+    }
+
+    #[test]
+    fn mixed_batch_releases_scalars_and_grouped_reports_atomically() {
+        // SplitEvenly prices the grouped item like one release, so the
+        // batch costs 2·(ε₁+ε₂) = 2.0ε of the 5ε budget.
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session =
+            SqlSession::new(grouped_db(), params).with_budget(rmdp_noise::PrivacyBudget::pure(5.0));
+        let releases = session
+            .query_batch_mixed(&["SELECT COUNT(*) FROM visits", GROUPED_SQL])
+            .unwrap();
+        assert_eq!(releases.len(), 2);
+        match &releases[0] {
+            BatchRelease::Scalar(r) => assert_eq!(r.true_answer, 5.0),
+            other => panic!("expected scalar, got {other:?}"),
+        }
+        match &releases[1] {
+            BatchRelease::Grouped(report) => {
+                assert_eq!(report.len(), 3, "every declared key releases");
+                assert_eq!(report.get(&Value::str("museum")).unwrap().true_answer, 3.0);
+                assert_eq!(report.get(&Value::str("park")).unwrap().true_answer, 0.0);
+                assert!((report.epsilon_spent - 1.0).abs() < 1e-12);
+            }
+            other => panic!("expected grouped, got {other:?}"),
+        }
+        assert!((session.remaining_budget().unwrap().epsilon - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_batch_is_bit_identical_across_parallelism_and_caching() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let sqls = [
+            "SELECT COUNT(*) FROM visits",
+            GROUPED_SQL,
+            "SELECT COUNT(*) FROM visits WHERE place = 'cafe'",
+        ];
+        let runs = [
+            SqlSession::with_seed(grouped_db(), params, 23)
+                .query_batch_mixed(&sqls)
+                .unwrap(),
+            SqlSession::with_seed(
+                grouped_db(),
+                params.with_parallelism(rmdp_core::Parallelism::Threads(4)),
+                23,
+            )
+            .query_batch_mixed(&sqls)
+            .unwrap(),
+            SqlSession::with_seed(grouped_db(), params, 23)
+                .with_sequence_cache(rmdp_core::SequenceCache::shared(16))
+                .query_batch_mixed(&sqls)
+                .unwrap(),
+        ];
+        for run in &runs[1..] {
+            for (a, b) in runs[0].iter().zip(run) {
+                match (a, b) {
+                    (BatchRelease::Scalar(x), BatchRelease::Scalar(y)) => {
+                        assert_eq!(x.noisy_answer, y.noisy_answer);
+                    }
+                    (BatchRelease::Grouped(x), BatchRelease::Grouped(y)) => {
+                        for (gx, gy) in x.groups.iter().zip(&y.groups) {
+                            assert_eq!(gx.key, gy.key);
+                            assert_eq!(gx.release.noisy_answer, gy.release.noisy_answer);
+                        }
+                    }
+                    other => panic!("shape mismatch across runs: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn over_budget_mixed_batch_is_refused_atomically() {
+        // PerGroup prices the grouped item at k·ε = 3ε, so scalar + grouped
+        // needs 4ε against a 3.5ε budget: refused, nothing spent.
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let mut session = SqlSession::new(grouped_db(), params)
+            .with_group_policy(GroupBudgetPolicy::PerGroup)
+            .with_budget(rmdp_noise::PrivacyBudget::pure(3.5));
+        let err = session
+            .query_batch_mixed(&["SELECT COUNT(*) FROM visits", GROUPED_SQL])
+            .unwrap_err();
+        match err {
+            SqlError::BudgetExhausted(e) => {
+                assert!((e.requested.epsilon - 4.0).abs() < 1e-12);
+                assert!((e.remaining.epsilon - 3.5).abs() < 1e-12);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(session.remaining_budget().unwrap().epsilon, 3.5);
     }
 }

@@ -1,0 +1,96 @@
+//! The immutable, shareable half of a SQL session.
+//!
+//! [`CatalogSnapshot`] bundles everything about a query frontend that never
+//! changes while queries run: the annotated database (tables, participant
+//! universe, declared public key domains — the *catalog*), and the default
+//! [`MechanismParams`] releases are priced and noised with. A snapshot is
+//! deliberately **immutable**: it hands out only `&` access, so an
+//! `Arc<CatalogSnapshot>` can be shared by any number of concurrent
+//! sessions, worker threads, or server tenants without locking — the split
+//! that turns the library-level [`SqlSession`](crate::SqlSession) into a
+//! long-lived multi-tenant service (`rmdp-server`).
+//!
+//! Everything *mutable* about query execution — the noise RNG, the budget
+//! accountant, LP-work totals — stays in the per-session half
+//! ([`SqlSession`](crate::SqlSession)), which is now a thin, cheap wrapper:
+//! minting one session per request over a shared snapshot costs two `Arc`
+//! clones and an RNG seed.
+//!
+//! Because the snapshot owns the [`AnnotatedDatabase`] *value* (not a copy
+//! per session), every session sees the same database `instance_id` and
+//! `annotation_epoch` — which is exactly what makes one shared
+//! [`SequenceCache`](rmdp_core::SequenceCache) sound across tenants: plan
+//! fingerprints embed that identity, so entries computed by one tenant are
+//! valid for every other tenant of the same snapshot by construction.
+
+use crate::error::SqlError;
+use crate::plan::{plan, AnyPlan};
+use rmdp_core::MechanismParams;
+use rmdp_krelation::annotate::AnnotatedDatabase;
+use std::sync::Arc;
+
+/// The immutable catalog + planner + parameter bundle shared by all
+/// sessions over one database state.
+///
+/// ```
+/// use rmdp_core::MechanismParams;
+/// use rmdp_krelation::annotate::AnnotatedDatabase;
+/// use rmdp_krelation::tuple::{Tuple, Value};
+/// use rmdp_krelation::{Expr, KRelation};
+/// use rmdp_sql::{CatalogSnapshot, SqlSession};
+///
+/// let mut db = AnnotatedDatabase::new();
+/// let mut visits = KRelation::new(["person", "place"]);
+/// let p = db.intern("ada");
+/// visits.insert(
+///     Tuple::new([("person", Value::str("ada")), ("place", Value::str("museum"))]),
+///     Expr::Var(p),
+/// );
+/// db.insert_table("visits", visits);
+///
+/// let snapshot = CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0));
+/// // Two sessions over one snapshot: no copy of the database, and cache
+/// // fingerprints agree because the database identity is shared.
+/// let mut a = SqlSession::over(std::sync::Arc::clone(&snapshot), 1);
+/// let mut b = SqlSession::over(std::sync::Arc::clone(&snapshot), 2);
+/// assert_eq!(
+///     a.query_scalar("SELECT COUNT(*) FROM visits").unwrap().true_answer,
+///     b.query_scalar("SELECT COUNT(*) FROM visits").unwrap().true_answer,
+/// );
+/// ```
+#[derive(Debug)]
+pub struct CatalogSnapshot {
+    db: AnnotatedDatabase,
+    params: MechanismParams,
+}
+
+impl CatalogSnapshot {
+    /// Freezes `db` and `params` into an immutable snapshot.
+    pub fn new(db: AnnotatedDatabase, params: MechanismParams) -> Self {
+        CatalogSnapshot { db, params }
+    }
+
+    /// [`CatalogSnapshot::new`], already wrapped in the [`Arc`] every caller
+    /// wants.
+    pub fn shared(db: AnnotatedDatabase, params: MechanismParams) -> Arc<Self> {
+        Arc::new(Self::new(db, params))
+    }
+
+    /// The annotated database (read-only — the snapshot never mutates, so
+    /// its `annotation_epoch` and cache fingerprints are stable for life).
+    pub fn database(&self) -> &AnnotatedDatabase {
+        &self.db
+    }
+
+    /// The default mechanism parameters sessions over this snapshot release
+    /// with.
+    pub fn params(&self) -> MechanismParams {
+        self.params
+    }
+
+    /// Parses, validates and lowers `sql` against the snapshot's catalog
+    /// without touching the data — usable from any thread, concurrently.
+    pub fn plan(&self, sql: &str) -> Result<AnyPlan, SqlError> {
+        plan(&self.db, sql)
+    }
+}

@@ -18,9 +18,16 @@
 //! * [`sql`] — a SQL frontend: a positive SQL subset (joins, including
 //!   self-joins, with conjunctive predicates) compiled to the K-relation
 //!   algebra and released through the recursive mechanism.
+//! * [`runtime`] — the deterministic scoped worker pool and the admission
+//!   gate (bounded in-flight + waiting-queue permits) the server fronts it
+//!   with.
 //! * [`observe`] — observability: deterministic clocks, stage recorders, the
 //!   session metrics registry and the per-query `ReleaseTrace` returned by
 //!   `SqlSession::query_traced` / SQL `EXPLAIN ANALYZE`.
+//! * [`server`] — a multi-tenant DP query server: one shared immutable
+//!   `CatalogSnapshot` and cross-tenant sequence cache, per-tenant ε
+//!   budgets and replay logs, admission control in front of the worker
+//!   pool, and a dependency-free line protocol over TCP.
 //!
 //! ## Quickstart
 //!
@@ -84,4 +91,6 @@ pub use rmdp_krelation as krelation;
 pub use rmdp_lp as lp;
 pub use rmdp_noise as noise;
 pub use rmdp_observe as observe;
+pub use rmdp_runtime as runtime;
+pub use rmdp_server as server;
 pub use rmdp_sql as sql;

@@ -1,0 +1,325 @@
+//! The multi-tenant server concurrency battery.
+//!
+//! N client threads hammer M tenants through one [`DpServer`] and the
+//! invariants that make the server a *privacy* server — not just a thread
+//! pool — are asserted afterwards:
+//!
+//! * **Budget conservation**: each tenant's debited ε sums *exactly* to its
+//!   admitted releases (costs are powers of two, so concurrent Kahan
+//!   ledgers have no rounding slack to hide behind), and `spent +
+//!   remaining = total` bit-exactly.
+//! * **Bit-identity through the shared cache**: every release produced
+//!   under concurrency — where most queries are served from LP tables some
+//!   *other* tenant computed — is reproduced bit-identically by a
+//!   serialized, cache-free replay of the tenant's query log.
+//! * **Refusals are free**: shed and refused queries (overload, per-tenant
+//!   cap, budget exhaustion) leave `remaining_budget` bit-unchanged and
+//!   never enter the replay log.
+//!
+//! A property-based test drives the same invariant over random workloads
+//! and thread interleavings: whatever schedule the OS produces, the
+//! per-tenant query log is a complete, deterministic account of what was
+//! released.
+
+use proptest::prelude::*;
+use recursive_mechanism_dp::core::MechanismParams;
+use recursive_mechanism_dp::krelation::annotate::AnnotatedDatabase;
+use recursive_mechanism_dp::krelation::tuple::{Tuple, Value};
+use recursive_mechanism_dp::krelation::{Expr, KRelation};
+use recursive_mechanism_dp::noise::PrivacyBudget;
+use recursive_mechanism_dp::runtime::AdmissionConfig;
+use recursive_mechanism_dp::server::{DpServer, ServerConfig, ServerError};
+use recursive_mechanism_dp::sql::{CatalogSnapshot, QueryOutput};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// The shared catalog every test serves: five visitors, a declared public
+/// domain over `place` (with one key absent from the data).
+fn snapshot() -> Arc<CatalogSnapshot> {
+    let mut db = AnnotatedDatabase::new();
+    let mut visits = KRelation::new(["person", "place"]);
+    for (person, place) in [
+        ("ada", "museum"),
+        ("bo", "museum"),
+        ("bo", "cafe"),
+        ("cy", "cafe"),
+        ("dee", "museum"),
+    ] {
+        let p = db.intern(person);
+        visits.insert(
+            Tuple::new([("person", Value::str(person)), ("place", Value::str(place))]),
+            Expr::Var(p),
+        );
+    }
+    db.insert_table("visits", visits);
+    db.declare_public_domain(
+        "visits",
+        "place",
+        [Value::str("museum"), Value::str("cafe"), Value::str("park")],
+    );
+    // ε = 1 per scalar release: with power-of-two budgets every ledger sum
+    // below is exact, so the conservation assertions can demand equality.
+    CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0))
+}
+
+fn eps(e: f64) -> PrivacyBudget {
+    PrivacyBudget {
+        epsilon: e,
+        delta: 0.0,
+    }
+}
+
+/// The mixed workload: two scalar shapes (one repeated, so the shared
+/// cache gets hits) and one grouped report.
+const WORKLOAD: [&str; 4] = [
+    "SELECT COUNT(*) FROM visits",
+    "SELECT COUNT(*) FROM visits WHERE place = 'museum'",
+    "SELECT COUNT(*) FROM visits",
+    "SELECT place, COUNT(*) FROM visits GROUP BY place",
+];
+
+fn assert_bit_identical(live: &QueryOutput, replayed: &QueryOutput) {
+    match (live, replayed) {
+        (QueryOutput::Scalar(a), QueryOutput::Scalar(b)) => {
+            assert_eq!(a.noisy_answer.to_bits(), b.noisy_answer.to_bits());
+            assert_eq!(a.delta_hat.to_bits(), b.delta_hat.to_bits());
+        }
+        (QueryOutput::Grouped(a), QueryOutput::Grouped(b)) => {
+            assert_eq!(a.groups.len(), b.groups.len());
+            for (ga, gb) in a.groups.iter().zip(&b.groups) {
+                assert_eq!(ga.key, gb.key);
+                assert_eq!(
+                    ga.release.noisy_answer.to_bits(),
+                    gb.release.noisy_answer.to_bits()
+                );
+            }
+        }
+        other => panic!("release shape changed under replay: {other:?}"),
+    }
+}
+
+/// N threads × M tenants, one thread per tenant so each tenant's admission
+/// order is its thread's issue order. Ledgers must balance exactly and the
+/// serialized cache-free replay must reproduce every release bit-for-bit.
+#[test]
+fn per_tenant_debits_sum_exactly_to_admissions() {
+    let tenants = ["alice", "bob", "carol", "dave"];
+    let rounds = 3; // 4 queries per round, 1 ε each → 12 ε per tenant
+    let total = 16.0;
+    let server = Arc::new(DpServer::new(snapshot(), ServerConfig::default()));
+    for t in tenants {
+        server.register_tenant(t, eps(total));
+    }
+
+    let barrier = Arc::new(Barrier::new(tenants.len()));
+    let live: Vec<(usize, Vec<QueryOutput>)> = thread::scope(|s| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|&tenant| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut outputs = Vec::new();
+                    let mut admitted = 0usize;
+                    for _ in 0..rounds {
+                        for sql in WORKLOAD {
+                            match server.query(tenant, sql) {
+                                Ok(out) => {
+                                    admitted += 1;
+                                    outputs.push(out);
+                                }
+                                Err(e) => panic!("{tenant}: unexpected refusal: {e}"),
+                            }
+                        }
+                    }
+                    (admitted, outputs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (&tenant, (admitted, outputs)) in tenants.iter().zip(&live) {
+        // Conservation: every admitted release cost exactly 1 ε.
+        let spent = server.spent_budget(tenant).unwrap();
+        let remaining = server.remaining_budget(tenant).unwrap();
+        assert_eq!(spent.epsilon, *admitted as f64, "{tenant} ledger drifted");
+        assert_eq!(
+            spent.epsilon + remaining.epsilon,
+            total,
+            "{tenant} spent + remaining must cover the whole grant"
+        );
+        // The log records exactly the admitted queries, in order.
+        let log = server.query_log(tenant).unwrap();
+        assert_eq!(log.len(), *admitted);
+        assert!(log.iter().enumerate().all(|(i, q)| q.index == i as u64));
+
+        // Serialized cache-free replay is bit-identical, even though the
+        // live run raced three other tenants through one shared cache.
+        let replayed = server.replay(tenant).unwrap();
+        assert_eq!(replayed.len(), outputs.len());
+        for (live_out, replayed_out) in outputs.iter().zip(&replayed) {
+            assert_bit_identical(live_out, replayed_out.as_ref().unwrap());
+        }
+    }
+
+    // The cache was genuinely shared: the workload repeats one fingerprint
+    // per tenant per round and tenants repeat each other's shapes.
+    assert!(
+        server.cache_stats().hits > 0,
+        "expected cross-tenant cache hits"
+    );
+}
+
+/// Budget exhaustion under concurrency: with 4 ε and 1 ε queries, exactly
+/// four of the racing requests are admitted no matter the schedule, and
+/// every refusal leaves the ledger bit-unchanged.
+#[test]
+fn refused_queries_leave_remaining_budget_unchanged() {
+    let server = Arc::new(DpServer::new(snapshot(), ServerConfig::default()));
+    server.register_tenant("alice", eps(4.0));
+
+    let threads = 8;
+    let admitted = AtomicUsize::new(0);
+    let refused = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                barrier.wait();
+                match server.query("alice", "SELECT COUNT(*) FROM visits") {
+                    Ok(_) => admitted.fetch_add(1, Ordering::SeqCst),
+                    Err(ServerError::BudgetExhausted(_)) => refused.fetch_add(1, Ordering::SeqCst),
+                    Err(ServerError::TenantBusy { .. }) => refused.fetch_add(1, Ordering::SeqCst),
+                    Err(e) => panic!("unexpected error: {e}"),
+                };
+            });
+        }
+    });
+
+    let admitted = admitted.load(Ordering::SeqCst);
+    let refused = refused.load(Ordering::SeqCst);
+    assert_eq!(admitted + refused, threads);
+    assert!(admitted <= 4, "only 4 ε were ever grantable");
+    let spent = server.spent_budget("alice").unwrap();
+    assert_eq!(spent.epsilon, admitted as f64, "refusals must cost nothing");
+    assert_eq!(server.query_log("alice").unwrap().len(), admitted);
+
+    // Once exhausted, further refusals do not move the ledger by a single
+    // bit.
+    if admitted == 4 {
+        let before = server.remaining_budget("alice").unwrap().epsilon.to_bits();
+        for _ in 0..3 {
+            let err = server
+                .query("alice", "SELECT COUNT(*) FROM visits")
+                .unwrap_err();
+            assert!(matches!(err, ServerError::BudgetExhausted(_)));
+        }
+        let after = server.remaining_budget("alice").unwrap().epsilon.to_bits();
+        assert_eq!(before, after);
+    }
+}
+
+/// Load shedding: a one-slot gate with a zero-depth queue refuses overflow
+/// with `Overloaded` *before* pricing, so shed requests cost nothing and
+/// admitted ones still balance exactly.
+#[test]
+fn shed_requests_consume_no_budget() {
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            max_in_flight: 1,
+            max_waiting: 0,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(DpServer::new(snapshot(), config));
+    server.register_tenant("alice", eps(64.0));
+
+    let threads = 8;
+    let admitted = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                barrier.wait();
+                for _ in 0..4 {
+                    match server.query("alice", "SELECT COUNT(*) FROM visits") {
+                        Ok(_) => admitted.fetch_add(1, Ordering::SeqCst),
+                        Err(ServerError::Overloaded { .. }) => shed.fetch_add(1, Ordering::SeqCst),
+                        Err(e) => panic!("unexpected error: {e}"),
+                    };
+                }
+            });
+        }
+    });
+
+    let admitted = admitted.load(Ordering::SeqCst);
+    assert!(admitted >= 1, "a one-slot gate still admits serially");
+    assert_eq!(
+        server.spent_budget("alice").unwrap().epsilon,
+        admitted as f64,
+        "shed requests must not touch the ledger"
+    );
+    let snapshot = server.metrics().snapshot();
+    assert_eq!(
+        snapshot.counter("server.shed.overloaded").unwrap_or(0),
+        shed.load(Ordering::SeqCst) as u64,
+        "every shed is counted"
+    );
+}
+
+proptest! {
+    // Each case spawns real threads and solves real LPs; a handful of
+    // cases exercises plenty of schedules across CI runs.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Determinism under concurrency: for a random per-tenant workload
+    /// raced on real threads through one shared server, the serialized
+    /// cache-free replay of each tenant's query log reproduces its
+    /// releases bit-identically — the releases are a function of the log,
+    /// not of the schedule.
+    #[test]
+    fn any_interleaving_replays_bit_identically(
+        workloads in proptest::collection::vec(
+            proptest::collection::vec(0usize..WORKLOAD.len(), 1..5),
+            2..4,
+        )
+    ) {
+        let server = Arc::new(DpServer::new(snapshot(), ServerConfig::default()));
+        let names: Vec<String> = (0..workloads.len()).map(|i| format!("t{i}")).collect();
+        for name in &names {
+            server.register_tenant(name, eps(64.0));
+        }
+
+        let barrier = Arc::new(Barrier::new(workloads.len()));
+        let live: Vec<Vec<QueryOutput>> = thread::scope(|s| {
+            let handles: Vec<_> = names
+                .iter()
+                .zip(&workloads)
+                .map(|(name, workload)| {
+                    let server = Arc::clone(&server);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        workload
+                            .iter()
+                            .map(|&q| server.query(name, WORKLOAD[q]).expect("within budget"))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (name, outputs) in names.iter().zip(&live) {
+            let replayed = server.replay(name).unwrap();
+            prop_assert_eq!(replayed.len(), outputs.len());
+            for (live_out, replayed_out) in outputs.iter().zip(&replayed) {
+                assert_bit_identical(live_out, replayed_out.as_ref().unwrap());
+            }
+        }
+    }
+}
