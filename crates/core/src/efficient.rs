@@ -77,6 +77,17 @@ pub struct LpWorkStats {
     pub warm_start_hits: usize,
     /// Basis-inverse refactorizations across all solves.
     pub refactorizations: usize,
+    /// Product-form basis updates (one per true pivot): eta-file updates on
+    /// the sparse-LU backend, dense `B⁻¹` transformations on the dense one.
+    pub basis_updates: usize,
+    /// Peak stored nonzeros of any one solve's LU factorization (factors
+    /// plus eta file). A *maximum*, not a sum: it bounds the basis memory
+    /// any single solve needed.
+    pub fill_in_nnz: usize,
+    /// Constraint rows removed by presolve, summed across solves.
+    pub presolve_rows_removed: usize,
+    /// Variables removed by presolve, summed across solves.
+    pub presolve_cols_removed: usize,
 }
 
 impl LpWorkStats {
@@ -91,6 +102,10 @@ impl LpWorkStats {
         self.phase2_pivots += other.phase2_pivots;
         self.warm_start_hits += other.warm_start_hits;
         self.refactorizations += other.refactorizations;
+        self.basis_updates += other.basis_updates;
+        self.fill_in_nnz = self.fill_in_nnz.max(other.fill_in_nnz);
+        self.presolve_rows_removed += other.presolve_rows_removed;
+        self.presolve_cols_removed += other.presolve_cols_removed;
     }
 
     /// The counters as the primitive `u64` mirror used by release traces.
@@ -103,6 +118,10 @@ impl LpWorkStats {
             phase2_pivots: self.phase2_pivots as u64,
             warm_start_hits: self.warm_start_hits as u64,
             refactorizations: self.refactorizations as u64,
+            basis_updates: self.basis_updates as u64,
+            fill_in_nnz: self.fill_in_nnz as u64,
+            presolve_rows_removed: self.presolve_rows_removed as u64,
+            presolve_cols_removed: self.presolve_cols_removed as u64,
         }
     }
 
@@ -116,6 +135,10 @@ impl LpWorkStats {
         self.phase1_pivots += stats.phase1_iterations;
         self.phase2_pivots += stats.phase2_iterations;
         self.refactorizations += stats.refactorizations;
+        self.basis_updates += stats.basis_updates;
+        self.fill_in_nnz = self.fill_in_nnz.max(stats.fill_in_nnz);
+        self.presolve_rows_removed += stats.presolve_rows_removed;
+        self.presolve_cols_removed += stats.presolve_cols_removed;
         if stats.warm_started {
             self.warm_start_hits += 1;
         }
@@ -829,6 +852,42 @@ mod tests {
                     "G_{i}: chain {g_chain} vs dense {g_dense}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sparse_lu_and_dense_inverse_chains_agree_on_fig4_models() {
+        // The two revised backends share pivot logic but run independent
+        // linear algebra (LU substitution vs an explicit inverse), so entry
+        // values can differ by rounding ulps once pivots turn fractional;
+        // whole warm chains are held to a relative 1e-12 — far below the
+        // 1e-7 feasibility tolerance and the release's noise floor. (True
+        // bit-identity across *runs of the same backend* is covered by
+        // `parallel_precompute_is_bit_identical_to_lazy_serial`.)
+        for pattern in [Pattern::triangle(), Pattern::k_star(2)] {
+            let relation = fig4_relation(pattern.clone());
+            let n = relation.num_participants();
+            let mut sparse = EfficientSequences::new(relation.clone());
+            let mut dense = EfficientSequences::new(relation).with_solver_options(SimplexOptions {
+                backend: SolverBackend::Revised,
+                ..SimplexOptions::default()
+            });
+            for i in 0..=n {
+                let (hs, hd) = (sparse.h(i).unwrap(), dense.h(i).unwrap());
+                assert!(
+                    (hs - hd).abs() <= 1e-12 * hd.abs().max(1.0),
+                    "{}: H_{i} sparse-LU {hs} vs dense B⁻¹ {hd}",
+                    pattern.name()
+                );
+                let (gs, gd) = (sparse.g(i).unwrap(), dense.g(i).unwrap());
+                assert!(
+                    (gs - gd).abs() <= 1e-12 * gd.abs().max(1.0),
+                    "{}: G_{i} sparse-LU {gs} vs dense B⁻¹ {gd}",
+                    pattern.name()
+                );
+            }
+            assert!(sparse.stats().fill_in_nnz > 0);
+            assert_eq!(dense.stats().fill_in_nnz, 0);
         }
     }
 

@@ -3,7 +3,15 @@
 //! **LP chains** (`BENCH_lp.json`): times a full `H`/`G` precompute twice
 //! per fig-4 workload (triangle and 2-star counting under node privacy) —
 //! entry-by-entry cold solves (`chain_run_len = 1`) and the default
-//! warm-started chains — with wall times and pivot counts.
+//! warm-started chains — with wall times and pivot counts. The same file
+//! also carries the **basis scaling** section: synthetic 2-star counting
+//! `H`-models from 4.5k up to 101.5k hinge rows, solved cold and
+//! RHS-stepped warm on the sparse-LU backend (wall time, pivots, peak
+//! factor nonzeros, estimated basis memory), with the dense-`B⁻¹` oracle
+//! timed at the 4.5k point only (its `rows²` inverse is already 160 MB
+//! there). Gated on the sparse backend strictly beating dense wall-clock
+//! at 4.5k rows, agreeing with it on the objective, and completing the
+//! 100k-row instance.
 //!
 //! **Sequence cache** (`BENCH_cache.json`): the repeated-workload bench.
 //! One cold release pays the full sequence precompute and populates the
@@ -67,6 +75,7 @@ use rmdp_krelation::annotate::AnnotatedDatabase;
 use rmdp_krelation::fingerprint::Fingerprint;
 use rmdp_krelation::tuple::{Tuple, Value};
 use rmdp_krelation::{Expr, KRelation};
+use rmdp_lp::{Model, Sense, SimplexOptions, SolverBackend};
 use rmdp_noise::PrivacyBudget;
 use rmdp_observe::{MonotonicClock, NoopRecorder, SpanRecorder, Stage, Stopwatch};
 use rmdp_server::{serve, DpClient, DpServer, ServerConfig, WireResponse};
@@ -147,6 +156,144 @@ fn run_workload(name: &str, relation: &SensitiveKRelation) -> WorkloadResult {
         warm_wall_ms,
         warm_pivots: w.total_pivots,
         warm_start_hits: w.warm_start_hits,
+    }
+}
+
+/// One instance size of the basis scaling bench.
+struct ScalingResult {
+    centers: usize,
+    leaves_per: usize,
+    /// Rows of the standardised system (hinge rows + the mass row).
+    rows: usize,
+    /// Columns of the standardised system (structural + slacks).
+    cols: usize,
+    objective: f64,
+    sparse_wall_ms: f64,
+    sparse_pivots: usize,
+    /// Peak stored nonzeros of the LU factors plus eta file.
+    peak_factor_nnz: usize,
+    /// Estimated peak basis memory of the sparse backend
+    /// (`peak_factor_nnz × 16` bytes: one f64 + one index per entry).
+    sparse_mem_bytes: usize,
+    /// Warm re-solve after stepping the mass row RHS by one.
+    warm_wall_ms: f64,
+    warm_pivots: usize,
+    /// The dense-`B⁻¹` oracle on the same instance; only run at the
+    /// smallest size (its inverse alone is `rows² × 8` bytes).
+    dense: Option<DensePoint>,
+}
+
+/// The dense-backend comparison point of one scaling instance.
+struct DensePoint {
+    wall_ms: f64,
+    pivots: usize,
+    /// `rows² × 8` bytes: the explicit inverse the backend maintains.
+    mem_bytes: usize,
+    objective: f64,
+}
+
+/// A synthetic 2-star counting `H`-model with the exact shape
+/// [`rmdp_core::efficient`] builds for fig-4, scaled up: unit variables
+/// `f_p ∈ [0,1]` per participant, the mass row `Σ f_p = mass` first (row 0,
+/// so a chain steps the index with one `set_rhs`), then one hinge row
+/// `f_c + f_l + f_l' − v ≤ 2` per 2-star `centers × C(leaves_per, 2)`.
+/// `(100, 10)` gives 4 500 hinge rows, `(250, 29)` gives 101 500.
+fn two_star_h_model(centers: usize, leaves_per: usize, mass: f64) -> Model {
+    let mut model = Model::new(Sense::Minimize);
+    let mut participants = Vec::with_capacity(centers * (1 + leaves_per));
+    let mut stars = Vec::with_capacity(centers);
+    for _ in 0..centers {
+        let c = model.add_unit_var(0.0);
+        participants.push(c);
+        let leaves: Vec<_> = (0..leaves_per)
+            .map(|_| {
+                let l = model.add_unit_var(0.0);
+                participants.push(l);
+                l
+            })
+            .collect();
+        stars.push((c, leaves));
+    }
+    model.add_eq(participants.iter().map(|&v| (v, 1.0)), mass);
+    for (c, leaves) in &stars {
+        for i in 0..leaves.len() {
+            for j in (i + 1)..leaves.len() {
+                let v = model.add_nonneg_var(1.0);
+                model.add_le(
+                    [(*c, 1.0), (leaves[i], 1.0), (leaves[j], 1.0), (v, -1.0)],
+                    2.0,
+                );
+            }
+        }
+    }
+    model
+}
+
+/// Runs one scaling instance: a cold sparse-LU solve, a warm re-solve after
+/// stepping the mass row (the chain access pattern), and — when
+/// `with_dense` — the dense-`B⁻¹` oracle on the same cold start.
+fn run_scaling_point(centers: usize, leaves_per: usize, with_dense: bool) -> ScalingResult {
+    let mass = centers as f64;
+    let model = two_star_h_model(centers, leaves_per, mass);
+    let sparse_opts = SimplexOptions::default();
+    debug_assert_eq!(sparse_opts.backend, SolverBackend::SparseLu);
+
+    let prepared = model.prepare().expect("scaling model is well-formed");
+
+    let watch = Stopwatch::start();
+    let cold = prepared
+        .solve(&sparse_opts)
+        .expect("scaling model is feasible and bounded");
+    let sparse_wall_ms = watch.elapsed_seconds() * 1e3;
+    let stats = cold.solution.stats;
+
+    // One chain step: bump the mass and re-enter from the optimal basis,
+    // which also carries the LU factors (the O(1) Arc hand-off).
+    let mut stepped = prepared.clone();
+    stepped.set_rhs(0, mass + 1.0);
+    let watch = Stopwatch::start();
+    let warm = stepped
+        .solve_warm(&cold.basis, &sparse_opts)
+        .expect("stepped scaling model stays feasible");
+    let warm_wall_ms = watch.elapsed_seconds() * 1e3;
+    let wstats = warm.solution.stats;
+    assert!(
+        wstats.warm_started,
+        "the stepped scaling solve must re-enter warm"
+    );
+
+    let dense = with_dense.then(|| {
+        let dense_opts = SimplexOptions {
+            backend: SolverBackend::Revised,
+            ..SimplexOptions::default()
+        };
+        let watch = Stopwatch::start();
+        let sol = prepared
+            .solve(&dense_opts)
+            .expect("the dense oracle solves the same instance");
+        let wall_ms = watch.elapsed_seconds() * 1e3;
+        let dstats = sol.solution.stats;
+        DensePoint {
+            wall_ms,
+            pivots: dstats.phase1_iterations + dstats.phase2_iterations,
+            mem_bytes: dstats.rows * dstats.rows * 8,
+            objective: sol.solution.objective,
+        }
+    });
+
+    ScalingResult {
+        centers,
+        leaves_per,
+        rows: stats.rows,
+        cols: stats.cols,
+        objective: cold.solution.objective,
+        sparse_wall_ms,
+        sparse_pivots: stats.phase1_iterations + stats.phase2_iterations,
+        peak_factor_nnz: stats.fill_in_nnz,
+        sparse_mem_bytes: stats.fill_in_nnz * 16,
+        warm_wall_ms,
+        warm_pivots: wstats.phase1_iterations + wstats.phase2_iterations,
+        dense,
     }
 }
 
@@ -744,6 +891,77 @@ fn main() {
             ratio,
         );
     }
+    json.push_str("  ],\n");
+
+    // --- Basis scaling: synthetic 2-star H-models, 4.5k → 101.5k rows ---
+    let scaling_points = [
+        (100usize, 10usize, true),
+        (150, 16, false),
+        (250, 29, false),
+    ];
+    let scaling: Vec<ScalingResult> = scaling_points
+        .iter()
+        .map(|&(centers, leaves_per, with_dense)| {
+            run_scaling_point(centers, leaves_per, with_dense)
+        })
+        .collect();
+
+    json.push_str("  \"scaling\": [\n");
+    for (k, s) in scaling.iter().enumerate() {
+        let dense_json = match &s.dense {
+            Some(d) => format!(
+                concat!(
+                    "{{\"wall_ms\": {:.3}, \"pivots\": {}, ",
+                    "\"mem_bytes_est\": {}, \"objective\": {:.6}}}"
+                ),
+                d.wall_ms, d.pivots, d.mem_bytes, d.objective,
+            ),
+            None => "null".to_string(),
+        };
+        json.push_str(&format!(
+            concat!(
+                "    {{\"centers\": {}, \"leaves_per\": {}, \"rows\": {}, \"cols\": {}, ",
+                "\"objective\": {:.6}, ",
+                "\"sparse\": {{\"wall_ms\": {:.3}, \"pivots\": {}, ",
+                "\"peak_factor_nnz\": {}, \"mem_bytes_est\": {}}}, ",
+                "\"warm_step\": {{\"wall_ms\": {:.3}, \"pivots\": {}}}, ",
+                "\"dense\": {}}}{}\n"
+            ),
+            s.centers,
+            s.leaves_per,
+            s.rows,
+            s.cols,
+            s.objective,
+            s.sparse_wall_ms,
+            s.sparse_pivots,
+            s.peak_factor_nnz,
+            s.sparse_mem_bytes,
+            s.warm_wall_ms,
+            s.warm_pivots,
+            dense_json,
+            if k + 1 < scaling.len() { "," } else { "" },
+        ));
+        print!(
+            "   scaling: {:>6} rows — sparse {:.1} ms / {} pivots \
+             (peak factor nnz {}, ~{:.1} MB), warm step {:.2} ms / {} pivots",
+            s.rows,
+            s.sparse_wall_ms,
+            s.sparse_pivots,
+            s.peak_factor_nnz,
+            s.sparse_mem_bytes as f64 / 1e6,
+            s.warm_wall_ms,
+            s.warm_pivots,
+        );
+        match &s.dense {
+            Some(d) => println!(
+                "; dense B⁻¹ {:.1} ms / {} pivots (~{:.0} MB inverse)",
+                d.wall_ms,
+                d.pivots,
+                d.mem_bytes as f64 / 1e6,
+            ),
+            None => println!("; dense B⁻¹ skipped at this size"),
+        }
+    }
     json.push_str("  ]\n}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -936,6 +1154,44 @@ fn main() {
             "PERF REGRESSION: {} warm chains spent {} pivots vs {} cold",
             r.name, r.warm_pivots, r.cold_pivots
         );
+        failed = true;
+    }
+    // Scaling gates: the sparse-LU backend must strictly beat the dense
+    // B⁻¹ oracle wall-clock at the 4.5k-row point (where dense already
+    // pays a 160 MB inverse and rows² per pivot) while agreeing with it
+    // on the objective, and the 100k-row instance must have completed —
+    // run_scaling_point panics on a failed solve, so reaching here with
+    // the point present means it solved.
+    for s in &scaling {
+        if let Some(d) = &s.dense {
+            if s.sparse_wall_ms >= d.wall_ms {
+                eprintln!(
+                    "PERF REGRESSION: sparse LU {:.1} ms not faster than dense B⁻¹ {:.1} ms \
+                     at {} rows",
+                    s.sparse_wall_ms, d.wall_ms, s.rows
+                );
+                failed = true;
+            }
+            let scale = s.objective.abs().max(d.objective.abs()).max(1.0);
+            if (s.objective - d.objective).abs() > 1e-9 * scale {
+                eprintln!(
+                    "CORRECTNESS REGRESSION: sparse objective {:.12} vs dense {:.12} \
+                     at {} rows",
+                    s.objective, d.objective, s.rows
+                );
+                failed = true;
+            }
+        }
+        if s.peak_factor_nnz == 0 {
+            eprintln!(
+                "CORRECTNESS REGRESSION: sparse solve at {} rows reported no factor fill-in",
+                s.rows
+            );
+            failed = true;
+        }
+    }
+    if !scaling.iter().any(|s| s.rows > 100_000) {
+        eprintln!("PERF REGRESSION: no scaling instance above 100k rows completed");
         failed = true;
     }
     for r in &cache_results {

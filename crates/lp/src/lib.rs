@@ -5,9 +5,14 @@
 //! variables, where `L` is the total length of the annotations of the
 //! sensitive K-relation. This crate provides the solver: a sparse
 //! bounded-variable **revised simplex** ([`revised`]) over models with boxed
-//! variables and `≤ / ≥ / =` constraints, with the original dense two-phase
-//! tableau retained as a differential-testing oracle
-//! ([`SolverBackend::DenseTableau`]).
+//! variables and `≤ / ≥ / =` constraints. The basis is maintained as a
+//! sparse Markowitz **LU factorization** updated by a bounded eta file
+//! ([`SolverBackend::SparseLu`], the default); the dense `B⁻¹` revised
+//! backend ([`SolverBackend::Revised`]) and the original dense two-phase
+//! tableau ([`SolverBackend::DenseTableau`]) are retained as
+//! differential-testing oracles. A **presolve** pass (fixed variables,
+//! singleton rows/columns, duplicate-column merges) shrinks models in front
+//! of every [`Model::solve`]; [`PreparedLp`] applies its RHS-safe subset.
 //!
 //! Two ways in:
 //!
@@ -47,8 +52,10 @@
 #![deny(missing_docs)]
 
 pub mod error;
+mod lu;
 pub mod model;
 pub mod prepared;
+mod presolve;
 pub mod revised;
 pub mod simplex;
 pub mod solution;

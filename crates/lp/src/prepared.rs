@@ -19,12 +19,24 @@
 //! revised simplex of [`crate::revised`] tracks nonbasic-at-lower /
 //! nonbasic-at-upper status instead.
 //!
+//! Preparation also runs the *RHS-safe* subset of the presolve in
+//! `crate::presolve`: variables fixed by their bounds (`l = u`) are
+//! substituted out of the matrix at standardization time. This subset is
+//! chosen so every later mutation stays a plain store — no rows are removed
+//! (so [`PreparedLp::set_rhs`] row indices keep meaning the model's
+//! constraints) and nothing depends on objective signs (so
+//! [`PreparedLp::set_objective`] cannot invalidate it). The full reduction
+//! set (singleton rows/columns, duplicate-column merges) runs only on the
+//! solve-once [`crate::Model::solve`] path. Solutions are always reported in
+//! the *full* model variable space.
+//!
 //! A successful solve returns the optimal [`Basis`]; feeding it to
 //! [`PreparedLp::solve_warm`] after an RHS step re-enters the simplex from
 //! that basis (phase-1-free when the old basis is still primal feasible),
 //! which is how a chain of `|P|+1` sequence solves avoids `|P|` cold starts.
 
 use crate::error::LpError;
+use crate::lu::LuFactor;
 use crate::model::{ConstraintOp, Model, Sense, Var};
 use crate::simplex::SimplexOptions;
 use crate::solution::Solution;
@@ -47,29 +59,43 @@ pub enum VarStatus {
 /// of every column. Returned by a solve and accepted by
 /// [`PreparedLp::solve_warm`] to continue a chain from the previous optimum.
 ///
-/// A basis returned by a solve also carries the maintained basis-inverse
-/// factor. Re-entering with it skips the `O(rows³)` refactorization as long
-/// as the constraint matrix is unchanged (RHS and objective mutations keep
-/// it valid; the factor is fingerprinted against the matrix so a basis fed
-/// to a *different* prepared LP silently falls back to refactorizing).
+/// A basis returned by a solve also carries the maintained basis
+/// factorization of the backend that produced it. Re-entering with it skips
+/// the from-scratch refactorization as long as the constraint matrix is
+/// unchanged (RHS and objective mutations keep it valid; the factor is
+/// fingerprinted against the matrix so a basis fed to a *different* prepared
+/// LP silently falls back to refactorizing). The hand-off is O(1): both
+/// factor representations share their bulk behind an `Arc`.
 #[derive(Clone, Debug)]
 pub struct Basis {
     /// Basic column of each row (length = number of rows).
     pub(crate) basic: Vec<usize>,
     /// Status of every standardized column (structural + slack).
     pub(crate) status: Vec<VarStatus>,
-    /// The maintained basis inverse, if this basis came out of a solve.
+    /// The maintained basis factorization, if this basis came out of a solve.
     pub(crate) factor: Option<BasisFactor>,
 }
 
-/// A cached basis inverse (column-major `B⁻¹`), tied to the constraint
-/// matrix it was factored against.
+/// A cached basis factorization, tied to the constraint matrix it was
+/// factored against.
 #[derive(Clone, Debug)]
 pub(crate) struct BasisFactor {
-    /// Column-major inverse: `binv[k]` is `B⁻¹·e_k`.
-    pub(crate) binv: Vec<Vec<f64>>,
-    /// Fingerprint of the [`CscMatrix`] the inverse belongs to.
+    /// The backend-specific factor representation.
+    pub(crate) kind: FactorKind,
+    /// Fingerprint of the [`CscMatrix`] the factor belongs to.
     pub(crate) fingerprint: u64,
+}
+
+/// Which backend produced a carried basis factor. A solve re-entering with a
+/// factor from the *other* backend keeps the basis but refactorizes in its
+/// own representation.
+#[derive(Clone, Debug)]
+pub(crate) enum FactorKind {
+    /// Dense column-major `B⁻¹` ([`crate::simplex::SolverBackend::Revised`]).
+    Dense(crate::revised::DenseFactor),
+    /// Sparse Markowitz LU plus eta file
+    /// ([`crate::simplex::SolverBackend::SparseLu`]).
+    Lu(LuFactor),
 }
 
 impl Basis {
@@ -95,16 +121,42 @@ pub struct PreparedSolution {
     pub basis: Basis,
 }
 
+/// What became of one model variable under the RHS-safe reduction.
+#[derive(Clone, Copy, Debug)]
+enum PreparedColFate {
+    /// Kept, at this column index of the reduced system.
+    Kept(usize),
+    /// Fixed by its bounds at this value and substituted out.
+    Fixed(f64),
+}
+
+/// The RHS-safe reduction record: which variables were fixed out and the
+/// per-row RHS offset their substitution produced.
+#[derive(Clone, Debug)]
+struct PreparedReduction {
+    /// Per *model* variable: reduced column index or fixed value.
+    fate: Vec<PreparedColFate>,
+    /// `Σ a_ij·v_j` over fixed variables, per row — subtracted from every
+    /// caller-supplied RHS (at preparation and on each `set_rhs`).
+    row_offset: Vec<f64>,
+    /// Number of variables fixed out.
+    cols_fixed: usize,
+}
+
 /// A model standardized once into sparse equality form, ready for repeated
 /// (warm-started) solves under RHS / objective mutation.
 #[derive(Clone, Debug)]
 pub struct PreparedLp {
     /// Rows (= model constraints).
     pub(crate) nrows: usize,
-    /// Standardized columns: structural variables then one slack per row.
+    /// Standardized columns: kept structural variables then one slack per
+    /// row.
     pub(crate) ncols: usize,
-    /// Structural (model) variables.
+    /// Kept structural variables (after the RHS-safe reduction).
     pub(crate) nvars: usize,
+    /// Structural variables of the *original* model (solutions are reported
+    /// in this space).
+    nvars_full: usize,
     /// The standardized constraint matrix (slack columns included).
     pub(crate) a: CscMatrix,
     /// Per-column lower bounds.
@@ -113,12 +165,15 @@ pub struct PreparedLp {
     pub(crate) upper: Vec<f64>,
     /// Internal minimization costs per column (sign already applied).
     pub(crate) cost: Vec<f64>,
-    /// Right-hand side per row.
+    /// Right-hand side per row (fixed-variable offsets already subtracted).
     pub(crate) b: Vec<f64>,
-    /// The caller's objective coefficients (their direction), for reporting.
+    /// The caller's objective coefficients (their direction, full variable
+    /// space), for reporting.
     user_objective: Vec<f64>,
     /// +1 for minimization, −1 for maximization.
     sign: f64,
+    /// The RHS-safe reduction, when any variable was fixed out.
+    reduction: Option<PreparedReduction>,
     /// Fingerprint of `a`, fixed at preparation time (RHS and objective
     /// mutations leave the matrix untouched).
     pub(crate) fingerprint: u64,
@@ -130,31 +185,53 @@ impl PreparedLp {
     /// coefficients).
     pub fn new(model: &Model) -> Result<Self, LpError> {
         model.validate()?;
-        let nvars = model.vars.len();
+        let nvars_full = model.vars.len();
         let nrows = model.constraints.len();
-        let ncols = nvars + nrows;
         let sign = if model.sense == Sense::Minimize {
             1.0
         } else {
             -1.0
         };
 
+        // RHS-safe reduction: substitute out variables fixed by their bounds.
+        // (Equal infinite bounds are rejected by validate; the finiteness
+        // check is belt-and-braces.)
+        let mut fate = Vec::with_capacity(nvars_full);
+        let mut kept = 0usize;
+        for v in &model.vars {
+            if v.lower == v.upper && v.lower.is_finite() {
+                fate.push(PreparedColFate::Fixed(v.lower));
+            } else {
+                fate.push(PreparedColFate::Kept(kept));
+                kept += 1;
+            }
+        }
+        let cols_fixed = nvars_full - kept;
+
+        let nvars = kept;
+        let ncols = nvars + nrows;
         let mut lower = Vec::with_capacity(ncols);
         let mut upper = Vec::with_capacity(ncols);
         let mut cost = vec![0.0; ncols];
-        let mut user_objective = Vec::with_capacity(nvars);
+        let mut user_objective = Vec::with_capacity(nvars_full);
         for (j, v) in model.vars.iter().enumerate() {
-            lower.push(v.lower);
-            upper.push(v.upper);
-            cost[j] = sign * v.objective;
             user_objective.push(v.objective);
+            if let PreparedColFate::Kept(k) = fate[j] {
+                lower.push(v.lower);
+                upper.push(v.upper);
+                cost[k] = sign * v.objective;
+            }
         }
 
         let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
         let mut b = Vec::with_capacity(nrows);
+        let mut row_offset = vec![0.0; nrows];
         for (i, c) in model.constraints.iter().enumerate() {
             for &(v, a) in &c.terms {
-                triplets.push((i, v.index(), a));
+                match fate[v.index()] {
+                    PreparedColFate::Kept(k) => triplets.push((i, k, a)),
+                    PreparedColFate::Fixed(value) => row_offset[i] += a * value,
+                }
             }
             // One slack per row makes the all-slack basis the identity.
             triplets.push((i, nvars + i, 1.0));
@@ -165,15 +242,21 @@ impl PreparedLp {
             };
             lower.push(slo);
             upper.push(shi);
-            b.push(c.rhs);
+            b.push(c.rhs - row_offset[i]);
         }
         let a = CscMatrix::from_triplets(nrows, ncols, &triplets);
         let fingerprint = a.fingerprint();
+        let reduction = (cols_fixed > 0).then_some(PreparedReduction {
+            fate,
+            row_offset,
+            cols_fixed,
+        });
 
         Ok(PreparedLp {
             nrows,
             ncols,
             nvars,
+            nvars_full,
             a,
             lower,
             upper,
@@ -181,6 +264,7 @@ impl PreparedLp {
             b,
             user_objective,
             sign,
+            reduction,
             fingerprint,
         })
     }
@@ -190,12 +274,12 @@ impl PreparedLp {
         self.nrows
     }
 
-    /// Number of model (structural) variables.
+    /// Number of model (structural) variables, in the caller's (full) space.
     pub fn num_vars(&self) -> usize {
-        self.nvars
+        self.nvars_full
     }
 
-    /// Number of standardized columns (structural + slacks).
+    /// Number of standardized columns (kept structurals + slacks).
     pub fn num_cols(&self) -> usize {
         self.ncols
     }
@@ -204,35 +288,48 @@ impl PreparedLp {
     /// of the constraint in the order it was added to the [`Model`]; the
     /// constraint matrix, operators and bounds are untouched, so a basis from
     /// a previous solve stays structurally valid for
-    /// [`PreparedLp::solve_warm`].
+    /// [`PreparedLp::solve_warm`]. (When the RHS-safe reduction fixed
+    /// variables out of this row, their contribution is re-subtracted here.)
     ///
     /// # Panics
     /// If `row` is out of range or `rhs` is not finite.
     pub fn set_rhs(&mut self, row: usize, rhs: f64) {
         assert!(row < self.nrows, "row {row} out of range ({})", self.nrows);
         assert!(rhs.is_finite(), "rhs must be finite, got {rhs}");
-        self.b[row] = rhs;
+        let offset = self.reduction.as_ref().map_or(0.0, |r| r.row_offset[row]);
+        self.b[row] = rhs - offset;
     }
 
     /// Overwrites the objective coefficient of a model variable (in the
-    /// model's optimisation direction).
+    /// model's optimisation direction). A coefficient set on a variable the
+    /// RHS-safe reduction fixed out only changes the reported objective (its
+    /// value cannot move).
     ///
     /// # Panics
     /// If the variable does not belong to the prepared model or the
     /// coefficient is not finite.
     pub fn set_objective(&mut self, var: Var, coefficient: f64) {
         assert!(
-            var.index() < self.nvars,
+            var.index() < self.nvars_full,
             "variable {} out of range ({})",
             var.index(),
-            self.nvars
+            self.nvars_full
         );
         assert!(
             coefficient.is_finite(),
             "objective coefficient must be finite, got {coefficient}"
         );
         self.user_objective[var.index()] = coefficient;
-        self.cost[var.index()] = self.sign * coefficient;
+        let kept = match &self.reduction {
+            None => Some(var.index()),
+            Some(r) => match r.fate[var.index()] {
+                PreparedColFate::Kept(k) => Some(k),
+                PreparedColFate::Fixed(_) => None,
+            },
+        };
+        if let Some(k) = kept {
+            self.cost[k] = self.sign * coefficient;
+        }
     }
 
     /// Solves from a cold start (the all-slack basis).
@@ -268,7 +365,28 @@ impl PreparedLp {
         }
     }
 
-    /// The caller-direction objective value of a standardized point.
+    /// Expands reduced-space structural values back into the full model
+    /// variable space (fixed variables at their fixed value).
+    pub(crate) fn expand_values(&self, reduced: Vec<f64>) -> Vec<f64> {
+        match &self.reduction {
+            None => reduced,
+            Some(r) => r
+                .fate
+                .iter()
+                .map(|fate| match *fate {
+                    PreparedColFate::Kept(k) => reduced[k],
+                    PreparedColFate::Fixed(v) => v,
+                })
+                .collect(),
+        }
+    }
+
+    /// Variables removed at preparation time by the RHS-safe reduction.
+    pub(crate) fn presolve_cols_removed(&self) -> usize {
+        self.reduction.as_ref().map_or(0, |r| r.cols_fixed)
+    }
+
+    /// The caller-direction objective value of a full-space point.
     pub(crate) fn user_objective_value(&self, values: &[f64]) -> f64 {
         self.user_objective
             .iter()

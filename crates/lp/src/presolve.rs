@@ -1,0 +1,643 @@
+//! LP presolve: shrink a [`Model`] before it reaches the simplex, and a
+//! postsolve map that reconstructs full solutions afterwards.
+//!
+//! The recursive mechanism's H/G instances are highly redundant in exactly
+//! the ways classical presolve targets: fixed variables (pinned
+//! participants), singleton rows (per-child Or hinges over one variable),
+//! empty columns (participants appearing in no annotation term) and
+//! duplicate columns (symmetric participants with identical incidence).
+//! Reductions run to a fixpoint:
+//!
+//! * **fixed variables** (`l = u`): substituted into every row they touch;
+//! * **empty rows**: checked for trivial (in)feasibility, then dropped;
+//! * **singleton rows**: absorbed into the variable's bounds (an `=` row
+//!   pins the variable, surfacing as a fixed variable next round);
+//! * **empty columns**: fixed at their objective-favoured bound when that
+//!   bound is finite (left alone otherwise so unboundedness verdicts stay
+//!   with the solver);
+//! * **free column singletons in equality rows**: solved out symbolically —
+//!   row and column both disappear, the objective is substituted through;
+//! * **duplicate columns** (identical sparsity pattern, coefficients and
+//!   cost, finite bounds): merged into one representative whose bounds are
+//!   the interval sums.
+//!
+//! [`Presolved::postsolve`] replays the recorded reductions in reverse to
+//! recover a full-length solution vector, and the objective is re-evaluated
+//! against the *original* costs, so postsolved solutions are exact members
+//! of the original feasible set. Infeasibility discovered during presolve is
+//! returned as [`LpError::Infeasible`]; presolve never claims unboundedness
+//! (those verdicts always come from the solver itself).
+//!
+//! The separate RHS-safe subset used by [`crate::PreparedLp`] lives in
+//! [`crate::prepared`]: chains mutate the RHS and objective after
+//! standardization, so only reductions that keep row indices intact and
+//! commute with those mutations are legal there.
+
+use crate::error::LpError;
+use crate::model::{ConstraintOp, Model, Sense};
+
+/// Bound-crossing tolerance: bounds that cross by more than this are an
+/// infeasibility proof; within it the variable is treated as fixed. Matches
+/// the solver's feasibility tolerance.
+const FEAS_TOL: f64 = 1e-7;
+
+/// Smallest coefficient magnitude presolve will divide by.
+const COEF_TOL: f64 = 1e-9;
+
+/// What happened to each original variable.
+#[derive(Clone, Debug)]
+enum ColFate {
+    /// Survives into the reduced model (index assigned at compaction).
+    Active,
+    /// Fixed at a value; substituted out of every row.
+    Fixed(f64),
+    /// Solved out of an equality row (free column singleton).
+    Substituted,
+    /// Merged into a duplicate-column representative.
+    Merged,
+}
+
+/// A recorded reduction that needs replaying (in reverse) at postsolve time.
+#[derive(Clone, Debug)]
+enum Action {
+    /// `var = (rhs − Σ terms) / coeff`, from a free column singleton in an
+    /// equality row.
+    SubstituteFree {
+        var: usize,
+        coeff: f64,
+        rhs: f64,
+        terms: Vec<(usize, f64)>,
+    },
+    /// Duplicate-column merge: the representative (first part) holds the sum;
+    /// postsolve distributes it greedily across `(var, lower, upper)` parts.
+    SplitDuplicate { parts: Vec<(usize, f64, f64)> },
+}
+
+/// The outcome of presolving a model: the reduced model plus everything
+/// needed to map a reduced solution back.
+#[derive(Clone, Debug)]
+pub(crate) struct Presolved {
+    /// The reduced model handed to the solver.
+    pub(crate) reduced: Model,
+    /// Rows removed by presolve.
+    pub(crate) rows_removed: usize,
+    /// Columns (variables) removed by presolve.
+    pub(crate) cols_removed: usize,
+    /// Original objective coefficients (pre-substitution), for re-evaluation.
+    orig_objective: Vec<f64>,
+    /// Per original variable: where it went.
+    fate: Vec<ColFate>,
+    /// Reduced index of each `Active` variable.
+    reduced_index: Vec<usize>,
+    /// Reductions to replay in reverse.
+    actions: Vec<Action>,
+}
+
+impl Presolved {
+    /// Expands a reduced solution vector to the full variable space.
+    pub(crate) fn postsolve(&self, reduced_values: &[f64]) -> Vec<f64> {
+        let mut full = vec![0.0; self.fate.len()];
+        for (j, fate) in self.fate.iter().enumerate() {
+            match fate {
+                ColFate::Active => full[j] = reduced_values[self.reduced_index[j]],
+                ColFate::Fixed(v) => full[j] = *v,
+                ColFate::Substituted | ColFate::Merged => {}
+            }
+        }
+        for action in self.actions.iter().rev() {
+            match action {
+                Action::SubstituteFree {
+                    var,
+                    coeff,
+                    rhs,
+                    terms,
+                } => {
+                    let dot: f64 = terms.iter().map(|&(k, a)| a * full[k]).sum();
+                    full[*var] = (rhs - dot) / coeff;
+                }
+                Action::SplitDuplicate { parts } => {
+                    let v = full[parts[0].0];
+                    let total_lo: f64 = parts.iter().map(|p| p.1).sum();
+                    let mut leftover = v - total_lo;
+                    for &(var, lo, hi) in parts {
+                        let take = leftover.max(0.0).min(hi - lo);
+                        full[var] = lo + take;
+                        leftover -= take;
+                    }
+                }
+            }
+        }
+        full
+    }
+
+    /// The original-model objective of a full solution vector.
+    pub(crate) fn objective_of(&self, full_values: &[f64]) -> f64 {
+        self.orig_objective
+            .iter()
+            .zip(full_values)
+            .map(|(c, x)| c * x)
+            .sum()
+    }
+}
+
+/// One working row during reduction.
+#[derive(Clone, Debug)]
+struct WorkRow {
+    terms: Vec<(usize, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+/// Runs all reductions to a fixpoint. Returns [`LpError::Infeasible`] when a
+/// reduction proves the model has no feasible point.
+pub(crate) fn presolve(model: &Model) -> Result<Presolved, LpError> {
+    model.validate()?;
+    let n = model.vars.len();
+    let sign = if model.sense == Sense::Minimize {
+        1.0
+    } else {
+        -1.0
+    };
+
+    let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut hi: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    // Costs in the caller's direction; substitutions adjust them in place.
+    let mut cost: Vec<f64> = model.vars.iter().map(|v| v.objective).collect();
+    let orig_objective = cost.clone();
+    let mut rows: Vec<Option<WorkRow>> = model
+        .constraints
+        .iter()
+        .map(|c| {
+            Some(WorkRow {
+                terms: c.terms.iter().map(|&(v, a)| (v.index(), a)).collect(),
+                op: c.op,
+                rhs: c.rhs,
+            })
+        })
+        .collect();
+    let mut fate: Vec<ColFate> = vec![ColFate::Active; n];
+    let mut actions: Vec<Action> = Vec::new();
+    let mut rows_removed = 0usize;
+    let mut cols_removed = 0usize;
+
+    // Membership index, rebuilt when rows change shape. Rows are small in
+    // practice (hinge rows touch a handful of participants), so a rebuild
+    // per round is O(nnz).
+    let col_rows = |rows: &Vec<Option<WorkRow>>| -> Vec<Vec<usize>> {
+        let mut cr: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(r) = row {
+                for &(j, _) in &r.terms {
+                    cr[j].push(i);
+                }
+            }
+        }
+        cr
+    };
+
+    for _round in 0..32 {
+        let mut changed = false;
+
+        // --- Fixed variables: bounds meeting (or crossing within tol). ---
+        for j in 0..n {
+            if !matches!(fate[j], ColFate::Active) {
+                continue;
+            }
+            if lo[j] > hi[j] + FEAS_TOL {
+                return Err(LpError::Infeasible);
+            }
+            if lo[j] >= hi[j] {
+                let v = lo[j];
+                fate[j] = ColFate::Fixed(v);
+                cols_removed += 1;
+                changed = true;
+                for row in rows.iter_mut().flatten() {
+                    if let Some(pos) = row.terms.iter().position(|&(k, _)| k == j) {
+                        let (_, a) = row.terms.swap_remove(pos);
+                        row.rhs -= a * v;
+                    }
+                }
+            }
+        }
+
+        // --- Empty rows: trivially satisfied or infeasible. ---
+        for row in rows.iter_mut() {
+            let Some(r) = row else { continue };
+            if !r.terms.is_empty() {
+                continue;
+            }
+            let ok = match r.op {
+                ConstraintOp::Le => 0.0 <= r.rhs + FEAS_TOL,
+                ConstraintOp::Ge => 0.0 >= r.rhs - FEAS_TOL,
+                ConstraintOp::Eq => r.rhs.abs() <= FEAS_TOL,
+            };
+            if !ok {
+                return Err(LpError::Infeasible);
+            }
+            *row = None;
+            rows_removed += 1;
+            changed = true;
+        }
+
+        // --- Singleton rows: absorb into the variable's bounds. ---
+        for row in rows.iter_mut() {
+            let Some(r) = row else { continue };
+            if r.terms.len() != 1 {
+                continue;
+            }
+            let (j, a) = r.terms[0];
+            if a.abs() < COEF_TOL {
+                // Numerically empty; next round's empty-row pass decides.
+                r.terms.clear();
+                continue;
+            }
+            let bound = r.rhs / a;
+            match (r.op, a > 0.0) {
+                (ConstraintOp::Le, true) | (ConstraintOp::Ge, false) => {
+                    hi[j] = hi[j].min(bound);
+                }
+                (ConstraintOp::Le, false) | (ConstraintOp::Ge, true) => {
+                    lo[j] = lo[j].max(bound);
+                }
+                (ConstraintOp::Eq, _) => {
+                    lo[j] = lo[j].max(bound);
+                    hi[j] = hi[j].min(bound);
+                }
+            }
+            if lo[j] > hi[j] + FEAS_TOL {
+                // The absorbed bound crosses the existing one: no feasible
+                // value exists. Checked here (not left to the next round's
+                // fixed-variable pass) so the empty-column pass below cannot
+                // fix the now-unconstrained variable first and mask it.
+                return Err(LpError::Infeasible);
+            }
+            *row = None;
+            rows_removed += 1;
+            changed = true;
+        }
+
+        let cr = col_rows(&rows);
+
+        // --- Free column singletons in equality rows: solve out. ---
+        for j in 0..n {
+            if !matches!(fate[j], ColFate::Active) {
+                continue;
+            }
+            if lo[j].is_finite() || hi[j].is_finite() || cr[j].len() != 1 {
+                continue;
+            }
+            let i = cr[j][0];
+            let Some(r) = &rows[i] else { continue };
+            if r.op != ConstraintOp::Eq {
+                continue;
+            }
+            let Some(&(_, a)) = r.terms.iter().find(|&&(k, _)| k == j) else {
+                continue;
+            };
+            if a.abs() < COEF_TOL {
+                continue;
+            }
+            let others: Vec<(usize, f64)> =
+                r.terms.iter().copied().filter(|&(k, _)| k != j).collect();
+            // Objective substitution: c_j·x_j = c_j·rhs/a − Σ (c_j·a_k/a)·x_k.
+            let cj = cost[j];
+            if cj != 0.0 {
+                for &(k, ak) in &others {
+                    cost[k] -= cj * ak / a;
+                }
+            }
+            actions.push(Action::SubstituteFree {
+                var: j,
+                coeff: a,
+                rhs: r.rhs,
+                terms: others,
+            });
+            fate[j] = ColFate::Substituted;
+            rows[i] = None;
+            rows_removed += 1;
+            cols_removed += 1;
+            changed = true;
+        }
+
+        let cr = col_rows(&rows);
+
+        // --- Empty columns: fix at the objective-favoured finite bound. ---
+        for j in 0..n {
+            if !matches!(fate[j], ColFate::Active) || !cr[j].is_empty() {
+                continue;
+            }
+            if lo[j] > hi[j] + FEAS_TOL {
+                return Err(LpError::Infeasible);
+            }
+            let c_int = sign * cost[j];
+            let favoured = if c_int > 0.0 {
+                lo[j]
+            } else if c_int < 0.0 {
+                hi[j]
+            } else if lo[j].is_finite() {
+                lo[j]
+            } else if hi[j].is_finite() {
+                hi[j]
+            } else {
+                // Free with zero cost: any value is optimal; park at 0 like
+                // the solver would.
+                0.0
+            };
+            if !favoured.is_finite() {
+                // Improving without bound: leave it to the solver, which
+                // must still weigh feasibility of the rest of the model
+                // before declaring the LP unbounded.
+                continue;
+            }
+            fate[j] = ColFate::Fixed(favoured);
+            cols_removed += 1;
+            changed = true;
+        }
+
+        // --- Duplicate columns: identical pattern, coefficients and cost. ---
+        {
+            use std::collections::BTreeMap;
+            // Signature: sorted (row, coeff bits) plus cost bits. Only
+            // finite-bounded columns participate (bound sums stay finite and
+            // the greedy postsolve split is well defined).
+            type ColSignature = (Vec<(usize, u64)>, u64);
+            let mut groups: BTreeMap<ColSignature, Vec<usize>> = BTreeMap::new();
+            for j in 0..n {
+                if !matches!(fate[j], ColFate::Active) {
+                    continue;
+                }
+                if !lo[j].is_finite() || !hi[j].is_finite() || cr[j].is_empty() {
+                    continue;
+                }
+                let mut sig: Vec<(usize, u64)> = Vec::with_capacity(cr[j].len());
+                for &i in &cr[j] {
+                    let Some(r) = &rows[i] else { continue };
+                    if let Some(&(_, a)) = r.terms.iter().find(|&&(k, _)| k == j) {
+                        sig.push((i, a.to_bits()));
+                    }
+                }
+                sig.sort_unstable();
+                groups.entry((sig, cost[j].to_bits())).or_default().push(j);
+            }
+            for (_, mut members) in groups {
+                if members.len() < 2 {
+                    continue;
+                }
+                members.sort_unstable();
+                let rep = members[0];
+                let mut parts = vec![(rep, lo[rep], hi[rep])];
+                for &k in &members[1..] {
+                    parts.push((k, lo[k], hi[k]));
+                    lo[rep] += lo[k];
+                    hi[rep] += hi[k];
+                    fate[k] = ColFate::Merged;
+                    cols_removed += 1;
+                    for &i in &cr[k] {
+                        if let Some(r) = rows[i].as_mut() {
+                            if let Some(pos) = r.terms.iter().position(|&(v, _)| v == k) {
+                                r.terms.swap_remove(pos);
+                            }
+                        }
+                    }
+                }
+                actions.push(Action::SplitDuplicate { parts });
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Compact into the reduced model. ---
+    let mut reduced = Model::new(model.sense);
+    let mut reduced_index = vec![usize::MAX; n];
+    let mut reduced_vars = Vec::with_capacity(n);
+    for j in 0..n {
+        if matches!(fate[j], ColFate::Active) {
+            reduced_index[j] = reduced_vars.len();
+            reduced_vars.push(reduced.add_var(lo[j], hi[j], cost[j]));
+        }
+    }
+    for row in rows.iter().flatten() {
+        let terms: Vec<_> = row
+            .terms
+            .iter()
+            .map(|&(j, a)| (reduced_vars[reduced_index[j]], a))
+            .collect();
+        reduced.add_constraint(terms, row.op, row.rhs);
+    }
+
+    Ok(Presolved {
+        reduced,
+        rows_removed,
+        cols_removed,
+        orig_objective,
+        fate,
+        reduced_index,
+        actions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn feasible_in(model: &Model, x: &[f64], tol: f64) -> bool {
+        for (j, v) in model.vars.iter().enumerate() {
+            if x[j] < v.lower - tol || x[j] > v.upper + tol {
+                return false;
+            }
+        }
+        for c in &model.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.index()]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn fixed_variables_are_substituted_out() {
+        let mut m = Model::minimize();
+        let x = m.add_var(2.0, 2.0, 5.0);
+        let y = m.add_unit_var(1.0);
+        m.add_ge([(x, 1.0), (y, 1.0)], 2.5);
+        let pre = presolve(&m).unwrap();
+        // The cascade solves the whole model: x is fixed, the surviving
+        // y >= 0.5 row becomes a bound, and the then-empty column y is fixed
+        // at its favoured (lower) bound.
+        assert_eq!(pre.cols_removed, 2);
+        assert_eq!(pre.rows_removed, 1);
+        assert!(pre.reduced.vars.is_empty());
+        let sol = pre.reduced.solve().unwrap();
+        let full = pre.postsolve(&sol.values);
+        assert!((full[x.index()] - 2.0).abs() < 1e-9);
+        assert!((full[y.index()] - 0.5).abs() < 1e-9);
+        assert!((pre.objective_of(&full) - 10.5).abs() < 1e-9);
+        assert!(feasible_in(&m, &full, 1e-7));
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::minimize();
+        let x = m.add_var(0.0, 10.0, -1.0);
+        m.add_le([(x, 2.0)], 6.0); // x <= 3
+        let pre = presolve(&m).unwrap();
+        assert_eq!(pre.rows_removed, 1);
+        assert_eq!(pre.reduced.constraints.len(), 0);
+        // The absorbed bound leaves an empty column, fixed at the favoured
+        // (upper, cost is negative) bound x = 3.
+        assert_eq!(pre.cols_removed, 1);
+        let sol = pre.reduced.solve().unwrap();
+        let full = pre.postsolve(&sol.values);
+        assert!((full[x.index()] - 3.0).abs() < 1e-9);
+        assert!(feasible_in(&m, &full, 1e-7));
+    }
+
+    #[test]
+    fn singleton_equality_row_pins_the_variable() {
+        let mut m = Model::minimize();
+        let x = m.add_var(0.0, 10.0, 1.0);
+        let y = m.add_var(0.0, 10.0, 1.0);
+        m.add_eq([(x, 2.0)], 5.0); // x = 2.5
+        m.add_ge([(x, 1.0), (y, 1.0)], 4.0);
+        let pre = presolve(&m).unwrap();
+        // The singleton pins x = 2.5; substituting it leaves y >= 1.5, which
+        // cascades into a bound and a favoured-bound fix. Nothing survives.
+        assert!(pre.reduced.vars.is_empty());
+        let sol = pre.reduced.solve().unwrap();
+        let full = pre.postsolve(&sol.values);
+        assert!((full[x.index()] - 2.5).abs() < 1e-9);
+        assert!((full[y.index()] - 1.5).abs() < 1e-9);
+        assert!(feasible_in(&m, &full, 1e-7));
+    }
+
+    #[test]
+    fn crossing_singleton_bounds_prove_infeasibility() {
+        let mut m = Model::minimize();
+        let x = m.add_var(0.0, 1.0, 1.0);
+        m.add_ge([(x, 1.0)], 2.0); // x >= 2 vs x <= 1
+        match presolve(&m) {
+            Err(LpError::Infeasible) => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_columns_fix_at_the_favoured_bound() {
+        let mut m = Model::minimize();
+        let x = m.add_var(-1.0, 2.0, 3.0); // favoured: lower
+        let y = m.add_var(-1.0, 2.0, -3.0); // favoured: upper
+        let z = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0); // parked at 0
+        let w = m.add_unit_var(1.0);
+        m.add_ge([(w, 1.0)], 0.5);
+        let pre = presolve(&m).unwrap();
+        // w's constraint cascades away too, so the reduction is total.
+        assert!(pre.reduced.vars.is_empty());
+        let sol = pre.reduced.solve().unwrap();
+        let full = pre.postsolve(&sol.values);
+        assert!((full[x.index()] + 1.0).abs() < 1e-12);
+        assert!((full[y.index()] - 2.0).abs() < 1e-12);
+        assert!(full[z.index()].abs() < 1e-12);
+        assert!((full[w.index()] - 0.5).abs() < 1e-12);
+        assert!(feasible_in(&m, &full, 1e-7));
+    }
+
+    #[test]
+    fn unbounded_empty_columns_are_left_to_the_solver() {
+        let mut m = Model::minimize();
+        let _x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let y = m.add_unit_var(1.0);
+        m.add_ge([(y, 1.0)], 0.5);
+        let pre = presolve(&m).unwrap();
+        // x survives so the solver (not presolve) reports unboundedness
+        // (y cascades away through its singleton row).
+        assert_eq!(pre.reduced.vars.len(), 1);
+        match m.solve() {
+            Err(LpError::Unbounded) => {}
+            other => panic!("expected Unbounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_column_singletons_in_equality_rows_are_solved_out() {
+        let mut m = Model::minimize();
+        let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 2.0);
+        let y = m.add_var(0.0, 4.0, 1.0);
+        m.add_eq([(x, 2.0), (y, 1.0)], 6.0); // x = (6 - y) / 2
+        let pre = presolve(&m).unwrap();
+        assert_eq!(pre.rows_removed, 1);
+        // x is substituted out; the then-empty column y is fixed too.
+        assert_eq!(pre.cols_removed, 2);
+        let sol = pre.reduced.solve().unwrap();
+        let full = pre.postsolve(&sol.values);
+        // Objective 2x + y = (6 − y) + y = 6 for every y: flat optimum.
+        assert!((pre.objective_of(&full) - 6.0).abs() < 1e-9);
+        assert!(feasible_in(&m, &full, 1e-7));
+    }
+
+    #[test]
+    fn duplicate_columns_merge_and_split_back() {
+        let mut m = Model::minimize();
+        let x = m.add_unit_var(1.0);
+        let y = m.add_unit_var(1.0);
+        let z = m.add_unit_var(1.0);
+        // Identical pattern/coefficients/cost for all three.
+        m.add_ge([(x, 1.0), (y, 1.0), (z, 1.0)], 2.5);
+        let pre = presolve(&m).unwrap();
+        // Two merges, then the merged column's singleton row cascades it
+        // down to a fixed value.
+        assert_eq!(pre.cols_removed, 3);
+        assert!(pre.reduced.vars.is_empty());
+        let sol = pre.reduced.solve().unwrap();
+        let full = pre.postsolve(&sol.values);
+        let total = full[x.index()] + full[y.index()] + full[z.index()];
+        assert!((total - 2.5).abs() < 1e-9);
+        assert!(feasible_in(&m, &full, 1e-7));
+        assert!((pre.objective_of(&full) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn columns_with_different_costs_do_not_merge() {
+        let mut m = Model::minimize();
+        let x = m.add_unit_var(1.0);
+        let y = m.add_unit_var(2.0);
+        m.add_ge([(x, 1.0), (y, 1.0)], 1.5);
+        let pre = presolve(&m).unwrap();
+        assert_eq!(pre.reduced.vars.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_empty_rows_are_detected() {
+        let mut m = Model::minimize();
+        let x = m.add_var(1.0, 1.0, 0.0);
+        m.add_le([(x, 1.0)], 0.5); // after fixing x=1: 0 <= -0.5
+        match presolve(&m) {
+            Err(LpError::Infeasible) => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn presolve_is_a_no_op_on_irreducible_models() {
+        let mut m = Model::minimize();
+        let x = m.add_unit_var(1.0);
+        let y = m.add_unit_var(-1.0);
+        m.add_ge([(x, 1.0), (y, 0.5)], 0.5);
+        m.add_le([(x, 1.0), (y, -1.0)], 0.75);
+        let pre = presolve(&m).unwrap();
+        assert_eq!(pre.rows_removed, 0);
+        assert_eq!(pre.cols_removed, 0);
+        assert_eq!(pre.reduced.vars.len(), 2);
+        assert_eq!(pre.reduced.constraints.len(), 2);
+    }
+}

@@ -1,11 +1,22 @@
 //! Sparse bounded-variable revised simplex.
 //!
 //! The solver works on a [`PreparedLp`] in equality form `Ax = b`,
-//! `l ≤ x ≤ u` and maintains a dense inverse `B⁻¹` of the basis matrix
-//! (column-major, updated by a product-form eta transformation per pivot;
-//! every [`SimplexOptions::refactor_every`] pivots an O(nnz) primal-residual
-//! check decides whether drift warrants a from-scratch refactorization).
-//! Bounds are handled natively:
+//! `l ≤ x ≤ u` and maintains a representation of the basis inverse behind
+//! the `Factorization` trait, with two interchangeable implementations:
+//!
+//! * `LuFactor` (default, [`SolverBackend::SparseLu`]): a sparse Markowitz
+//!   LU factorization maintained across pivots by a bounded eta file
+//!   (`crate::lu`) — per-pivot work tracks the factor nonzeros;
+//! * `DenseFactor` ([`SolverBackend::Revised`]): the dense column-major
+//!   `B⁻¹` this solver grew out of, updated by a product-form eta
+//!   transformation per pivot — kept as a differential-testing oracle with
+//!   identical pivot logic but independent linear algebra.
+//!
+//! Either representation is revalidated every
+//! [`SimplexOptions::refactor_every`] pivots by an O(nnz) primal-residual
+//! drift check that gates a from-scratch refactorization; the sparse backend
+//! additionally refactorizes unconditionally when its eta file reaches
+//! [`SimplexOptions::update_cap`]. Bounds are handled natively:
 //!
 //! * nonbasic variables sit at a finite bound (or at 0 when free) and may
 //!   enter by increasing from their lower bound or decreasing from their
@@ -26,11 +37,15 @@
 //! [`SimplexOptions::bland_after`] pivots, mirroring the dense oracle in
 //! [`crate::simplex`].
 
+use std::sync::Arc;
+
 use crate::error::LpError;
+use crate::lu::LuFactor;
 use crate::model::Model;
-use crate::prepared::{Basis, PreparedLp, PreparedSolution, VarStatus};
-use crate::simplex::SimplexOptions;
+use crate::prepared::{Basis, BasisFactor, FactorKind, PreparedLp, PreparedSolution, VarStatus};
+use crate::simplex::{SimplexOptions, SolverBackend};
 use crate::solution::{Solution, SolveStats};
+use crate::sparse::CscMatrix;
 
 /// Bound-violation tolerance: a basic variable within this distance of its
 /// bounds counts as feasible.
@@ -38,159 +53,87 @@ const FEAS_TOL: f64 = 1e-7;
 
 /// Smallest pivot magnitude accepted by the ratio test and the
 /// refactorization. Dividing by anything smaller would amplify rounding
-/// errors across `B⁻¹`.
+/// errors across the basis representation.
 const PIVOT_TOL: f64 = 1e-7;
 
 /// Primal residual `‖b − A·x‖∞` above which the periodic drift check
-/// triggers a refactorization (kept below [`FEAS_TOL`] so the inverse is
+/// triggers a refactorization (kept below [`FEAS_TOL`] so the factors are
 /// rebuilt before drift can corrupt feasibility decisions).
 const REFRESH_TOL: f64 = 1e-8;
 
-/// Solves a [`Model`] through the revised simplex (used by the
-/// [`crate::simplex::solve`] dispatcher for the default backend).
-pub(crate) fn solve_model(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
-    let prepared = PreparedLp::new(model)?;
-    Ok(solve_prepared(&prepared, None, options)?.solution)
+/// A maintained representation of the basis inverse. Both implementations
+/// are cheap to clone (their bulk lives behind an [`Arc`]), which is what
+/// makes carrying a factor through [`Basis`] O(1).
+pub(crate) trait Factorization: Clone + std::fmt::Debug {
+    /// The representation of the identity basis (the all-slack cold start).
+    fn identity(m: usize) -> Self;
+    /// Factorizes the basis whose columns are `a[:, basic[k]]`; `Err` on a
+    /// (numerically) singular basis.
+    fn factorize(a: &CscMatrix, basic: &[usize], options: &SimplexOptions) -> Result<Self, ()>;
+    /// Dimension of the represented basis.
+    fn dim(&self) -> usize;
+    /// `w = B⁻¹ · a_j` for a standardized column `j` of `a`.
+    fn ftran(&self, a: &CscMatrix, j: usize, m: usize) -> Vec<f64>;
+    /// `y = (c_B)ᵀ · B⁻¹`.
+    fn btran(&self, cb: &[f64]) -> Vec<f64>;
+    /// `B⁻¹ · r` for a dense right-hand side.
+    fn solve_vec(&self, r: Vec<f64>) -> Vec<f64>;
+    /// Applies the product-form update after the entering column (FTRAN
+    /// image `w`) replaced the basic column of `row`.
+    fn update(&mut self, row: usize, w: &[f64]);
+    /// Updates accumulated since the last from-scratch factorization that
+    /// count against [`SimplexOptions::update_cap`] (0 on the dense
+    /// representation, whose in-place updates do not grow).
+    fn pending_updates(&self) -> usize;
+    /// Stored nonzeros of a sparse representation (0 on the dense one).
+    fn factor_nnz(&self) -> usize;
+    /// Recovers this representation from a carried [`FactorKind`] (O(1):
+    /// clones share the underlying storage). `None` when the basis was
+    /// produced by the other backend.
+    fn from_carried(kind: &FactorKind) -> Option<Self>;
+    /// Wraps this representation for carrying through a [`Basis`].
+    fn into_carried(self) -> FactorKind;
 }
 
-/// Solves a prepared LP, cold (`start = None`, all-slack basis) or warm
-/// (from a previous basis). Iteration-limit stalls and Unbounded verdicts
-/// are retried once under maximum-robustness settings — Bland's rule from
-/// the first pivot and a drift check after every pivot — because on heavily
-/// degenerate instances accumulated rounding can empty a pivot column and
-/// fake an unbounded ray (the dense oracle guards the same failure mode
-/// with its RHS-perturbation retry).
-pub(crate) fn solve_prepared(
-    lp: &PreparedLp,
-    start: Option<&Basis>,
-    options: &SimplexOptions,
-) -> Result<PreparedSolution, LpError> {
-    match Engine::new(lp, start, options)?.run() {
-        Err(LpError::IterationLimit { .. } | LpError::Unbounded) => {
-            let robust = SimplexOptions {
-                bland_after: 0,
-                refactor_every: 1,
-                ..*options
-            };
-            Engine::new(lp, start, &robust)?.run()
-        }
-        other => other,
+/// The dense column-major basis inverse (`binv[k]` is `B⁻¹·e_k`), shared
+/// behind an [`Arc`]: hand-off through a [`Basis`] is O(1) and the deep
+/// O(m²) copy happens only at the first pivot of a solve that inherited a
+/// shared inverse (copy-on-write via [`Arc::make_mut`]).
+#[derive(Clone, Debug)]
+pub(crate) struct DenseFactor {
+    binv: Arc<Vec<Vec<f64>>>,
+}
+
+impl DenseFactor {
+    /// Whether two factors share the same inverse storage (used by the O(1)
+    /// hand-off regression tests).
+    #[cfg(test)]
+    pub(crate) fn shares_storage_with(&self, other: &DenseFactor) -> bool {
+        Arc::ptr_eq(&self.binv, &other.binv)
     }
 }
 
-/// Which phase the iteration loop is running.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    One,
-    Two,
-}
-
-struct Engine<'a> {
-    lp: &'a PreparedLp,
-    options: &'a SimplexOptions,
-    m: usize,
-    /// Column-major basis inverse: `binv[k]` is `B⁻¹·e_k`.
-    binv: Vec<Vec<f64>>,
-    basic: Vec<usize>,
-    status: Vec<VarStatus>,
-    /// Current value of every standardized column.
-    x: Vec<f64>,
-    /// Pivots since the last refactorization.
-    since_refactor: usize,
-    stats: SolveStats,
-}
-
-impl<'a> Engine<'a> {
-    fn new(
-        lp: &'a PreparedLp,
-        start: Option<&Basis>,
-        options: &'a SimplexOptions,
-    ) -> Result<Self, LpError> {
-        for &bi in &lp.b {
-            if !bi.is_finite() {
-                return Err(LpError::NonFiniteInput);
-            }
+impl Factorization for DenseFactor {
+    fn identity(m: usize) -> Self {
+        let binv = (0..m)
+            .map(|k| {
+                let mut col = vec![0.0; m];
+                col[k] = 1.0;
+                col
+            })
+            .collect();
+        DenseFactor {
+            binv: Arc::new(binv),
         }
-        let m = lp.nrows;
-        let start = start.filter(|s| basis_is_consistent(lp, s));
-        let (basic, status, inherited_binv) = match start {
-            Some(s) => {
-                // Reuse the maintained inverse when the basis was produced
-                // against this exact matrix — the common chain case, turning
-                // warm re-entry from O(m³) into O(m²).
-                let binv = s
-                    .factor
-                    .as_ref()
-                    .filter(|f| f.fingerprint == lp.fingerprint && f.binv.len() == m)
-                    .map(|f| f.binv.clone());
-                (s.basic.clone(), s.status.clone(), binv)
-            }
-            None => {
-                // All-slack basis; structurals at their nearest finite bound.
-                let mut status = Vec::with_capacity(lp.ncols);
-                for j in 0..lp.ncols {
-                    status.push(if j >= lp.nvars {
-                        VarStatus::Basic
-                    } else {
-                        initial_status(lp.lower[j], lp.upper[j])
-                    });
-                }
-                // The all-slack basis matrix is the identity: no
-                // factorization needed.
-                let identity = (0..m)
-                    .map(|k| {
-                        let mut col = vec![0.0; m];
-                        col[k] = 1.0;
-                        col
-                    })
-                    .collect();
-                ((lp.nvars..lp.ncols).collect(), status, Some(identity))
-            }
-        };
-        let mut engine = Engine {
-            lp,
-            options,
-            m,
-            binv: inherited_binv.unwrap_or_default(),
-            basic,
-            status,
-            x: vec![0.0; lp.ncols],
-            since_refactor: 0,
-            stats: SolveStats {
-                rows: m,
-                cols: lp.ncols,
-                warm_started: start.is_some(),
-                ..SolveStats::default()
-            },
-        };
-        let inherited = engine.binv.len() == m && start.is_some();
-        if engine.binv.len() != m && engine.refactorize().is_err() {
-            // A singular warm basis is repaired by falling back to the
-            // all-slack basis (which is the identity, always invertible).
-            return Engine::new(lp, None, options);
-        }
-        engine.compute_x();
-        if inherited && engine.primal_residual() > REFRESH_TOL {
-            // The per-solve pivot counts inside a chain rarely reach the
-            // periodic drift check, so an inherited inverse is validated
-            // here instead: accumulated eta-update error across the chain
-            // forces a fresh factorization before it can corrupt this solve.
-            if engine.refactorize().is_err() {
-                return Engine::new(lp, None, options);
-            }
-            engine.stats.refactorizations += 1;
-            engine.compute_x();
-        }
-        Ok(engine)
     }
 
-    /// Rebuilds `B⁻¹` from scratch by Gauss–Jordan with partial pivoting.
-    fn refactorize(&mut self) -> Result<(), ()> {
-        let m = self.m;
+    /// Gauss–Jordan with partial pivoting, O(m³).
+    fn factorize(a: &CscMatrix, basic: &[usize], _options: &SimplexOptions) -> Result<Self, ()> {
+        let m = basic.len();
         // Row-major copies of B and the growing inverse.
         let mut mat = vec![vec![0.0; m]; m];
-        for (k, &j) in self.basic.iter().enumerate() {
-            for (i, v) in self.lp.a.col(j) {
+        for (k, &j) in basic.iter().enumerate() {
+            for (i, v) in a.col(j) {
                 mat[i][k] = v;
             }
         }
@@ -233,11 +176,306 @@ impl<'a> Engine<'a> {
             mat[col] = mat_pivot;
             inv[col] = inv_pivot;
         }
-        // Transpose row-major inverse into column-major `binv`.
-        self.binv = (0..m)
+        // Transpose row-major inverse into column-major form.
+        let binv = (0..m)
             .map(|k| (0..m).map(|i| inv[i][k]).collect())
             .collect();
+        Ok(DenseFactor {
+            binv: Arc::new(binv),
+        })
+    }
+
+    fn dim(&self) -> usize {
+        self.binv.len()
+    }
+
+    fn ftran(&self, a: &CscMatrix, j: usize, m: usize) -> Vec<f64> {
+        let mut w = vec![0.0; m];
+        for (r, v) in a.col(j) {
+            for (slot, &bv) in w.iter_mut().zip(&self.binv[r]) {
+                *slot += v * bv;
+            }
+        }
+        w
+    }
+
+    fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        (0..self.binv.len())
+            .map(|k| cb.iter().zip(&self.binv[k]).map(|(c, v)| c * v).sum())
+            .collect()
+    }
+
+    fn solve_vec(&self, r: Vec<f64>) -> Vec<f64> {
+        // B⁻¹ r, accumulated column-by-column of B⁻¹.
+        let mut out = vec![0.0; r.len()];
+        for (k, &rk) in r.iter().enumerate() {
+            if rk != 0.0 {
+                for (slot, &v) in out.iter_mut().zip(&self.binv[k]) {
+                    *slot += rk * v;
+                }
+            }
+        }
+        out
+    }
+
+    fn update(&mut self, row: usize, w: &[f64]) {
+        let pivot = w[row];
+        debug_assert!(pivot.abs() > 0.0);
+        // Copy-on-write: the deep O(m²) clone happens here (first pivot of a
+        // solve whose inverse is still shared with the previous basis), not
+        // on warm entry.
+        let binv = Arc::make_mut(&mut self.binv);
+        for col in binv.iter_mut() {
+            let vr = col[row];
+            if vr == 0.0 {
+                continue;
+            }
+            let scaled = vr / pivot;
+            for (i, slot) in col.iter_mut().enumerate() {
+                if i != row {
+                    *slot -= w[i] * scaled;
+                }
+            }
+            col[row] = scaled;
+        }
+    }
+
+    fn pending_updates(&self) -> usize {
+        0
+    }
+
+    fn factor_nnz(&self) -> usize {
+        0
+    }
+
+    fn from_carried(kind: &FactorKind) -> Option<Self> {
+        match kind {
+            FactorKind::Dense(f) => Some(f.clone()),
+            FactorKind::Lu(_) => None,
+        }
+    }
+
+    fn into_carried(self) -> FactorKind {
+        FactorKind::Dense(self)
+    }
+}
+
+impl Factorization for LuFactor {
+    fn identity(m: usize) -> Self {
+        LuFactor::identity(m)
+    }
+
+    fn factorize(a: &CscMatrix, basic: &[usize], options: &SimplexOptions) -> Result<Self, ()> {
+        LuFactor::factorize(a, basic, options.markowitz_threshold)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn ftran(&self, a: &CscMatrix, j: usize, m: usize) -> Vec<f64> {
+        let mut rhs = vec![0.0; m];
+        for (r, v) in a.col(j) {
+            rhs[r] += v;
+        }
+        self.solve_vec(rhs)
+    }
+
+    fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        self.btran_vec(cb.to_vec())
+    }
+
+    fn solve_vec(&self, r: Vec<f64>) -> Vec<f64> {
+        LuFactor::solve_vec(self, r)
+    }
+
+    fn update(&mut self, row: usize, w: &[f64]) {
+        LuFactor::update(self, row, w);
+    }
+
+    fn pending_updates(&self) -> usize {
+        LuFactor::pending_updates(self)
+    }
+
+    fn factor_nnz(&self) -> usize {
+        self.nnz()
+    }
+
+    fn from_carried(kind: &FactorKind) -> Option<Self> {
+        match kind {
+            FactorKind::Lu(f) => Some(f.clone()),
+            FactorKind::Dense(_) => None,
+        }
+    }
+
+    fn into_carried(self) -> FactorKind {
+        FactorKind::Lu(self)
+    }
+}
+
+/// Solves a [`Model`] through the revised simplex (used by the
+/// [`crate::simplex::solve`] dispatcher for both revised backends).
+pub(crate) fn solve_model(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
+    let prepared = PreparedLp::new(model)?;
+    Ok(solve_prepared(&prepared, None, options)?.solution)
+}
+
+/// Solves a prepared LP, cold (`start = None`, all-slack basis) or warm
+/// (from a previous basis), on the basis representation selected by
+/// [`SimplexOptions::backend`] (the dense-tableau backend has no prepared
+/// path, so it falls through to the default sparse LU).
+pub(crate) fn solve_prepared(
+    lp: &PreparedLp,
+    start: Option<&Basis>,
+    options: &SimplexOptions,
+) -> Result<PreparedSolution, LpError> {
+    match options.backend {
+        SolverBackend::Revised => solve_prepared_as::<DenseFactor>(lp, start, options),
+        SolverBackend::SparseLu | SolverBackend::DenseTableau => {
+            solve_prepared_as::<LuFactor>(lp, start, options)
+        }
+    }
+}
+
+/// Iteration-limit stalls and Unbounded verdicts are retried once under
+/// maximum-robustness settings — Bland's rule from the first pivot, a drift
+/// check after every pivot and a single-eta cap — because on heavily
+/// degenerate instances accumulated rounding can empty a pivot column and
+/// fake an unbounded ray (the dense oracle guards the same failure mode
+/// with its RHS-perturbation retry).
+fn solve_prepared_as<F: Factorization>(
+    lp: &PreparedLp,
+    start: Option<&Basis>,
+    options: &SimplexOptions,
+) -> Result<PreparedSolution, LpError> {
+    match Engine::<F>::new(lp, start, options)?.run() {
+        Err(LpError::IterationLimit { .. } | LpError::Unbounded) => {
+            let robust = SimplexOptions {
+                bland_after: 0,
+                refactor_every: 1,
+                update_cap: 1,
+                ..*options
+            };
+            Engine::<F>::new(lp, start, &robust)?.run()
+        }
+        other => other,
+    }
+}
+
+/// Which phase the iteration loop is running.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    One,
+    Two,
+}
+
+struct Engine<'a, F: Factorization> {
+    lp: &'a PreparedLp,
+    options: &'a SimplexOptions,
+    m: usize,
+    /// The maintained basis representation.
+    factor: F,
+    basic: Vec<usize>,
+    status: Vec<VarStatus>,
+    /// Current value of every standardized column.
+    x: Vec<f64>,
+    /// Pivots since the last refactorization.
+    since_refactor: usize,
+    stats: SolveStats,
+}
+
+impl<'a, F: Factorization> Engine<'a, F> {
+    fn new(
+        lp: &'a PreparedLp,
+        start: Option<&Basis>,
+        options: &'a SimplexOptions,
+    ) -> Result<Self, LpError> {
+        for &bi in &lp.b {
+            if !bi.is_finite() {
+                return Err(LpError::NonFiniteInput);
+            }
+        }
+        let m = lp.nrows;
+        let start = start.filter(|s| basis_is_consistent(lp, s));
+        let (basic, status, inherited_factor) = match start {
+            Some(s) => {
+                // Reuse the carried factorization when the basis was produced
+                // against this exact matrix by the same backend — the common
+                // chain case. The hand-off is O(1): both representations
+                // share their bulk behind an Arc, so no O(m²) clone happens
+                // here.
+                let factor = s
+                    .factor
+                    .as_ref()
+                    .filter(|f| f.fingerprint == lp.fingerprint)
+                    .and_then(|f| F::from_carried(&f.kind))
+                    .filter(|f| f.dim() == m);
+                (s.basic.clone(), s.status.clone(), factor)
+            }
+            None => {
+                // All-slack basis; structurals at their nearest finite bound.
+                let mut status = Vec::with_capacity(lp.ncols);
+                for j in 0..lp.ncols {
+                    status.push(if j >= lp.nvars {
+                        VarStatus::Basic
+                    } else {
+                        initial_status(lp.lower[j], lp.upper[j])
+                    });
+                }
+                // The all-slack basis matrix is the identity: no
+                // factorization needed.
+                ((lp.nvars..lp.ncols).collect(), status, Some(F::identity(m)))
+            }
+        };
+        let inherited = inherited_factor.is_some() && start.is_some();
+        let factor = match inherited_factor {
+            Some(f) => f,
+            None => match F::factorize(&lp.a, &basic, options) {
+                Ok(f) => f,
+                // A singular warm basis is repaired by falling back to the
+                // all-slack basis (which is the identity, always invertible).
+                Err(()) => return Engine::new(lp, None, options),
+            },
+        };
+        let mut engine = Engine {
+            lp,
+            options,
+            m,
+            factor,
+            basic,
+            status,
+            x: vec![0.0; lp.ncols],
+            since_refactor: 0,
+            stats: SolveStats {
+                rows: m,
+                cols: lp.ncols,
+                warm_started: start.is_some(),
+                presolve_cols_removed: lp.presolve_cols_removed(),
+                ..SolveStats::default()
+            },
+        };
+        engine.stats.fill_in_nnz = engine.factor.factor_nnz();
+        engine.compute_x();
+        if inherited && engine.primal_residual() > REFRESH_TOL {
+            // The per-solve pivot counts inside a chain rarely reach the
+            // periodic drift check, so an inherited factorization is
+            // validated here instead: accumulated update error across the
+            // chain forces a fresh factorization before it can corrupt this
+            // solve.
+            if engine.refactorize().is_err() {
+                return Engine::new(lp, None, options);
+            }
+            engine.stats.refactorizations += 1;
+            engine.compute_x();
+        }
+        Ok(engine)
+    }
+
+    /// Rebuilds the basis representation from scratch.
+    fn refactorize(&mut self) -> Result<(), ()> {
+        self.factor = F::factorize(&self.lp.a, &self.basic, self.options)?;
         self.since_refactor = 0;
+        self.stats.fill_in_nnz = self.stats.fill_in_nnz.max(self.factor.factor_nnz());
         Ok(())
     }
 
@@ -267,15 +505,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // x_B = B⁻¹ r, accumulated column-by-column of B⁻¹.
-        let mut xb = vec![0.0; self.m];
-        for (k, &rk) in r.iter().enumerate() {
-            if rk != 0.0 {
-                for (slot, &v) in xb.iter_mut().zip(&self.binv[k]) {
-                    *slot += rk * v;
-                }
-            }
-        }
+        let xb = self.factor.solve_vec(r);
         for (row, &j) in self.basic.iter().enumerate() {
             self.x[j] = xb[row];
         }
@@ -283,17 +513,11 @@ impl<'a> Engine<'a> {
 
     /// `w = B⁻¹ · a_j` for a standardized column `j`.
     fn ftran(&self, j: usize) -> Vec<f64> {
-        let mut w = vec![0.0; self.m];
-        for (r, a) in self.lp.a.col(j) {
-            for (slot, &v) in w.iter_mut().zip(&self.binv[r]) {
-                *slot += a * v;
-            }
-        }
-        w
+        self.factor.ftran(&self.lp.a, j, self.m)
     }
 
     /// `‖b − A·x‖∞` of the current iterate — the cheap (O(nnz)) drift
-    /// signal deciding whether the basis inverse needs a rebuild.
+    /// signal deciding whether the basis representation needs a rebuild.
     fn primal_residual(&self) -> f64 {
         let mut r = self.lp.b.clone();
         for j in 0..self.lp.ncols {
@@ -309,9 +533,7 @@ impl<'a> Engine<'a> {
 
     /// `y = (c_B)ᵀ · B⁻¹`.
     fn btran(&self, cb: &[f64]) -> Vec<f64> {
-        (0..self.m)
-            .map(|k| cb.iter().zip(&self.binv[k]).map(|(c, v)| c * v).sum())
-            .collect()
+        self.factor.btran(cb)
     }
 
     /// Total bound violation of the basic variables and the phase-1 cost
@@ -336,7 +558,8 @@ impl<'a> Engine<'a> {
         self.stats.phase1_iterations = self.iterate(Phase::One)?;
         self.stats.phase2_iterations = self.iterate(Phase::Two)?;
 
-        let values = self.x[..self.lp.nvars].to_vec();
+        let reduced_values = self.x[..self.lp.nvars].to_vec();
+        let values = self.lp.expand_values(reduced_values);
         let objective = self.lp.user_objective_value(&values);
         Ok(PreparedSolution {
             solution: Solution {
@@ -347,8 +570,8 @@ impl<'a> Engine<'a> {
             basis: Basis {
                 basic: self.basic,
                 status: self.status,
-                factor: Some(crate::prepared::BasisFactor {
-                    binv: self.binv,
+                factor: Some(BasisFactor {
+                    kind: self.factor.into_carried(),
                     fingerprint: self.lp.fingerprint,
                 }),
             },
@@ -535,16 +758,23 @@ impl<'a> Engine<'a> {
                     };
                     self.basic[row] = q;
                     self.status[q] = VarStatus::Basic;
-                    self.update_binv(row, &w);
+                    self.factor.update(row, &w);
+                    self.stats.basis_updates += 1;
                     self.since_refactor += 1;
-                    if self.since_refactor >= self.options.refactor_every.max(1) {
+                    // The eta file is bounded: hitting the cap forces a
+                    // refactorization regardless of drift (applying a long
+                    // eta file costs more than refactorizing, and its error
+                    // compounds). The dense representation updates in place
+                    // and never reports pending updates.
+                    let cap_hit = self.factor.pending_updates() >= self.options.update_cap.max(1);
+                    if cap_hit || self.since_refactor >= self.options.refactor_every.max(1) {
                         self.since_refactor = 0;
-                        // Refactorizing costs O(m³), so it is gated on an
-                        // O(nnz) drift check: only a primal residual above
-                        // tolerance triggers the rebuild. Well-scaled
-                        // instances (the mechanism's ±1-coefficient LPs)
-                        // essentially never pay it.
-                        if self.primal_residual() > REFRESH_TOL {
+                        // Refactorizing from scratch is expensive, so outside
+                        // the cap it is gated on an O(nnz) drift check: only
+                        // a primal residual above tolerance triggers the
+                        // rebuild. Well-scaled instances (the mechanism's
+                        // ±1-coefficient LPs) essentially never pay it.
+                        if cap_hit || self.primal_residual() > REFRESH_TOL {
                             if self.refactorize().is_err() {
                                 return Err(LpError::IterationLimit {
                                     limit: self.options.max_iterations,
@@ -557,26 +787,6 @@ impl<'a> Engine<'a> {
                 }
             }
             iterations += 1;
-        }
-    }
-
-    /// Product-form update of `B⁻¹` after column `q` (with FTRAN image `w`)
-    /// replaces the basic column of `row`.
-    fn update_binv(&mut self, row: usize, w: &[f64]) {
-        let pivot = w[row];
-        debug_assert!(pivot.abs() > 0.0);
-        for col in self.binv.iter_mut() {
-            let vr = col[row];
-            if vr == 0.0 {
-                continue;
-            }
-            let scaled = vr / pivot;
-            for (i, slot) in col.iter_mut().enumerate() {
-                if i != row {
-                    *slot -= w[i] * scaled;
-                }
-            }
-            col[row] = scaled;
         }
     }
 }
@@ -632,10 +842,16 @@ fn basis_is_consistent(lp: &PreparedLp, basis: &Basis) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simplex::SolverBackend;
 
     fn opts() -> SimplexOptions {
         SimplexOptions::default()
+    }
+
+    fn dense_opts() -> SimplexOptions {
+        SimplexOptions {
+            backend: SolverBackend::Revised,
+            ..SimplexOptions::default()
+        }
     }
 
     fn assert_close(a: f64, b: f64) {
@@ -695,28 +911,30 @@ mod tests {
 
     #[test]
     fn warm_chain_matches_cold_solves_and_spends_fewer_pivots() {
-        let mut prepared = hinge_family(0.0).prepare().unwrap();
-        let mut basis: Option<crate::Basis> = None;
-        let mut warm_pivots = 0usize;
-        let mut cold_pivots = 0usize;
-        for i in 0..=5usize {
-            prepared.set_rhs(0, i as f64);
-            let warm = match &basis {
-                None => prepared.solve(&opts()).unwrap(),
-                Some(b) => prepared.solve_warm(b, &opts()).unwrap(),
-            };
-            let cold = prepared.solve(&opts()).unwrap();
-            assert_close(warm.solution.objective, cold.solution.objective);
-            warm_pivots +=
-                warm.solution.stats.phase1_iterations + warm.solution.stats.phase2_iterations;
-            cold_pivots +=
-                cold.solution.stats.phase1_iterations + cold.solution.stats.phase2_iterations;
-            basis = Some(warm.basis);
+        for options in [opts(), dense_opts()] {
+            let mut prepared = hinge_family(0.0).prepare().unwrap();
+            let mut basis: Option<crate::Basis> = None;
+            let mut warm_pivots = 0usize;
+            let mut cold_pivots = 0usize;
+            for i in 0..=5usize {
+                prepared.set_rhs(0, i as f64);
+                let warm = match &basis {
+                    None => prepared.solve(&options).unwrap(),
+                    Some(b) => prepared.solve_warm(b, &options).unwrap(),
+                };
+                let cold = prepared.solve(&options).unwrap();
+                assert_close(warm.solution.objective, cold.solution.objective);
+                warm_pivots +=
+                    warm.solution.stats.phase1_iterations + warm.solution.stats.phase2_iterations;
+                cold_pivots +=
+                    cold.solution.stats.phase1_iterations + cold.solution.stats.phase2_iterations;
+                basis = Some(warm.basis);
+            }
+            assert!(
+                warm_pivots < cold_pivots,
+                "warm chain spent {warm_pivots} pivots vs cold {cold_pivots}"
+            );
         }
-        assert!(
-            warm_pivots < cold_pivots,
-            "warm chain spent {warm_pivots} pivots vs cold {cold_pivots}"
-        );
     }
 
     #[test]
@@ -808,6 +1026,21 @@ mod tests {
     }
 
     #[test]
+    fn a_tight_eta_cap_does_not_change_the_optimum() {
+        let m = hinge_family(3.5);
+        let baseline = m.solve().unwrap();
+        let capped = m
+            .solve_with(&SimplexOptions {
+                update_cap: 1,
+                ..opts()
+            })
+            .unwrap();
+        assert_close(baseline.objective, capped.objective);
+        // Every pivot past the first forces a refactorization.
+        assert!(capped.stats.refactorizations >= baseline.stats.refactorizations);
+    }
+
+    #[test]
     fn fixed_variables_stay_fixed() {
         let mut m = Model::minimize();
         let x = m.add_var(2.5, 2.5, -10.0);
@@ -829,22 +1062,126 @@ mod tests {
     }
 
     #[test]
-    fn dense_and_revised_agree_on_the_mechanism_shape() {
+    fn all_three_backends_agree_on_the_mechanism_shape() {
         for mass in [0.0, 1.0, 2.5, 4.0, 5.0] {
             let m = hinge_family(mass);
-            let revised = m.solve().unwrap();
-            let dense = m
+            let sparse = m.solve().unwrap();
+            let dense_inv = m.solve_with(&dense_opts()).unwrap();
+            let tableau = m
                 .solve_with(&SimplexOptions {
                     backend: SolverBackend::DenseTableau,
                     ..opts()
                 })
                 .unwrap();
             assert!(
-                (revised.objective - dense.objective).abs() < 1e-7,
-                "mass {mass}: revised {} vs dense {}",
-                revised.objective,
-                dense.objective
+                (sparse.objective - tableau.objective).abs() < 1e-7,
+                "mass {mass}: sparse {} vs tableau {}",
+                sparse.objective,
+                tableau.objective
+            );
+            // The two revised backends share pivot logic and run exact
+            // arithmetic on these ±1-coefficient instances: bitwise equal.
+            assert_eq!(
+                sparse.objective.to_bits(),
+                dense_inv.objective.to_bits(),
+                "mass {mass}: sparse-LU {} vs dense-inverse {}",
+                sparse.objective,
+                dense_inv.objective
             );
         }
+    }
+
+    #[test]
+    fn warm_handoff_shares_the_lu_base_without_deep_copies() {
+        let prepared = hinge_family(2.0).prepare().unwrap();
+        let first = prepared.solve(&opts()).unwrap();
+        // Re-solving the unchanged instance warm needs zero pivots, so the
+        // carried factorization must be reused as-is (same Arc), not cloned.
+        let second = prepared.solve_warm(&first.basis, &opts()).unwrap();
+        assert_eq!(
+            second.solution.stats.phase1_iterations + second.solution.stats.phase2_iterations,
+            0
+        );
+        let (Some(a), Some(b)) = (&first.basis.factor, &second.basis.factor) else {
+            panic!("both solves must carry factors");
+        };
+        match (&a.kind, &b.kind) {
+            (FactorKind::Lu(x), FactorKind::Lu(y)) => {
+                assert!(x.shares_base_with(y), "LU base was deep-copied on hand-off");
+            }
+            other => panic!("expected sparse-LU factors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_warm_handoff_shares_the_inverse_until_first_pivot() {
+        let prepared = hinge_family(2.0).prepare().unwrap();
+        let first = prepared.solve(&dense_opts()).unwrap();
+        let second = prepared.solve_warm(&first.basis, &dense_opts()).unwrap();
+        assert_eq!(
+            second.solution.stats.phase1_iterations + second.solution.stats.phase2_iterations,
+            0
+        );
+        let (Some(a), Some(b)) = (&first.basis.factor, &second.basis.factor) else {
+            panic!("both solves must carry factors");
+        };
+        match (&a.kind, &b.kind) {
+            (FactorKind::Dense(x), FactorKind::Dense(y)) => {
+                assert!(
+                    x.shares_storage_with(y),
+                    "dense inverse was deep-copied on a pivot-free hand-off"
+                );
+            }
+            other => panic!("expected dense factors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_warm_basis_without_a_factor_is_refactorized_on_entry() {
+        for options in [opts(), dense_opts()] {
+            let mut prepared = hinge_family(1.0).prepare().unwrap();
+            let first = prepared.solve(&options).unwrap();
+            prepared.set_rhs(0, 2.0);
+            // A basis stripped of its factor (or carrying one from the other
+            // backend) must refactorize on entry and still agree with cold.
+            let stripped = Basis {
+                basic: first.basis.basic.clone(),
+                status: first.basis.status.clone(),
+                factor: None,
+            };
+            let warm = prepared.solve_warm(&stripped, &options).unwrap();
+            assert!(warm.solution.stats.warm_started);
+            let cold = prepared.solve(&options).unwrap();
+            assert_close(warm.solution.objective, cold.solution.objective);
+        }
+    }
+
+    #[test]
+    fn a_basis_carried_across_backends_still_warm_starts() {
+        // Solve on the dense backend, hand the basis to the sparse backend:
+        // the carried dense factor cannot be reused, but the basis itself
+        // can — the sparse backend refactorizes and re-enters warm.
+        let mut prepared = hinge_family(1.0).prepare().unwrap();
+        let dense = prepared.solve(&dense_opts()).unwrap();
+        prepared.set_rhs(0, 3.0);
+        let warm = prepared.solve_warm(&dense.basis, &opts()).unwrap();
+        assert!(warm.solution.stats.warm_started);
+        let cold = prepared.solve(&opts()).unwrap();
+        assert_close(warm.solution.objective, cold.solution.objective);
+    }
+
+    #[test]
+    fn lu_solves_report_fill_in_and_update_counters() {
+        let s = hinge_family(3.0).solve().unwrap();
+        assert!(s.stats.fill_in_nnz > 0, "sparse solves track factor nnz");
+        assert!(
+            s.stats.basis_updates
+                >= s.stats
+                    .phase2_iterations
+                    .saturating_sub(s.stats.bound_flips),
+            "every true pivot applies one basis update"
+        );
+        let d = hinge_family(3.0).solve_with(&dense_opts()).unwrap();
+        assert_eq!(d.stats.fill_in_nnz, 0, "dense backend tracks no fill-in");
     }
 }

@@ -27,16 +27,22 @@ use crate::solution::{Solution, SolveStats};
 /// Which solver implementation a solve runs on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SolverBackend {
-    /// The sparse bounded-variable revised simplex of [`crate::revised`]
-    /// (default): native bound handling, `O(m² + nnz)` per pivot, and the
-    /// only backend that supports [`crate::PreparedLp`] warm starts.
+    /// The bounded-variable revised simplex of [`crate::revised`] over a
+    /// **sparse Markowitz LU** basis factorization (`crate::lu`) maintained
+    /// by a bounded eta file (default): per-pivot work tracks the factor
+    /// nonzeros instead of `rows²`, which is what lets 100k-row instances
+    /// through. Supports [`crate::PreparedLp`] warm starts.
     #[default]
+    SparseLu,
+    /// The same revised simplex over the dense column-major `B⁻¹` this
+    /// backend grew out of. Kept as a differential-testing oracle for the
+    /// LU path (identical pivot logic, independent linear algebra); also
+    /// supports warm starts. `O(rows²)` memory and per-pivot work.
     Revised,
     /// The dense two-phase tableau this crate started from. Kept as a
-    /// differential-testing oracle — structurally independent from the
-    /// revised path (column splits, explicit upper-bound rows, full tableau
-    /// updates), so agreement between the two is strong evidence both are
-    /// right.
+    /// structurally independent differential-testing oracle (column splits,
+    /// explicit upper-bound rows, full tableau updates), so agreement with
+    /// the revised backends is strong evidence all are right.
     DenseTableau,
 }
 
@@ -52,12 +58,26 @@ pub struct SimplexOptions {
     pub tol: f64,
     /// Which implementation solves the model.
     pub backend: SolverBackend,
-    /// Revised backend only: pivots between drift checks of the maintained
-    /// basis inverse. Each check costs O(nnz); a primal residual above
-    /// tolerance triggers the O(rows³) refactorization (and a recomputation
-    /// of the primal point). Smaller values trade time for numerical
-    /// robustness on long pivot chains over badly scaled data.
+    /// Revised backends only: pivots between drift checks of the maintained
+    /// basis representation. Each check costs O(nnz); a primal residual above
+    /// tolerance triggers a from-scratch refactorization (and a
+    /// recomputation of the primal point). Smaller values trade time for
+    /// numerical robustness on long pivot chains over badly scaled data.
     pub refactor_every: usize,
+    /// Sparse-LU backend only: relative threshold of Markowitz pivoting. A
+    /// candidate pivot must be at least this fraction of the largest
+    /// magnitude in its column. Larger values favour stability, smaller
+    /// values favour sparsity; clamped to `[0, 1]`.
+    pub markowitz_threshold: f64,
+    /// Sparse-LU backend only: maximum eta-file (product-form update)
+    /// length before a forced refactorization. Bounds both the per-solve
+    /// cost of applying updates and the error they can accumulate.
+    pub update_cap: usize,
+    /// Run the presolve pass (`crate::presolve`) before solving. Applies
+    /// to [`solve`]-path entries ([`crate::Model::solve`] /
+    /// [`crate::Model::solve_with`]) on every backend; [`crate::PreparedLp`]
+    /// always applies its own RHS-safe subset instead.
+    pub presolve: bool,
 }
 
 impl Default for SimplexOptions {
@@ -68,6 +88,9 @@ impl Default for SimplexOptions {
             tol: 1e-9,
             backend: SolverBackend::default(),
             refactor_every: 64,
+            markowitz_threshold: 0.1,
+            update_cap: 64,
+            presolve: true,
         }
     }
 }
@@ -367,9 +390,34 @@ impl Tableau {
 
 /// Solves a model on the backend selected by
 /// [`SimplexOptions::backend`], returning an optimal solution or an error.
+///
+/// When [`SimplexOptions::presolve`] is set (the default), the model is
+/// first reduced by the presolve pass; the reduced model is solved on the
+/// configured backend and the solution is mapped back through the postsolve
+/// record, with the objective re-evaluated against the original costs.
 pub fn solve(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
+    if !options.presolve {
+        return solve_backend(model, options);
+    }
+    let pre = crate::presolve::presolve(model)?;
+    let mut sol = solve_backend(&pre.reduced, options)?;
+    let values = pre.postsolve(&sol.values);
+    let objective = pre.objective_of(&values);
+    sol.stats.presolve_rows_removed = pre.rows_removed;
+    sol.stats.presolve_cols_removed = pre.cols_removed;
+    Ok(Solution {
+        objective,
+        values,
+        stats: sol.stats,
+    })
+}
+
+/// Backend dispatch without presolve.
+fn solve_backend(model: &Model, options: &SimplexOptions) -> Result<Solution, LpError> {
     match options.backend {
-        SolverBackend::Revised => crate::revised::solve_model(model, options),
+        SolverBackend::SparseLu | SolverBackend::Revised => {
+            crate::revised::solve_model(model, options)
+        }
         SolverBackend::DenseTableau => solve_dense(model, options),
     }
 }
@@ -738,8 +786,18 @@ mod tests {
         let x = m.add_unit_var(1.0);
         m.add_ge([(x, 1.0)], 0.5);
         let s = m.solve().unwrap();
-        assert!(s.stats.rows >= 1);
-        assert!(s.stats.cols >= 1);
+        // Presolve dissolves this tiny model entirely; the counters say so.
+        assert_eq!(s.stats.presolve_rows_removed, 1);
+        assert_eq!(s.stats.presolve_cols_removed, 1);
+        let raw = m
+            .solve_with(&SimplexOptions {
+                presolve: false,
+                ..SimplexOptions::default()
+            })
+            .unwrap();
+        assert!(raw.stats.rows >= 1);
+        assert!(raw.stats.cols >= 1);
+        assert_close(raw.objective, s.objective);
     }
 
     #[test]

@@ -18,11 +18,27 @@ pub struct SolveStats {
     /// so this is `model vars + rows`; the dense oracle is wider (free-var
     /// splits and explicit upper-bound rows).
     pub cols: usize,
-    /// Basis-inverse refactorizations performed (revised backend only).
+    /// From-scratch basis factorizations triggered after entry (drift check
+    /// or eta-file cap), on either revised backend.
     pub refactorizations: usize,
     /// Bound flips — iterations that moved a nonbasic variable to its other
-    /// bound without touching the basis (revised backend only).
+    /// bound without touching the basis (revised backends only).
     pub bound_flips: usize,
+    /// Product-form basis updates applied (one per true pivot): eta-file
+    /// updates on the sparse-LU backend, dense `B⁻¹` eta transformations on
+    /// the dense revised backend.
+    pub basis_updates: usize,
+    /// Peak stored nonzeros of the sparse LU factorization (factors plus
+    /// eta file) across the solve; 0 on the dense backends, which do not
+    /// track fill-in.
+    pub fill_in_nnz: usize,
+    /// Constraint rows removed by presolve before the solve (full presolve
+    /// on the [`crate::Model::solve`] path; the RHS-safe
+    /// [`crate::PreparedLp`] subset never removes rows).
+    pub presolve_rows_removed: usize,
+    /// Variables removed by presolve before the solve (fixed, substituted
+    /// or merged away). `rows`/`cols` report the *reduced* system.
+    pub presolve_cols_removed: usize,
     /// Whether this solve re-entered from a caller-supplied basis
     /// ([`crate::PreparedLp::solve_warm`]).
     pub warm_started: bool,

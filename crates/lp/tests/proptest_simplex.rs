@@ -227,6 +227,27 @@ fn build_bounded(lp: &BoundedLp) -> Model {
     m
 }
 
+/// Feasibility of a point in the *original* (pre-presolve) bounded model.
+fn bounded_feasible(lp: &BoundedLp, x: &[f64], tol: f64) -> bool {
+    for ((lo, hi), v) in lp.bounds.iter().zip(x) {
+        if *v < lo - tol || *v > hi + tol {
+            return false;
+        }
+    }
+    for (coeffs, op, rhs) in &lp.constraints {
+        let lhs: f64 = coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        let ok = match op {
+            0 => lhs <= rhs + tol,
+            1 => lhs >= rhs - tol,
+            _ => (lhs - rhs).abs() <= tol,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
 /// Whether a free/one-sided variable makes the instance unbounded is a
 /// question both backends must answer the same way, and on bounded optima
 /// the values must agree. Iteration limits are treated as "no verdict".
@@ -241,12 +262,17 @@ fn verdict(result: &Result<rmdp_lp::Solution, LpError>) -> Option<Result<f64, &L
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
-    /// The revised simplex and the dense tableau agree on every random
-    /// bounded-variable LP: same optimum within tolerance, or the same
-    /// infeasible/unbounded verdict.
+    /// All three backends — sparse-LU revised (default), dense-`B⁻¹` revised
+    /// and the dense tableau — agree on every random bounded-variable LP:
+    /// same optimum within tolerance, or the same infeasible/unbounded
+    /// verdict.
     #[test]
     fn revised_and_dense_backends_agree(lp in bounded_lp()) {
         let model = build_bounded(&lp);
+        let sparse = model.solve_with(&rmdp_lp::SimplexOptions {
+            backend: rmdp_lp::SolverBackend::SparseLu,
+            ..Default::default()
+        });
         let revised = model.solve_with(&rmdp_lp::SimplexOptions {
             backend: rmdp_lp::SolverBackend::Revised,
             ..Default::default()
@@ -255,18 +281,90 @@ proptest! {
             backend: rmdp_lp::SolverBackend::DenseTableau,
             ..Default::default()
         });
-        match (verdict(&revised), verdict(&dense)) {
+        for (name, other) in [("dense B⁻¹", &revised), ("dense tableau", &dense)] {
+            match (verdict(&sparse), verdict(other)) {
+                (Some(Ok(a)), Some(Ok(b))) => {
+                    prop_assert!((a - b).abs() < 1e-6,
+                        "optima differ: sparse-LU {a} vs {name} {b}");
+                }
+                (Some(Err(a)), Some(Err(b))) => {
+                    prop_assert_eq!(a, b, "verdicts differ vs {}", name);
+                }
+                (Some(a), Some(b)) => {
+                    prop_assert!(false, "sparse-LU says {a:?}, {name} says {b:?}");
+                }
+                // A backend giving up (iteration limit) is not a disagreement.
+                _ => {}
+            }
+        }
+    }
+
+    /// Presolve + postsolve is invisible: the reduced-then-reconstructed
+    /// solve reaches the same verdict and objective as the raw solver, and
+    /// the reconstructed point is feasible in the *original* model.
+    #[test]
+    fn presolve_reaches_the_same_answer_as_the_raw_solver(lp in bounded_lp()) {
+        let model = build_bounded(&lp);
+        let with = model.solve(); // presolve on by default
+        let without = model.solve_with(&rmdp_lp::SimplexOptions {
+            presolve: false,
+            ..Default::default()
+        });
+        match (verdict(&with), verdict(&without)) {
             (Some(Ok(a)), Some(Ok(b))) => {
                 prop_assert!((a - b).abs() < 1e-6,
-                    "optima differ: revised {a} vs dense {b}");
+                    "optima differ: presolved {a} vs raw {b}");
+                let sol = with.as_ref().unwrap();
+                prop_assert!(bounded_feasible(&lp, &sol.values, 1e-6),
+                    "postsolved point {:?} violates the original model", sol.values);
             }
             (Some(Err(a)), Some(Err(b))) => {
                 prop_assert_eq!(a, b, "verdicts differ");
             }
             (Some(a), Some(b)) => {
-                prop_assert!(false, "revised says {a:?}, dense says {b:?}");
+                prop_assert!(false, "presolved says {a:?}, raw says {b:?}");
             }
-            // One backend giving up (iteration limit) is not a disagreement.
+            _ => {}
+        }
+    }
+
+    /// The same agreement on reduction-rich instances: duplicated columns, a
+    /// singleton row and a fixed variable grafted onto every model, so the
+    /// presolve passes all fire and must still be invisible.
+    #[test]
+    fn presolve_is_invisible_on_reduction_rich_models(lp in bounded_lp(), dup_cost in -2.0..2.0f64, singleton_cap in 0.5..3.0f64) {
+        let mut model = build_bounded(&lp);
+        // Two duplicate columns (identical pattern + cost) in a fresh row.
+        let d1 = model.add_var(0.0, 1.0, dup_cost);
+        let d2 = model.add_var(0.0, 1.0, dup_cost);
+        model.add_le([(d1, 1.0), (d2, 1.0)], 1.5);
+        // A singleton row bounding d1, and a fixed variable in that row's
+        // shadow to exercise substitution.
+        model.add_le([(d1, 1.0)], singleton_cap);
+        let fixed = model.add_var(0.25, 0.25, 1.0);
+        model.add_le([(fixed, 1.0), (d2, 1.0)], 2.0);
+
+        let with = model.solve();
+        let without = model.solve_with(&rmdp_lp::SimplexOptions {
+            presolve: false,
+            ..Default::default()
+        });
+        match (verdict(&with), verdict(&without)) {
+            (Some(Ok(a)), Some(Ok(b))) => {
+                prop_assert!((a - b).abs() < 1e-6,
+                    "optima differ: presolved {a} vs raw {b}");
+                let sol = with.as_ref().unwrap();
+                let raw = without.as_ref().unwrap();
+                prop_assert_eq!(sol.values.len(), raw.values.len(),
+                    "postsolve must report the full variable space");
+                prop_assert!((sol.values[fixed.index()] - 0.25).abs() < 1e-9);
+            }
+            (Some(Err(a)), Some(Err(b))) => {
+                prop_assert_eq!(a, b, "verdicts differ");
+            }
+            (Some(a), Some(b)) => {
+                prop_assert!(false, "presolved says {a:?}, raw says {b:?}");
+            }
             _ => {}
         }
     }

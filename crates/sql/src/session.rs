@@ -711,6 +711,11 @@ impl SqlSession {
             m.counter_add("lp.total_pivots", lp.total_pivots as u64);
             m.counter_add("lp.warm_start_hits", lp.warm_start_hits as u64);
             m.counter_add("lp.refactorizations", lp.refactorizations as u64);
+            m.counter_add("lp.basis_updates", lp.basis_updates as u64);
+            m.counter_add("lp.presolve_rows_removed", lp.presolve_rows_removed as u64);
+            m.counter_add("lp.presolve_cols_removed", lp.presolve_cols_removed as u64);
+            // Peak, not a sum: the session total already folds with `max`.
+            m.gauge_set("lp.peak_fill_in_nnz", self.lp_totals.fill_in_nnz as f64);
             if let Some(stats) = self.cache_stats() {
                 m.counter_record_total("cache.hits", stats.hits);
                 m.counter_record_total("cache.misses", stats.misses);
@@ -1697,6 +1702,13 @@ mod tests {
         assert_eq!(snap.counter("cache.misses"), Some(1));
         assert!(snap.counter("lp.h_solves").unwrap() > 0);
         assert!(session.lp_totals().h_solves > 0);
+        assert!(snap.counter("lp.basis_updates").unwrap() > 0);
+        assert!(snap.gauge("lp.peak_fill_in_nnz").unwrap() > 0.0);
+        assert_eq!(
+            snap.gauge("lp.peak_fill_in_nnz").unwrap(),
+            session.lp_totals().fill_in_nnz as f64,
+            "the gauge mirrors the session peak"
+        );
 
         // The snapshot JSON round-trips.
         let json = snap.to_json();
