@@ -41,10 +41,13 @@
 //! [`EfficientSequences`]: crate::EfficientSequences
 //! [`GeneralSequences`]: crate::GeneralSequences
 
+use crate::efficient::{EfficientSequences, LpWorkStats, RefreshSeed, RefreshStats, RefreshTier};
 use crate::error::{MechanismError, SequenceFamily};
+use crate::krelation_query::SensitiveKRelation;
 use crate::sequences::MechanismSequences;
 use rmdp_krelation::fingerprint::Fingerprint;
 use rmdp_krelation::hash::FxHashMap;
+use rmdp_lp::SimplexOptions;
 use rmdp_runtime::Parallelism;
 use std::sync::{Arc, Mutex};
 
@@ -80,7 +83,7 @@ impl FrozenSequences {
     }
 
     /// [`compute`](Self::compute) over an
-    /// [`EfficientSequences`](crate::efficient::EfficientSequences), returning
+    /// [`EfficientSequences`], returning
     /// the LP work the precomputation performed alongside the snapshot
     /// (`compute`, being generic, has nowhere to surface it; telemetry wants
     /// it attributed to the query that filled the cache).
@@ -91,6 +94,63 @@ impl FrozenSequences {
         sequences.precompute(parallelism)?;
         let stats = sequences.stats();
         Ok((Self::snapshot(&mut sequences)?, stats))
+    }
+
+    /// Like [`compute_with_stats`](Self::compute_with_stats), additionally
+    /// capturing a [`RefreshSeed`] so the snapshot can later be *refreshed*
+    /// after a data delta instead of recomputed cold — the retained
+    /// run-initial bases let [`refresh`](Self::refresh) re-enter the H
+    /// chains warm.
+    pub fn compute_with_seed(
+        mut sequences: EfficientSequences,
+        parallelism: Parallelism,
+    ) -> Result<(Self, RefreshSeed, LpWorkStats), MechanismError> {
+        sequences.precompute(parallelism)?;
+        let stats = sequences.stats();
+        let seed = sequences.refresh_seed();
+        Ok((Self::snapshot(&mut sequences)?, seed, stats))
+    }
+
+    /// Re-derives this snapshot for the **post-delta** query through the
+    /// cheapest tier that stays bit-identical (per backend, per seed) to a
+    /// cold [`compute`](Self::compute) of `query`:
+    ///
+    /// * [`RefreshTier::Unchanged`] — `query` is structurally identical to
+    ///   the seeded one: republish the frozen values, zero LP work;
+    /// * [`RefreshTier::WarmChain`] — same participants, warm-exact weight
+    ///   class: H runs re-enter via `set_rhs`/`solve_warm` from the seed's
+    ///   retained bases, G re-runs its standard chains;
+    /// * [`RefreshTier::ColdRebuild`] — anything structural changed: full
+    ///   standard chains (identical to the cold path by construction).
+    ///
+    /// Returns the refreshed snapshot, a fresh seed for the *next* delta,
+    /// and what the refresh cost.
+    pub fn refresh(
+        &self,
+        seed: &RefreshSeed,
+        query: SensitiveKRelation,
+        options: SimplexOptions,
+        parallelism: Parallelism,
+    ) -> Result<(Self, RefreshSeed, RefreshStats), MechanismError> {
+        let tier = seed.tier_for(&query);
+        if tier == RefreshTier::Unchanged {
+            return Ok((
+                self.clone(),
+                seed.clone(),
+                RefreshStats {
+                    tier,
+                    lp: LpWorkStats::default(),
+                },
+            ));
+        }
+        let mut sequences = EfficientSequences::new(query)
+            .with_solver_options(options)
+            .with_chain_run_len(seed.chain_run_len);
+        if tier == RefreshTier::WarmChain {
+            sequences = sequences.with_h_seed_bases(seed.h_run_bases.clone());
+        }
+        let (frozen, next_seed, lp) = Self::compute_with_seed(sequences, parallelism)?;
+        Ok((frozen, next_seed, RefreshStats { tier, lp }))
     }
 
     /// Copies every completed entry out of `sequences`.
@@ -192,6 +252,11 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Tables evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Tables swept by [`SequenceCache::purge_stale`] because their epoch
+    /// stamps are no longer live on the serving snapshot. Counted separately
+    /// from capacity `evictions`: stale sweeps are correctness hygiene (the
+    /// key can never be looked up again), not memory pressure.
+    pub evictions_stale: u64,
 }
 
 impl CacheStats {
@@ -206,15 +271,49 @@ impl CacheStats {
     }
 }
 
-/// One cache slot: the shared snapshot plus its last-used tick.
+/// Epoch/lineage tags of one cache entry, supplied by epoch-aware callers
+/// ([`SequenceCache::insert_tagged`]).
+///
+/// * `stamps` — the epoch stamps the entry's key was built from (scanned
+///   tables + universe). [`SequenceCache::purge_stale`] sweeps the entry
+///   once any stamp stops being live, because stamps are globally unique:
+///   a key hashing a dead stamp can never be produced again.
+/// * `lineage` — the epoch-*free* structural fingerprint of the plan. Two
+///   keys of the same query shape across different epochs share a lineage,
+///   which is how a swept entry's [`RefreshSeed`] finds its way to the
+///   post-delta recompute of the same query ([`SequenceCache::take_refresh_base`]).
+#[derive(Clone, Debug)]
+pub struct EntryTag {
+    /// Epoch stamps the entry's cache key hashes.
+    pub stamps: Vec<u64>,
+    /// Epoch-free structural fingerprint of the plan.
+    pub lineage: Fingerprint,
+}
+
+/// One cache slot: the shared snapshot plus its last-used tick and, for
+/// epoch-aware entries, the tag + refresh seed that let a snapshot swap
+/// park it for warm re-derivation instead of dropping it.
 struct Slot {
     value: Arc<FrozenSequences>,
     last_used: u64,
+    tag: Option<EntryTag>,
+    seed: Option<Arc<RefreshSeed>>,
+}
+
+/// A stale entry parked by [`SequenceCache::purge_stale`], keyed by lineage:
+/// the frozen values plus the refresh seed of the newest pre-delta version
+/// of one query shape.
+struct BankEntry {
+    frozen: Arc<FrozenSequences>,
+    seed: Arc<RefreshSeed>,
+    parked_at: u64,
 }
 
 /// The guarded interior of a [`SequenceCache`].
 struct CacheInner {
     slots: FxHashMap<u128, Slot>,
+    /// Refresh seeds of swept entries, keyed by lineage fingerprint.
+    seed_bank: FxHashMap<u128, BankEntry>,
     stats: CacheStats,
     /// Logical clock driving LRU order; bumped on every touch.
     tick: u64,
@@ -246,6 +345,7 @@ impl SequenceCache {
         SequenceCache {
             inner: Mutex::new(CacheInner {
                 slots: FxHashMap::default(),
+                seed_bank: FxHashMap::default(),
                 stats: CacheStats::default(),
                 tick: 0,
             }),
@@ -278,9 +378,11 @@ impl SequenceCache {
         self.lock().stats
     }
 
-    /// Drops every cached table (counters are kept).
+    /// Drops every cached table and parked refresh base (counters are kept).
     pub fn clear(&self) {
-        self.lock().slots.clear();
+        let mut inner = self.lock();
+        inner.slots.clear();
+        inner.seed_bank.clear();
     }
 
     /// Looks `key` up, counting a hit or miss and refreshing LRU order.
@@ -305,14 +407,44 @@ impl SequenceCache {
     /// Inserts (or overwrites) `key`, evicting least-recently-used tables
     /// while over capacity.
     pub fn insert(&self, key: Fingerprint, value: Arc<FrozenSequences>) {
+        self.insert_slot(key, value, None, None);
+    }
+
+    /// Inserts (or overwrites) `key` with its epoch/lineage tag and refresh
+    /// seed, so a later [`purge_stale`](Self::purge_stale) can park the
+    /// entry for warm re-derivation instead of dropping it. Also retires any
+    /// banked predecessor of the same lineage — the new entry supersedes it
+    /// as the freshest refresh base.
+    pub fn insert_tagged(
+        &self,
+        key: Fingerprint,
+        value: Arc<FrozenSequences>,
+        tag: EntryTag,
+        seed: Option<Arc<RefreshSeed>>,
+    ) {
+        self.insert_slot(key, value, Some(tag), seed);
+    }
+
+    fn insert_slot(
+        &self,
+        key: Fingerprint,
+        value: Arc<FrozenSequences>,
+        tag: Option<EntryTag>,
+        seed: Option<Arc<RefreshSeed>>,
+    ) {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        if let Some(tag) = &tag {
+            inner.seed_bank.remove(&tag.lineage.0);
+        }
         inner.slots.insert(
             key.0,
             Slot {
                 value,
                 last_used: tick,
+                tag,
+                seed,
             },
         );
         inner.stats.insertions += 1;
@@ -324,6 +456,86 @@ impl SequenceCache {
             inner.slots.remove(&oldest);
             inner.stats.evictions += 1;
         }
+    }
+
+    /// Sweeps every tagged entry whose epoch stamps are not all contained in
+    /// `live_stamps` (the serving snapshot's
+    /// [`current_epoch_stamps`](rmdp_krelation::annotate::AnnotatedDatabase::current_epoch_stamps)).
+    /// Swept entries are counted as [`CacheStats::evictions_stale`] — their
+    /// keys hash dead stamps and can never be looked up again — and entries
+    /// carrying a refresh seed are parked in the lineage-keyed seed bank so
+    /// the first post-delta recompute of the same query shape can
+    /// [`refresh`](FrozenSequences::refresh) warm instead of solving cold.
+    /// Untagged entries are left alone. Returns the number of swept entries.
+    ///
+    /// Call this on snapshot swap: the sweep is what keeps a long-running
+    /// server's cache from carrying one dead generation per delta until
+    /// capacity pressure happens to reach it.
+    pub fn purge_stale(&self, live_stamps: &[u64]) -> usize {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let stale: Vec<u128> = inner
+            .slots
+            .iter()
+            .filter(|(_, slot)| {
+                slot.tag
+                    .as_ref()
+                    .is_some_and(|tag| tag.stamps.iter().any(|s| !live_stamps.contains(s)))
+            })
+            .map(|(&key, _)| key)
+            .collect();
+        for key in &stale {
+            let Some(slot) = inner.slots.remove(key) else {
+                continue;
+            };
+            inner.stats.evictions_stale += 1;
+            let (Some(tag), Some(seed)) = (slot.tag, slot.seed) else {
+                continue;
+            };
+            inner.seed_bank.insert(
+                tag.lineage.0,
+                BankEntry {
+                    frozen: slot.value,
+                    seed,
+                    parked_at: tick,
+                },
+            );
+        }
+        // The bank obeys the same capacity bound as the live slots; oldest
+        // parked lineages go first (they have waited longest unclaimed).
+        while inner.seed_bank.len() > self.capacity {
+            let Some((&oldest, _)) = inner
+                .seed_bank
+                .iter()
+                .min_by_key(|(_, entry)| entry.parked_at)
+            else {
+                break;
+            };
+            inner.seed_bank.remove(&oldest);
+        }
+        stale.len()
+    }
+
+    /// Claims the parked pre-delta version of the query shape `lineage`:
+    /// the frozen values plus the refresh seed the next compute of that
+    /// shape should [`refresh`](FrozenSequences::refresh) from. Consuming —
+    /// the claimant republishes a refreshed entry (with a fresh seed) via
+    /// [`insert_tagged`](Self::insert_tagged), which supersedes the banked
+    /// one; a racing second claimant simply computes cold, which is
+    /// bit-identical anyway.
+    pub fn take_refresh_base(
+        &self,
+        lineage: Fingerprint,
+    ) -> Option<(Arc<FrozenSequences>, Arc<RefreshSeed>)> {
+        let mut inner = self.lock();
+        let entry = inner.seed_bank.remove(&lineage.0)?;
+        Some((entry.frozen, entry.seed))
+    }
+
+    /// Number of parked refresh bases currently in the seed bank.
+    pub fn banked_refresh_bases(&self) -> usize {
+        self.lock().seed_bank.len()
     }
 
     /// Returns the table under `key`, computing and inserting it on a miss.
@@ -513,6 +725,223 @@ mod tests {
         assert_eq!(cache.len(), 1);
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 4);
+    }
+
+    /// A var-only counting query: `n` participants, one unit-weight term per
+    /// owned tuple, `extra` additional tuples all owned by participant 0.
+    fn counting_query(n: u32, extra: usize) -> SensitiveKRelation {
+        let mut terms: Vec<(Expr, f64)> = (0..n).map(|i| (Expr::var(p(i)), 1.0)).collect();
+        for _ in 0..extra {
+            terms.push((Expr::var(p(0)), 1.0));
+        }
+        SensitiveKRelation::from_terms((0..n).map(p).collect(), terms)
+    }
+
+    #[test]
+    fn refresh_republishes_structurally_unchanged_queries_without_lp_work() {
+        let (frozen, seed, _) = FrozenSequences::compute_with_seed(
+            EfficientSequences::new(counting_query(6, 0)),
+            Parallelism::Serial,
+        )
+        .unwrap();
+        let (refreshed, next_seed, stats) = frozen
+            .refresh(
+                &seed,
+                counting_query(6, 0),
+                SimplexOptions::default(),
+                Parallelism::Serial,
+            )
+            .unwrap();
+        assert_eq!(stats.tier, RefreshTier::Unchanged);
+        assert_eq!(stats.lp, LpWorkStats::default());
+        assert_eq!(refreshed, frozen);
+        // The republished seed still carries the retained bases.
+        assert_eq!(next_seed.h_run_bases.len(), seed.h_run_bases.len());
+    }
+
+    #[test]
+    fn warm_refresh_is_bit_identical_to_cold_rebuild_and_cheaper() {
+        // 18 participants → 19 entries → three chain runs per family.
+        let before = counting_query(18, 0);
+        let after = counting_query(18, 5); // delta: 5 new tuples, known owners
+        let (frozen, seed, _) = FrozenSequences::compute_with_seed(
+            EfficientSequences::new(before),
+            Parallelism::Serial,
+        )
+        .unwrap();
+
+        let (cold, _, cold_stats) = FrozenSequences::compute_with_seed(
+            EfficientSequences::new(after.clone()),
+            Parallelism::Serial,
+        )
+        .unwrap();
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+        ] {
+            let (warm, next_seed, stats) = frozen
+                .refresh(&seed, after.clone(), SimplexOptions::default(), parallelism)
+                .unwrap();
+            assert_eq!(stats.tier, RefreshTier::WarmChain);
+            // The refreshed release surface must be bit-identical to the cold
+            // post-delta recompute, for every Parallelism setting.
+            assert_eq!(warm.h_entries(), cold.h_entries());
+            assert_eq!(warm.g_entries(), cold.g_entries());
+            assert_eq!(warm.bounding_factor(), cold.bounding_factor());
+            // …while strictly saving pivots (each H run re-enters warm).
+            assert!(
+                stats.lp.total_pivots < cold_stats.total_pivots,
+                "warm {} pivots vs cold {}",
+                stats.lp.total_pivots,
+                cold_stats.total_pivots
+            );
+            assert!(stats.lp.warm_start_hits > cold_stats.warm_start_hits);
+            // The fresh seed is ready for the next delta.
+            assert_eq!(next_seed.h_run_bases.len(), seed.h_run_bases.len());
+            assert!(next_seed.warm_eligible);
+        }
+    }
+
+    #[test]
+    fn structural_changes_fall_back_to_a_cold_identical_rebuild() {
+        let (frozen, seed, _) = FrozenSequences::compute_with_seed(
+            EfficientSequences::new(counting_query(6, 0)),
+            Parallelism::Serial,
+        )
+        .unwrap();
+
+        // A new participant changes the variable space: cold rebuild.
+        let grown = counting_query(7, 0);
+        let (refreshed, _, stats) = frozen
+            .refresh(
+                &seed,
+                grown.clone(),
+                SimplexOptions::default(),
+                Parallelism::Serial,
+            )
+            .unwrap();
+        assert_eq!(stats.tier, RefreshTier::ColdRebuild);
+        let cold =
+            FrozenSequences::compute(EfficientSequences::new(grown), Parallelism::Serial).unwrap();
+        assert_eq!(refreshed, cold);
+
+        // A non-var-only query (conjunction annotation) is outside the
+        // warm-exact class even with the same participants.
+        let mut terms: Vec<(Expr, f64)> = (0..6).map(|i| (Expr::var(p(i)), 1.0)).collect();
+        terms.push((Expr::conjunction_of_vars([p(0), p(1)]), 1.0));
+        let conj = SensitiveKRelation::from_terms((0..6).map(p).collect(), terms);
+        let (refreshed, _, stats) = frozen
+            .refresh(
+                &seed,
+                conj.clone(),
+                SimplexOptions::default(),
+                Parallelism::Serial,
+            )
+            .unwrap();
+        assert_eq!(stats.tier, RefreshTier::ColdRebuild);
+        let cold =
+            FrozenSequences::compute(EfficientSequences::new(conj), Parallelism::Serial).unwrap();
+        assert_eq!(refreshed, cold);
+    }
+
+    #[test]
+    fn purge_stale_sweeps_dead_epochs_and_parks_refresh_seeds() {
+        let cache = SequenceCache::new(8);
+        let (frozen, seed, _) = FrozenSequences::compute_with_seed(
+            EfficientSequences::new(counting_query(6, 0)),
+            Parallelism::Serial,
+        )
+        .unwrap();
+        let frozen = Arc::new(frozen);
+        let seed = Arc::new(seed);
+        let lineage_a = Fingerprint(100);
+        let lineage_b = Fingerprint(200);
+
+        // Entry keyed on stamps {1, 10}; another on {1, 20}; one untagged.
+        cache.insert_tagged(
+            Fingerprint(1),
+            Arc::clone(&frozen),
+            EntryTag {
+                stamps: vec![1, 10],
+                lineage: lineage_a,
+            },
+            Some(Arc::clone(&seed)),
+        );
+        cache.insert_tagged(
+            Fingerprint(2),
+            Arc::clone(&frozen),
+            EntryTag {
+                stamps: vec![1, 20],
+                lineage: lineage_b,
+            },
+            None,
+        );
+        cache.insert(Fingerprint(3), Arc::clone(&frozen));
+
+        // Table with stamp 10 was mutated: its stamp died, 20 survived.
+        let swept = cache.purge_stale(&[1, 11, 20]);
+        assert_eq!(swept, 1);
+        assert!(cache.get(Fingerprint(1)).is_none());
+        assert!(cache.get(Fingerprint(2)).is_some());
+        assert!(
+            cache.get(Fingerprint(3)).is_some(),
+            "untagged entries survive"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.evictions_stale, 1);
+        assert_eq!(
+            stats.evictions, 0,
+            "stale sweeps are not capacity evictions"
+        );
+
+        // The swept entry's seed is parked under its lineage, claimable once.
+        assert_eq!(cache.banked_refresh_bases(), 1);
+        let (banked_frozen, banked_seed) = cache.take_refresh_base(lineage_a).unwrap();
+        assert!(Arc::ptr_eq(&banked_frozen, &frozen));
+        assert!(Arc::ptr_eq(&banked_seed, &seed));
+        assert!(cache.take_refresh_base(lineage_a).is_none(), "consuming");
+    }
+
+    #[test]
+    fn republishing_a_lineage_supersedes_its_banked_predecessor() {
+        let cache = SequenceCache::new(8);
+        let (frozen, seed, _) = FrozenSequences::compute_with_seed(
+            EfficientSequences::new(counting_query(6, 0)),
+            Parallelism::Serial,
+        )
+        .unwrap();
+        let frozen = Arc::new(frozen);
+        let seed = Arc::new(seed);
+        let lineage = Fingerprint(77);
+        cache.insert_tagged(
+            Fingerprint(1),
+            Arc::clone(&frozen),
+            EntryTag {
+                stamps: vec![10],
+                lineage,
+            },
+            Some(Arc::clone(&seed)),
+        );
+        assert_eq!(cache.purge_stale(&[11]), 1);
+        assert_eq!(cache.banked_refresh_bases(), 1);
+
+        // The post-delta recompute republishes under the new stamp; the
+        // parked predecessor is retired with it.
+        cache.insert_tagged(
+            Fingerprint(2),
+            Arc::clone(&frozen),
+            EntryTag {
+                stamps: vec![11],
+                lineage,
+            },
+            Some(Arc::clone(&seed)),
+        );
+        assert_eq!(cache.banked_refresh_bases(), 0);
+        assert!(cache.take_refresh_base(lineage).is_none());
+        // A sweep under the *same* live stamps touches nothing.
+        assert_eq!(cache.purge_stale(&[11]), 0);
+        assert!(cache.get(Fingerprint(2)).is_some());
     }
 
     #[test]

@@ -51,13 +51,16 @@ pub mod sensitive;
 pub mod sequences;
 pub mod subgraph;
 
-pub use cache::{CacheStats, CachedSequences, FrozenSequences, SequenceCache};
-pub use efficient::{EfficientSequences, LpWorkStats};
+pub use cache::{CacheStats, CachedSequences, EntryTag, FrozenSequences, SequenceCache};
+pub use efficient::{EfficientSequences, LpWorkStats, RefreshSeed, RefreshStats, RefreshTier};
 pub use error::{MechanismError, SequenceFamily};
 pub use general::GeneralSequences;
 pub use krelation_query::SensitiveKRelation;
 pub use mechanism::{RecursiveMechanism, Release};
 pub use params::MechanismParams;
+// Re-exported so callers of `FrozenSequences::refresh` can name the solver
+// options without depending on `rmdp-lp` directly.
+pub use rmdp_lp::SimplexOptions;
 // Re-exported so callers of `release_recorded` can name the recorder types
 // without depending on `rmdp-observe` directly.
 pub use rmdp_observe::{NoopRecorder, Recorder, SpanRecorder, Stage};

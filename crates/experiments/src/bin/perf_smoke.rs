@@ -47,19 +47,35 @@
 //! serialized cache-free replay reproduces the releases each client parsed
 //! off the wire bit-identically.
 //!
+//! **Incremental ingestion** (`BENCH_incremental.json`): the delta-scoped
+//! invalidation bench. The fig-4 2-star workload is projected onto an
+//! owner-annotated SQL table and released once cold; each round then
+//! appends rows for existing owners, sweeps the stale cache entry (which
+//! parks its refresh seed), and re-releases twice under the same seed —
+//! once through the warm-refresh path, once rebuilding the cache entry
+//! cold (the identical eager computation, minus the parked seed). Gated on
+//! the warm path strictly beating the cold rebuild in both wall-clock
+//! (minimum over replayed timing passes) and pivots while releasing
+//! bit-identically. A second
+//! section runs a [`rmdp_server::DpServer`] mixed query+ingest loop over
+//! two tables and gates on the untouched table's entries surviving every
+//! ingest and on version-matched replay reproducing the interleaved run
+//! bit-identically.
+//!
 //! All bench sections share **one warmed-up setup**: the fig-4 sensitive
 //! relations are built once up front and the setup wall time is reported
 //! separately (in `BENCH_observe.json`), so section timings measure the
 //! mechanism, not repeated graph construction.
 //!
-//! CI uploads all five files as artifacts on every run, so the trajectory
+//! CI uploads all six files as artifacts on every run, so the trajectory
 //! of the sequence hot path is tracked over time. Pivot counts, hit rates
 //! and bit-identity are deterministic; wall times are indicative (shared
 //! runners).
 //!
 //! Usage: `perf_smoke [lp.json] [cache.json] [groupby.json] [observe.json]
-//! [server.json]` (defaults `BENCH_lp.json`, `BENCH_cache.json`,
-//! `BENCH_groupby.json`, `BENCH_observe.json`, `BENCH_server.json`).
+//! [server.json] [incremental.json]` (defaults `BENCH_lp.json`,
+//! `BENCH_cache.json`, `BENCH_groupby.json`, `BENCH_observe.json`,
+//! `BENCH_server.json`, `BENCH_incremental.json`).
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -805,6 +821,269 @@ fn run_server_workload() -> ServerBenchResult {
     result
 }
 
+/// The incremental-ingestion bench: warm re-release from parked refresh
+/// seeds vs a full cold rebuild after each delta, on the fig-4 2-star
+/// workload projected onto an owner-annotated SQL table.
+struct IncrementalBenchResult {
+    participants: usize,
+    /// Rows of the initial load (one per 2-star term).
+    initial_rows: usize,
+    /// Delta rounds applied (each: ingest → sweep → warm + cold release).
+    rounds: usize,
+    /// Total wall time of the warm-refresh releases across all rounds
+    /// (minimum over the timing passes).
+    warm_wall_ms: f64,
+    /// Total wall time of the cold cache rebuilds across all rounds
+    /// (minimum over the timing passes).
+    cold_wall_ms: f64,
+    /// Total simplex pivots each path spent.
+    warm_pivots: u64,
+    cold_pivots: u64,
+    /// Whether every warm release matched its cold twin bit for bit.
+    bit_identical: bool,
+}
+
+/// Projects a 2-star relation onto an owner-annotated table: each 2-star
+/// term becomes one row owned by its lowest-index node, so
+/// `SELECT COUNT(*)` carries every term as a bare `Var` with weight 1 —
+/// the warm-exact class whose refresh re-entry is bit-identical to a cold
+/// recompute. Deltas then append rows for *existing* owners (intern-only:
+/// only the table epoch moves), which is exactly the weight-change shape
+/// [`rmdp_core::RefreshTier::WarmChain`] covers.
+///
+/// The graph is the fig-4 family (G(n,p) at average degree 6, 2-star
+/// pattern) scaled up to 128 nodes: at the 24-node smoke size the whole
+/// release is a few milliseconds and a wall-clock gate would measure
+/// scheduler noise, not the refresh path.
+fn run_incremental_workload() -> IncrementalBenchResult {
+    use rmdp_krelation::annotate::AnnotationRule;
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = generators::gnp_average_degree(128, 6.0, &mut rng);
+    let two_star = SubgraphCounter::new(
+        Pattern::k_star(2),
+        PrivacyUnit::Node,
+        MechanismParams::paper_node_privacy(0.5),
+    )
+    .build_sensitive_relation(&graph);
+
+    let owners: Vec<String> = two_star
+        .terms()
+        .iter()
+        .map(|(expr, _)| {
+            let owner = expr
+                .variables()
+                .into_iter()
+                .map(|p| p.index())
+                .min()
+                .expect("2-star terms name their nodes");
+            format!("n{owner}")
+        })
+        .collect();
+
+    let mut db = AnnotatedDatabase::new();
+    db.insert_table("stars", KRelation::new(["owner", "star"]));
+    db.declare_annotation_rule("stars", AnnotationRule::OwnerColumn("owner".into()));
+    db.apply_delta(
+        "stars",
+        owners.iter().enumerate().map(|(i, owner)| {
+            Tuple::new([("owner", Value::str(owner)), ("star", Value::Int(i as i64))])
+        }),
+    )
+    .expect("initial load through the delta path");
+    let base = CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0));
+    let participants = base.database().participants_in_use().len();
+    let initial_rows = owners.len();
+
+    const SQL: &str = "SELECT COUNT(*) FROM stars";
+    let rounds = 5usize;
+    let rows_per_round = 8usize;
+    // The delta schedule is deterministic, so the whole run can be replayed
+    // for timing: each pass re-primes a fresh cache, replays the same deltas
+    // and re-measures both paths; the gate compares per-path minima so a
+    // single descheduled release cannot decide it. Pivot counts and
+    // bit-identity are pass-invariant and taken from the first pass.
+    let passes = 3usize;
+    let mut warm_wall_ms = f64::INFINITY;
+    let mut cold_wall_ms = f64::INFINITY;
+    let mut warm_pivots = 0u64;
+    let mut cold_pivots = 0u64;
+    let mut bit_identical = true;
+    for pass in 0..passes {
+        let cache = Arc::new(SequenceCache::new(16));
+        let mut prime =
+            SqlSession::over(Arc::clone(&base), 11).with_sequence_cache(Arc::clone(&cache));
+        prime.query_scalar(SQL).expect("priming release succeeds");
+
+        let mut snapshot = Arc::clone(&base);
+        let mut next_star = initial_rows as i64;
+        let mut pass_warm_ms = 0.0;
+        let mut pass_cold_ms = 0.0;
+        for round in 0..rounds {
+            let rows: Vec<Tuple> = (0..rows_per_round)
+                .map(|k| {
+                    let owner = &owners[(round * rows_per_round + k) % owners.len()];
+                    let star = next_star + k as i64;
+                    Tuple::new([("owner", Value::str(owner)), ("star", Value::Int(star))])
+                })
+                .collect();
+            next_star += rows_per_round as i64;
+            snapshot = snapshot
+                .with_delta("stars", rows)
+                .expect("delta over existing owners");
+            cache.purge_stale(&snapshot.database().current_epoch_stamps());
+
+            // Cold rebuild: the same eager full-table computation a cache
+            // miss performs — through a fresh empty cache so the code path
+            // is identical — just without the parked refresh seed. Timed
+            // first each round so measurement order can only penalise the
+            // warm path, never flatter it.
+            let seed = 4242 + round as u64;
+            let cold_cache = Arc::new(SequenceCache::new(16));
+            let mut cold =
+                SqlSession::over(Arc::clone(&snapshot), seed).with_sequence_cache(cold_cache);
+            let watch = Stopwatch::start();
+            let c = cold.query_scalar(SQL).expect("cold rebuild succeeds");
+            pass_cold_ms += watch.elapsed_seconds() * 1e3;
+
+            let mut warm = SqlSession::over(Arc::clone(&snapshot), seed)
+                .with_sequence_cache(Arc::clone(&cache));
+            let watch = Stopwatch::start();
+            let w = warm.query_scalar(SQL).expect("warm release succeeds");
+            pass_warm_ms += watch.elapsed_seconds() * 1e3;
+
+            if pass == 0 {
+                warm_pivots += warm.lp_totals().total_pivots as u64;
+                cold_pivots += cold.lp_totals().total_pivots as u64;
+                bit_identical &= w.true_answer.to_bits() == c.true_answer.to_bits()
+                    && w.noisy_answer.to_bits() == c.noisy_answer.to_bits();
+            }
+        }
+        warm_wall_ms = warm_wall_ms.min(pass_warm_ms);
+        cold_wall_ms = cold_wall_ms.min(pass_cold_ms);
+    }
+
+    IncrementalBenchResult {
+        participants,
+        initial_rows,
+        rounds,
+        warm_wall_ms,
+        cold_wall_ms,
+        warm_pivots,
+        cold_pivots,
+        bit_identical,
+    }
+}
+
+/// The server-level mixed query+ingest run: interleave queries over two
+/// tables with ingests into one of them, then check the delta-scoping
+/// invariants on the server's own books.
+struct IncrementalServerResult {
+    queries: u64,
+    ingests: u64,
+    rows_ingested: u64,
+    swept: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Whether the untouched table's entry survived every ingest (exactly
+    /// one cold solve for it across the whole run).
+    untouched_hits_preserved: bool,
+    /// Whether replay over the version history reproduced every live
+    /// release bit for bit, across the interleaved ingests.
+    replay_bit_identical: bool,
+}
+
+fn run_incremental_server_workload() -> IncrementalServerResult {
+    use rmdp_krelation::annotate::AnnotationRule;
+
+    let mut db = AnnotatedDatabase::new();
+    db.insert_table("visits", KRelation::new(["person", "place"]));
+    db.insert_table("residents", KRelation::new(["person", "town"]));
+    db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".into()));
+    db.declare_annotation_rule("residents", AnnotationRule::OwnerColumn("person".into()));
+    let people = ["ada", "bo", "cy", "dee"];
+    db.apply_delta(
+        "visits",
+        people
+            .iter()
+            .map(|p| Tuple::new([("person", Value::str(p)), ("place", Value::str("museum"))])),
+    )
+    .expect("initial visits load");
+    db.apply_delta(
+        "residents",
+        people.iter().map(|p| {
+            Tuple::new([
+                ("person", Value::str(p)),
+                ("town", Value::str("springfield")),
+            ])
+        }),
+    )
+    .expect("initial residents load");
+    let snapshot = CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0));
+
+    let server = DpServer::new(snapshot, ServerConfig::default());
+    let rounds = 6u64;
+    server.register_tenant(
+        "ingestor",
+        PrivacyBudget {
+            epsilon: 2.0 * rounds as f64,
+            delta: 0.0,
+        },
+    );
+
+    let mut live = Vec::new();
+    for round in 0..rounds {
+        live.push(
+            server
+                .query("ingestor", "SELECT COUNT(*) FROM visits")
+                .expect("visits release"),
+        );
+        live.push(
+            server
+                .query("ingestor", "SELECT COUNT(*) FROM residents")
+                .expect("residents release"),
+        );
+        // Intern-only ingest: a known person, so only the visits epoch
+        // moves and the residents entry must keep hitting.
+        let person = people[round as usize % people.len()];
+        server
+            .ingest(
+                "visits",
+                vec![Tuple::new([
+                    ("person", Value::str(person)),
+                    ("place", Value::str("cafe")),
+                ])],
+            )
+            .expect("ingest succeeds");
+    }
+
+    // Expected cache shape: visits misses every round (each ingest sweeps
+    // its entry), residents misses once and hits thereafter.
+    let cache = server.cache_stats();
+    let untouched_hits_preserved = cache.misses == rounds + 1 && cache.hits == rounds - 1;
+
+    let replayed = server.replay("ingestor").expect("registered tenant");
+    let mut replay_bit_identical = replayed.len() == live.len();
+    for (orig, re) in live.iter().zip(&replayed) {
+        let a = flatten_output(orig);
+        let b = flatten_output(re.as_ref().expect("replay succeeds"));
+        replay_bit_identical &=
+            a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
+    }
+
+    let metrics = server.metrics().snapshot();
+    IncrementalServerResult {
+        queries: 2 * rounds,
+        ingests: metrics.counter("server.ingests").unwrap_or(0),
+        rows_ingested: metrics.counter("server.ingest.rows").unwrap_or(0),
+        swept: metrics.counter("server.ingest.swept").unwrap_or(0),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        untouched_hits_preserved,
+        replay_bit_identical,
+    }
+}
+
 /// The noisy answers a wire response carries, in release order (one for a
 /// scalar, one per group for a grouped report; `EXPLAIN` unwraps).
 fn flatten_noisy(response: &WireResponse) -> Option<Vec<f64>> {
@@ -814,7 +1093,9 @@ fn flatten_noisy(response: &WireResponse) -> Option<Vec<f64>> {
             Some(groups.iter().map(|(_, r)| r.noisy_answer).collect())
         }
         WireResponse::Explained { inner, .. } => flatten_noisy(inner),
-        WireResponse::Budget { .. } | WireResponse::Error { .. } => None,
+        WireResponse::Budget { .. } | WireResponse::Ingest { .. } | WireResponse::Error { .. } => {
+            None
+        }
     }
 }
 
@@ -843,6 +1124,9 @@ fn main() {
     let server_out_path = std::env::args()
         .nth(5)
         .unwrap_or_else(|| "BENCH_server.json".to_string());
+    let incremental_out_path = std::env::args()
+        .nth(6)
+        .unwrap_or_else(|| "BENCH_incremental.json".to_string());
 
     let env = build_env();
     eprintln!(
@@ -1147,6 +1431,68 @@ fn main() {
     }
     eprintln!("wrote {server_out_path}");
 
+    // --- Incremental ingestion bench → BENCH_incremental.json ---
+    let inc = run_incremental_workload();
+    let inc_server = run_incremental_server_workload();
+    let incremental_json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"incremental_ingest\",\n",
+            "  \"warm_refresh\": {{\"participants\": {}, \"initial_rows\": {}, ",
+            "\"rounds\": {}, \"warm_wall_ms\": {:.3}, \"cold_wall_ms\": {:.3}, ",
+            "\"speedup\": {:.2}, \"warm_pivots\": {}, \"cold_pivots\": {}, ",
+            "\"bit_identical\": {}}},\n",
+            "  \"server\": {{\"queries\": {}, \"ingests\": {}, \"rows_ingested\": {}, ",
+            "\"swept\": {}, \"cache_hits\": {}, \"cache_misses\": {}, ",
+            "\"untouched_hits_preserved\": {}, \"replay_bit_identical\": {}}}\n}}\n"
+        ),
+        inc.participants,
+        inc.initial_rows,
+        inc.rounds,
+        inc.warm_wall_ms,
+        inc.cold_wall_ms,
+        inc.cold_wall_ms / inc.warm_wall_ms.max(1e-9),
+        inc.warm_pivots,
+        inc.cold_pivots,
+        inc.bit_identical,
+        inc_server.queries,
+        inc_server.ingests,
+        inc_server.rows_ingested,
+        inc_server.swept,
+        inc_server.cache_hits,
+        inc_server.cache_misses,
+        inc_server.untouched_hits_preserved,
+        inc_server.replay_bit_identical,
+    );
+    println!(
+        "incremental: {} deltas over {} participants — warm refresh {:.1} ms / {} pivots \
+         vs cold rebuild {:.1} ms / {} pivots ({:.1}×, bit-identical: {})",
+        inc.rounds,
+        inc.participants,
+        inc.warm_wall_ms,
+        inc.warm_pivots,
+        inc.cold_wall_ms,
+        inc.cold_pivots,
+        inc.cold_wall_ms / inc.warm_wall_ms.max(1e-9),
+        inc.bit_identical,
+    );
+    println!(
+        "             server mix: {} queries + {} ingests ({} rows, {} swept), \
+         cache {}h/{}m, untouched hits preserved: {}, replay bit-identical: {}",
+        inc_server.queries,
+        inc_server.ingests,
+        inc_server.rows_ingested,
+        inc_server.swept,
+        inc_server.cache_hits,
+        inc_server.cache_misses,
+        inc_server.untouched_hits_preserved,
+        inc_server.replay_bit_identical,
+    );
+    if let Err(e) = std::fs::write(&incremental_out_path, &incremental_json) {
+        eprintln!("failed to write {incremental_out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {incremental_out_path}");
+
     // --- Gates (JSON files are written first so CI can always upload) ---
     let mut failed = false;
     for r in results.iter().filter(|r| r.warm_pivots >= r.cold_pivots) {
@@ -1282,6 +1628,43 @@ fn main() {
     }
     if !(sv.server_p50_ms.is_finite() && sv.server_p99_ms.is_finite()) {
         eprintln!("CORRECTNESS REGRESSION: server latency histogram recorded no samples");
+        failed = true;
+    }
+    // Incremental-ingestion gates: warm re-release must strictly beat the
+    // full cold rebuild wall-clock (it skips phase 1 on every H chain run)
+    // while releasing bit-identically, and the server-level mixed run must
+    // preserve the untouched table's hit rate and replay bit-identically
+    // across the interleaved ingests.
+    if inc.warm_wall_ms >= inc.cold_wall_ms {
+        eprintln!(
+            "PERF REGRESSION: warm refresh {:.1} ms not faster than cold rebuild {:.1} ms",
+            inc.warm_wall_ms, inc.cold_wall_ms
+        );
+        failed = true;
+    }
+    if inc.warm_pivots >= inc.cold_pivots {
+        eprintln!(
+            "PERF REGRESSION: warm refresh spent {} pivots vs {} cold",
+            inc.warm_pivots, inc.cold_pivots
+        );
+        failed = true;
+    }
+    if !inc.bit_identical {
+        eprintln!("CORRECTNESS REGRESSION: warm refresh diverged from the cold rebuild");
+        failed = true;
+    }
+    if !inc_server.untouched_hits_preserved {
+        eprintln!(
+            "CORRECTNESS REGRESSION: ingests disturbed the untouched table's cache entries \
+             ({} hits / {} misses)",
+            inc_server.cache_hits, inc_server.cache_misses
+        );
+        failed = true;
+    }
+    if !inc_server.replay_bit_identical {
+        eprintln!(
+            "CORRECTNESS REGRESSION: replay diverged from live releases across interleaved ingests"
+        );
         failed = true;
     }
     if failed {

@@ -18,6 +18,19 @@
 //! * [`AnnotatedDatabase`] — a named collection of annotated base tables plus
 //!   the shared participant universe, the starting point for relational
 //!   algebra pipelines.
+//!
+//! ## Epoch discipline
+//!
+//! Cross-query caches key cached sequences on *which data a plan read*. To
+//! scope invalidation to exactly the tables a mutation touched, every
+//! database tracks one epoch stamp **per table** plus one for the
+//! participant universe. Stamps are drawn from a process-wide monotone
+//! clock, so a stamp value is globally unique: two databases (or two forks
+//! of one database — see [`AnnotatedDatabase::fork_with_delta`]) agree on a
+//! table's stamp only if the table content is literally the same un-mutated
+//! value. A cache key that hashes the universe stamp and the stamps of the
+//! tables a plan scans is therefore invalidated by exactly the mutations
+//! that could change the plan's answer, and survives every other one.
 
 use crate::expr::Expr;
 use crate::hash::FxHashMap;
@@ -25,9 +38,18 @@ use crate::participant::{ParticipantId, ParticipantUniverse};
 use crate::relation::KRelation;
 use crate::tuple::{Tuple, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Process-wide source of unique [`AnnotatedDatabase::instance_id`] values.
 static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide monotone clock behind every epoch stamp. Starting at 1 keeps
+/// 0 free as "never stamped".
+static NEXT_EPOCH_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch_stamp() -> u64 {
+    NEXT_EPOCH_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Annotates each tuple with a single participant variable chosen by `owner`.
 ///
@@ -66,31 +88,131 @@ where
     out
 }
 
+/// How tuples appended to a table through [`AnnotatedDatabase::apply_delta`]
+/// derive their annotation from their own columns.
+///
+/// A rule is declared once per table (public schema metadata, never derived
+/// from the sensitive rows, so declaring one is epoch-neutral) and applied to
+/// every ingested row. The participant label of a column is the plain
+/// display form of its value prefixed with the column name
+/// (`"uid:42"`, `"node:alice"`), so initial loads that want ingest to
+/// recognise their participants should intern the same labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnnotationRule {
+    /// Each row is owned by exactly one participant named by this column
+    /// (the classical one-row-per-person table): annotation `Var(owner)`.
+    OwnerColumn(String),
+    /// Each row depends on the conjunction of the participants named by
+    /// these columns (e.g. an edge table under node privacy).
+    OwnerColumns(Vec<String>),
+}
+
+impl AnnotationRule {
+    /// The participant label an owner column derives from a value.
+    pub fn owner_label(column: &str, value: &Value) -> String {
+        format!("{column}:{value}")
+    }
+
+    fn columns(&self) -> impl Iterator<Item = &str> {
+        match self {
+            AnnotationRule::OwnerColumn(c) => std::slice::from_ref(c),
+            AnnotationRule::OwnerColumns(cs) => cs.as_slice(),
+        }
+        .iter()
+        .map(String::as_str)
+    }
+}
+
+/// Why a delta could not be applied. Every error leaves the database — and
+/// all of its epoch stamps — exactly as it was: deltas are all-or-nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The named table does not exist; deltas append, they never create.
+    UnknownTable(String),
+    /// The table has no [`AnnotationRule`], so raw tuples cannot be
+    /// annotated. Use [`AnnotatedDatabase::apply_annotated_delta`] or declare
+    /// a rule first.
+    NoAnnotationRule(String),
+    /// An ingested row is missing a column the table's rule needs.
+    MissingColumn {
+        /// The delta's target table.
+        table: String,
+        /// The column the rule needed but the row lacked.
+        column: String,
+    },
+    /// An explicitly annotated delta references a participant id outside the
+    /// universe.
+    UnknownParticipant {
+        /// The delta's target table.
+        table: String,
+        /// The out-of-universe participant id.
+        id: ParticipantId,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownTable(t) => write!(f, "delta targets unknown table {t:?}"),
+            DeltaError::NoAnnotationRule(t) => {
+                write!(f, "table {t:?} has no annotation rule for raw-tuple deltas")
+            }
+            DeltaError::MissingColumn { table, column } => {
+                write!(f, "delta row for {table:?} is missing column {column:?}")
+            }
+            DeltaError::UnknownParticipant { table, id } => {
+                write!(
+                    f,
+                    "delta for {table:?} references unknown participant {id:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
 /// A named collection of annotated base tables sharing one participant
 /// universe — the "sensitive database turned into K-relations" that a
 /// relational-algebra query plan consumes.
 ///
-/// Every database carries a process-unique [`instance id`] and a monotone
-/// [`annotation epoch`] that together identify *this content of this
-/// database*: the epoch is bumped by every mutation (table insertion or
-/// mutable universe access), and cloning assigns a fresh instance id, so two
-/// databases that could ever diverge never share an `(instance, epoch)`
-/// pair. Cross-query caches (the sequence cache of `rmdp-core`) hash both
-/// into their keys, which makes "any mutation invalidates every cached
-/// sequence of this database" hold by construction.
+/// Every database carries a process-unique [`instance id`] and per-table /
+/// per-universe epoch stamps drawn from a process-wide monotone clock: a
+/// table's stamp is replaced on every mutation of that table (and only
+/// then), the universe stamp on every growth of the participant universe.
+/// Cloning assigns a fresh instance id, so two databases that could ever
+/// diverge never share an `(instance, stamps)` combination — except through
+/// [`AnnotatedDatabase::fork_with_delta`], whose children keep the instance
+/// id precisely so that the stamps of *untouched* tables keep matching (the
+/// shared content is literally the same [`Arc`]'d relation). Cross-query
+/// caches (the sequence cache of `rmdp-core`) hash the instance id, the
+/// universe stamp and the stamps of the tables a plan scans into their keys,
+/// which scopes "a mutation invalidates cached sequences" to exactly the
+/// queries that read the mutated table.
 ///
 /// [`instance id`]: AnnotatedDatabase::instance_id
-/// [`annotation epoch`]: AnnotatedDatabase::annotation_epoch
 #[derive(Debug)]
 pub struct AnnotatedDatabase {
     universe: ParticipantUniverse,
-    tables: FxHashMap<String, KRelation>,
+    /// Tables behind `Arc` so forked snapshots share untouched tables
+    /// copy-on-write ([`AnnotatedDatabase::fork_with_delta`]).
+    tables: FxHashMap<String, Arc<KRelation>>,
     /// Declared public key domains: `table → column → values`. Public
     /// metadata (never derived from the sensitive rows), so mutating it does
-    /// not bump the annotation epoch.
+    /// not bump any epoch.
     domains: FxHashMap<String, FxHashMap<String, Vec<Value>>>,
+    /// Declared ingestion rules: `table → rule`. Public schema metadata,
+    /// epoch-neutral like `domains`.
+    rules: FxHashMap<String, AnnotationRule>,
     instance_id: u64,
-    epoch: u64,
+    /// Epoch stamp per table, replaced on every mutation of that table.
+    table_epochs: FxHashMap<String, u64>,
+    /// Epoch stamp of the participant universe, replaced on growth (and on
+    /// conservative [`AnnotatedDatabase::universe_mut`] access).
+    universe_epoch: u64,
+    /// The newest stamp ever applied to this database — the backward
+    /// compatible "any mutation bumps it" epoch.
+    latest_epoch: u64,
 }
 
 impl Default for AnnotatedDatabase {
@@ -99,24 +221,33 @@ impl Default for AnnotatedDatabase {
             universe: ParticipantUniverse::new(),
             tables: FxHashMap::default(),
             domains: FxHashMap::default(),
+            rules: FxHashMap::default(),
             instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
-            epoch: 0,
+            table_epochs: FxHashMap::default(),
+            universe_epoch: 0,
+            latest_epoch: 0,
         }
     }
 }
 
 impl Clone for AnnotatedDatabase {
     /// Clones the content under a **fresh instance id**. Reusing the id
-    /// would let the original and the clone mutate independently to the same
-    /// `(instance, epoch)` pair with different content — exactly the false
-    /// cache collision the id exists to prevent.
+    /// would let the original and the clone mutate independently, and
+    /// although every mutation takes a globally unique stamp, a scoped cache
+    /// key only hashes the stamps of the tables a plan *scans* — a clone
+    /// must therefore not be mistaken for its origin. (The controlled
+    /// exception is [`AnnotatedDatabase::fork_with_delta`].) Table contents
+    /// are shared (`Arc`), so cloning is cheap.
     fn clone(&self) -> Self {
         AnnotatedDatabase {
             universe: self.universe.clone(),
             tables: self.tables.clone(),
             domains: self.domains.clone(),
+            rules: self.rules.clone(),
             instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
-            epoch: self.epoch,
+            table_epochs: self.table_epochs.clone(),
+            universe_epoch: self.universe_epoch,
+            latest_epoch: self.latest_epoch,
         }
     }
 }
@@ -127,10 +258,24 @@ impl AnnotatedDatabase {
         Self::default()
     }
 
-    /// Registers (or replaces) a table.
+    /// Stamps one table with a fresh epoch.
+    fn stamp_table(&mut self, name: &str) {
+        let stamp = next_epoch_stamp();
+        self.table_epochs.insert(name.to_owned(), stamp);
+        self.latest_epoch = stamp;
+    }
+
+    /// Stamps the participant universe with a fresh epoch.
+    fn stamp_universe(&mut self) {
+        let stamp = next_epoch_stamp();
+        self.universe_epoch = stamp;
+        self.latest_epoch = stamp;
+    }
+
+    /// Registers (or replaces) a table, stamping its epoch.
     pub fn insert_table(&mut self, name: &str, table: KRelation) {
-        self.epoch += 1;
-        self.tables.insert(name.to_owned(), table);
+        self.stamp_table(name);
+        self.tables.insert(name.to_owned(), Arc::new(table));
     }
 
     /// Declares the **public** value domain of `table.column` — the key set a
@@ -139,11 +284,10 @@ impl AnnotatedDatabase {
     /// The domain must come from public knowledge (an enum of product
     /// categories, the 50 US states, …), **never** from the sensitive rows: a
     /// data-derived key set leaks which keys occur, before any noise is
-    /// added. Declaring (or re-declaring) a domain does not bump the
-    /// [`annotation epoch`](AnnotatedDatabase::annotation_epoch): the domain
-    /// changes which per-group queries exist, not what any query answers, and
-    /// per-group cache keys embed the key literal itself — so cached
-    /// sequences stay valid across domain edits by construction.
+    /// added. Declaring (or re-declaring) a domain does not stamp any epoch:
+    /// the domain changes which per-group queries exist, not what any query
+    /// answers, and per-group cache keys embed the key literal itself — so
+    /// cached sequences stay valid across domain edits by construction.
     ///
     /// Duplicate values are dropped (first occurrence wins); the surviving
     /// order is the order grouped reports release their groups in. All
@@ -186,34 +330,77 @@ impl AnnotatedDatabase {
         self.domains.get(table)?.get(column).map(Vec::as_slice)
     }
 
+    /// Declares how raw tuples appended to `table` through
+    /// [`AnnotatedDatabase::apply_delta`] derive their annotation. Schema
+    /// metadata: declaring (or re-declaring) a rule stamps no epoch — it
+    /// changes how *future* rows are annotated, not what any existing query
+    /// answers.
+    pub fn declare_annotation_rule(&mut self, table: &str, rule: AnnotationRule) {
+        self.rules.insert(table.to_owned(), rule);
+    }
+
+    /// The declared ingestion rule of `table`, if any.
+    pub fn annotation_rule(&self, table: &str) -> Option<&AnnotationRule> {
+        self.rules.get(table)
+    }
+
     /// The process-unique identity of this database value (fresh for every
-    /// `new()` and every `clone()`).
+    /// `new()` and every `clone()`; preserved across
+    /// [`AnnotatedDatabase::fork_with_delta`]).
     pub fn instance_id(&self) -> u64 {
         self.instance_id
     }
 
-    /// The mutation epoch: bumped by [`AnnotatedDatabase::insert_table`] and
-    /// every [`AnnotatedDatabase::universe_mut`] access. Cache keys that
-    /// include `(instance_id, annotation_epoch)` are invalidated by any
-    /// mutation of the data or the participant universe.
+    /// The newest epoch stamp ever applied to this database: replaced by
+    /// every table mutation and every universe growth. Coarse by design —
+    /// cache keys that want delta-scoped invalidation should hash
+    /// [`AnnotatedDatabase::table_epoch`] of the scanned tables and
+    /// [`AnnotatedDatabase::universe_epoch`] instead.
     pub fn annotation_epoch(&self) -> u64 {
-        self.epoch
+        self.latest_epoch
+    }
+
+    /// The epoch stamp of one table: replaced by exactly the mutations that
+    /// touch this table ([`AnnotatedDatabase::insert_table`],
+    /// [`AnnotatedDatabase::apply_delta`]). 0 for tables that do not exist.
+    pub fn table_epoch(&self, name: &str) -> u64 {
+        self.table_epochs.get(name).copied().unwrap_or(0)
+    }
+
+    /// The epoch stamp of the participant universe: replaced when the
+    /// universe grows (a new participant changes `|P|` and therefore every
+    /// sequence), and by every conservative
+    /// [`AnnotatedDatabase::universe_mut`] access.
+    pub fn universe_epoch(&self) -> u64 {
+        self.universe_epoch
+    }
+
+    /// Every epoch stamp currently live on this database: the universe stamp
+    /// plus one per table, in unspecified order. This is the validity set
+    /// for stale-entry sweeps — an epoch-scoped cache key built from stamps
+    /// outside this set can never be produced by this database again
+    /// (stamps are globally unique and never reused).
+    pub fn current_epoch_stamps(&self) -> Vec<u64> {
+        let mut stamps = Vec::with_capacity(self.table_epochs.len() + 1);
+        stamps.push(self.universe_epoch);
+        stamps.extend(self.table_epochs.values().copied());
+        stamps
     }
 
     /// Looks a table up by name.
     pub fn table(&self, name: &str) -> Option<&KRelation> {
-        self.tables.get(name)
+        self.tables.get(name).map(Arc::as_ref)
     }
 
     /// The shared participant universe (read-only). Use this — not
     /// [`AnnotatedDatabase::universe_mut`] — for lookups: reading through the
-    /// `mut` accessor bumps the annotation epoch and silently evicts every
+    /// `mut` accessor stamps the universe epoch and silently evicts every
     /// cached sequence of this database.
     pub fn universe(&self) -> &ParticipantUniverse {
         &self.universe
     }
 
-    /// Interns `label` into the participant universe, bumping the annotation
+    /// Interns `label` into the participant universe, stamping the universe
     /// epoch **only when the universe actually grows**. Re-interning an
     /// existing participant is a read: it changes neither `|P|` nor any
     /// sequence, so it must not invalidate cached sequences the way a
@@ -222,20 +409,125 @@ impl AnnotatedDatabase {
         if let Some(id) = self.universe.get(label) {
             return id;
         }
-        self.epoch += 1;
+        self.stamp_universe();
         self.universe.intern(label)
     }
 
-    /// Mutable access to the participant universe. Conservatively bumps the
-    /// annotation epoch — the universe defines `|P|`, so growing it changes
+    /// Mutable access to the participant universe. Conservatively stamps the
+    /// universe epoch — the universe defines `|P|`, so growing it changes
     /// every sequence even when no table changes. Prefer
-    /// [`AnnotatedDatabase::intern`] (which bumps only on actual growth) for
+    /// [`AnnotatedDatabase::intern`] (which stamps only on actual growth) for
     /// loading data and [`AnnotatedDatabase::universe`] for read-only access;
     /// reach for this accessor only when you genuinely need `&mut` to the
     /// universe and accept the cache eviction.
     pub fn universe_mut(&mut self) -> &mut ParticipantUniverse {
-        self.epoch += 1;
+        self.stamp_universe();
         &mut self.universe
+    }
+
+    /// Appends explicitly annotated tuples to `table`, stamping **only that
+    /// table's** epoch (annotations may only reference participants already
+    /// in the universe, so the universe stamp never moves). All-or-nothing:
+    /// on any error the database is untouched.
+    pub fn apply_annotated_delta<I>(&mut self, table: &str, rows: I) -> Result<usize, DeltaError>
+    where
+        I: IntoIterator<Item = (Tuple, Expr)>,
+    {
+        if !self.tables.contains_key(table) {
+            return Err(DeltaError::UnknownTable(table.to_owned()));
+        }
+        let rows: Vec<(Tuple, Expr)> = rows.into_iter().collect();
+        let known = self.universe.len();
+        for (_, expr) in &rows {
+            if let Some(&id) = expr.variables().iter().find(|id| id.index() >= known) {
+                return Err(DeltaError::UnknownParticipant {
+                    table: table.to_owned(),
+                    id,
+                });
+            }
+        }
+        let appended = rows.len();
+        if appended == 0 {
+            // An empty delta mutates nothing, so it must not invalidate
+            // anything either.
+            return Ok(0);
+        }
+        let relation = Arc::make_mut(self.tables.get_mut(table).expect("presence checked above"));
+        for (tuple, expr) in rows {
+            relation.insert(tuple, expr);
+        }
+        self.stamp_table(table);
+        Ok(appended)
+    }
+
+    /// Appends raw tuples to `table`, annotating each through the table's
+    /// declared [`AnnotationRule`], and stamps **only that table's** epoch.
+    /// Participant lookups are intern-only — a row owned by an already-known
+    /// participant never moves the universe stamp, so queries over other
+    /// tables keep their cache keys byte-for-byte. All-or-nothing: on any
+    /// error the database (including every epoch stamp) is untouched.
+    pub fn apply_delta<I>(&mut self, table: &str, rows: I) -> Result<usize, DeltaError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        if !self.tables.contains_key(table) {
+            return Err(DeltaError::UnknownTable(table.to_owned()));
+        }
+        let rule = self
+            .rules
+            .get(table)
+            .ok_or_else(|| DeltaError::NoAnnotationRule(table.to_owned()))?
+            .clone();
+
+        // Derive every label before mutating anything (all-or-nothing), then
+        // intern: only genuinely new participants stamp the universe.
+        let rows: Vec<Tuple> = rows.into_iter().collect();
+        let mut labels: Vec<Vec<String>> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut owners = Vec::new();
+            for column in rule.columns() {
+                let value = row
+                    .get_named(column)
+                    .ok_or_else(|| DeltaError::MissingColumn {
+                        table: table.to_owned(),
+                        column: column.to_owned(),
+                    })?;
+                owners.push(AnnotationRule::owner_label(column, value));
+            }
+            labels.push(owners);
+        }
+        if rows.is_empty() {
+            return Ok(0);
+        }
+
+        let mut annotated = Vec::with_capacity(rows.len());
+        for (row, owners) in rows.into_iter().zip(labels) {
+            let ids: Vec<ParticipantId> = owners.iter().map(|l| self.intern(l)).collect();
+            let expr = if ids.len() == 1 {
+                Expr::Var(ids[0])
+            } else {
+                Expr::conjunction_of_vars(ids)
+            };
+            annotated.push((row, expr));
+        }
+        self.apply_annotated_delta(table, annotated)
+    }
+
+    /// A copy-on-write fork of this database with `rows` appended to
+    /// `table` — the building block of versioned catalog snapshots. The fork
+    /// **keeps the instance id**: untouched tables share both their content
+    /// (the same `Arc`'d relations) and their epoch stamps, so cached
+    /// sequences keyed on them keep hitting, while the touched table gets a
+    /// globally unique fresh stamp that can never collide with any other
+    /// database state.
+    pub fn fork_with_delta<I>(&self, table: &str, rows: I) -> Result<Self, DeltaError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut fork = self.clone();
+        fork.instance_id = self.instance_id;
+        fork.apply_delta(table, rows)?;
+        Ok(fork)
     }
 
     /// All participant ids that occur in any table annotation.
@@ -363,6 +655,194 @@ mod tests {
     }
 
     #[test]
+    fn epochs_are_scoped_per_table() {
+        let mut db = AnnotatedDatabase::new();
+        db.insert_table("a", KRelation::new(["x"]));
+        db.insert_table("b", KRelation::new(["y"]));
+        let (ea, eb, eu) = (
+            db.table_epoch("a"),
+            db.table_epoch("b"),
+            db.universe_epoch(),
+        );
+        assert_ne!(ea, eb, "stamps are globally unique");
+        assert_eq!(db.table_epoch("missing"), 0);
+
+        // Replacing `a` restamps `a` and only `a`.
+        db.insert_table("a", KRelation::new(["x"]));
+        assert_ne!(db.table_epoch("a"), ea);
+        assert_eq!(db.table_epoch("b"), eb);
+        assert_eq!(db.universe_epoch(), eu);
+
+        // Universe growth stamps the universe and no table.
+        let ea = db.table_epoch("a");
+        let _ = db.intern("alice");
+        assert_ne!(db.universe_epoch(), eu);
+        assert_eq!(db.table_epoch("a"), ea);
+        assert_eq!(db.table_epoch("b"), eb);
+
+        // The validity set is the universe stamp plus one per table.
+        let mut stamps = db.current_epoch_stamps();
+        stamps.sort_unstable();
+        let mut expected = vec![
+            db.universe_epoch(),
+            db.table_epoch("a"),
+            db.table_epoch("b"),
+        ];
+        expected.sort_unstable();
+        assert_eq!(stamps, expected);
+    }
+
+    #[test]
+    fn apply_delta_stamps_only_the_touched_table() {
+        let mut db = AnnotatedDatabase::new();
+        db.insert_table("visits", KRelation::new(["person", "place"]));
+        db.insert_table("payments", KRelation::new(["person", "amount"]));
+        db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".into()));
+        // Pre-intern the owners the way a loader would.
+        let alice = db.intern(&AnnotationRule::owner_label("person", &Value::str("alice")));
+        let (ev, ep, eu) = (
+            db.table_epoch("visits"),
+            db.table_epoch("payments"),
+            db.universe_epoch(),
+        );
+
+        // A delta over a known participant: only the visits stamp moves.
+        let n = db
+            .apply_delta(
+                "visits",
+                [Tuple::new([
+                    ("person", Value::str("alice")),
+                    ("place", Value::str("cafe")),
+                ])],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.table("visits").unwrap().len(), 1);
+        assert_ne!(db.table_epoch("visits"), ev);
+        assert_eq!(
+            db.table_epoch("payments"),
+            ep,
+            "untouched table keeps its stamp"
+        );
+        assert_eq!(
+            db.universe_epoch(),
+            eu,
+            "known participant: universe stamp keeps"
+        );
+        let ann = db.table("visits").unwrap().annotation(&Tuple::new([
+            ("person", Value::str("alice")),
+            ("place", Value::str("cafe")),
+        ]));
+        assert_eq!(ann, Expr::Var(alice));
+
+        // A delta introducing a new participant stamps the universe too.
+        let ev = db.table_epoch("visits");
+        db.apply_delta(
+            "visits",
+            [Tuple::new([
+                ("person", Value::str("bob")),
+                ("place", Value::str("park")),
+            ])],
+        )
+        .unwrap();
+        assert_ne!(db.table_epoch("visits"), ev);
+        assert_ne!(db.universe_epoch(), eu);
+        assert_eq!(db.universe().len(), 2);
+
+        // An empty delta invalidates nothing.
+        let stamps = db.current_epoch_stamps();
+        assert_eq!(db.apply_delta("visits", []).unwrap(), 0);
+        assert_eq!(db.current_epoch_stamps(), stamps);
+    }
+
+    #[test]
+    fn delta_errors_are_all_or_nothing() {
+        let mut db = AnnotatedDatabase::new();
+        db.insert_table("visits", KRelation::new(["person", "place"]));
+        let stamps = db.current_epoch_stamps();
+
+        assert_eq!(
+            db.apply_delta("nowhere", [Tuple::new([("person", Value::str("a"))])]),
+            Err(DeltaError::UnknownTable("nowhere".into()))
+        );
+        assert_eq!(
+            db.apply_delta("visits", [Tuple::new([("person", Value::str("a"))])]),
+            Err(DeltaError::NoAnnotationRule("visits".into()))
+        );
+        db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".into()));
+        assert_eq!(
+            db.apply_delta(
+                "visits",
+                [
+                    Tuple::new([("person", Value::str("a")), ("place", Value::str("x"))]),
+                    Tuple::new([("place", Value::str("y"))]),
+                ]
+            ),
+            Err(DeltaError::MissingColumn {
+                table: "visits".into(),
+                column: "person".into()
+            })
+        );
+        // A failed delta appended nothing — not even the valid first row —
+        // and moved no stamp (the universe is still empty: no participant
+        // was interned for the doomed batch).
+        assert_eq!(db.table("visits").unwrap().len(), 0);
+        assert_eq!(db.universe().len(), 0);
+        assert_eq!(db.current_epoch_stamps(), stamps);
+
+        let outside = ParticipantId(7);
+        assert_eq!(
+            db.apply_annotated_delta(
+                "visits",
+                [(
+                    Tuple::new([("person", Value::str("a"))]),
+                    Expr::Var(outside)
+                )]
+            ),
+            Err(DeltaError::UnknownParticipant {
+                table: "visits".into(),
+                id: outside
+            })
+        );
+    }
+
+    #[test]
+    fn fork_with_delta_shares_untouched_tables_and_identity() {
+        let mut db = AnnotatedDatabase::new();
+        db.insert_table("visits", KRelation::new(["person", "place"]));
+        db.insert_table("payments", KRelation::new(["person", "amount"]));
+        db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".into()));
+        let _ = db.intern(&AnnotationRule::owner_label("person", &Value::str("alice")));
+
+        let fork = db
+            .fork_with_delta(
+                "visits",
+                [Tuple::new([
+                    ("person", Value::str("alice")),
+                    ("place", Value::str("cafe")),
+                ])],
+            )
+            .unwrap();
+
+        // Same identity, same stamps for everything the delta did not touch…
+        assert_eq!(fork.instance_id(), db.instance_id());
+        assert_eq!(fork.table_epoch("payments"), db.table_epoch("payments"));
+        assert_eq!(fork.universe_epoch(), db.universe_epoch());
+        // …a fresh stamp for the touched table, and untouched content is the
+        // very same allocation (copy-on-write sharing).
+        assert_ne!(fork.table_epoch("visits"), db.table_epoch("visits"));
+        assert_eq!(fork.table("visits").unwrap().len(), 1);
+        assert_eq!(db.table("visits").unwrap().len(), 0, "parent is untouched");
+        assert!(Arc::ptr_eq(
+            &fork.tables["payments"],
+            &db.tables["payments"]
+        ));
+
+        // Plain clones still take a fresh identity.
+        assert_ne!(db.clone().instance_id(), db.instance_id());
+    }
+
+    #[test]
     fn public_domains_are_declared_deduplicated_and_epoch_neutral() {
         let mut db = AnnotatedDatabase::new();
         db.insert_table("visits", KRelation::new(["person", "place"]));
@@ -387,10 +867,16 @@ mod tests {
 
         // Declaring public metadata never bumps the epoch; clones carry it.
         assert_eq!(db.annotation_epoch(), epoch);
+        db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".into()));
+        assert_eq!(db.annotation_epoch(), epoch);
         let cloned = db.clone();
         assert_eq!(
             cloned.public_domain("visits", "place").map(<[Value]>::len),
             Some(2)
+        );
+        assert_eq!(
+            cloned.annotation_rule("visits"),
+            Some(&AnnotationRule::OwnerColumn("person".into()))
         );
 
         // Re-declaring replaces the domain wholesale.

@@ -33,6 +33,7 @@ pub mod phi;
 pub mod relation;
 pub mod tuple;
 
+pub use annotate::{AnnotatedDatabase, AnnotationRule, DeltaError};
 pub use expr::Expr;
 pub use participant::{ParticipantId, ParticipantUniverse};
 pub use relation::KRelation;

@@ -48,6 +48,15 @@ pub enum WireResponse {
         /// Spent ε.
         spent: f64,
     },
+    /// An applied `INGEST` receipt.
+    Ingest {
+        /// The snapshot version the delta produced.
+        version: u64,
+        /// Rows appended.
+        rows: u64,
+        /// Stale cache entries swept by the snapshot swap.
+        swept: u64,
+    },
     /// An `ERR <code> <message>` refusal.
     Error {
         /// The stable refusal code (`OVERLOADED`, `BUSY`, `BUDGET`, …).
@@ -109,6 +118,15 @@ impl DpClient {
     /// Fetches the tenant's remaining and spent ε.
     pub fn budget(&mut self, tenant: &str) -> io::Result<WireResponse> {
         self.send(&format!("BUDGET {tenant}"))?;
+        self.read_response()
+    }
+
+    /// Appends rows to `table` through the server's ingest path. `rows`
+    /// uses the wire syntax: `;`-separated rows of `,`-separated
+    /// `column=value` pairs, e.g. `person=eve,place=park;person=fay,place=museum`.
+    /// Rejections come back as [`WireResponse::Error`].
+    pub fn ingest(&mut self, table: &str, rows: &str) -> io::Result<WireResponse> {
+        self.send(&format!("INGEST {table} {rows}"))?;
         self.read_response()
     }
 
@@ -192,6 +210,13 @@ impl DpClient {
                 spent: parse_f64(&field(rest, "spent")?)?,
             });
         }
+        if let Some(rest) = line.strip_prefix("OK INGEST ") {
+            return Ok(WireResponse::Ingest {
+                version: parse_u64(&field(rest, "version")?)?,
+                rows: parse_u64(&field(rest, "rows")?)?,
+                swept: parse_u64(&field(rest, "swept")?)?,
+            });
+        }
         Err(bad(format!("unrecognised response '{line}'")))
     }
 }
@@ -210,6 +235,11 @@ fn field(line: &str, name: &str) -> io::Result<String> {
 
 fn parse_f64(s: &str) -> io::Result<f64> {
     s.parse().map_err(|e| bad(format!("bad float '{s}': {e}")))
+}
+
+fn parse_u64(s: &str) -> io::Result<u64> {
+    s.parse()
+        .map_err(|e| bad(format!("bad integer '{s}': {e}")))
 }
 
 fn parse_release(line: &str) -> io::Result<WireRelease> {

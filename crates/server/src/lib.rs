@@ -43,14 +43,14 @@ pub use client::{DpClient, WireRelease, WireResponse};
 pub use error::ServerError;
 pub use protocol::{serve, ServerHandle};
 pub use seed::{derive_query_seed, derive_tenant_seed};
-pub use server::{DpServer, ServerConfig};
+pub use server::{DpServer, IngestReport, ServerConfig};
 pub use tenant::{AdmittedQuery, TenantRegistry};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rmdp_core::MechanismParams;
-    use rmdp_krelation::annotate::AnnotatedDatabase;
+    use rmdp_krelation::annotate::{AnnotatedDatabase, AnnotationRule};
     use rmdp_krelation::tuple::{Tuple, Value};
     use rmdp_krelation::{Expr, KRelation};
     use rmdp_noise::PrivacyBudget;
@@ -80,6 +80,40 @@ mod tests {
             "place",
             [Value::str("museum"), Value::str("cafe"), Value::str("park")],
         );
+        CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0))
+    }
+
+    fn row(pairs: &[(&str, &str)]) -> Tuple {
+        Tuple::new(pairs.iter().map(|(a, v)| (*a, Value::str(v))))
+    }
+
+    /// Two tables loaded through the delta path itself, so their
+    /// participant labels are rule-consistent and later ingests of known
+    /// people are intern-only (no universe epoch bump).
+    fn delta_snapshot() -> Arc<CatalogSnapshot> {
+        let mut db = AnnotatedDatabase::new();
+        db.insert_table("visits", KRelation::new(["person", "place"]));
+        db.insert_table("residents", KRelation::new(["person", "town"]));
+        db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".into()));
+        db.declare_annotation_rule("residents", AnnotationRule::OwnerColumn("person".into()));
+        db.declare_public_domain(
+            "visits",
+            "place",
+            [Value::str("museum"), Value::str("cafe"), Value::str("park")],
+        );
+        db.apply_delta(
+            "visits",
+            [
+                row(&[("person", "ada"), ("place", "museum")]),
+                row(&[("person", "bo"), ("place", "cafe")]),
+            ],
+        )
+        .unwrap();
+        db.apply_delta(
+            "residents",
+            [row(&[("person", "ada"), ("town", "springfield")])],
+        )
+        .unwrap();
         CatalogSnapshot::shared(db, MechanismParams::paper_edge_privacy(1.0))
     }
 
@@ -189,6 +223,125 @@ mod tests {
     }
 
     #[test]
+    fn ingest_swaps_snapshots_while_untouched_tables_keep_hitting() {
+        let server = DpServer::new(delta_snapshot(), ServerConfig::default());
+        server.register_tenant("alice", eps(64.0));
+        let visits = server
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap();
+        assert_eq!(visits.scalar().unwrap().true_answer, 2.0);
+        server
+            .query("alice", "SELECT COUNT(*) FROM residents")
+            .unwrap();
+        let misses = server.cache_stats().misses;
+
+        // An intern-only delta: "bo" is a known participant, so only the
+        // visits table epoch moves — the universe epoch stays put.
+        let report = server
+            .ingest("visits", vec![row(&[("person", "bo"), ("place", "park")])])
+            .unwrap();
+        assert_eq!(report.version, 1);
+        assert_eq!(report.rows, 1);
+        assert_eq!(report.swept, 1, "only the visits plan goes stale");
+        assert_eq!(server.snapshot().version(), 1);
+
+        // The untouched table's fingerprint is byte-identical across the
+        // swap: the residents entry survived the sweep and still hits.
+        let hits = server.cache_stats().hits;
+        server
+            .query("alice", "SELECT COUNT(*) FROM residents")
+            .unwrap();
+        assert_eq!(server.cache_stats().hits, hits + 1);
+        assert_eq!(server.cache_stats().misses, misses, "no new cold solve");
+
+        // The mutated table answers over the new snapshot.
+        let visits = server
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap();
+        assert_eq!(visits.scalar().unwrap().true_answer, 3.0);
+
+        // A rejected delta changes nothing: same version, same data.
+        let err = server
+            .ingest("nowhere", vec![row(&[("x", "1")])])
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Sql(_)), "{err}");
+        assert_eq!(server.snapshot().version(), 1);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_interleaved_ingests() {
+        let server = DpServer::new(delta_snapshot(), ServerConfig::default());
+        server.register_tenant("alice", eps(64.0));
+        let mut live = Vec::new();
+        live.push(
+            server
+                .query("alice", "SELECT COUNT(*) FROM visits")
+                .unwrap(),
+        );
+        server
+            .ingest("visits", vec![row(&[("person", "cy"), ("place", "park")])])
+            .unwrap();
+        live.push(
+            server
+                .query("alice", "SELECT COUNT(*) FROM visits")
+                .unwrap(),
+        );
+        server
+            .ingest(
+                "visits",
+                vec![row(&[("person", "dee"), ("place", "museum")])],
+            )
+            .unwrap();
+        live.push(
+            server
+                .query("alice", "SELECT COUNT(*) FROM visits")
+                .unwrap(),
+        );
+        live.push(
+            server
+                .query("alice", "SELECT place, COUNT(*) FROM visits GROUP BY place")
+                .unwrap(),
+        );
+
+        // The data really moved under the repeated query…
+        let trues: Vec<f64> = live[..3]
+            .iter()
+            .map(|o| o.clone().scalar().unwrap().true_answer)
+            .collect();
+        assert_eq!(trues, [2.0, 3.0, 4.0]);
+        // …and the log pinned each admission to the snapshot it saw.
+        let versions: Vec<u64> = server
+            .query_log("alice")
+            .unwrap()
+            .iter()
+            .map(|q| q.snapshot_version)
+            .collect();
+        assert_eq!(versions, [0, 1, 2, 2]);
+
+        let replayed = server.replay("alice").unwrap();
+        assert_eq!(replayed.len(), live.len());
+        for (orig, re) in live.iter().zip(&replayed) {
+            match (orig, re.as_ref().unwrap()) {
+                (QueryOutput::Scalar(a), QueryOutput::Scalar(b)) => {
+                    assert_eq!(a.true_answer, b.true_answer);
+                    assert_eq!(a.noisy_answer.to_bits(), b.noisy_answer.to_bits());
+                }
+                (QueryOutput::Grouped(a), QueryOutput::Grouped(b)) => {
+                    assert_eq!(a.groups.len(), b.groups.len());
+                    for (ga, gb) in a.groups.iter().zip(&b.groups) {
+                        assert_eq!(ga.key, gb.key);
+                        assert_eq!(
+                            ga.release.noisy_answer.to_bits(),
+                            gb.release.noisy_answer.to_bits()
+                        );
+                    }
+                }
+                other => panic!("shape changed under replay: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn tenant_in_flight_cap_sheds_without_spending() {
         let config = ServerConfig {
             per_tenant_in_flight: 0,
@@ -260,6 +413,52 @@ mod tests {
             WireResponse::Error { code, .. } => assert_eq!(code, "UNKNOWN_TENANT"),
             other => panic!("expected error, got {other:?}"),
         }
+
+        handle.stop();
+    }
+
+    #[test]
+    fn the_wire_ingests_and_serves_the_new_snapshot() {
+        let server = Arc::new(DpServer::new(delta_snapshot(), ServerConfig::default()));
+        server.register_tenant("alice", eps(16.0));
+        let mut handle = serve(Arc::clone(&server), "127.0.0.1:0").unwrap();
+        let mut client = DpClient::connect(handle.addr()).unwrap();
+
+        let before = client
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap();
+        assert_eq!(before.scalar().unwrap().true_answer, 2.0);
+
+        match client
+            .ingest("visits", "person=eve,place=park;person=fay,place=museum")
+            .unwrap()
+        {
+            WireResponse::Ingest {
+                version,
+                rows,
+                swept,
+            } => {
+                assert_eq!(version, 1);
+                assert_eq!(rows, 2);
+                assert_eq!(swept, 1);
+            }
+            other => panic!("expected ingest receipt, got {other:?}"),
+        }
+
+        let after = client
+            .query("alice", "SELECT COUNT(*) FROM visits")
+            .unwrap();
+        assert_eq!(after.scalar().unwrap().true_answer, 4.0);
+
+        match client.ingest("visits", "garbage").unwrap() {
+            WireResponse::Error { code, .. } => assert_eq!(code, "PROTOCOL"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        match client.ingest("nowhere", "x=1").unwrap() {
+            WireResponse::Error { code, .. } => assert_eq!(code, "SQL"),
+            other => panic!("expected SQL error, got {other:?}"),
+        }
+        assert_eq!(server.snapshot().version(), 1, "rejections swap nothing");
 
         handle.stop();
     }

@@ -21,8 +21,16 @@
 //! → BUDGET alice
 //! ← OK BUDGET remaining=2.5 spent=1.5
 //!
+//! → INGEST visits person=eve,place=park;person=fay,place=museum
+//! ← OK INGEST version=1 rows=2 swept=3
+//!
 //! ← ERR OVERLOADED server overloaded: 8 in flight, 8 waiting
 //! ```
+//!
+//! `INGEST` rows are `;`-separated, each row a `,`-separated list of
+//! `column=value` pairs. Values parse as integers first, then booleans,
+//! and fall back to strings — matching how the SQL frontend's literals
+//! compare against stored values.
 //!
 //! Floats are rendered with Rust's `Display`, which prints the **shortest
 //! string that round-trips**: a client parsing `noisy=…` back with
@@ -33,6 +41,7 @@
 
 use crate::error::ServerError;
 use crate::server::DpServer;
+use rmdp_krelation::tuple::{Tuple, Value};
 use rmdp_sql::QueryOutput;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -93,6 +102,52 @@ fn encode_output(output: &QueryOutput) -> Vec<String> {
     }
 }
 
+/// Parses the `INGEST` row syntax: rows separated by `;`, columns within a
+/// row as `,`-separated `column=value` pairs. Values parse as integers
+/// first, then booleans, then fall back to strings.
+fn parse_rows(spec: &str) -> Result<Vec<Tuple>, String> {
+    let mut rows = Vec::new();
+    for (i, row) in spec.split(';').enumerate() {
+        let row = row.trim();
+        if row.is_empty() {
+            return Err(format!("row {i} is empty"));
+        }
+        let mut entries = Vec::new();
+        for pair in row.split(',') {
+            let (col, val) = pair
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| format!("row {i}: '{}' is not column=value", pair.trim()))?;
+            let value = if let Ok(n) = val.parse::<i64>() {
+                Value::Int(n)
+            } else if let Ok(b) = val.parse::<bool>() {
+                Value::Bool(b)
+            } else {
+                Value::str(val)
+            };
+            entries.push((col.to_owned(), value));
+        }
+        rows.push(Tuple::new(entries));
+    }
+    Ok(rows)
+}
+
+fn encode_ingest(server: &DpServer, table: &str, spec: &str) -> Vec<String> {
+    match parse_rows(spec) {
+        Ok(rows) => match server.ingest(table, rows) {
+            Ok(r) => vec![format!(
+                "OK INGEST version={} rows={} swept={}",
+                r.version, r.rows, r.swept
+            )],
+            Err(e) => {
+                let msg = e.to_string().replace('\n', " ");
+                vec![format!("ERR {} {}", e.code(), msg)]
+            }
+        },
+        Err(msg) => vec![format!("ERR PROTOCOL {msg}")],
+    }
+}
+
 /// Serves one accepted connection: read request lines until EOF, answer
 /// each in order. Any I/O error just drops the connection — the server
 /// state is untouched because budgets and admission live in [`DpServer`].
@@ -120,6 +175,10 @@ fn handle_connection(server: &DpServer, stream: TcpStream) -> io::Result<()> {
                     _ => vec![format!("ERR UNKNOWN_TENANT unknown tenant '{tenant}'")],
                 }
             }
+            Some(("INGEST", rest)) => match rest.split_once(' ') {
+                Some((table, spec)) => encode_ingest(server, table, spec.trim()),
+                None => vec!["ERR PROTOCOL INGEST needs <table> <rows>".to_owned()],
+            },
             _ => vec![format!(
                 "ERR PROTOCOL unrecognised request '{}'",
                 request.split(' ').next().unwrap_or_default()

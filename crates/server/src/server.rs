@@ -5,13 +5,19 @@
 //! One [`DpServer`] owns exactly the state that is sound to share across
 //! tenants, and nothing more:
 //!
-//! - an immutable [`CatalogSnapshot`] (`Arc`'d database + mechanism
-//!   parameters + planner) every session reads;
+//! - a versioned chain of immutable [`CatalogSnapshot`]s. The *current*
+//!   snapshot is what new queries capture; [`DpServer::ingest`] forks it
+//!   with a delta and atomically swaps the new version in, while in-flight
+//!   sessions keep the `Arc` they captured at admission. Every version
+//!   ever served stays in a history so replay can re-execute each query
+//!   over exactly the data it originally saw;
 //! - one [`SequenceCache`] shared by **all** tenants. Cache keys are
 //!   canonical plan fingerprints that bake in the database's instance
-//!   identity and annotation epoch, so a hit can only ever return a table
-//!   the same data would have produced — cross-tenant sharing leaks nothing
-//!   a tenant could not compute from its own admitted queries;
+//!   identity and the per-table epochs of exactly the scanned tables, so a
+//!   hit can only ever return a table the same data would have produced —
+//!   cross-tenant sharing leaks nothing a tenant could not compute from
+//!   its own admitted queries, and an ingest invalidates only the plans
+//!   that scanned the mutated table;
 //! - per-tenant ε ledgers and admission state in a [`TenantRegistry`];
 //! - a server-wide [`AdmissionGate`] that sheds load *before* any budget
 //!   is touched.
@@ -34,11 +40,12 @@ use crate::error::ServerError;
 use crate::seed::derive_query_seed;
 use crate::tenant::{AdmittedQuery, Reservation, TenantRegistry};
 use rmdp_core::SequenceCache;
+use rmdp_krelation::tuple::Tuple;
 use rmdp_noise::{GroupBudgetPolicy, PrivacyBudget};
 use rmdp_observe::{Clock, MetricsRegistry, MonotonicClock, LATENCY_BUCKETS_MS};
 use rmdp_runtime::{AdmissionConfig, AdmissionGate};
 use rmdp_sql::{AnyPlan, CatalogSnapshot, QueryOutput, SqlError, SqlSession};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Knobs for one [`DpServer`]. See `docs/TUNING.md` for how each one trades
 /// throughput against refusal rate.
@@ -73,13 +80,34 @@ impl Default for ServerConfig {
     }
 }
 
+/// Receipt for one applied ingest: the snapshot version it produced, how
+/// many rows it appended, and how many cache entries went stale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Version of the snapshot the delta produced (parent version + 1).
+    pub version: u64,
+    /// Number of tuples appended to the target table.
+    pub rows: u64,
+    /// Entries the stale sweep removed from the shared cache — exactly the
+    /// cached plans that scanned the mutated table. Untouched-table entries
+    /// survive and keep hitting.
+    pub swept: u64,
+}
+
 /// A long-lived, thread-safe multi-tenant DP query server.
 ///
 /// All methods take `&self`; one `Arc<DpServer>` is shared by every
 /// connection handler and test thread. See the [module docs](self) for the
 /// shared-vs-per-request split and the refusal semantics.
 pub struct DpServer {
-    snapshot: Arc<CatalogSnapshot>,
+    /// The current snapshot, swapped atomically by [`DpServer::ingest`].
+    /// In-flight sessions hold their own `Arc` clone, so a swap never
+    /// changes what an already-admitted query sees.
+    snapshot: RwLock<Arc<CatalogSnapshot>>,
+    /// Every snapshot version ever served, in version order. Replay looks
+    /// up each admitted query's recorded version here so re-execution sees
+    /// the same data the live run did, whatever ingests happened since.
+    history: RwLock<Vec<Arc<CatalogSnapshot>>>,
     cache: Arc<SequenceCache>,
     gate: AdmissionGate,
     tenants: TenantRegistry,
@@ -93,7 +121,8 @@ impl DpServer {
     /// empty; register them with [`DpServer::register_tenant`].
     pub fn new(snapshot: Arc<CatalogSnapshot>, config: ServerConfig) -> Self {
         DpServer {
-            snapshot,
+            snapshot: RwLock::new(Arc::clone(&snapshot)),
+            history: RwLock::new(vec![snapshot]),
             cache: Arc::new(SequenceCache::new(config.cache_capacity)),
             gate: AdmissionGate::new(config.admission),
             tenants: TenantRegistry::new(),
@@ -115,9 +144,22 @@ impl DpServer {
         self.config
     }
 
-    /// The shared catalog snapshot.
-    pub fn snapshot(&self) -> &Arc<CatalogSnapshot> {
-        &self.snapshot
+    /// The current catalog snapshot. Owned, not borrowed: ingests swap the
+    /// server's snapshot, and a caller holding this `Arc` keeps a
+    /// consistent view across the swap.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The snapshot with exactly this version, if the server ever served
+    /// it. Version 0 is the construction snapshot; each ingest appends one.
+    pub fn snapshot_at(&self, version: u64) -> Option<Arc<CatalogSnapshot>> {
+        self.history
+            .read()
+            .expect("snapshot history poisoned")
+            .iter()
+            .find(|s| s.version() == version)
+            .cloned()
     }
 
     /// The server's metrics registry (admissions, sheds, latencies).
@@ -158,11 +200,15 @@ impl DpServer {
     /// configured [`GroupBudgetPolicy`]. An `EXPLAIN ANALYZE` prefix does
     /// not change the price — tracing performs the release it traces.
     pub fn price(&self, sql: &str) -> Result<PrivacyBudget, SqlError> {
+        self.price_over(&self.snapshot(), sql)
+    }
+
+    fn price_over(&self, snapshot: &CatalogSnapshot, sql: &str) -> Result<PrivacyBudget, SqlError> {
         let per_release = PrivacyBudget {
-            epsilon: self.snapshot.params().total_epsilon(),
+            epsilon: snapshot.params().total_epsilon(),
             delta: 0.0,
         };
-        Ok(match self.snapshot.plan(sql)? {
+        Ok(match snapshot.plan(sql)? {
             AnyPlan::Scalar(_) => per_release,
             AnyPlan::Grouped(g) => self
                 .config
@@ -184,17 +230,28 @@ impl DpServer {
                 return Err(e.into());
             }
         };
+        // Pin the snapshot for this query's whole lifetime. Ingests swap
+        // the server's current snapshot, but this query prices, reserves
+        // and executes against the one Arc it captured here — and records
+        // its version in the replay log.
+        let snapshot = self.snapshot();
         // Price before reserving so a malformed query is refused without
         // touching the ledger. The permit is held while planning: pricing
         // is microseconds next to an LP solve, and counting it against the
         // gate keeps `in_flight` an honest measure of server load.
-        let cost = self.price(sql).map_err(|e| {
+        let cost = self.price_over(&snapshot, sql).map_err(|e| {
             self.metrics.counter_add("server.errors.sql", 1);
             ServerError::Sql(e)
         })?;
         let reservation = self
             .tenants
-            .reserve(tenant, sql, cost, self.config.per_tenant_in_flight)
+            .reserve(
+                tenant,
+                sql,
+                cost,
+                self.config.per_tenant_in_flight,
+                snapshot.version(),
+            )
             .ok_or_else(|| {
                 self.metrics.counter_add("server.refused.unknown_tenant", 1);
                 ServerError::UnknownTenant(tenant.to_owned())
@@ -214,7 +271,7 @@ impl DpServer {
             }
         };
 
-        let mut session = self.session_for(derive_query_seed(tenant_seed, index));
+        let mut session = self.session_for(snapshot, derive_query_seed(tenant_seed, index));
         let result = session.query(sql);
         self.tenants.finish(tenant, cost, result.is_err());
         self.absorb_session(&session);
@@ -252,12 +309,69 @@ impl DpServer {
             log.iter()
                 .map(|q| {
                     let seed = derive_query_seed(tenant_seed, q.index);
-                    let mut session = SqlSession::over(Arc::clone(&self.snapshot), seed)
+                    let snapshot = self
+                        .snapshot_at(q.snapshot_version)
+                        .expect("replay log records only served snapshot versions");
+                    let mut session = SqlSession::over(snapshot, seed)
                         .with_group_policy(self.config.group_policy);
                     session.query(&q.sql)
                 })
                 .collect(),
         )
+    }
+
+    /// Appends `rows` to `table` and atomically swaps in the resulting
+    /// snapshot, while already-admitted queries keep serving from theirs.
+    ///
+    /// The whole operation — fork the current snapshot with the delta,
+    /// publish it, append it to the version history, sweep the shared
+    /// cache's now-stale entries — happens under the snapshot write lock,
+    /// so concurrent ingests serialize and none is lost. Queries never take
+    /// that lock for longer than one `Arc` clone. An ingest occupies one
+    /// admission-gate slot like any query, so a flood of ingests sheds
+    /// instead of starving queries; a rejected delta (unknown table or
+    /// column mismatch) changes nothing.
+    ///
+    /// Only plans that scan `table` lose their cache entries — and their
+    /// solved tables are parked as warm-refresh bases, so re-releasing them
+    /// costs a delta re-solve, not a cold rebuild. Untouched tables' plan
+    /// fingerprints are byte-identical across the swap and keep hitting.
+    pub fn ingest(&self, table: &str, rows: Vec<Tuple>) -> Result<IngestReport, ServerError> {
+        let permit = match self.gate.enter() {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.counter_add("server.shed.overloaded", 1);
+                return Err(e.into());
+            }
+        };
+        let row_count = rows.len() as u64;
+        let report = {
+            let mut current = self.snapshot.write().expect("snapshot lock poisoned");
+            let next = current.with_delta(table, rows).map_err(|e| {
+                self.metrics.counter_add("server.errors.ingest", 1);
+                ServerError::Sql(e)
+            })?;
+            let swept =
+                self.cache
+                    .purge_stale(&next.database().current_epoch_stamps()) as u64;
+            self.history
+                .write()
+                .expect("snapshot history poisoned")
+                .push(Arc::clone(&next));
+            let version = next.version();
+            *current = next;
+            IngestReport {
+                version,
+                rows: row_count,
+                swept,
+            }
+        };
+        drop(permit);
+        self.metrics.counter_add("server.ingests", 1);
+        self.metrics.counter_add("server.ingest.rows", report.rows);
+        self.metrics
+            .counter_add("server.ingest.swept", report.swept);
+        Ok(report)
     }
 
     /// Stops admitting new work. Queued requests are woken and refused
@@ -272,9 +386,10 @@ impl DpServer {
         self.gate.drain();
     }
 
-    /// A throwaway per-request session over the shared snapshot and cache.
-    fn session_for(&self, seed: u64) -> SqlSession {
-        SqlSession::over(Arc::clone(&self.snapshot), seed)
+    /// A throwaway per-request session over the given snapshot and the
+    /// shared cache.
+    fn session_for(&self, snapshot: Arc<CatalogSnapshot>, seed: u64) -> SqlSession {
+        SqlSession::over(snapshot, seed)
             .with_group_policy(self.config.group_policy)
             .with_sequence_cache(Arc::clone(&self.cache))
     }

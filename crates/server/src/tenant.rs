@@ -21,13 +21,19 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One admitted query in a tenant's replay log: the admission index its
-/// noise seed derives from, and the SQL text to re-execute.
+/// noise seed derives from, the SQL text to re-execute, and the catalog
+/// snapshot version it was admitted against.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AdmittedQuery {
     /// The per-tenant admission index (0-based, gapless).
     pub index: u64,
     /// The query text as admitted.
     pub sql: String,
+    /// Version of the [`CatalogSnapshot`](rmdp_sql::CatalogSnapshot) the
+    /// query executed over. Ingests advance the server's snapshot, and
+    /// replay must re-execute each query over the *same* data it originally
+    /// saw, or interleaved ingests would change the replayed answers.
+    pub snapshot_version: u64,
 }
 
 /// The mutable half of one tenant, guarded by one mutex.
@@ -147,6 +153,7 @@ impl TenantRegistry {
         sql: &str,
         cost: PrivacyBudget,
         max_in_flight: usize,
+        snapshot_version: u64,
     ) -> Option<Reservation> {
         let state = self.state(tenant)?;
         let ledger = self.budgets.handle(tenant)?;
@@ -169,6 +176,7 @@ impl TenantRegistry {
         t.log.push(AdmittedQuery {
             index,
             sql: sql.to_owned(),
+            snapshot_version,
         });
         Some(Reservation::Admitted {
             index,

@@ -98,6 +98,10 @@ pub enum SqlError {
         /// The span of the construct that fixed the query's shape.
         span: Span,
     },
+    /// An incremental ingest (`CatalogSnapshot::with_delta`) was rejected:
+    /// unknown table, missing annotation rule, or a malformed row. Nothing
+    /// was mutated.
+    Delta(rmdp_krelation::DeltaError),
     /// The underlying mechanism failed (LP solve, parameter validation, …).
     Mechanism(MechanismError),
     /// The release (or batch of releases) would exceed the session's total
@@ -120,7 +124,7 @@ impl SqlError {
             | SqlError::UndeclaredGroupDomain { span, .. }
             | SqlError::GroupKeyMismatch { span, .. }
             | SqlError::QueryShape { span, .. } => Some(*span),
-            SqlError::Mechanism(_) | SqlError::BudgetExhausted(_) => None,
+            SqlError::Delta(_) | SqlError::Mechanism(_) | SqlError::BudgetExhausted(_) => None,
         }
     }
 
@@ -195,6 +199,7 @@ impl fmt::Display for SqlError {
                 "SELECT key `{select}` does not match the GROUP BY key `{group}`"
             ),
             SqlError::QueryShape { message, .. } => write!(f, "{message}"),
+            SqlError::Delta(e) => write!(f, "ingest rejected: {e}"),
             SqlError::Mechanism(e) => write!(f, "mechanism error: {e}"),
             SqlError::BudgetExhausted(e) => write!(f, "{e}"),
         }
@@ -206,6 +211,12 @@ impl std::error::Error for SqlError {}
 impl From<MechanismError> for SqlError {
     fn from(e: MechanismError) -> Self {
         SqlError::Mechanism(e)
+    }
+}
+
+impl From<rmdp_krelation::DeltaError> for SqlError {
+    fn from(e: rmdp_krelation::DeltaError) -> Self {
+        SqlError::Delta(e)
     }
 }
 

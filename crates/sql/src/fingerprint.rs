@@ -37,9 +37,18 @@
 //! semantic equality: every component (tables, every predicate operand and
 //! operator, the aggregate) is length-prefix framed into the encoding, the
 //! encoding is hashed with the 128-bit [`FingerprintHasher`],
-//! and the database's `(instance_id, annotation_epoch)` pair plus the
+//! and the database's `instance_id`, its **universe epoch**, and the
+//! epoch stamps of **exactly the scanned tables** plus the
 //! sensitivity-relevant [`MechanismParams`] fields (`beta`, `theta`) are
-//! hashed alongside. Strictly, *no* params field can change a frozen
+//! hashed alongside. Scoping the epoch vector to the scanned tables is
+//! what makes invalidation *delta-scoped*: ingesting into table `A`
+//! re-keys only the queries that scan `A`; every cached entry over other
+//! tables keeps its key byte-for-byte and keeps hitting. The universe
+//! epoch is folded into every key because participant-set changes
+//! (growth, relabeling) change the sequence length `|P|+1` for *all*
+//! queries regardless of which tables they scan.
+//!
+//! Strictly, *no* params field can change a frozen
 //! `H`/`G` value (the sequences are a function of the query relation
 //! alone; `β`/`θ` enter only at release time, where the Δ-ladder is
 //! rebuilt from the live params against the cached `G` entries), so
@@ -61,7 +70,9 @@ use rmdp_krelation::tuple::Value;
 
 /// Version tag of the canonical encoding; bump when the encoding changes so
 /// stale fingerprints from older builds can never alias new ones.
-const ENCODING_VERSION: u64 = 1;
+/// Version 2: the single `annotation_epoch` was replaced by the universe
+/// epoch plus the per-table epoch stamps of the scanned tables.
+const ENCODING_VERSION: u64 = 2;
 
 /// Cap on how many alias assignments the exact canonicalisation tries (the
 /// product of per-table factorials). `7! = 5040` keeps even a 7-way
@@ -69,24 +80,93 @@ const ENCODING_VERSION: u64 = 1;
 /// millisecond.
 pub const MAX_CANON_PERMUTATIONS: usize = 5040;
 
+/// Everything the cache layer needs to know about one
+/// `(database state, canonical plan, params)` triple:
+///
+/// * [`key`](Self::key) — the epoch-scoped cache key: two plans collide iff
+///   they are structurally identical **and** every table either plan scans
+///   (plus the participant universe) is at the same epoch stamp;
+/// * [`lineage`](Self::lineage) — the epoch-*free* structural identity of
+///   the plan over this database instance: stable across deltas, it links a
+///   post-delta recompute to the pre-delta entry parked in the cache's seed
+///   bank so the recompute can warm-refresh instead of solving cold;
+/// * [`stamps`](Self::stamps) — the exact epoch stamps the key was minted
+///   under (universe first, then the scanned tables in sorted name order),
+///   the tag [`SequenceCache::purge_stale`](rmdp_core::SequenceCache::purge_stale)
+///   sweeps against on snapshot swap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanKey {
+    /// The epoch-scoped fingerprint keying the sequence cache.
+    pub key: Fingerprint,
+    /// The epoch-free structural fingerprint keying the refresh seed bank.
+    pub lineage: Fingerprint,
+    /// The epoch stamps hashed into `key`: the universe epoch followed by
+    /// each scanned table's epoch (sorted, deduplicated table order).
+    pub stamps: Vec<u64>,
+}
+
+/// Computes the [`PlanKey`] of a plan: the cache key hashing the epoch
+/// vector of exactly the scanned tables (universe epoch folded in), the
+/// epoch-free lineage, and the stamp vector for staleness sweeps.
+pub fn plan_key(db: &AnnotatedDatabase, plan: &QueryPlan, params: &MechanismParams) -> PlanKey {
+    let encoding = canonical_plan_encoding(plan);
+
+    // The tables the plan scans, sorted and deduplicated — a self-join
+    // reads one table state, so its epoch is hashed once.
+    let mut scanned: Vec<&str> = std::iter::once(plan.from.table.as_str())
+        .chain(plan.joins.iter().map(|j| j.scan.table.as_str()))
+        .collect();
+    scanned.sort_unstable();
+    scanned.dedup();
+
+    let mut stamps = Vec::with_capacity(scanned.len() + 1);
+    stamps.push(db.universe_epoch());
+
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_u64(ENCODING_VERSION);
+    // Database identity, universe epoch, and the epoch of every scanned
+    // table: a delta to any *other* table leaves this key byte-identical.
+    hasher.write_u64(db.instance_id());
+    hasher.write_u64(db.universe_epoch());
+    hasher.write_u64(scanned.len() as u64);
+    for table in &scanned {
+        let epoch = db.table_epoch(table);
+        hasher.write_str(table);
+        hasher.write_u64(epoch);
+        stamps.push(epoch);
+    }
+    // Sensitivity-relevant parameters (see module docs for the rationale).
+    hasher.write_f64(params.beta);
+    hasher.write_f64(params.theta);
+    hasher.write_bytes(&encoding);
+    let key = hasher.finish();
+
+    // The lineage is the same construction minus every epoch: it survives
+    // deltas, so it can pair a post-delta miss with its pre-delta seed.
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_u64(ENCODING_VERSION);
+    hasher.write_u64(db.instance_id());
+    hasher.write_f64(params.beta);
+    hasher.write_f64(params.theta);
+    hasher.write_bytes(&encoding);
+    let lineage = hasher.finish();
+
+    PlanKey {
+        key,
+        lineage,
+        stamps,
+    }
+}
+
 /// The fingerprint keying one `(database state, canonical plan, params)`
-/// triple in the sequence cache.
+/// triple in the sequence cache — [`plan_key`]'s `key` component, kept as
+/// the stable entry point for callers that need only the cache key.
 pub fn plan_fingerprint(
     db: &AnnotatedDatabase,
     plan: &QueryPlan,
     params: &MechanismParams,
 ) -> Fingerprint {
-    let mut hasher = FingerprintHasher::new();
-    hasher.write_u64(ENCODING_VERSION);
-    // Database identity and mutation epoch: any insert_table/universe_mut
-    // bump invalidates every previously issued fingerprint.
-    hasher.write_u64(db.instance_id());
-    hasher.write_u64(db.annotation_epoch());
-    // Sensitivity-relevant parameters (see module docs for the rationale).
-    hasher.write_f64(params.beta);
-    hasher.write_f64(params.theta);
-    hasher.write_bytes(&canonical_plan_encoding(plan));
-    hasher.finish()
+    plan_key(db, plan, params).key
 }
 
 /// The canonical byte encoding of a plan: equal for structurally identical
@@ -498,11 +578,24 @@ mod tests {
         let db2 = db();
         assert_ne!(base, plan_fingerprint(&db2, &q, &params));
 
-        // Same instance, mutated (epoch bump).
+        // Same instance, an *unrelated* table added: the query scans only
+        // `visits`, whose epoch did not move, so the key must survive —
+        // invalidation is delta-scoped, not global.
         let mut db3 = db1.clone();
         let before = plan_fingerprint(&db3, &q, &params);
         db3.insert_table("extra", KRelation::empty());
+        assert_eq!(before, plan_fingerprint(&db3, &q, &params));
+
+        // Mutating the scanned table itself must split the key.
+        db3.insert_table("visits", KRelation::new(["person", "place"]));
         assert_ne!(before, plan_fingerprint(&db3, &q, &params));
+
+        // A universe mutation invalidates every key: `|P|` changes the
+        // sequence length for all queries.
+        let mut db4 = db1.clone();
+        let before = plan_fingerprint(&db4, &q, &params);
+        db4.universe_mut().intern("newcomer");
+        assert_ne!(before, plan_fingerprint(&db4, &q, &params));
 
         // Sensitivity-relevant params split; noise-only params do not.
         let mut wide = params;
@@ -546,6 +639,75 @@ mod tests {
         }
         // Distinct keys must never collide (the literal is framed in).
         assert_ne!(per_group[0], per_group[1]);
+    }
+
+    #[test]
+    fn deltas_invalidate_only_queries_scanning_the_touched_table() {
+        use rmdp_krelation::AnnotationRule;
+
+        let mut db = db();
+        db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".to_owned()));
+        // Initial loads intern the same labels the rule derives, so a later
+        // ingest by a known owner is intern-only (see `AnnotationRule` docs).
+        db.intern(&AnnotationRule::owner_label("person", &Value::str("ada")));
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let visits_q = plan(&db, "SELECT COUNT(*) FROM visits")
+            .unwrap()
+            .expect_scalar();
+        let residents_q = plan(&db, "SELECT COUNT(*) FROM residents")
+            .unwrap()
+            .expect_scalar();
+        let join_q = plan(
+            &db,
+            "SELECT COUNT(*) FROM residents r JOIN visits v ON r.person = v.person",
+        )
+        .unwrap()
+        .expect_scalar();
+
+        let visits_before = plan_key(&db, &visits_q, &params);
+        let residents_before = plan_key(&db, &residents_q, &params);
+        let join_before = plan_key(&db, &join_q, &params);
+
+        // Ingest one row owned by an already-known participant: intern-only,
+        // so only the `visits` epoch may move.
+        db.apply_delta(
+            "visits",
+            [Tuple::new([
+                ("person", Value::str("ada")),
+                ("place", Value::str("park")),
+            ])],
+        )
+        .unwrap();
+
+        // The untouched table's key is *byte-identical* — fingerprint,
+        // lineage and every stamp — so its cached sequences keep hitting.
+        assert_eq!(residents_before, plan_key(&db, &residents_q, &params));
+
+        // Everything scanning the mutated table re-keys...
+        let visits_after = plan_key(&db, &visits_q, &params);
+        let join_after = plan_key(&db, &join_q, &params);
+        assert_ne!(visits_before.key, visits_after.key);
+        assert_ne!(join_before.key, join_after.key);
+        // ...but keeps its lineage, linking it to the pre-delta seed.
+        assert_eq!(visits_before.lineage, visits_after.lineage);
+        assert_eq!(join_before.lineage, join_after.lineage);
+        // The universe stamp (slot 0) did not move: pure tuple appends by
+        // known participants never bump the universe epoch.
+        assert_eq!(visits_before.stamps[0], visits_after.stamps[0]);
+    }
+
+    #[test]
+    fn self_joins_hash_the_scanned_table_epoch_once() {
+        let db = db();
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let q = plan(
+            &db,
+            "SELECT COUNT(*) FROM visits a JOIN visits b ON a.place = b.place",
+        )
+        .unwrap()
+        .expect_scalar();
+        // Universe stamp + exactly one stamp for `visits`.
+        assert_eq!(plan_key(&db, &q, &params).stamps.len(), 2);
     }
 
     #[test]

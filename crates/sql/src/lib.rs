@@ -65,6 +65,7 @@ pub mod snapshot;
 pub mod token;
 
 pub use error::SqlError;
+pub use fingerprint::{plan_fingerprint, plan_key, PlanKey};
 pub use parser::parse;
 pub use plan::{plan, plan_query, AnyPlan, GroupedQueryPlan, QueryPlan};
 pub use session::{

@@ -10,17 +10,18 @@
 
 use crate::error::SqlError;
 use crate::exec::{execute, weigh};
-use crate::fingerprint::plan_fingerprint;
+use crate::fingerprint::{plan_key, PlanKey};
 use crate::plan::{GroupedQueryPlan, QueryPlan};
 use crate::session::{GroupRelease, GroupedRelease};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rmdp_core::{
-    CachedSequences, EfficientSequences, FrozenSequences, LpWorkStats, MechanismParams,
-    Parallelism, RecursiveMechanism, Release, SensitiveKRelation, SequenceCache,
+    CachedSequences, EfficientSequences, EntryTag, FrozenSequences, LpWorkStats, MechanismParams,
+    Parallelism, RecursiveMechanism, RefreshTier, Release, SensitiveKRelation, SequenceCache,
+    SimplexOptions,
 };
 use rmdp_krelation::annotate::AnnotatedDatabase;
-use rmdp_krelation::fingerprint::{Fingerprint, FingerprintHasher};
+use rmdp_krelation::fingerprint::FingerprintHasher;
 use rmdp_krelation::tuple::Value;
 use rmdp_noise::{GroupBudgetPolicy, PrivacyBudget};
 use rmdp_observe::{CacheOutcome, NoopRecorder, Recorder, Stage};
@@ -28,11 +29,14 @@ use rmdp_runtime::par_try_map_indexed;
 use std::sync::Arc;
 
 /// What one [`release_plan`] call produced beyond the release itself: how
-/// the cache behaved and how much LP work ran on this call (zero on a hit).
+/// the cache behaved, how much LP work ran on this call (zero on a hit),
+/// and — when the miss was served by re-deriving a parked pre-delta entry —
+/// which refresh tier did it.
 pub(crate) struct ReleaseOutcome {
     pub(crate) release: Release,
     pub(crate) cache: CacheOutcome,
     pub(crate) lp: LpWorkStats,
+    pub(crate) refresh: Option<RefreshTier>,
 }
 
 /// The trace-facing facts of one grouped report: aggregate cache behaviour,
@@ -42,6 +46,7 @@ pub(crate) struct GroupedOutcome {
     pub(crate) cache: CacheOutcome,
     pub(crate) cache_hits: u64,
     pub(crate) cache_misses: u64,
+    pub(crate) warm_refreshes: u64,
     pub(crate) lp: LpWorkStats,
     pub(crate) fraction: f64,
     pub(crate) group_epsilon1: f64,
@@ -89,32 +94,52 @@ pub(crate) fn release_plan<T: Recorder>(
     plan: &QueryPlan,
     params: MechanismParams,
     rng: &mut StdRng,
-    cache: Option<(&SequenceCache, Fingerprint)>,
+    cache: Option<(&SequenceCache, &PlanKey)>,
     recorder: &mut T,
 ) -> Result<ReleaseOutcome, SqlError> {
     if let Some((cache, key)) = cache {
         recorder.enter(Stage::CacheLookup);
-        let cached = cache.get(key);
+        let cached = cache.get(key.key);
         recorder.exit(Stage::CacheLookup);
-        let (frozen, outcome, lp) = match cached {
-            Some(hit) => (hit, CacheOutcome::Hit, LpWorkStats::default()),
+        let (frozen, outcome, lp, refresh) = match cached {
+            Some(hit) => (hit, CacheOutcome::Hit, LpWorkStats::default(), None),
             None => {
                 recorder.enter(Stage::Plan);
                 let query = build_sensitive_query(db, plan);
                 recorder.exit(Stage::Plan);
                 recorder.enter(Stage::SequenceSolve);
-                let computed = query.and_then(|query| {
-                    FrozenSequences::compute_with_stats(
+                // A parked pre-delta entry of the same lineage (swept by
+                // `purge_stale` on snapshot swap) turns this miss into a
+                // warm refresh; either path is bit-identical to a cold
+                // compute on the post-delta data, so the choice is purely
+                // a matter of LP work.
+                let computed = query.and_then(|query| match cache.take_refresh_base(key.lineage) {
+                    Some((base, seed)) => base
+                        .refresh(&seed, query, SimplexOptions::default(), params.parallelism)
+                        .map(|(frozen, next_seed, stats)| {
+                            (frozen, next_seed, stats.lp, Some(stats.tier))
+                        })
+                        .map_err(SqlError::from),
+                    None => FrozenSequences::compute_with_seed(
                         EfficientSequences::new(query),
                         params.parallelism,
                     )
-                    .map_err(SqlError::from)
+                    .map(|(frozen, seed, stats)| (frozen, seed, stats, None))
+                    .map_err(SqlError::from),
                 });
                 recorder.exit(Stage::SequenceSolve);
-                let (frozen, stats) = computed?;
+                let (frozen, seed, stats, refresh) = computed?;
                 let frozen = Arc::new(frozen);
-                cache.insert(key, Arc::clone(&frozen));
-                (frozen, CacheOutcome::Miss, stats)
+                cache.insert_tagged(
+                    key.key,
+                    Arc::clone(&frozen),
+                    EntryTag {
+                        stamps: key.stamps.clone(),
+                        lineage: key.lineage,
+                    },
+                    Some(Arc::new(seed)),
+                );
+                (frozen, CacheOutcome::Miss, stats, refresh)
             }
         };
         let mut mechanism = RecursiveMechanism::new(CachedSequences(frozen), params)?;
@@ -123,6 +148,7 @@ pub(crate) fn release_plan<T: Recorder>(
             release,
             cache: outcome,
             lp,
+            refresh,
         });
     }
 
@@ -143,6 +169,7 @@ pub(crate) fn release_plan<T: Recorder>(
         release,
         cache: CacheOutcome::Uncached,
         lp,
+        refresh: None,
     })
 }
 
@@ -198,10 +225,10 @@ pub(crate) fn release_grouped_plan<T: Recorder>(
     // Fingerprints are computed before the fan-out (cheap and pure), so
     // workers only touch the shared cache.
     recorder.enter(Stage::Fingerprint);
-    let keys: Option<Vec<Fingerprint>> = cache.map(|_| {
+    let keys: Option<Vec<PlanKey>> = cache.map(|_| {
         plans
             .iter()
-            .map(|p| plan_fingerprint(db, p, &group_params))
+            .map(|p| plan_key(db, p, &group_params))
             .collect()
     });
     recorder.exit(Stage::Fingerprint);
@@ -225,7 +252,7 @@ pub(crate) fn release_grouped_plan<T: Recorder>(
     recorder.enter(Stage::SequenceSolve);
     let outcomes = par_try_map_indexed(params.parallelism, k, |i| {
         let mut rng = StdRng::seed_from_u64(seeds[i]);
-        let key = keys.as_ref().map(|ks| ks[i]);
+        let key = keys.as_ref().map(|ks| &ks[i]);
         release_plan(
             db,
             &plans[i],
@@ -244,12 +271,19 @@ pub(crate) fn release_grouped_plan<T: Recorder>(
     let mut lp = LpWorkStats::default();
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
+    let mut warm_refreshes = 0u64;
     for outcome in &outcomes {
         lp.absorb(&outcome.lp);
         match outcome.cache {
             CacheOutcome::Hit => cache_hits += 1,
             CacheOutcome::Miss => cache_misses += 1,
             CacheOutcome::Uncached => {}
+        }
+        if matches!(
+            outcome.refresh,
+            Some(RefreshTier::Unchanged | RefreshTier::WarmChain)
+        ) {
+            warm_refreshes += 1;
         }
     }
     let cache_outcome = if cache.is_none() {
@@ -280,6 +314,7 @@ pub(crate) fn release_grouped_plan<T: Recorder>(
         cache: cache_outcome,
         cache_hits,
         cache_misses,
+        warm_refreshes,
         lp,
         fraction,
         group_epsilon1: group_params.epsilon1,

@@ -2,14 +2,16 @@
 
 use crate::error::SqlError;
 use crate::exec::{execute, execute_grouped};
-use crate::fingerprint::plan_fingerprint;
+use crate::fingerprint::{plan_fingerprint, plan_key, PlanKey};
 use crate::parser::parse;
 use crate::plan::{plan_query, AnyPlan, GroupedQueryPlan, QueryPlan};
 use crate::release::{release_grouped_plan, release_plan, GroupedOutcome};
 use crate::snapshot::CatalogSnapshot;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use rmdp_core::{CacheStats, LpWorkStats, MechanismParams, Parallelism, Release, SequenceCache};
+use rmdp_core::{
+    CacheStats, LpWorkStats, MechanismParams, Parallelism, RefreshTier, Release, SequenceCache,
+};
 use rmdp_krelation::annotate::AnnotatedDatabase;
 use rmdp_krelation::fingerprint::Fingerprint;
 use rmdp_krelation::tuple::Value;
@@ -419,13 +421,13 @@ impl SqlSession {
         Ok(())
     }
 
-    /// The cache handle and fingerprint for one admitted plan, when the
-    /// session carries a cache.
-    fn cache_key(&self, plan: &QueryPlan) -> Option<(Arc<SequenceCache>, Fingerprint)> {
+    /// The cache handle and epoch-scoped [`PlanKey`] for one admitted plan,
+    /// when the session carries a cache.
+    fn cache_key(&self, plan: &QueryPlan) -> Option<(Arc<SequenceCache>, PlanKey)> {
         self.cache.as_ref().map(|c| {
             (
                 Arc::clone(c),
-                plan_fingerprint(self.snapshot.database(), plan, &self.params),
+                plan_key(self.snapshot.database(), plan, &self.params),
             )
         })
     }
@@ -668,7 +670,7 @@ impl SqlSession {
         recorder.enter(Stage::Fingerprint);
         let cache = self.cache_key(plan);
         let fingerprint = match (&cache, force_fingerprint) {
-            (Some((_, key)), _) => Some(*key),
+            (Some((_, key)), _) => Some(key.key),
             (None, true) => Some(plan_fingerprint(
                 self.snapshot.database(),
                 plan,
@@ -682,7 +684,7 @@ impl SqlSession {
             plan,
             self.params,
             &mut self.rng,
-            cache.as_ref().map(|(c, key)| (c.as_ref(), *key)),
+            cache.as_ref().map(|(c, key)| (c.as_ref(), key)),
             recorder,
         )?;
         recorder.enter(Stage::BudgetDebit);
@@ -690,6 +692,7 @@ impl SqlSession {
         recorder.exit(Stage::BudgetDebit);
         debited?;
         self.absorb_release_stats(&outcome.lp, 1);
+        self.absorb_refresh_tier(outcome.refresh);
         Ok(ScalarOutcome {
             release: outcome.release,
             cache: outcome.cache,
@@ -721,7 +724,21 @@ impl SqlSession {
                 m.counter_record_total("cache.misses", stats.misses);
                 m.counter_record_total("cache.insertions", stats.insertions);
                 m.counter_record_total("cache.evictions", stats.evictions);
+                m.counter_record_total("cache.evictions_stale", stats.evictions_stale);
                 m.gauge_set("cache.hit_rate", stats.hit_rate());
+            }
+        }
+    }
+
+    /// Books which refresh tier served a cache miss, when the miss was
+    /// re-derived from a parked pre-delta entry rather than computed cold.
+    fn absorb_refresh_tier(&self, refresh: Option<RefreshTier>) {
+        if let Some(m) = &self.metrics {
+            match refresh {
+                Some(RefreshTier::Unchanged) => m.counter_add("lp.warm_refresh_unchanged", 1),
+                Some(RefreshTier::WarmChain) => m.counter_add("lp.warm_refresh_chains", 1),
+                Some(RefreshTier::ColdRebuild) => m.counter_add("lp.warm_refresh_cold", 1),
+                None => {}
             }
         }
     }
@@ -780,6 +797,11 @@ impl SqlSession {
         recorder.exit(Stage::BudgetDebit);
         debited?;
         self.absorb_release_stats(&info.lp, k as u64);
+        // Per-group tiers are folded inside the fan-out; warm refreshes
+        // (Unchanged or WarmChain) are booked under the chains counter.
+        if let Some(m) = &self.metrics {
+            m.counter_add("lp.warm_refresh_chains", info.warm_refreshes);
+        }
         Ok((report, info))
     }
 
@@ -832,12 +854,12 @@ impl SqlSession {
         };
         self.ensure_affordable(total_cost)?;
 
-        // Fingerprints are computed before the fan-out (they are cheap and
+        // Plan keys are computed before the fan-out (they are cheap and
         // pure), one per plan, so workers only touch the shared cache.
-        let keys: Option<Vec<Fingerprint>> = self.cache.as_ref().map(|_| {
+        let keys: Option<Vec<PlanKey>> = self.cache.as_ref().map(|_| {
             plans
                 .iter()
-                .map(|p| plan_fingerprint(self.snapshot.database(), p, &self.params))
+                .map(|p| plan_key(self.snapshot.database(), p, &self.params))
                 .collect()
         });
         let seeds: Vec<u64> = plans.iter().map(|_| self.rng.next_u64()).collect();
@@ -857,7 +879,7 @@ impl SqlSession {
         });
         let outcomes = par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
             let mut rng = StdRng::seed_from_u64(seeds[i]);
-            let key = keys.as_ref().map(|k| k[i]);
+            let key = keys.as_ref().map(|k| &k[i]);
             release_plan(
                 db,
                 &plans[i],
@@ -874,6 +896,7 @@ impl SqlSession {
         let mut lp = LpWorkStats::default();
         for outcome in &outcomes {
             lp.absorb(&outcome.lp);
+            self.absorb_refresh_tier(outcome.refresh);
         }
         self.absorb_release_stats(&lp, outcomes.len() as u64);
         Ok(outcomes.into_iter().map(|o| o.release).collect())
@@ -928,16 +951,14 @@ impl SqlSession {
         };
         self.ensure_affordable(total_cost)?;
 
-        // Scalar fingerprints are precomputed as in `query_batch`; grouped
-        // items fingerprint per group inside `release_grouped_plan` (their
+        // Scalar plan keys are precomputed as in `query_batch`; grouped
+        // items compute keys per group inside `release_grouped_plan` (their
         // keys depend on the scaled per-group ε split).
-        let keys: Option<Vec<Option<Fingerprint>>> = self.cache.as_ref().map(|_| {
+        let keys: Option<Vec<Option<PlanKey>>> = self.cache.as_ref().map(|_| {
             plans
                 .iter()
                 .map(|item| match item {
-                    AnyPlan::Scalar(p) => {
-                        Some(plan_fingerprint(self.snapshot.database(), p, &self.params))
-                    }
+                    AnyPlan::Scalar(p) => Some(plan_key(self.snapshot.database(), p, &self.params)),
                     AnyPlan::Grouped(_) => None,
                 })
                 .collect()
@@ -958,7 +979,7 @@ impl SqlSession {
             let mut rng = StdRng::seed_from_u64(seeds[i]);
             match &plans[i] {
                 AnyPlan::Scalar(plan) => {
-                    let key = keys.as_ref().and_then(|ks| ks[i]);
+                    let key = keys.as_ref().and_then(|ks| ks[i].as_ref());
                     release_plan(
                         db,
                         plan,
@@ -1322,6 +1343,103 @@ mod tests {
         assert_eq!(release.true_answer, 0.0, "empty table after mutation");
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// Two rule-annotated tables built entirely through `apply_delta`, so
+    /// later ingests by known owners are intern-only.
+    fn delta_db() -> AnnotatedDatabase {
+        use rmdp_krelation::AnnotationRule;
+        let mut db = AnnotatedDatabase::new();
+        db.insert_table("visits", KRelation::new(["person", "place"]));
+        db.insert_table("residents", KRelation::new(["person", "city"]));
+        db.declare_annotation_rule("visits", AnnotationRule::OwnerColumn("person".to_owned()));
+        db.declare_annotation_rule(
+            "residents",
+            AnnotationRule::OwnerColumn("person".to_owned()),
+        );
+        db.apply_delta(
+            "visits",
+            [
+                Tuple::new([
+                    ("person", Value::str("ada")),
+                    ("place", Value::str("museum")),
+                ]),
+                Tuple::new([("person", Value::str("bo")), ("place", Value::str("cafe"))]),
+            ],
+        )
+        .unwrap();
+        db.apply_delta(
+            "residents",
+            [
+                Tuple::new([("person", Value::str("ada")), ("city", Value::str("rome"))]),
+                Tuple::new([("person", Value::str("bo")), ("city", Value::str("oslo"))]),
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshot_delta_keeps_untouched_entries_and_warm_refreshes_the_rest() {
+        let params = MechanismParams::paper_edge_privacy(1.0);
+        let cache = rmdp_core::SequenceCache::shared(8);
+        let snapshot = CatalogSnapshot::shared(delta_db(), params);
+        const VISITS: &str = "SELECT COUNT(*) FROM visits";
+        const RESIDENTS: &str = "SELECT COUNT(*) FROM residents";
+
+        // Prime both entries under snapshot version 0.
+        let mut s1 =
+            SqlSession::over(Arc::clone(&snapshot), 7).with_sequence_cache(Arc::clone(&cache));
+        let v_before = s1.query_scalar(VISITS).unwrap();
+        s1.query_scalar(RESIDENTS).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+
+        // Ingest one row (known owner) into `visits`: a new snapshot link;
+        // the parent stays untouched and usable.
+        let next = snapshot
+            .with_delta(
+                "visits",
+                [Tuple::new([
+                    ("person", Value::str("ada")),
+                    ("place", Value::str("park")),
+                ])],
+            )
+            .unwrap();
+        assert_eq!(snapshot.version(), 0);
+        assert_eq!(next.version(), 1);
+        assert_eq!(snapshot.database().table("visits").unwrap().len(), 2);
+        assert_eq!(next.database().table("visits").unwrap().len(), 3);
+
+        // Sweep the cache against the new snapshot's stamps: exactly the
+        // visits entry is stale; it parks as a refresh base.
+        let swept = cache.purge_stale(&next.database().current_epoch_stamps());
+        assert_eq!(swept, 1);
+        assert_eq!(cache.stats().evictions_stale, 1);
+        assert_eq!(cache.banked_refresh_bases(), 1);
+
+        // In-flight sessions over the *old* snapshot keep releasing against
+        // the data they were admitted under.
+        let held = s1.query_scalar(VISITS).unwrap();
+        assert_eq!(held.true_answer, v_before.true_answer);
+
+        // Over the new snapshot: the untouched table still hits, and the
+        // touched table's miss claims the parked base (warm refresh).
+        let mut s2 = SqlSession::over(Arc::clone(&next), 7).with_sequence_cache(Arc::clone(&cache));
+        let hits_before = cache.stats().hits;
+        s2.query_scalar(RESIDENTS).unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        let warm = s2.query_scalar(VISITS).unwrap();
+        assert_eq!(warm.true_answer, 3.0);
+        assert_eq!(cache.banked_refresh_bases(), 0, "base was claimed");
+
+        // Bit-identity: a cold session over the new snapshot (fresh empty
+        // cache, same seed, same query order) releases identically.
+        let mut cold = SqlSession::over(Arc::clone(&next), 7)
+            .with_sequence_cache(rmdp_core::SequenceCache::shared(8));
+        cold.query_scalar(RESIDENTS).unwrap();
+        let cold_visits = cold.query_scalar(VISITS).unwrap();
+        assert_eq!(warm.noisy_answer, cold_visits.noisy_answer);
+        assert_eq!(warm.true_answer, cold_visits.true_answer);
     }
 
     /// Visits with a declared public domain over `place`, including a key

@@ -18,15 +18,28 @@
 //!
 //! Because the snapshot owns the [`AnnotatedDatabase`] *value* (not a copy
 //! per session), every session sees the same database `instance_id` and
-//! `annotation_epoch` — which is exactly what makes one shared
+//! epoch stamps — which is exactly what makes one shared
 //! [`SequenceCache`](rmdp_core::SequenceCache) sound across tenants: plan
 //! fingerprints embed that identity, so entries computed by one tenant are
 //! valid for every other tenant of the same snapshot by construction.
+//!
+//! ## Versioned snapshot chains
+//!
+//! A snapshot is immutable, but the *service* over it need not be frozen:
+//! [`CatalogSnapshot::with_delta`] forks a **new** snapshot with rows
+//! appended to one table, sharing every untouched table with its parent
+//! copy-on-write (the same `Arc`'d relations, the same epoch stamps). The
+//! parent stays fully usable — in-flight sessions holding it keep
+//! releasing against exactly the data they were admitted under — while a
+//! server atomically swaps its serving handle to the child. Each fork
+//! increments [`version`](CatalogSnapshot::version), giving replay logs a
+//! stable name for "the database state this release saw".
 
 use crate::error::SqlError;
 use crate::plan::{plan, AnyPlan};
 use rmdp_core::MechanismParams;
 use rmdp_krelation::annotate::AnnotatedDatabase;
+use rmdp_krelation::tuple::Tuple;
 use std::sync::Arc;
 
 /// The immutable catalog + planner + parameter bundle shared by all
@@ -62,12 +75,17 @@ use std::sync::Arc;
 pub struct CatalogSnapshot {
     db: AnnotatedDatabase,
     params: MechanismParams,
+    version: u64,
 }
 
 impl CatalogSnapshot {
-    /// Freezes `db` and `params` into an immutable snapshot.
+    /// Freezes `db` and `params` into an immutable snapshot (version 0).
     pub fn new(db: AnnotatedDatabase, params: MechanismParams) -> Self {
-        CatalogSnapshot { db, params }
+        CatalogSnapshot {
+            db,
+            params,
+            version: 0,
+        }
     }
 
     /// [`CatalogSnapshot::new`], already wrapped in the [`Arc`] every caller
@@ -76,8 +94,36 @@ impl CatalogSnapshot {
         Arc::new(Self::new(db, params))
     }
 
+    /// Forks a **new** snapshot with `rows` appended to `table`, sharing
+    /// every untouched table (content *and* epoch stamp) with this one
+    /// copy-on-write. This snapshot is unchanged and stays fully usable;
+    /// the fork's [`version`](Self::version) is this one's plus one.
+    ///
+    /// The fork keeps the database `instance_id`, so cache entries for
+    /// queries that do not scan `table` remain valid — and keep their exact
+    /// keys — across the swap. All-or-nothing: on error nothing is forked.
+    pub fn with_delta<I>(&self, table: &str, rows: I) -> Result<Arc<Self>, SqlError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let db = self.db.fork_with_delta(table, rows)?;
+        Ok(Arc::new(CatalogSnapshot {
+            db,
+            params: self.params,
+            version: self.version + 1,
+        }))
+    }
+
+    /// Which link of the snapshot chain this is: 0 for a freshly built
+    /// snapshot, parent + 1 for every [`with_delta`](Self::with_delta)
+    /// fork. Replay logs record it so a replayed release runs against the
+    /// same database state it was admitted under.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// The annotated database (read-only — the snapshot never mutates, so
-    /// its `annotation_epoch` and cache fingerprints are stable for life).
+    /// its epoch stamps and cache fingerprints are stable for life).
     pub fn database(&self) -> &AnnotatedDatabase {
         &self.db
     }
