@@ -769,7 +769,7 @@ fn run_server_workload() -> ServerBenchResult {
         .iter()
         .flat_map(|(l, _, _)| l.iter().copied())
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    latencies.sort_by(f64::total_cmp);
     let quantile = |q: f64| -> f64 {
         let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
         latencies[rank - 1]

@@ -63,6 +63,7 @@ pub fn phi_equivalent_sampled<R: rand::Rng>(
     for _ in 0..samples {
         let mut f = vec![0.0; dim];
         for p in &vars {
+            // lint:allow(rng-confinement): Monte-Carlo equivalence probing draws from the caller's seeded RNG; this is offline verification, not a noisy release
             f[p.index()] = rng.gen_range(0.0..=1.0);
         }
         if !check(&f) {

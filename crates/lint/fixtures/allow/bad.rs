@@ -1,0 +1,11 @@
+// Fixture: seeded violations for the `lint-allow` audit rule. Linted as if
+// it lived at `crates/noise/src/guard.rs`.
+pub fn misuse(x: f64, y: u32) -> bool {
+    // lint:allow(not-a-rule): the rule name is misspelled
+    let a = x == 0.0;
+    // lint:allow(float-eq)
+    let b = x == 1.0;
+    // lint:allow(float-eq): stale — the next comparison is integral
+    let c = y == 0;
+    a && b && c
+}

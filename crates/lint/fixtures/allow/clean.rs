@@ -1,0 +1,6 @@
+// Fixture: clean twin of allow/bad.rs at the same virtual path — one
+// justified directive that suppresses a real finding.
+pub fn exact_guard(scale: f64) -> bool {
+    // lint:allow(float-eq): exact zero-scale short-circuit is intentional
+    scale == 0.0
+}

@@ -1,0 +1,14 @@
+// Fixture: seeded violations for `clock-confinement`. Linted as if it
+// lived at `crates/runtime/src/timing.rs` (outside the clock home).
+use std::time::{Duration, Instant};
+
+pub fn time_a_solve() -> Duration {
+    let start = Instant::now();
+    expensive();
+    start.elapsed()
+}
+
+pub fn wall_stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    stamp(t)
+}

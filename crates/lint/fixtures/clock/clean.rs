@@ -1,0 +1,10 @@
+// Fixture: clean twin of clock/bad.rs at the same virtual path. Durations
+// are fine; wall-clock reads go through the observe crate's Clock trait.
+use rmdp_observe::Clock;
+use std::time::Duration;
+
+pub fn time_a_solve<C: Clock>(clock: &C) -> Duration {
+    let start = clock.now_ms();
+    expensive();
+    Duration::from_millis(clock.now_ms().saturating_sub(start))
+}

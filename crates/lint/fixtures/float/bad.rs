@@ -1,0 +1,15 @@
+// Fixture: seeded violations for all three float rules. Linted as if it
+// lived at `crates/noise/src/scale.rs` (budget/noise-critical).
+pub fn summarize(samples: &mut Vec<f64>, spent: f64) -> i64 {
+    // float-total-cmp: panics the moment a NaN reaches the sort.
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // float-eq: three 0.1 debits never compare equal to 0.3.
+    let exhausted = spent == 0.3;
+    // float-cast: silently truncates the noise scale.
+    let scale = samples[0] as i64;
+    if exhausted {
+        0
+    } else {
+        scale
+    }
+}

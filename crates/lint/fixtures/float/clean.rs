@@ -1,0 +1,11 @@
+// Fixture: clean twin of float/bad.rs at the same virtual path.
+pub fn summarize(samples: &mut Vec<f64>, spent: f64, budget: f64) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let exhausted = spent >= budget;
+    let scale = samples[0];
+    if exhausted {
+        0.0
+    } else {
+        scale
+    }
+}

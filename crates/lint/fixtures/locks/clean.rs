@@ -1,0 +1,26 @@
+// Fixture: clean twin of locks/bad.rs at the same virtual path: one
+// global order, guards dropped before blocking work, no re-acquisition.
+pub fn forward(s: &Shared) {
+    let state = s.state.lock();
+    let ledger = s.ledger.lock();
+    touch(state, ledger);
+}
+
+pub fn also_forward(s: &Shared) {
+    let state = s.state.lock();
+    let ledger = s.ledger.lock();
+    touch(state, ledger);
+}
+
+pub fn no_convoy(s: &Shared) {
+    let snapshot = {
+        let model = s.model.lock();
+        model.snapshot()
+    };
+    s.solver.solve(&snapshot);
+}
+
+pub fn once(s: &Shared) {
+    let first = s.state.lock();
+    touch_one(first);
+}

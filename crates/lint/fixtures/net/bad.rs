@@ -1,0 +1,8 @@
+// Fixture: seeded violations for `net-confinement`. Linted as if it lived
+// at `crates/runtime/src/side_channel.rs` (no sockets belong there).
+use std::net::{TcpListener, UdpSocket};
+
+pub fn open_side_channel() -> std::io::Result<TcpListener> {
+    let _beacon = UdpSocket::bind("127.0.0.1:0")?;
+    TcpListener::bind("127.0.0.1:0")
+}

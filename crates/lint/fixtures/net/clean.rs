@@ -1,0 +1,8 @@
+// Fixture: clean twin of net/bad.rs, linted as if it lived at
+// `crates/server/src/client.rs` — the sanctioned home for client-side
+// stream connections.
+use std::net::TcpStream;
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}

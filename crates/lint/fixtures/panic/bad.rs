@@ -1,0 +1,13 @@
+// Fixture: seeded violations for `panic-freedom`. Linted as if it lived at
+// `crates/server/src/handler.rs` (the request path).
+pub fn handle(server: &DpServer, parts: &[&str]) -> String {
+    // Indexing panics on a short request line.
+    let verb = parts[0];
+    // unwrap/expect panic instead of refusing.
+    let snapshot = server.snapshot_at(7).unwrap();
+    let budget = parse_budget(parts).expect("budget parses");
+    if verb.is_empty() {
+        panic!("empty verb");
+    }
+    respond(snapshot, budget)
+}

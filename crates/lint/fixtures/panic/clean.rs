@@ -1,0 +1,12 @@
+// Fixture: clean twin of panic/bad.rs at the same virtual path: every
+// failure becomes a refusal, and poisoned locks are recovered.
+use std::sync::PoisonError;
+
+pub fn handle(server: &DpServer, parts: &[&str]) -> Result<String, ServerError> {
+    let verb = parts.first().ok_or(ServerError::Protocol)?;
+    let snapshot = server.snapshot_at(7).ok_or(ServerError::UnknownSnapshot)?;
+    let budget = parse_budget(parts).map_err(|_| ServerError::Protocol)?;
+    debug_assert!(!verb.is_empty());
+    let state = server.state.lock().unwrap_or_else(PoisonError::into_inner);
+    respond(state, snapshot, budget)
+}

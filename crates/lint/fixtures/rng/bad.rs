@@ -1,0 +1,13 @@
+// Fixture: seeded violations for `rng-confinement`. Linted as if it lived
+// at `crates/core/src/sampler.rs` (a confined crate).
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn leak_entropy() -> f64 {
+    // Nondeterministic source: banned everywhere, tests included.
+    let mut ambient = rand::thread_rng();
+    // Unsanctioned construction on the release path.
+    let mut fresh = StdRng::seed_from_u64(42);
+    // Raw sampling outside rmdp-noise.
+    ambient.gen_range(0.0..1.0) + fresh.gen_range(0.0..1.0)
+}

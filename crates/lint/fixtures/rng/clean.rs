@@ -1,0 +1,9 @@
+// Fixture: clean twin of rng/bad.rs at the same virtual path. All
+// randomness flows through a caller-provided generator and rmdp-noise's
+// distribution functions.
+use rand::rngs::StdRng;
+use rmdp_noise::laplace_noise;
+
+pub fn confined_noise(rng: &mut StdRng, scale: f64) -> f64 {
+    laplace_noise(rng, scale)
+}

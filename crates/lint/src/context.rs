@@ -1,0 +1,262 @@
+//! Per-file analysis context: which tokens are test code, and which
+//! `lint:allow(rule): justification` directives the file carries.
+//!
+//! Test code plays by different rules (seeded RNG construction, `unwrap`,
+//! float equality in assertions are all fine there), so every rule checks
+//! the mask before reporting. Test regions are:
+//!
+//! * whole files under `tests/` or `benches/` directories, and
+//! * any item decorated with an attribute containing the `test` identifier
+//!   (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`) — the mask covers
+//!   the item's entire token range, so a `#[cfg(test)] mod tests { … }`
+//!   exempts everything inside it.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// One parsed suppression directive. The comment form is
+/// `// lint:allow(<rule>): <justification>`; it suppresses matching
+/// violations on its own line (trailing form) or on the next code line
+/// (preceding form). The tool records every directive in the report so
+/// justifications can be audited; an empty justification, an unknown rule
+/// name, or a directive that suppresses nothing is itself a violation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule id the directive names.
+    pub rule: String,
+    /// The line the directive sits on.
+    pub line: u32,
+    /// The code line the directive applies to.
+    pub target_line: u32,
+    /// The justification after the closing `):`.
+    pub justification: String,
+}
+
+/// Everything the rules need to know about one source file.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators
+    /// (e.g. `crates/server/src/server.rs`).
+    pub path: String,
+    /// The file's code tokens.
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` is `true` when token `i` is test code.
+    pub test_mask: Vec<bool>,
+    /// Suppression directives found in the file's comments.
+    pub allows: Vec<Allow>,
+}
+
+impl FileContext {
+    /// Lexes `source` and computes the test mask and allow directives.
+    pub fn new(path: &str, source: &str) -> Self {
+        let Lexed { tokens, comments } = lex(source);
+        let file_is_test =
+            path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/");
+        let test_mask = if file_is_test {
+            vec![true; tokens.len()]
+        } else {
+            test_mask(&tokens)
+        };
+        let allows = parse_allows(&comments, &tokens);
+        FileContext {
+            path: path.to_owned(),
+            tokens,
+            test_mask,
+            allows,
+        }
+    }
+
+    /// Whether token `i` is inside test code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Whether `self.path` lives under `crates/<krate>/src/`.
+    pub fn in_crate_src(&self, krate: &str) -> bool {
+        self.path.starts_with(&format!("crates/{krate}/src/"))
+    }
+}
+
+/// Marks the token span of every item decorated by a `test`-mentioning
+/// attribute.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = match matching_bracket(tokens, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            let mentions_test = tokens[i + 2..close].iter().any(|t| t.is_ident("test"));
+            if mentions_test {
+                let end = item_end(tokens, close + 1);
+                for m in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index one past the end of the item starting at `start`: past further
+/// attributes, then either the matching `}` of the item's body or the
+/// terminating `;` at nesting level zero.
+fn item_end(tokens: &[Token], mut start: usize) -> usize {
+    // Skip stacked attributes (`#[test] #[ignore] fn …`).
+    while start + 1 < tokens.len() && tokens[start].is_punct('#') && tokens[start + 1].is_punct('[')
+    {
+        match matching_bracket(tokens, start + 1, '[', ']') {
+            Some(c) => start = c + 1,
+            None => return tokens.len(),
+        }
+    }
+    let mut depth = 0i64;
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'{' | b'(' | b'[' => depth += 1,
+                b'}' | b')' | b']' => {
+                    depth -= 1;
+                    if depth == 0 && t.is_punct('}') {
+                        return i + 1;
+                    }
+                }
+                b';' if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the bracket closing the one at `open` (which must hold the
+/// opening `open_ch`).
+fn matching_bracket(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+const ALLOW_PREFIX: &str = "lint:allow(";
+
+fn parse_allows(comments: &[Comment], tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix(ALLOW_PREFIX) else {
+            continue;
+        };
+        let (rule, after) = match rest.split_once(')') {
+            Some(pair) => pair,
+            None => ("", rest),
+        };
+        let justification = after.strip_prefix(':').unwrap_or("").trim().to_owned();
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line)
+        };
+        allows.push(Allow {
+            rule: rule.trim().to_owned(),
+            line: c.line,
+            target_line,
+            justification,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = r#"
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+            fn also_live() {}
+        "#;
+        let ctx = FileContext::new("crates/server/src/x.rs", src);
+        let by_name = |name: &str| {
+            ctx.tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .expect("token present")
+        };
+        assert!(!ctx.is_test(by_name("live")));
+        assert!(ctx.is_test(by_name("tests")));
+        assert!(ctx.is_test(by_name("y")));
+        assert!(!ctx.is_test(by_name("also_live")));
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_only_that_fn() {
+        let src = "
+            #[test]
+            fn a_test() { q.unwrap(); }
+            fn live() {}
+        ";
+        let ctx = FileContext::new("crates/server/src/x.rs", src);
+        let q = ctx.tokens.iter().position(|t| t.is_ident("q")).unwrap();
+        let live = ctx.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(ctx.is_test(q));
+        assert!(!ctx.is_test(live));
+    }
+
+    #[test]
+    fn files_under_tests_are_all_test_code() {
+        let ctx = FileContext::new("tests/end_to_end.rs", "fn f() { x.unwrap(); }");
+        assert!(ctx.tokens.iter().enumerate().all(|(i, _)| ctx.is_test(i)));
+    }
+
+    #[test]
+    fn allow_directives_bind_to_next_code_line() {
+        let src = "\
+fn f() {
+    // lint:allow(float-eq): exact boundary rejection
+    let a = x == 0.0;
+    let b = y == 0.0; // lint:allow(float-eq): trailing form
+}
+";
+        let ctx = FileContext::new("crates/noise/src/x.rs", src);
+        assert_eq!(ctx.allows.len(), 2);
+        assert_eq!(ctx.allows[0].rule, "float-eq");
+        assert_eq!(ctx.allows[0].target_line, 3);
+        assert_eq!(ctx.allows[0].justification, "exact boundary rejection");
+        assert_eq!(ctx.allows[1].target_line, 4);
+    }
+
+    #[test]
+    fn allow_without_justification_is_recorded_empty() {
+        let src = "// lint:allow(float-eq)\nlet a = 1;";
+        let ctx = FileContext::new("crates/noise/src/x.rs", src);
+        assert_eq!(ctx.allows.len(), 1);
+        assert!(ctx.allows[0].justification.is_empty());
+    }
+}

@@ -1,0 +1,507 @@
+//! A lightweight Rust lexer: enough of the real token grammar that path-
+//! and call-shaped rules can match on identifier sequences without ever
+//! being fooled by comments, string literals or lifetimes.
+//!
+//! The same spirit as `rmdp-observe`'s hand-rolled JSON parser: no external
+//! dependencies, no full grammar — just the token classes the rules need,
+//! each carrying its source span. Comments are not tokens; they are
+//! collected separately so [`crate::context::FileContext`] can mine them
+//! for `lint:allow(...)` directives.
+
+/// What kind of token one [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — kept distinct so a `'a` is never
+    /// confused with the opening quote of a character literal.
+    Lifetime,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`0.5`, `1e-9`, `2f64`).
+    Float,
+    /// A string, raw-string, byte-string or char literal.
+    Str,
+    /// A single punctuation byte (`::` is two consecutive `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The token's source text (for [`TokenKind::Punct`], one byte).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation byte `p`.
+    pub fn is_punct(&self, p: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes() == [p as u8]
+    }
+}
+
+/// One `//` or `/* */` comment, with the line it starts on and whether any
+/// code token precedes it on that line (a *trailing* comment).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// `true` when a code token precedes the comment on its line.
+    pub trailing: bool,
+}
+
+/// The result of lexing one file: code tokens plus the comment side-channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into tokens and comments. The lexer never fails: bytes it
+/// does not understand become single [`TokenKind::Punct`] tokens, which no
+/// rule pattern matches — a sound default for an analysis that only ever
+/// *adds* findings on recognised shapes.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut last_code_line = 0u32;
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos + 2;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                let text = source[start..cur.pos].trim().to_owned();
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    trailing: last_code_line == line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos + 2;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => {
+                            end = cur.pos;
+                            break;
+                        }
+                    }
+                }
+                out.comments.push(Comment {
+                    text: source[start..end.min(source.len())].trim().to_owned(),
+                    line,
+                    trailing: last_code_line == line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.tokens.push(token(TokenKind::Str, "\"…\"", line, col));
+                last_code_line = cur.line;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                lex_raw_or_byte_string(&mut cur);
+                out.tokens.push(token(TokenKind::Str, "\"…\"", line, col));
+                last_code_line = cur.line;
+            }
+            b'\'' => {
+                if lex_char_or_lifetime(&mut cur, source, &mut out, line, col) {
+                    last_code_line = cur.line;
+                }
+            }
+            b if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens
+                    .push(token(TokenKind::Ident, &source[start..cur.pos], line, col));
+                last_code_line = line;
+            }
+            b if b.is_ascii_digit() => {
+                let start = cur.pos;
+                let kind = lex_number(&mut cur);
+                out.tokens
+                    .push(token(kind, &source[start..cur.pos], line, col));
+                last_code_line = cur.line;
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(token(
+                    TokenKind::Punct,
+                    std::str::from_utf8(&[b]).unwrap_or("?"),
+                    line,
+                    col,
+                ));
+                last_code_line = line;
+            }
+        }
+    }
+    out
+}
+
+fn token(kind: TokenKind, text: &str, line: u32, col: u32) -> Token {
+    Token {
+        kind,
+        text: text.to_owned(),
+        line,
+        col,
+    }
+}
+
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    // r"…", r#"…"#, b"…", br"…", br#"…"#, b'…'
+    let b0 = cur.peek();
+    let b1 = cur.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"' | b'#')) => after_hashes_is_quote(cur, 1),
+        (Some(b'b'), Some(b'"')) => true,
+        (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => after_hashes_is_quote(cur, 2),
+        _ => false,
+    }
+}
+
+fn after_hashes_is_quote(cur: &Cursor<'_>, mut ahead: usize) -> bool {
+    while cur.peek_at(ahead) == Some(b'#') {
+        ahead += 1;
+    }
+    cur.peek_at(ahead) == Some(b'"')
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+fn lex_raw_or_byte_string(cur: &mut Cursor<'_>) {
+    // Consume the r/b/br prefix.
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'\'') {
+        // b'…' byte literal: same shape as a char literal.
+        cur.bump();
+        while let Some(b) = cur.bump() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+        return;
+    }
+    let raw = cur.peek() == Some(b'r');
+    if raw {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    if !raw {
+        // Plain b"…": escapes apply.
+        while let Some(b) = cur.bump() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+        return;
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    while let Some(b) = cur.bump() {
+        if b == b'"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some(b'#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Returns `true` when a token was pushed (always) — the return value keeps
+/// the caller's `last_code_line` bookkeeping in one place.
+fn lex_char_or_lifetime(
+    cur: &mut Cursor<'_>,
+    source: &str,
+    out: &mut Lexed,
+    line: u32,
+    col: u32,
+) -> bool {
+    // Disambiguate 'a' (char) from 'a (lifetime): after the quote, an
+    // identifier char not followed by a closing quote is a lifetime.
+    let next = cur.peek_at(1);
+    let after = cur.peek_at(2);
+    let is_lifetime =
+        next.is_some_and(is_ident_start) && after != Some(b'\'') && next != Some(b'\\');
+    if is_lifetime {
+        cur.bump(); // quote
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        out.tokens.push(token(
+            TokenKind::Lifetime,
+            &source[start..cur.pos],
+            line,
+            col,
+        ));
+    } else {
+        cur.bump(); // quote
+        while let Some(b) = cur.bump() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        out.tokens.push(token(TokenKind::Str, "'…'", line, col));
+    }
+    true
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut is_float = false;
+    // Hex/octal/binary prefixes never contain `.`/exponents we care about.
+    if cur.peek() == Some(b'0') && matches!(cur.peek_at(1), Some(b'x' | b'o' | b'b')) {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            cur.bump();
+        }
+        return TokenKind::Int;
+    }
+    while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        cur.bump();
+    }
+    // A `.` starts a fraction only when followed by a digit — `0..n` is a
+    // range and `x.method()` never reaches here.
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        is_float = true;
+        cur.bump();
+        while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+    }
+    if matches!(cur.peek(), Some(b'e' | b'E')) {
+        let sign_ahead = matches!(cur.peek_at(1), Some(b'+' | b'-'));
+        let digit_pos = if sign_ahead { 2 } else { 1 };
+        if cur.peek_at(digit_pos).is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            cur.bump();
+            if sign_ahead {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix: f32/f64 forces float; integer suffixes leave it as is.
+    if cur.peek() == Some(b'f') && (cur.peek_at(1) == Some(b'3') || cur.peek_at(1) == Some(b'6')) {
+        is_float = true;
+    }
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r###"
+            // thread_rng in a comment
+            /* Instant::now() in a block /* nested */ still comment */
+            let s = "thread_rng inside a string";
+            let r = r#"Instant "quoted" inside raw"#;
+            let c = 'I';
+            fn real_ident() {}
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_owned()));
+        assert!(!ids.contains(&"Instant".to_owned()));
+        assert!(ids.contains(&"real_ident".to_owned()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'static str { 'q'; x }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        // 'q' is the only char literal; `str` stays an identifier.
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_literals_are_flagged() {
+        let lexed = lex("let a = 0.5; let b = 1e-9; let c = 3; let r = 0..4; let d = 2f64;");
+        let kinds: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Float, // 0.5
+                TokenKind::Float, // 1e-9
+                TokenKind::Int,   // 3
+                TokenKind::Int,   // 0
+                TokenKind::Int,   // 4
+                TokenKind::Float, // 2f64
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_comments_are_marked() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

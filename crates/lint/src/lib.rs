@@ -1,0 +1,226 @@
+//! rmdp-lint: dependency-free static analysis enforcing the workspace's
+//! DP and concurrency invariants.
+//!
+//! The recursive mechanism's guarantees are only as strong as a handful of
+//! conventions the type system cannot see: every random draw descends from
+//! a logged seed, wall clocks stay behind `rmdp_observe::Clock`, sockets
+//! answer to the server's shutdown discipline, budget arithmetic never
+//! trips over NaN or truncation, the request path refuses instead of
+//! panicking, and locks are taken in one global order. Each started as a
+//! code-review rule or a CI `grep`; this crate turns them into a checked
+//! gate with its own lightweight Rust lexer ([`lexer`]), a per-file
+//! analysis context ([`context`]), five rule families plus a suppression
+//! audit ([`rules`]), and a report that renders for humans and round-trips
+//! through `rmdp-observe`'s JSON grammar for CI artifacts ([`report`]).
+//!
+//! Justified exceptions are written in the source as
+//! `// lint:allow(<rule>): <why>`; the tool records every one in the
+//! report, and a directive that names an unknown rule, carries no
+//! justification, or suppresses nothing is itself a violation.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use context::{Allow, FileContext};
+pub use report::{LintReport, Suppressed, Violation};
+pub use rules::{RuleInfo, RULES};
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names excluded from the scan wherever they appear: lint
+/// fixtures are violations on purpose, `target` is build output, `vendor`
+/// is third-party code the workspace does not own.
+const EXCLUDED_DIRS: &[&str] = &["fixtures", "target", "vendor"];
+
+/// The workspace-relative directories the scan covers.
+const SCAN_ROOTS: &[&str] = &["src", "crates", "tests"];
+
+/// Lints a set of already-built file contexts: runs every rule, applies
+/// `lint:allow` suppressions, and audits the directives themselves.
+pub fn lint_files(files: &[FileContext]) -> LintReport {
+    let raw = rules::check_files(files);
+    let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut violations = Vec::new();
+    let mut suppressed = Vec::new();
+    for v in raw {
+        let file_idx = files.iter().position(|f| f.path == v.path);
+        let hit = file_idx.and_then(|fi| {
+            files[fi].allows.iter().enumerate().find_map(|(ai, a)| {
+                let applicable = a.rule == v.rule
+                    && a.target_line == v.line
+                    && rules::is_known_rule(&a.rule)
+                    && !a.justification.is_empty();
+                applicable.then_some((fi, ai))
+            })
+        });
+        match hit {
+            Some((fi, ai)) => {
+                used.insert((fi, ai));
+                suppressed.push(Suppressed {
+                    justification: files[fi].allows[ai].justification.clone(),
+                    violation: v,
+                });
+            }
+            None => violations.push(v),
+        }
+    }
+    // Audit the directives: unknown rule, empty justification, or unused.
+    for (fi, f) in files.iter().enumerate() {
+        for (ai, a) in f.allows.iter().enumerate() {
+            let problem = if !rules::is_known_rule(&a.rule) {
+                Some(format!(
+                    "lint:allow names unknown rule `{}`; known rules are listed by \
+                     `rmdp-lint --list`",
+                    a.rule
+                ))
+            } else if a.justification.is_empty() {
+                Some(format!(
+                    "lint:allow({}) carries no justification; write \
+                     `lint:allow({}): <why this exception is sound>`",
+                    a.rule, a.rule
+                ))
+            } else if !used.contains(&(fi, ai)) {
+                Some(format!(
+                    "lint:allow({}) suppresses nothing on line {}; delete the stale \
+                     directive",
+                    a.rule, a.target_line
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                violations.push(Violation {
+                    rule: "lint-allow".to_owned(),
+                    path: f.path.clone(),
+                    line: a.line,
+                    col: 1,
+                    message,
+                });
+            }
+        }
+    }
+    violations
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    LintReport {
+        files_scanned: files.len() as u64,
+        violations,
+        suppressed,
+    }
+}
+
+/// Lints the workspace rooted at `root`: scans `src/`, `crates/` and
+/// `tests/` recursively for `.rs` files (excluding fixture, target and
+/// vendor directories) and runs [`lint_files`] over them.
+pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for p in &paths {
+        let source = fs::read_to_string(p)?;
+        let rel = p.strip_prefix(root).unwrap_or(p);
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(FileContext::new(&rel_str, &source));
+    }
+    Ok(lint_files(&files))
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping excluded
+/// directory names.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !EXCLUDED_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn justified_allow_suppresses_and_is_recorded() {
+        let src = "\
+fn f(x: f64) -> bool {
+    // lint:allow(float-eq): exact zero-scale short-circuit
+    x == 0.0
+}
+";
+        let report = lint_files(&[FileContext::new("crates/noise/src/x.rs", src)]);
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(
+            report.suppressed[0].justification,
+            "exact zero-scale short-circuit"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_justification_are_violations() {
+        let src = "\
+// lint:allow(no-such-rule): whatever
+// lint:allow(float-eq)
+fn f() {}
+";
+        let report = lint_files(&[FileContext::new("crates/noise/src/x.rs", src)]);
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations.iter().all(|v| v.rule == "lint-allow"));
+    }
+
+    #[test]
+    fn stale_allow_is_a_violation() {
+        let src = "\
+fn f(x: u32) -> bool {
+    // lint:allow(float-eq): stale — the comparison below is integral now
+    x == 0
+}
+";
+        let report = lint_files(&[FileContext::new("crates/noise/src/x.rs", src)]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "lint-allow");
+        assert!(report.violations[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn unjustified_allow_does_not_suppress() {
+        let src = "\
+fn f(x: f64) -> bool {
+    // lint:allow(float-eq)
+    x == 0.0
+}
+";
+        let report = lint_files(&[FileContext::new("crates/noise/src/x.rs", src)]);
+        // Both the float-eq violation and the lint-allow audit fire.
+        assert_eq!(report.violations.len(), 2);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"float-eq"));
+        assert!(rules.contains(&"lint-allow"));
+    }
+}

@@ -1,0 +1,234 @@
+//! The lint run's result: violations, recorded suppressions, and the
+//! human/JSON renderings CI consumes.
+//!
+//! The JSON writer reuses `rmdp-observe`'s deterministic JSON helpers and
+//! the parser reuses its grammar, so the artifact round-trips the same way
+//! `MetricsSnapshot` does: CI uploads `LINT_report.json`, and an external
+//! auditor can parse it back with no dependencies beyond this workspace.
+
+use rmdp_observe::{parse_json, write_json_string, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule's id (kebab-case, e.g. `panic-freedom`).
+    pub rule: String,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What was matched and why it is banned here.
+    pub message: String,
+}
+
+impl Violation {
+    /// The conventional `path:line:col` span prefix.
+    pub fn span(&self) -> String {
+        format!("{}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// One violation that a justified `lint:allow` directive suppressed. The
+/// report keeps these so every suppression stays auditable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppressed {
+    /// The suppressed violation.
+    pub violation: Violation,
+    /// The directive's justification text.
+    pub justification: String,
+}
+
+/// The complete result of linting a file set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Unsuppressed violations, in path/line order. CI fails on any.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by justified `lint:allow` directives.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl LintReport {
+    /// Whether the run found no violations (suppressions are fine).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count per rule id, sorted by id.
+    pub fn counts_by_rule(&self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.rule.clone()).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    /// Serializes the report as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"files_scanned\":{}", self.files_scanned);
+        out.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_violation(&mut out, v);
+        }
+        out.push_str("],\"suppressed\":[");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut obj = String::new();
+            write_violation(&mut obj, &s.violation);
+            // Graft the justification into the violation object.
+            obj.pop();
+            out.push_str(&obj);
+            out.push_str(",\"justification\":");
+            write_json_string(&mut out, &s.justification);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report previously produced by [`LintReport::to_json`].
+    /// Returns `None` on any structural mismatch.
+    pub fn parse_json(text: &str) -> Option<LintReport> {
+        let doc = parse_json(text).ok()?;
+        let files_scanned = doc.get("files_scanned")?.as_u64()?;
+        let violations = doc
+            .get("violations")?
+            .as_array()?
+            .iter()
+            .map(parse_violation)
+            .collect::<Option<Vec<_>>>()?;
+        let suppressed = doc
+            .get("suppressed")?
+            .as_array()?
+            .iter()
+            .map(|item| {
+                Some(Suppressed {
+                    violation: parse_violation(item)?,
+                    justification: item.get("justification")?.as_str()?.to_owned(),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(LintReport {
+            files_scanned,
+            violations,
+            suppressed,
+        })
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rmdp-lint: {} file(s) scanned, {} violation(s), {} justified suppression(s)",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed.len()
+        );
+        for (rule, count) in self.counts_by_rule() {
+            let _ = writeln!(out, "  {rule}: {count} violation(s)");
+        }
+        for v in &self.violations {
+            let _ = writeln!(out, "{}: [{}] {}", v.span(), v.rule, v.message);
+        }
+        if !self.suppressed.is_empty() {
+            let _ = writeln!(out, "suppressions (audited):");
+            for s in &self.suppressed {
+                let _ = writeln!(
+                    out,
+                    "  {}: [{}] allowed: {}",
+                    s.violation.span(),
+                    s.violation.rule,
+                    s.justification
+                );
+            }
+        }
+        out
+    }
+}
+
+fn write_violation(out: &mut String, v: &Violation) {
+    out.push_str("{\"rule\":");
+    write_json_string(out, &v.rule);
+    out.push_str(",\"path\":");
+    write_json_string(out, &v.path);
+    let _ = write!(out, ",\"line\":{},\"col\":{}", v.line, v.col);
+    out.push_str(",\"message\":");
+    write_json_string(out, &v.message);
+    out.push('}');
+}
+
+fn parse_violation(item: &JsonValue) -> Option<Violation> {
+    Some(Violation {
+        rule: item.get("rule")?.as_str()?.to_owned(),
+        path: item.get("path")?.as_str()?.to_owned(),
+        line: item.get("line")?.as_u64()? as u32,
+        col: item.get("col")?.as_u64()? as u32,
+        message: item.get("message")?.as_str()?.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            files_scanned: 3,
+            violations: vec![Violation {
+                rule: "panic-freedom".to_owned(),
+                path: "crates/server/src/server.rs".to_owned(),
+                line: 12,
+                col: 9,
+                message: "`.unwrap()` on the request path".to_owned(),
+            }],
+            suppressed: vec![Suppressed {
+                violation: Violation {
+                    rule: "float-eq".to_owned(),
+                    path: "crates/noise/src/laplace.rs".to_owned(),
+                    line: 18,
+                    col: 5,
+                    message: "float `==` comparison".to_owned(),
+                },
+                justification: "exact zero-scale short-circuit".to_owned(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let back = LintReport::parse_json(&report.to_json()).expect("parses back");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_round_trips_and_is_clean() {
+        let report = LintReport {
+            files_scanned: 7,
+            ..LintReport::default()
+        };
+        assert!(report.is_clean());
+        let back = LintReport::parse_json(&report.to_json()).expect("parses back");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn text_render_carries_spans_and_rules() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/server/src/server.rs:12:9"));
+        assert!(text.contains("[panic-freedom]"));
+        assert!(text.contains("allowed: exact zero-scale short-circuit"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Float-discipline rules — the exact bug classes earlier PRs fixed by
+//! hand: NaN-panicking `partial_cmp(..).unwrap()` sorts, exact float
+//! equality in budget arithmetic, and silently lossy narrowing casts.
+
+use super::{matching, prev, violation};
+use crate::context::FileContext;
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+
+/// `float-total-cmp`: `partial_cmp(..).unwrap()` / `.expect(..)` is banned
+/// everywhere, tests included — a NaN reaching such a sort panics, and the
+/// workspace-wide sweep replaced every site with `f64::total_cmp`. Applies
+/// to all scanned code: a comparator that can panic is no more welcome in a
+/// test than on the release path.
+pub fn check_total_cmp(ctx: &FileContext, out: &mut Vec<Violation>) {
+    let tokens = &ctx.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("partial_cmp") || !prev(tokens, i).is_some_and(|p| p.is_punct('.')) {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|n| n.is_punct('(')).map(|_| i + 1) else {
+            continue;
+        };
+        let Some(close) = matching(tokens, open, '(', ')') else {
+            continue;
+        };
+        if tokens.get(close + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens
+                .get(close + 2)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+        {
+            out.push(violation(
+                ctx,
+                t,
+                "float-total-cmp",
+                "`partial_cmp(..)` followed by unwrap/expect panics on NaN; \
+                 use `f64::total_cmp` (NaN-deterministic total order)"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// Where float arithmetic is budget- or noise-critical: ε ledgers, noise
+/// scale derivations and samplers all live in the noise crate.
+fn in_float_critical(ctx: &FileContext) -> bool {
+    ctx.in_crate_src("noise")
+}
+
+/// `float-eq`: `==` / `!=` against a float literal in budget/noise
+/// arithmetic. Token-level, so only literal comparisons are detected —
+/// which is exactly the dangerous idiom (`spent == 0.3` after three 0.1
+/// debits is false); intentional exact guards (`scale == 0.0`
+/// short-circuits) carry a justified `lint:allow`.
+pub fn check_float_eq(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if !in_float_critical(ctx) {
+        return;
+    }
+    let tokens = &ctx.tokens;
+    for i in 0..tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        // `==` is '=' '=' not preceded by a comparison/compound-assign head
+        // and not followed by another '='; `!=` is '!' '='.
+        let (op_len, is_eq) = if tokens[i].is_punct('=')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct('='))
+            && !prev(tokens, i).is_some_and(|p| {
+                p.kind == TokenKind::Punct
+                    && matches!(
+                        p.text.as_bytes()[0],
+                        b'<' | b'>'
+                            | b'!'
+                            | b'='
+                            | b'+'
+                            | b'-'
+                            | b'*'
+                            | b'/'
+                            | b'%'
+                            | b'&'
+                            | b'|'
+                            | b'^'
+                    )
+            }) {
+            (2, true)
+        } else if tokens[i].is_punct('!') && tokens.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+            (2, false)
+        } else {
+            continue;
+        };
+        let left_float = prev(tokens, i).is_some_and(|p| p.kind == TokenKind::Float);
+        let right = tokens
+            .get(i + op_len)
+            .map(|t| {
+                if t.is_punct('-') {
+                    tokens.get(i + op_len + 1)
+                } else {
+                    Some(t)
+                }
+            })
+            .unwrap_or(None);
+        let right_float = right.is_some_and(|t| t.kind == TokenKind::Float);
+        if left_float || right_float {
+            out.push(violation(
+                ctx,
+                &tokens[i],
+                "float-eq",
+                format!(
+                    "float-literal `{}` comparison in budget/noise arithmetic; exact \
+                     float equality is rounding-fragile — compare with a tolerance or \
+                     justify the exact guard",
+                    if is_eq { "==" } else { "!=" }
+                ),
+            ));
+        }
+    }
+}
+
+/// Cast targets that silently drop precision or range when the source is a
+/// float or a wider integer.
+const LOSSY_TARGETS: &[&str] = &[
+    "f32", "i64", "i32", "i16", "i8", "u64", "u32", "u16", "u8", "usize", "isize",
+];
+
+/// `float-cast`: lossy narrowing `as` casts in budget/noise arithmetic.
+/// `as f64` stays legal (and common: `count() as f64`); everything
+/// narrowing needs a justification, because a saturating or truncating
+/// cast in a noise scale or ε sum is exactly the PR-5 underflow bug class.
+pub fn check_float_cast(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if !in_float_critical(ctx) {
+        return;
+    }
+    let tokens = &ctx.tokens;
+    for i in 0..tokens.len() {
+        if ctx.is_test(i) || !tokens[i].is_ident("as") {
+            continue;
+        }
+        if let Some(target) = tokens.get(i + 1) {
+            if LOSSY_TARGETS.contains(&target.text.as_str()) {
+                out.push(violation(
+                    ctx,
+                    &tokens[i],
+                    "float-cast",
+                    format!(
+                        "lossy `as {}` cast in budget/noise arithmetic; truncation and \
+                         saturation here silently corrupt ε sums and noise scales",
+                        target.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileContext::new(path, src);
+        let mut out = Vec::new();
+        check_total_cmp(&ctx, &mut out);
+        check_float_eq(&ctx, &mut out);
+        check_float_cast(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_is_flagged_everywhere() {
+        let bad = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(check_all("crates/experiments/src/x.rs", bad).len(), 1);
+        let expect =
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\")); }";
+        assert_eq!(check_all("tests/x.rs", expect).len(), 1);
+        let good = "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }";
+        assert!(check_all("crates/experiments/src/x.rs", good).is_empty());
+        // A bare partial_cmp without unwrap is fine.
+        let bare = "fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b); }";
+        assert!(check_all("crates/core/src/x.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn float_literal_equality_flagged_in_noise_only() {
+        let bad = "fn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(check_all("crates/noise/src/x.rs", bad).len(), 1);
+        assert!(check_all("crates/core/src/x.rs", bad).is_empty());
+        let neq = "fn f(x: f64) -> bool { 1.5 != x }";
+        assert_eq!(check_all("crates/noise/src/x.rs", neq).len(), 1);
+        let negated = "fn f(x: f64) -> bool { x == -0.5 }";
+        assert_eq!(check_all("crates/noise/src/x.rs", negated).len(), 1);
+        // Integer equality, <=, >= and pattern arrows stay silent.
+        let fine = "fn f(n: u32, x: f64) -> bool { n % 2 == 1 && x <= 0.5 && x >= 0.1 }";
+        assert!(check_all("crates/noise/src/x.rs", fine).is_empty());
+        let arm = "fn f(p: P) -> f64 { match p { P::A => 1.0, _ => 0.0 } }";
+        assert!(check_all("crates/noise/src/x.rs", arm).is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_flagged_in_noise_only() {
+        let bad = "fn f(x: f64) -> i64 { x as i64 }";
+        assert_eq!(check_all("crates/noise/src/x.rs", bad).len(), 1);
+        assert!(check_all("crates/lp/src/x.rs", bad).is_empty());
+        let widen = "fn f(n: usize) -> f64 { n as f64 }";
+        assert!(check_all("crates/noise/src/x.rs", widen).is_empty());
+    }
+}

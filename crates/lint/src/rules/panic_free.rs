@@ -1,0 +1,165 @@
+//! `panic-freedom`: the server request path must refuse, never die.
+//!
+//! A panic in a connection handler kills that thread mid-request; a panic
+//! under a lock poisons it for every other tenant. Every failure on the
+//! path must instead surface as a [`ServerError`]-shaped refusal that
+//! consumes no ε. The rule bans the panicking idioms in the server crate's
+//! non-test code: `unwrap`/`expect` method calls, panicking macros, and
+//! direct slice/array indexing (`xs[i]` panics out of bounds — use `get`).
+//! `debug_assert!` stays legal: it compiles out of release builds.
+
+use super::{prev, violation};
+use crate::context::FileContext;
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+
+/// Macros that panic at runtime.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that can legitimately precede `[` without forming an index
+/// expression (`&mut [T]`, `for x in [..]`, `return [..]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "ref", "in", "as", "return", "break", "else", "match", "if", "while", "loop",
+    "unsafe", "let", "move", "const", "static", "impl", "where", "await", "box",
+];
+
+/// Whether this file is on the server request path.
+fn on_request_path(ctx: &FileContext) -> bool {
+    ctx.in_crate_src("server")
+}
+
+/// Runs the `panic-freedom` checks over one file.
+pub fn check(ctx: &FileContext, out: &mut Vec<Violation>) {
+    if !on_request_path(ctx) {
+        return;
+    }
+    let tokens = &ctx.tokens;
+    for i in 0..tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident {
+            // `.unwrap()` / `.expect(…)` method calls. The leading dot keeps
+            // `unwrap_or_else(PoisonError::into_inner)` and the free function
+            // forms legal.
+            if (t.text == "unwrap" || t.text == "expect")
+                && prev(tokens, i).is_some_and(|p| p.is_punct('.'))
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                out.push(violation(
+                    ctx,
+                    t,
+                    "panic-freedom",
+                    format!(
+                        "`.{}()` on the server request path; a panic here kills the \
+                         connection thread (and poisons any held lock) — refuse the \
+                         request with a ServerError instead",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(violation(
+                    ctx,
+                    t,
+                    "panic-freedom",
+                    format!(
+                        "`{}!` on the server request path; panics must not reach a \
+                         connection handler — return a refusal instead",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // Index expressions: `[` directly after an identifier, `)`, `]` or
+        // `?` is an index (attribute `#[…]`, slice types `&[T]`, array
+        // literals `= […]` and macro brackets `vec![…]` all have other
+        // predecessors).
+        if t.is_punct('[') {
+            let is_index = prev(tokens, i).is_some_and(|p| match p.kind {
+                TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                TokenKind::Punct => {
+                    matches!(p.text.as_bytes()[0], b')' | b']' | b'?')
+                }
+                _ => false,
+            });
+            if is_index {
+                out.push(violation(
+                    ctx,
+                    t,
+                    "panic-freedom",
+                    "direct slice/array indexing on the server request path panics out \
+                     of bounds; use `.get(…)` and refuse the request"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_path(path: &str, src: &str) -> Vec<Violation> {
+        let ctx = FileContext::new(path, src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_only_in_server_nontest_code() {
+        let bad = "fn f() { let x = y.lock().unwrap(); let z = w.expect(\"msg\"); }";
+        assert_eq!(check_path("crates/server/src/server.rs", bad).len(), 2);
+        assert!(check_path("crates/core/src/x.rs", bad).is_empty());
+        let in_test = format!("#[cfg(test)] mod tests {{ {bad} }}");
+        assert!(check_path("crates/server/src/server.rs", &in_test).is_empty());
+    }
+
+    #[test]
+    fn poison_recovery_is_legal() {
+        let good =
+            "fn f() { let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }";
+        assert!(check_path("crates/server/src/server.rs", good).is_empty());
+    }
+
+    #[test]
+    fn panicking_macros_flagged_but_debug_assert_is_fine() {
+        let bad = "fn f() { panic!(\"boom\"); assert!(x > 0); unreachable!(); }";
+        assert_eq!(check_path("crates/server/src/protocol.rs", bad).len(), 3);
+        let good = "fn f() { debug_assert!(x > 0); }";
+        assert!(check_path("crates/server/src/protocol.rs", good).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_but_types_literals_and_macros_are_not() {
+        let bad = "fn f(xs: &[u8], i: usize) -> u8 { xs[i] }";
+        assert_eq!(check_path("crates/server/src/server.rs", bad).len(), 1);
+        let chained = "fn f(m: &M) -> u8 { m.rows()[0] }";
+        assert_eq!(check_path("crates/server/src/server.rs", chained).len(), 1);
+        let good = "
+            fn f(xs: &mut [u8]) -> Option<u8> {
+                let arr = [1u8, 2, 3];
+                let v = vec![0u8; 4];
+                let t: [u8; 2] = [0, 1];
+                for x in [1, 2] { let _ = x; }
+                xs.get(0).copied()
+            }
+        ";
+        assert!(check_path("crates/server/src/server.rs", good).is_empty());
+    }
+}

@@ -44,6 +44,7 @@ pub fn is_empirically_accurate(
 /// the paper's evaluation (with the convention that the error is the absolute
 /// error when the true answer is 0).
 pub fn relative_error(answer: f64, truth: f64) -> f64 {
+    // lint:allow(float-eq): exact zero sentinel — the absolute-error convention applies precisely at truth == 0, not near it
     if truth == 0.0 {
         answer.abs()
     } else {

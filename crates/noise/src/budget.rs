@@ -32,6 +32,7 @@ impl PrivacyBudget {
 
     /// Whether this is a pure ε-DP budget.
     pub fn is_pure(&self) -> bool {
+        // lint:allow(float-eq): pure ε-DP is exactly δ = 0; a tolerance would misclassify small approximate-DP deltas as pure
         self.delta == 0.0
     }
 

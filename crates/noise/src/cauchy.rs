@@ -31,6 +31,7 @@ pub fn sample_cauchy<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
         scale >= 0.0 && scale.is_finite(),
         "invalid Cauchy scale {scale}"
     );
+    // lint:allow(float-eq): exact zero-scale short-circuit — zero sensitivity must add exactly zero noise, and the guard above rejects negatives
     if scale == 0.0 {
         return 0.0;
     }

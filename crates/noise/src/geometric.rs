@@ -28,6 +28,7 @@ pub fn sample_two_sided_geometric<R: Rng + ?Sized>(
         epsilon > 0.0 && sensitivity >= 0.0,
         "invalid geometric parameters"
     );
+    // lint:allow(float-eq): exact zero-sensitivity short-circuit — the mechanism must add exactly zero noise, and the guard above rejects negatives
     if sensitivity == 0.0 {
         return 0;
     }
@@ -55,6 +56,7 @@ fn sample_geometric_ln<R: Rng + ?Sized>(ln_alpha: f64, rng: &mut R) -> i64 {
     if draw >= i64::MAX as f64 {
         i64::MAX
     } else {
+        // lint:allow(float-cast): draw is integral by construction (floor above) and the preceding branch saturates at i64::MAX, so this cast is exact
         draw as i64
     }
 }

@@ -37,7 +37,7 @@ mod recorder;
 mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, Stopwatch};
-pub use json::{parse_json, JsonError, JsonValue};
+pub use json::{parse_json, write_json_f64, write_json_string, JsonError, JsonValue};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS_MS};
 pub use recorder::{NoopRecorder, Recorder, SpanRecorder, Stage};
 pub use trace::{CacheOutcome, GroupSplit, LpSummary, NoiseScales, ReleaseTrace, StageSpan};

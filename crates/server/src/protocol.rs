@@ -46,7 +46,7 @@ use rmdp_sql::QueryOutput;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 
 /// Encodes one request's outcome as protocol lines (each entry one line,
@@ -233,9 +233,13 @@ pub fn serve(server: Arc<DpServer>, addr: impl ToSocketAddrs) -> io::Result<Serv
             // keeps Nagle from trading their latency against delayed ACKs.
             let _ = stream.set_nodelay(true);
             if let Ok(clone) = stream.try_clone() {
+                // Poisoning is recovered, not propagated: the list is only
+                // ever pushed to or drained whole, so it is consistent even
+                // after a panic elsewhere — and the accept loop must outlive
+                // any one connection's failure.
                 accept_streams
                     .lock()
-                    .expect("stream list poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .push(clone);
             }
             let conn_server = Arc::clone(&accept_server);
@@ -280,7 +284,13 @@ impl ServerHandle {
         // so close both directions under it. The handler sees EOF and
         // returns; clients see a closed connection, which is the protocol's
         // shutdown signal.
-        for stream in self.streams.lock().expect("stream list poisoned").drain(..) {
+        // Take the list out of the mutex first: the socket shutdowns below
+        // must not run under the lock the accept loop also takes.
+        let streams = {
+            let mut held = self.streams.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *held)
+        };
+        for stream in streams {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the accept loop: `incoming()` has no timeout, so poke it

@@ -45,7 +45,7 @@ use rmdp_noise::{GroupBudgetPolicy, PrivacyBudget};
 use rmdp_observe::{Clock, MetricsRegistry, MonotonicClock, LATENCY_BUCKETS_MS};
 use rmdp_runtime::{AdmissionConfig, AdmissionGate};
 use rmdp_sql::{AnyPlan, CatalogSnapshot, QueryOutput, SqlError, SqlSession};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Knobs for one [`DpServer`]. See `docs/TUNING.md` for how each one trades
 /// throughput against refusal rate.
@@ -148,7 +148,11 @@ impl DpServer {
     /// server's snapshot, and a caller holding this `Arc` keeps a
     /// consistent view across the swap.
     pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
-        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+        // Poisoning is recovered, not propagated: the guarded value is an
+        // `Arc` swapped atomically under the write lock, so it is consistent
+        // even if some thread panicked while holding the guard — and a panic
+        // must never cascade into refusing every later request.
+        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// The snapshot with exactly this version, if the server ever served
@@ -156,7 +160,7 @@ impl DpServer {
     pub fn snapshot_at(&self, version: u64) -> Option<Arc<CatalogSnapshot>> {
         self.history
             .read()
-            .expect("snapshot history poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .find(|s| s.version() == version)
             .cloned()
@@ -301,23 +305,22 @@ impl DpServer {
     /// never did. `None` for unknown tenants.
     ///
     /// Replay draws no budget and records no metrics: it recomputes what
-    /// was already paid for.
+    /// was already paid for. Returns `None` for unknown tenants, or if a
+    /// logged snapshot version is missing from the history (the log records
+    /// only served versions and the history never evicts, so that would
+    /// mean corrupted state — replay refuses rather than panics).
     pub fn replay(&self, tenant: &str) -> Option<Vec<Result<QueryOutput, SqlError>>> {
         let log = self.tenants.query_log(tenant)?;
         let tenant_seed = self.tenants.tenant_seed(tenant)?;
-        Some(
-            log.iter()
-                .map(|q| {
-                    let seed = derive_query_seed(tenant_seed, q.index);
-                    let snapshot = self
-                        .snapshot_at(q.snapshot_version)
-                        .expect("replay log records only served snapshot versions");
-                    let mut session = SqlSession::over(snapshot, seed)
-                        .with_group_policy(self.config.group_policy);
-                    session.query(&q.sql)
-                })
-                .collect(),
-        )
+        let mut outputs = Vec::with_capacity(log.len());
+        for q in &log {
+            let seed = derive_query_seed(tenant_seed, q.index);
+            let snapshot = self.snapshot_at(q.snapshot_version)?;
+            let mut session =
+                SqlSession::over(snapshot, seed).with_group_policy(self.config.group_policy);
+            outputs.push(session.query(&q.sql));
+        }
+        Some(outputs)
     }
 
     /// Appends `rows` to `table` and atomically swaps in the resulting
@@ -346,7 +349,10 @@ impl DpServer {
         };
         let row_count = rows.len() as u64;
         let report = {
-            let mut current = self.snapshot.write().expect("snapshot lock poisoned");
+            let mut current = self
+                .snapshot
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
             let next = current.with_delta(table, rows).map_err(|e| {
                 self.metrics.counter_add("server.errors.ingest", 1);
                 ServerError::Sql(e)
@@ -356,7 +362,7 @@ impl DpServer {
                     .purge_stale(&next.database().current_epoch_stamps()) as u64;
             self.history
                 .write()
-                .expect("snapshot history poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push(Arc::clone(&next));
             let version = next.version();
             *current = next;

@@ -18,7 +18,7 @@
 use crate::seed::derive_tenant_seed;
 use rmdp_noise::{BudgetAccountant, BudgetExhausted, BudgetRegistry, PrivacyBudget};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// One admitted query in a tenant's replay log: the admission index its
 /// noise seed derives from, the SQL text to re-execute, and the catalog
@@ -90,9 +90,14 @@ impl TenantRegistry {
         if !self.budgets.register(tenant, total) {
             return false;
         }
+        // Throughout the registry, lock poisoning is recovered rather than
+        // propagated: every critical section is panic-free (the lint's
+        // panic-freedom rule enforces that), so a poisoned flag can only be
+        // inherited from a test or foreign unwind — and one tenant's panic
+        // must never start refusing every other tenant's requests.
         self.tenants
             .write()
-            .expect("tenant registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(
                 tenant.to_owned(),
                 Arc::new(Mutex::new(TenantMut {
@@ -124,21 +129,21 @@ impl TenantRegistry {
     /// tenants.
     pub fn query_log(&self, tenant: &str) -> Option<Vec<AdmittedQuery>> {
         let state = self.state(tenant)?;
-        let t = state.lock().expect("tenant state poisoned");
+        let t = state.lock().unwrap_or_else(PoisonError::into_inner);
         Some(t.log.clone())
     }
 
     /// The tenant's seed-stream root, or `None` for unknown tenants.
     pub fn tenant_seed(&self, tenant: &str) -> Option<u64> {
         let state = self.state(tenant)?;
-        let t = state.lock().expect("tenant state poisoned");
+        let t = state.lock().unwrap_or_else(PoisonError::into_inner);
         Some(t.seed)
     }
 
     pub(crate) fn state(&self, tenant: &str) -> Option<Arc<Mutex<TenantMut>>> {
         self.tenants
             .read()
-            .expect("tenant registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(tenant)
             .cloned()
     }
@@ -157,7 +162,7 @@ impl TenantRegistry {
     ) -> Option<Reservation> {
         let state = self.state(tenant)?;
         let ledger = self.budgets.handle(tenant)?;
-        let mut t = state.lock().expect("tenant state poisoned");
+        let mut t = state.lock().unwrap_or_else(PoisonError::into_inner);
         if t.in_flight >= max_in_flight {
             return Some(Reservation::Busy {
                 in_flight: t.in_flight,
@@ -165,7 +170,7 @@ impl TenantRegistry {
         }
         // Lock order is always tenant → ledger (the only place both are
         // held), so the pair cannot deadlock.
-        let mut acc = ledger.lock().expect("tenant ledger poisoned");
+        let mut acc = ledger.lock().unwrap_or_else(PoisonError::into_inner);
         if let Err(e) = acc.try_spend(cost) {
             return Some(Reservation::OverBudget(e));
         }
@@ -188,12 +193,15 @@ impl TenantRegistry {
     /// `refund` returns the reserved cost to the ledger.
     pub(crate) fn finish(&self, tenant: &str, cost: PrivacyBudget, refund: bool) {
         if let Some(state) = self.state(tenant) {
-            let mut t = state.lock().expect("tenant state poisoned");
+            let mut t = state.lock().unwrap_or_else(PoisonError::into_inner);
             t.in_flight = t.in_flight.saturating_sub(1);
         }
         if refund {
             if let Some(ledger) = self.budgets.handle(tenant) {
-                ledger.lock().expect("tenant ledger poisoned").refund(cost);
+                ledger
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .refund(cost);
             }
         }
     }
@@ -201,7 +209,7 @@ impl TenantRegistry {
     /// Read access to a tenant's full accountant state (for reports).
     pub fn accountant(&self, tenant: &str) -> Option<BudgetAccountant> {
         let ledger = self.budgets.handle(tenant)?;
-        let acc = ledger.lock().expect("tenant ledger poisoned");
+        let acc = ledger.lock().unwrap_or_else(PoisonError::into_inner);
         Some(*acc)
     }
 }

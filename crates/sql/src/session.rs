@@ -256,6 +256,7 @@ impl SqlSession {
         SqlSession {
             snapshot,
             params,
+            // lint:allow(rng-confinement): the sanctioned root — every draw in the session descends from this caller-supplied, replay-logged seed
             rng: StdRng::seed_from_u64(seed),
             accountant: None,
             cache: None,
@@ -862,6 +863,7 @@ impl SqlSession {
                 .map(|p| plan_key(self.snapshot.database(), p, &self.params))
                 .collect()
         });
+        // lint:allow(rng-confinement): sanctioned seed-schedule derivation — per-item seeds drawn serially from the session root before fan-out
         let seeds: Vec<u64> = plans.iter().map(|_| self.rng.next_u64()).collect();
 
         // The batch level owns the concurrency; the worker budget is split
@@ -878,6 +880,7 @@ impl SqlSession {
             Parallelism::Serial
         });
         let outcomes = par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
+            // lint:allow(rng-confinement): sanctioned construction — each worker's RNG descends from the logged seed schedule, so replay is bit-identical
             let mut rng = StdRng::seed_from_u64(seeds[i]);
             let key = keys.as_ref().map(|k| &k[i]);
             release_plan(
@@ -963,6 +966,7 @@ impl SqlSession {
                 })
                 .collect()
         });
+        // lint:allow(rng-confinement): sanctioned seed-schedule derivation — per-item seeds drawn serially from the session root before fan-out
         let seeds: Vec<u64> = plans.iter().map(|_| self.rng.next_u64()).collect();
 
         let db = self.snapshot.database();
@@ -976,6 +980,7 @@ impl SqlSession {
             Parallelism::Serial
         });
         let outcomes = par_try_map_indexed(self.params.parallelism, plans.len(), |i| {
+            // lint:allow(rng-confinement): sanctioned construction — each worker's RNG descends from the logged seed schedule, so replay is bit-identical
             let mut rng = StdRng::seed_from_u64(seeds[i]);
             match &plans[i] {
                 AnyPlan::Scalar(plan) => {
